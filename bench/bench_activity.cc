@@ -1,0 +1,54 @@
+// Reproduces Figure 7 (operator activity over the query runtime) and Figure 11 (activity of the
+// optimizer's plan vs. the faster alternative plan on date-correlated data).
+#include "bench/common.h"
+#include "src/profiling/reports.h"
+#include "src/util/date.h"
+
+namespace dfp {
+namespace {
+
+void RunTimeline(QueryEngine& engine, Database& db, PhysicalOpPtr plan, const char* name) {
+  ProfilingConfig config;
+  config.period = 2000;
+  ProfilingSession session(config);
+  CompiledQuery query = engine.Compile(std::move(plan), &session, name);
+  engine.Execute(query);
+  session.Resolve(db.code_map());
+  ActivityTimeline timeline = BuildActivityTimeline(session, query, 60);
+  std::printf("%s  (total %.2f ms simulated)\n%s\n", name,
+              CyclesToMs(session.execution_cycles()),
+              RenderActivityTimeline(timeline).c_str());
+}
+
+int Main() {
+  PrintHeader("Operator activity over time", "Figure 7 and Figure 11");
+
+  {
+    std::unique_ptr<Database> db = MakeTpchDatabase(BenchScale());
+    QueryEngine engine(db.get());
+    std::printf("\n--- Figure 7: activity for the Figure 9 query ---\n");
+    RunTimeline(engine, *db, BuildFig9Plan(*db), "fig9");
+  }
+
+  {
+    // Figure 11 needs lineitem clustered on the join key with date-correlated orders: probe
+    // matches arrive clustered in time (all matches first, then none).
+    std::unique_ptr<Database> db = MakeTpchDatabase(BenchScale(), /*correlated_dates=*/true);
+    QueryEngine engine(db.get());
+    const int32_t cutoff = ParseDate("1995-06-01");
+    std::printf("\n--- Figure 11: optimizer's plan (probe partsupp, then orders) ---\n");
+    RunTimeline(engine, *db, BuildFig10OptimizerPlan(*db, cutoff), "Opt. Plan");
+    std::printf("--- Figure 11: alternative plan (probe orders, then partsupp) ---\n");
+    RunTimeline(engine, *db, BuildFig10AlternativePlan(*db, cutoff), "Alt. Plan");
+    std::printf(
+        "Expected shape (paper): the alternative plan is faster overall; its orders join\n"
+        "dominates the early phase and the partsupp probe disappears in the late phase, because\n"
+        "the date filter eliminates every tuple once the scan passes the cutoff orderkey.\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfp
+
+int main() { return dfp::Main(); }

@@ -1,0 +1,58 @@
+// Reproduces Table 2: share of samples attributed to operators / kernel tasks / unattributed
+// system libraries, aggregated over the whole query suite with Register Tagging.
+#include "bench/common.h"
+#include "src/profiling/reports.h"
+#include "src/util/table_printer.h"
+
+namespace dfp {
+namespace {
+
+int Main() {
+  PrintHeader("Sample attribution over the query suite", "Table 2");
+  std::unique_ptr<Database> db = MakeTpchDatabase(BenchScale(0.005));
+  QueryEngine engine(db.get());
+
+  AttributionStats total;
+  TablePrinter per_query({"Query", "Samples", "Operators", "Kernel", "Unattributed", "Via tag"});
+  for (size_t c = 1; c <= 5; ++c) {
+    per_query.SetRightAlign(c, true);
+  }
+  for (const QuerySpec& spec : TpchQuerySuite()) {
+    ProfilingConfig config;
+    config.period = 1000;
+    ProfilingSession session(config);
+    CompiledQuery query = engine.Compile(BuildQueryPlan(*db, spec), &session, spec.name);
+    engine.Execute(query);
+    session.Resolve(db->code_map());
+    AttributionStats stats = session.Stats();
+    total.total += stats.total;
+    total.operator_samples += stats.operator_samples;
+    total.kernel_samples += stats.kernel_samples;
+    total.unattributed += stats.unattributed;
+    total.ambiguous += stats.ambiguous;
+    total.via_tag += stats.via_tag;
+    auto pct = [&](uint64_t n) {
+      return stats.total > 0
+                 ? PercentString(static_cast<double>(n) / static_cast<double>(stats.total))
+                 : std::string("-");
+    };
+    per_query.AddRow({spec.name, StrFormat("%llu", static_cast<unsigned long long>(stats.total)),
+                      pct(stats.operator_samples), pct(stats.kernel_samples),
+                      pct(stats.unattributed), pct(stats.via_tag)});
+  }
+  std::printf("\nPer-query breakdown:\n%s\n", per_query.Render().c_str());
+  std::printf("--- Table 2: aggregate over the suite ---\n%s\n",
+              RenderAttributionStats(total).c_str());
+  std::printf(
+      "Paper reference: 98.0%% attributed to the engine (95.4%% operators + 2.6%% kernel tasks),\n"
+      "2.0%% unattributed system libraries (string routines, for which tagging is not applied).\n");
+  std::printf("Ambiguous multi-owner samples: %llu of %llu\n",
+              static_cast<unsigned long long>(total.ambiguous),
+              static_cast<unsigned long long>(total.total));
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfp
+
+int main() { return dfp::Main(); }

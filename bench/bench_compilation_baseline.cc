@@ -1,0 +1,54 @@
+// Ablation: compilation vs. interpretation, and the effect of the IR optimization pipeline.
+// Not a paper figure, but the design decision DESIGN.md calls out — the compiling execution
+// model is the reason profiling needs Tailored Profiling in the first place.
+#include "bench/common.h"
+#include "src/interp/interpreter.h"
+#include "src/util/table_printer.h"
+#include "src/vcpu/cost_model.h"
+
+namespace dfp {
+namespace {
+
+int Main() {
+  PrintHeader("Ablation: compiled vs. unoptimized-IR execution",
+              "DESIGN.md ablation (execution model)");
+  std::unique_ptr<Database> db = MakeTpchDatabase(BenchScale(0.005));
+  QueryEngine engine(db.get());
+
+  TablePrinter table({"Query", "Optimized cycles", "Unoptimized cycles", "IR opt speedup",
+                      "IR instrs opt/unopt"});
+  for (size_t c = 1; c <= 4; ++c) {
+    table.SetRightAlign(c, true);
+  }
+  for (const QuerySpec& spec : TpchQuerySuite()) {
+    CompiledQuery optimized = engine.Compile(BuildQueryPlan(*db, spec), nullptr, spec.name);
+    engine.Execute(optimized);
+    const uint64_t optimized_cycles = engine.last_cycles();
+
+    CodegenOptions no_opt;
+    no_opt.optimize_ir = false;
+    CompiledQuery unoptimized =
+        engine.Compile(BuildQueryPlan(*db, spec), nullptr, spec.name + "_noopt", no_opt);
+    engine.Execute(unoptimized);
+    const uint64_t unoptimized_cycles = engine.last_cycles();
+
+    table.AddRow(
+        {spec.name, StrFormat("%llu", static_cast<unsigned long long>(optimized_cycles)),
+         StrFormat("%llu", static_cast<unsigned long long>(unoptimized_cycles)),
+         StrFormat("%.2fx", static_cast<double>(unoptimized_cycles) /
+                                static_cast<double>(optimized_cycles)),
+         StrFormat("%llu/%llu", static_cast<unsigned long long>(optimized.TotalIrInstrs()),
+                   static_cast<unsigned long long>(unoptimized.TotalIrInstrs()))});
+  }
+  std::printf("\n%s\n", table.Render().c_str());
+  std::printf(
+      "The optimization passes (constant folding, address-mode fusing, CSE, DCE) shrink the\n"
+      "generated IR and the simulated runtime; the Tagging Dictionary stays correct through\n"
+      "all of them (see bench_accuracy).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfp
+
+int main() { return dfp::Main(); }

@@ -1,0 +1,130 @@
+// Reproduces Figure 12: per-operator memory access patterns (address vs. time) for the Figure 9
+// query, sampled on MEM_LOADS with address capture.
+#include <cmath>
+
+#include "bench/common.h"
+#include "src/profiling/reports.h"
+
+namespace dfp {
+namespace {
+
+int Main() {
+  PrintHeader("Per-operator memory access patterns", "Figure 12");
+  std::unique_ptr<Database> db = MakeTpchDatabase(BenchScale());
+  QueryEngine engine(db.get());
+
+  ProfilingConfig config;
+  config.event = PmuEvent::kLoads;
+  config.period = 1000;  // A sample every 1000 loads, as in the paper.
+  config.capture_address = true;
+  ProfilingSession session(config);
+  CompiledQuery query = engine.Compile(BuildFig9Plan(*db), &session, "fig9_mem");
+  engine.Execute(query);
+  session.Resolve(db->code_map());
+
+  MemoryProfile profile = BuildMemoryProfile(session, query);
+  std::printf("\n%s", RenderMemoryProfile(profile).c_str());
+  std::printf(
+      "Expected shape (paper): table scans show a rising linear address pattern over time;\n"
+      "the join and the aggregation spread across their hash tables' address ranges.\n");
+
+  // Quantitative check: a scan's accesses within each COLUMN array rise linearly with time
+  // (Pearson r near 1, the paper's parallel rising lines); the hash operators' accesses spread
+  // over their tables without temporal order (r near 0).
+  auto correlation = [](const std::vector<std::pair<uint64_t, uint64_t>>& points) {
+    double n = static_cast<double>(points.size());
+    double sum_t = 0;
+    double sum_a = 0;
+    double sum_tt = 0;
+    double sum_aa = 0;
+    double sum_ta = 0;
+    for (const auto& [tsc, addr] : points) {
+      double t = static_cast<double>(tsc);
+      double a = static_cast<double>(addr);
+      sum_t += t;
+      sum_a += a;
+      sum_tt += t * t;
+      sum_aa += a * a;
+      sum_ta += t * a;
+    }
+    double cov = sum_ta / n - (sum_t / n) * (sum_a / n);
+    double var_t = sum_tt / n - (sum_t / n) * (sum_t / n);
+    double var_a = sum_aa / n - (sum_a / n) * (sum_a / n);
+    return (var_t > 0 && var_a > 0) ? cov / std::sqrt(var_t * var_a) : 0.0;
+  };
+
+  std::printf("\nAddress-vs-time correlation per operator (per column array for scans):\n");
+  std::vector<PhysicalOp*> operators = PlanOperators(*query.plan);
+  for (const MemoryProfileSeries& series : profile.series) {
+    if (series.points.size() < 16) {
+      continue;
+    }
+    const PhysicalOp* op = nullptr;
+    for (PhysicalOp* candidate : operators) {
+      if (candidate->id == series.op) {
+        op = candidate;
+      }
+    }
+    if (op != nullptr && op->kind == OpKind::kTableScan) {
+      // Split samples by the column array they fall into.
+      double weighted_r = 0;
+      size_t counted = 0;
+      for (size_t c = 0; c < op->table->schema().columns.size(); ++c) {
+        const VAddr base = op->table->column_base(c);
+        const VAddr end = base + op->table->row_count() *
+                                     ColumnWidth(op->table->schema().columns[c].type);
+        std::vector<std::pair<uint64_t, uint64_t>> column_points;
+        for (const auto& point : series.points) {
+          if (point.second >= base && point.second < end) {
+            column_points.push_back(point);
+          }
+        }
+        if (column_points.size() >= 8) {
+          weighted_r += correlation(column_points) * static_cast<double>(column_points.size());
+          counted += column_points.size();
+        }
+      }
+      if (counted > 0) {
+        std::printf("  %-28s r = %+.3f  (%zu samples, per-column)\n", series.label.c_str(),
+                    weighted_r / static_cast<double>(counted), series.points.size());
+      }
+      continue;
+    }
+    std::printf("  %-28s r = %+.3f  (%zu samples)\n", series.label.c_str(),
+                correlation(series.points), series.points.size());
+  }
+
+  // Second section: the same view armed on L1 cache misses instead of loads — "a memory access
+  // profile with cache-miss information" (paper Section 6.1). Misses concentrate in the hash
+  // operators; the prefetcher-friendly scans nearly vanish.
+  {
+    ProfilingConfig miss_config;
+    miss_config.event = PmuEvent::kL1Miss;
+    miss_config.period = 200;
+    miss_config.capture_address = true;
+    ProfilingSession miss_session(miss_config);
+    CompiledQuery miss_query = engine.Compile(BuildFig9Plan(*db), &miss_session, "fig9_miss");
+    engine.Execute(miss_query);
+    miss_session.Resolve(db->code_map());
+    MemoryProfile misses = BuildMemoryProfile(miss_session, miss_query);
+    std::printf("\n--- Cache-miss profile (event = L1_MISS) ---\n");
+    uint64_t total_miss_samples = 0;
+    for (const MemoryProfileSeries& series : misses.series) {
+      total_miss_samples += series.points.size();
+    }
+    for (const MemoryProfileSeries& series : misses.series) {
+      std::printf("  %-28s %5zu miss samples (%4.1f%%), span %.1f MB\n", series.label.c_str(),
+                  series.points.size(),
+                  100.0 * static_cast<double>(series.points.size()) /
+                      static_cast<double>(std::max<uint64_t>(1, total_miss_samples)),
+                  static_cast<double>(series.max_addr - series.min_addr) / (1024.0 * 1024.0));
+    }
+    std::printf("Expected shape: the hash-table operators own most miss samples.\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfp
+
+int main() { return dfp::Main(); }

@@ -1,0 +1,86 @@
+// Reproduces the Section 6.2 storage-overhead measurements: bytes per sample under each capture
+// configuration, sample data rate at the default frequency, and Tagging Dictionary sizes
+// (the paper: 54 B / 265 B samples, 77 MB/s at 0.7 MHz, ~24 B per dictionary entry, ~1320 IR
+// instructions per TPC-H query, ~30 kB dictionary).
+#include "bench/common.h"
+#include "src/util/table_printer.h"
+#include "src/vcpu/cost_model.h"
+
+namespace dfp {
+namespace {
+
+int Main() {
+  PrintHeader("Storage overhead of samples and the Tagging Dictionary", "Section 6.2");
+  std::unique_ptr<Database> db = MakeTpchDatabase(BenchScale(0.005));
+  QueryEngine engine(db.get());
+
+  // --- Sample sizes per configuration ---
+  {
+    TablePrinter table({"Configuration", "Bytes/sample", "MB/s at 0.84 MHz"});
+    table.SetRightAlign(1, true);
+    table.SetRightAlign(2, true);
+    struct Config {
+      const char* name;
+      bool addr;
+      bool regs;
+      bool stack;
+      uint64_t depth;
+    };
+    const Config kConfigs[] = {
+        {"IP, Time", false, false, false, 0},
+        {"IP, Time, Address", true, false, false, 0},
+        {"IP, Time, Registers", false, true, false, 0},
+        {"IP, Time, Callstack(d=6)", false, false, true, 6},
+    };
+    const double samples_per_second = kClockGhz * 1e9 / 5000.0;
+    for (const Config& config : kConfigs) {
+      SamplingConfig sampling;
+      sampling.capture_address = config.addr;
+      sampling.capture_registers = config.regs;
+      sampling.capture_callstack = config.stack;
+      uint64_t bytes = sampling.SampleBytes(config.depth);
+      table.AddRow({config.name, StrFormat("%llu", static_cast<unsigned long long>(bytes)),
+                    StrFormat("%.1f", samples_per_second * static_cast<double>(bytes) / 1e6)});
+    }
+    std::printf("\n%s", table.Render().c_str());
+    std::printf(
+        "(Paper: 54 B with registers, 265 B with call stacks, 77 MB/s at 0.7 MHz. Our samples\n"
+        " record all 16 registers instead of a selected subset, hence the larger size; the\n"
+        " shape — registers add a fixed chunk, stacks multiply the size — is preserved.)\n\n");
+  }
+
+  // --- Tagging Dictionary sizes per query ---
+  TablePrinter table({"Query", "IR instrs", "Log A tasks", "Log B entries", "Dict bytes"});
+  for (size_t c = 1; c <= 4; ++c) {
+    table.SetRightAlign(c, true);
+  }
+  uint64_t total_instrs = 0;
+  uint64_t total_bytes = 0;
+  size_t count = 0;
+  for (const QuerySpec& spec : TpchQuerySuite()) {
+    ProfilingConfig config;
+    config.enable_sampling = false;
+    ProfilingSession session(config);
+    CompiledQuery query = engine.Compile(BuildQueryPlan(*db, spec), &session, spec.name);
+    const TaggingDictionary& dictionary = session.dictionary();
+    total_instrs += query.TotalIrInstrs();
+    total_bytes += dictionary.ApproxBytes();
+    ++count;
+    table.AddRow({spec.name,
+                  StrFormat("%llu", static_cast<unsigned long long>(query.TotalIrInstrs())),
+                  StrFormat("%zu", dictionary.log_a_entries()),
+                  StrFormat("%zu", dictionary.log_b_entries()),
+                  StrFormat("%llu", static_cast<unsigned long long>(dictionary.ApproxBytes()))});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Average per query: %.0f IR instructions, %.1f kB dictionary\n",
+              static_cast<double>(total_instrs) / static_cast<double>(count),
+              static_cast<double>(total_bytes) / static_cast<double>(count) / 1024.0);
+  std::printf("(Paper: ~1320 LLVM IR instructions and ~30 kB dictionary per TPC-H query.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfp
+
+int main() { return dfp::Main(); }

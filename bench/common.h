@@ -1,0 +1,48 @@
+// Shared setup for the benchmark/experiment binaries.
+#ifndef DFP_BENCH_COMMON_H_
+#define DFP_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/engine/query_engine.h"
+#include "src/tpch/datagen.h"
+#include "src/tpch/queries.h"
+#include "src/util/str.h"
+
+namespace dfp {
+
+// Default experiment scale: large enough for stable sample counts, small enough to keep the
+// whole experiment suite in seconds. Override with the DFP_SCALE environment variable.
+inline double BenchScale(double fallback = 0.01) {
+  const char* env = std::getenv("DFP_SCALE");
+  if (env != nullptr) {
+    return std::atof(env);
+  }
+  return fallback;
+}
+
+inline std::unique_ptr<Database> MakeTpchDatabase(double scale, bool correlated_dates = false) {
+  auto db = std::make_unique<Database>();
+  TpchOptions options;
+  options.scale = scale;
+  options.correlated_order_dates = correlated_dates;
+  TpchRowCounts counts = GenerateTpch(*db, options);
+  std::printf("# TPC-H-style dataset: scale %.4g, %llu orders, %llu lineitem rows%s\n", scale,
+              static_cast<unsigned long long>(counts.orders),
+              static_cast<unsigned long long>(counts.lineitem),
+              correlated_dates ? " (correlated order dates)" : "");
+  return db;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_ref) {
+  std::printf("==================================================================\n");
+  std::printf("Experiment: %s\n", experiment);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace dfp
+
+#endif  // DFP_BENCH_COMMON_H_

@@ -1,0 +1,63 @@
+// Domain-expert scenario (paper Section 6.1, first use case): a database user investigates why a
+// query is slower than expected. Tailored Profiling aggregates samples to the query-plan level —
+// unlike EXPLAIN-style tuple counts, the profile shows where the TIME actually goes.
+#include <cstdio>
+
+#include "src/engine/query_engine.h"
+#include "src/interp/interpreter.h"
+#include "src/profiling/reports.h"
+#include "src/tpch/datagen.h"
+#include "src/tpch/queries.h"
+#include "src/util/chart.h"
+#include "src/util/str.h"
+
+int main() {
+  using namespace dfp;
+  Database db;
+  TpchOptions options;
+  options.scale = 0.01;
+  GenerateTpch(db, options);
+  QueryEngine engine(&db);
+
+  std::printf("The user's slow query (the paper's Figure 9):\n");
+  std::printf("  Select l_orderkey, avg(l_extendedprice) From lineitem, orders\n");
+  std::printf("  Where o_orderdate < '1995-04-01' and o_orderkey = l_orderkey\n");
+  std::printf("  Group By l_orderkey\n\n");
+
+  ProfilingConfig config;
+  config.period = 5000;
+  ProfilingSession session(config);
+  CodegenOptions codegen;
+  codegen.count_tuples = true;  // EXPLAIN-ANALYZE-style counters, for the comparison below.
+  CompiledQuery query = engine.Compile(BuildFig9Plan(db), &session, "fig9", codegen);
+  Result result = engine.Execute(query);
+  session.Resolve(db.code_map());
+
+  std::printf("What EXPLAIN ANALYZE would show — tuples processed per task:\n%s\n",
+              RenderTaskTupleCounts(query, session.dictionary()).c_str());
+
+  // Tuple counts (what EXPLAIN ANALYZE would show) vs. sampled time.
+  std::printf("Row bounds vs. sampled compute time per operator:\n");
+  OperatorProfile profile = BuildOperatorProfile(session, query);
+  std::function<std::string(const PhysicalOp&)> annotate = [&](const PhysicalOp& op) {
+    const OperatorCost* cost = profile.Find(op.id);
+    std::string share = cost != nullptr ? PercentString(cost->share) : std::string("-");
+    return StrFormat("[<= %llu rows] (%s of time)",
+                     static_cast<unsigned long long>(op.bound_rows), share.c_str());
+  };
+  std::printf("%s\n", RenderPlanTree(*query.plan, annotate).c_str());
+
+  std::printf(
+      "Even though the join and the aggregation see the same tuples, the profile shows where\n"
+      "the cycles go — the paper's point: with 65%%/32%% splits a user can decide whether an\n"
+      "index (attacking the join) or pre-aggregation (attacking the group-by) pays off.\n\n");
+
+  std::printf("Result sanity check against the reference interpreter: %s\n",
+              [&] {
+                Result reference = InterpretPlan(db, *query.plan);
+                std::string diff;
+                return Result::Equivalent(result, reference, false, &diff) ? "OK"
+                                                                           : diff.c_str();
+              }());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Operator-developer scenario (paper Section 6.1, third use case): per-operator memory access
+// profiles. Sampling on retired loads with address capture yields, per operator, the (time,
+// address) scatter of Figure 12 — linear ramps for scans, hash-table spread for joins/group-bys.
+#include <cstdio>
+
+#include "src/engine/query_engine.h"
+#include "src/profiling/reports.h"
+#include "src/tpch/datagen.h"
+#include "src/tpch/queries.h"
+
+int main() {
+  using namespace dfp;
+  Database db;
+  TpchOptions options;
+  options.scale = 0.01;
+  GenerateTpch(db, options);
+  QueryEngine engine(&db);
+
+  ProfilingConfig config;
+  config.event = PmuEvent::kLoads;  // MEM_INST_RETIRED.ALL_LOADS analogue.
+  config.period = 1000;
+  config.capture_address = true;
+  ProfilingSession session(config);
+  CompiledQuery query = engine.Compile(BuildFig9Plan(db), &session, "fig9_mem");
+  engine.Execute(query);
+  session.Resolve(db.code_map());
+
+  MemoryProfile profile = BuildMemoryProfile(session, query);
+  std::printf("Memory access profile of the Figure 9 query (one panel per operator):\n\n%s",
+              RenderMemoryProfile(profile).c_str());
+
+  std::printf("Cache behaviour for context (whole query):\n");
+  const CacheStats& cache = engine.last_cache_stats();
+  std::printf("  %llu accesses, L1 miss %.2f%%, L2 miss %.2f%%, L3 miss %.2f%%\n",
+              static_cast<unsigned long long>(cache.accesses),
+              100.0 * static_cast<double>(cache.l1_misses) /
+                  static_cast<double>(cache.accesses),
+              100.0 * static_cast<double>(cache.l2_misses) /
+                  static_cast<double>(cache.accesses),
+              100.0 * static_cast<double>(cache.l3_misses) /
+                  static_cast<double>(cache.accesses));
+  std::printf(
+      "\nHow an operator developer reads this (paper Section 6.1): the scans' linear ramps are\n"
+      "prefetcher-friendly; the join's and group-by's spread across their hash tables is where\n"
+      "cache misses come from — a starting point for partitioning or layout changes.\n");
+  return 0;
+}

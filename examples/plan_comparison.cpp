@@ -1,0 +1,54 @@
+// Optimizer-developer scenario (paper Section 6.1, second use case): two plans with identical
+// intermediate-result sizes behave very differently at runtime. The activity-over-time view
+// (Figure 11) reveals why: on data where lineitem is clustered on the join key and the orders
+// filter correlates with it, probe outcomes arrive clustered in time.
+#include <cstdio>
+
+#include "src/engine/query_engine.h"
+#include "src/profiling/reports.h"
+#include "src/tpch/datagen.h"
+#include "src/tpch/queries.h"
+#include "src/util/date.h"
+
+int main() {
+  using namespace dfp;
+  Database db;
+  TpchOptions options;
+  options.scale = 0.01;
+  options.correlated_order_dates = true;  // The data layout behind the paper's observation.
+  GenerateTpch(db, options);
+  QueryEngine engine(&db);
+  const int32_t cutoff = ParseDate("1995-06-01");
+
+  auto run = [&](PhysicalOpPtr plan, const char* name) {
+    ProfilingConfig config;
+    config.period = 2000;
+    ProfilingSession session(config);
+    CompiledQuery query = engine.Compile(std::move(plan), &session, name);
+    engine.Execute(query);
+    session.Resolve(db.code_map());
+    std::printf("=== %s — %.2f ms simulated, %llu branch misses ===\n", name,
+                CyclesToMs(session.execution_cycles()),
+                static_cast<unsigned long long>(
+                    session.counters()[PmuEvent::kBranchMiss]));
+    ActivityTimeline timeline = BuildActivityTimeline(session, query, 64);
+    std::printf("%s\n", RenderActivityTimeline(timeline).c_str());
+    return session.execution_cycles();
+  };
+
+  std::printf("Both plans join lineitem with a date-filtered orders and a filtered partsupp;\n");
+  std::printf("their intermediate result sizes are identical, so a cost model based on\n");
+  std::printf("cardinalities alone could pick either (the paper's Figure 10).\n\n");
+
+  uint64_t optimizer = run(BuildFig10OptimizerPlan(db, cutoff), "Optimizer's plan (partsupp first)");
+  uint64_t alternative = run(BuildFig10AlternativePlan(db, cutoff), "Alternative plan (orders first)");
+
+  std::printf("Alternative plan is %.1f%% faster.\n",
+              (1.0 - static_cast<double>(alternative) / static_cast<double>(optimizer)) * 100);
+  std::printf(
+      "Reading the timelines (as the paper's optimizer developer does): in the alternative\n"
+      "plan the orders join eliminates every tuple once the scan passes the date cutoff, so\n"
+      "the partsupp probe stops appearing — prompting a cost-model extension for data-layout\n"
+      "properties like clustering and branch predictability.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Lowers register-allocated VIR to VCPU machine code, producing per-instruction debug info.
+//
+// Every emitted machine instruction carries the id of the VIR instruction it was lowered from
+// (spill traffic and immediate materialization inherit their parent's id), which is the
+// "DWARF line table" the sample resolver uses to map native samples back to Machine IR.
+#ifndef DFP_SRC_BACKEND_EMITTER_H_
+#define DFP_SRC_BACKEND_EMITTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/backend/regalloc.h"
+#include "src/ir/instr.h"
+#include "src/vcpu/minstr.h"
+
+namespace dfp {
+
+struct EmittedFunction {
+  std::vector<MInstr> code;
+  uint16_t spill_slots = 0;
+  uint8_t num_args = 0;
+};
+
+EmittedFunction EmitMachineCode(const IrFunction& function, const Allocation& allocation);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_BACKEND_EMITTER_H_

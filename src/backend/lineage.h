@@ -1,0 +1,31 @@
+// Lineage notifications emitted by optimization passes.
+//
+// The Tagging Dictionary subscribes to these to stay correct under code transformations,
+// implementing the update rules of Table 1 in the paper: eliminated instructions are dropped,
+// and an instruction that absorbs another's work (instruction fusing, CSE) inherits the absorbed
+// instruction's higher-level owners.
+#ifndef DFP_SRC_BACKEND_LINEAGE_H_
+#define DFP_SRC_BACKEND_LINEAGE_H_
+
+#include <cstdint>
+
+namespace dfp {
+
+class LineageListener {
+ public:
+  virtual ~LineageListener() = default;
+
+  // `ir_id` was eliminated (dead code, constant folding). It can no longer be sampled.
+  virtual void OnRemove(uint32_t ir_id) { (void)ir_id; }
+
+  // `kept_id` now performs work that previously belonged to `absorbed_id` (instruction fusing,
+  // common subexpression elimination). Samples on `kept_id` belong to the owners of both.
+  virtual void OnAbsorb(uint32_t kept_id, uint32_t absorbed_id) {
+    (void)kept_id;
+    (void)absorbed_id;
+  }
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_BACKEND_LINEAGE_H_

@@ -1,0 +1,77 @@
+#include "src/backend/liveness.h"
+
+namespace dfp {
+
+std::vector<uint32_t> BlockSuccessors(const IrBlock& block) {
+  std::vector<uint32_t> successors;
+  if (block.instrs.empty()) {
+    return successors;
+  }
+  const IrInstr& term = block.instrs.back();
+  if (term.op == Opcode::kBr) {
+    successors.push_back(term.target0);
+  } else if (term.op == Opcode::kCondBr) {
+    successors.push_back(term.target0);
+    if (term.target1 != term.target0) {
+      successors.push_back(term.target1);
+    }
+  }
+  return successors;
+}
+
+LivenessInfo ComputeLiveness(const IrFunction& function) {
+  const uint32_t num_vregs = function.next_vreg();
+  const size_t num_blocks = function.blocks().size();
+  LivenessInfo info;
+  info.blocks.resize(num_blocks);
+  for (BlockLiveness& bl : info.blocks) {
+    bl.live_in.assign(num_vregs, false);
+    bl.live_out.assign(num_vregs, false);
+  }
+
+  // Per-block gen (upward-exposed uses) and kill (definitions) sets.
+  std::vector<std::vector<bool>> gen(num_blocks), kill(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    gen[b].assign(num_vregs, false);
+    kill[b].assign(num_vregs, false);
+    for (const IrInstr& instr : function.blocks()[b].instrs) {
+      ForEachUse(instr, [&](uint32_t vreg) {
+        if (!kill[b][vreg]) {
+          gen[b][vreg] = true;
+        }
+      });
+      if (instr.HasDst()) {
+        kill[b][instr.dst] = true;
+      }
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b = num_blocks; b-- > 0;) {
+      BlockLiveness& bl = info.blocks[b];
+      // live_out = union of successors' live_in.
+      for (uint32_t succ : BlockSuccessors(function.blocks()[b])) {
+        const std::vector<bool>& succ_in = info.blocks[succ].live_in;
+        for (uint32_t v = 0; v < num_vregs; ++v) {
+          if (succ_in[v] && !bl.live_out[v]) {
+            bl.live_out[v] = true;
+            changed = true;
+          }
+        }
+      }
+      // live_in = gen | (live_out & ~kill).
+      for (uint32_t v = 0; v < num_vregs; ++v) {
+        bool in = gen[b][v] || (bl.live_out[v] && !kill[b][v]);
+        if (in && !bl.live_in[v]) {
+          bl.live_in[v] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace dfp

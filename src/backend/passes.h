@@ -1,0 +1,35 @@
+// Optimization passes over VIR functions.
+//
+// Each pass preserves semantics (property-tested against the IR interpreter) and reports code
+// motion to the LineageListener so the Tagging Dictionary stays consistent (Table 1).
+#ifndef DFP_SRC_BACKEND_PASSES_H_
+#define DFP_SRC_BACKEND_PASSES_H_
+
+#include "src/backend/lineage.h"
+#include "src/ir/instr.h"
+
+namespace dfp {
+
+// Folds constant expressions and propagates constants within blocks. Folded instructions become
+// kConst in place (same id); instructions that become dead are left for DCE.
+// Returns the number of instructions changed.
+int ConstantFoldPass(IrFunction& function, LineageListener* lineage);
+
+// Algebraic simplifications and instruction fusing: strength reduction (multiply by a power of
+// two becomes a shift), identity elimination, and folding of address arithmetic into load/store
+// displacements. Absorbing rewrites are reported via OnAbsorb.
+int CombineInstrsPass(IrFunction& function, LineageListener* lineage);
+
+// Per-block common subexpression elimination via local value numbering. The duplicate
+// computation becomes a register move; the surviving instruction absorbs the duplicate's owners.
+int CommonSubexprPass(IrFunction& function, LineageListener* lineage);
+
+// Removes instructions whose results are never observed. Removals are reported via OnRemove.
+int DeadCodeElimPass(IrFunction& function, LineageListener* lineage);
+
+// Standard pipeline: combine, fold, CSE, then DCE to a fixpoint.
+void RunOptimizationPipeline(IrFunction& function, LineageListener* lineage);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_BACKEND_PASSES_H_

@@ -1,0 +1,46 @@
+// Linear-scan register allocation of VIR virtual registers onto the VCPU's physical registers.
+//
+// Registers r13 and r14 are backend scratch (used to stage spilled operands), r15 is the tag
+// register: it is architecturally global across call frames, so the allocator only ever assigns
+// it to live ranges that do not cross a call — and not at all when a profiling session reserves
+// it for Register Tagging. That reservation shrinks the allocatable pool by one, which is the
+// mechanism behind the paper's "2.8% overhead from reserving a register" experiment.
+#ifndef DFP_SRC_BACKEND_REGALLOC_H_
+#define DFP_SRC_BACKEND_REGALLOC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/instr.h"
+#include "src/vcpu/minstr.h"
+
+namespace dfp {
+
+inline constexpr uint8_t kScratch0 = 13;
+inline constexpr uint8_t kScratch1 = 14;
+inline constexpr uint8_t kScratch2 = 12;  // Third scratch, needed only for kSelect.
+inline constexpr uint8_t kFirstAllocatable = 0;
+inline constexpr uint8_t kLastAllocatable = 11;  // r0..r11, plus r15 when not reserved.
+
+struct VRegLocation {
+  bool allocated = false;  // The vreg appears in the function at all.
+  bool spilled = false;
+  uint8_t preg = kNoPhysReg;
+  uint16_t slot = 0;
+};
+
+struct Allocation {
+  std::vector<VRegLocation> locations;  // Indexed by vreg.
+  uint16_t spill_slot_count = 0;
+  uint32_t spilled_vregs = 0;
+
+  const VRegLocation& loc(uint32_t vreg) const { return locations[vreg]; }
+};
+
+// Allocates registers for `function`. When `reserve_tag_register` is set, r15 is excluded from
+// the pool entirely (Register Tagging owns it).
+Allocation AllocateRegisters(const IrFunction& function, bool reserve_tag_register);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_BACKEND_REGALLOC_H_

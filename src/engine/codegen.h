@@ -1,0 +1,34 @@
+// Query code generation: lowers a physical plan through pipelines of tasks into VIR and machine
+// code (lowering steps 1-3 of Figure 8 in the paper).
+//
+// Profiling integration happens here: task registration populates the Tagging Dictionary's
+// Log A via the operator Abstraction Tracker, every generated VIR instruction is linked to its
+// task (Log B) via the task Abstraction Tracker hooked into the IRBuilder observer, and calls to
+// shared runtime functions are framed with Register Tagging instructions.
+#ifndef DFP_SRC_ENGINE_CODEGEN_H_
+#define DFP_SRC_ENGINE_CODEGEN_H_
+
+#include "src/engine/database.h"
+#include "src/engine/exec_plan.h"
+#include "src/profiling/session.h"
+
+namespace dfp {
+
+struct CodegenOptions {
+  bool optimize_ir = true;
+  // Reserve r15 even without a Register Tagging session: isolates the cost of losing one
+  // register from the cost of the tag writes (Section 6.2 ablation).
+  bool force_reserve_tag_register = false;
+  // Emit per-task tuple counters into the generated code (EXPLAIN-ANALYZE-style statistics,
+  // which the paper contrasts with sampled time in Section 6.1). Requires a profiling session
+  // (counters are keyed by task). Adds per-tuple work, so it is off by default.
+  bool count_tuples = false;
+};
+
+// Compiles `plan` (taking ownership) against `db`. `session` may be null (no profiling).
+CompiledQuery CompileQuery(Database& db, PhysicalOpPtr plan, ProfilingSession* session,
+                           std::string name, const CodegenOptions& options = CodegenOptions());
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_ENGINE_CODEGEN_H_

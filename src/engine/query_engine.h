@@ -1,0 +1,53 @@
+// The query engine facade: compile physical plans, execute them on the VCPU, read back results.
+#ifndef DFP_SRC_ENGINE_QUERY_ENGINE_H_
+#define DFP_SRC_ENGINE_QUERY_ENGINE_H_
+
+#include <string>
+
+#include "src/engine/codegen.h"
+#include "src/engine/database.h"
+#include "src/engine/result.h"
+#include "src/profiling/session.h"
+#include "src/vcpu/cpu.h"
+
+namespace dfp {
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(Database* db) : db_(db) {}
+
+  // Compiles `plan` (ownership transferred). When `session` is non-null, the compilation
+  // populates the session's Tagging Dictionary and emits Register Tagging as configured.
+  CompiledQuery Compile(PhysicalOpPtr plan, ProfilingSession* session = nullptr,
+                        std::string name = "query",
+                        const CodegenOptions& options = CodegenOptions());
+
+  // Runs a compiled query on a fresh VCPU. Per-query scratch memory is reset first, so results
+  // of previous executions must be read back before re-executing. When the query was compiled
+  // with a profiling session, the PMU is armed with the session's sampling configuration and the
+  // collected samples are handed to the session afterwards.
+  Result Execute(CompiledQuery& query);
+
+  // Convenience: compile and execute in one step.
+  Result Run(PhysicalOpPtr plan, ProfilingSession* session = nullptr,
+             std::string name = "query");
+
+  Database& db() { return *db_; }
+
+  // Metrics of the most recent Execute().
+  uint64_t last_cycles() const { return last_cycles_; }
+  const PmuCounters& last_counters() const { return last_counters_; }
+  const CacheStats& last_cache_stats() const { return last_cache_stats_; }
+  const CpuStats& last_cpu_stats() const { return last_cpu_stats_; }
+
+ private:
+  Database* db_;
+  uint64_t last_cycles_ = 0;
+  PmuCounters last_counters_;
+  CacheStats last_cache_stats_;
+  CpuStats last_cpu_stats_;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_ENGINE_QUERY_ENGINE_H_

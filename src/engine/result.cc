@@ -1,0 +1,116 @@
+#include "src/engine/result.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "src/util/date.h"
+#include "src/util/decimal.h"
+#include "src/util/str.h"
+#include "src/util/table_printer.h"
+
+namespace dfp {
+
+std::string Result::CellToString(const StringHeap& strings, size_t row, size_t column) const {
+  const int64_t payload = rows_[row][column];
+  switch (schema_[column].type) {
+    case ColumnType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(payload));
+    case ColumnType::kDecimal:
+      return DecimalToString(payload);
+    case ColumnType::kDate:
+      return DateToString(static_cast<int32_t>(payload));
+    case ColumnType::kString:
+      return std::string(strings.Get(static_cast<uint64_t>(payload)));
+    case ColumnType::kDouble:
+      return StrFormat("%.4f", std::bit_cast<double>(payload));
+    case ColumnType::kBool:
+      return payload != 0 ? "true" : "false";
+  }
+  return "?";
+}
+
+std::string Result::ToString(const StringHeap& strings, size_t max_rows) const {
+  std::vector<std::string> header;
+  for (const OutputColumn& column : schema_) {
+    header.push_back(column.name);
+  }
+  TablePrinter printer(std::move(header));
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    printer.SetRightAlign(c, schema_[c].type != ColumnType::kString);
+  }
+  const size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> cells;
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      cells.push_back(CellToString(strings, r, c));
+    }
+    printer.AddRow(std::move(cells));
+  }
+  std::string out = printer.Render();
+  if (shown < rows_.size()) {
+    out += StrFormat("... (%zu rows total)\n", rows_.size());
+  } else {
+    out += StrFormat("(%zu rows)\n", rows_.size());
+  }
+  return out;
+}
+
+namespace {
+
+bool CellsEqual(ColumnType type, int64_t a, int64_t b) {
+  if (type == ColumnType::kDouble) {
+    const double da = std::bit_cast<double>(a);
+    const double db = std::bit_cast<double>(b);
+    if (std::isnan(da) && std::isnan(db)) {
+      return true;
+    }
+    const double tolerance = 1e-9 * std::max({1.0, std::fabs(da), std::fabs(db)});
+    return std::fabs(da - db) <= tolerance;
+  }
+  return a == b;
+}
+
+}  // namespace
+
+bool Result::Equivalent(const Result& a, const Result& b, bool ordered, std::string* diff) {
+  auto fail = [&](std::string message) {
+    if (diff != nullptr) {
+      *diff = std::move(message);
+    }
+    return false;
+  };
+  if (a.schema_.size() != b.schema_.size()) {
+    return fail("column count differs");
+  }
+  if (a.rows_.size() != b.rows_.size()) {
+    return fail(StrFormat("row count differs: %zu vs %zu", a.rows_.size(), b.rows_.size()));
+  }
+  std::vector<size_t> order_a(a.rows_.size());
+  std::vector<size_t> order_b(b.rows_.size());
+  for (size_t i = 0; i < a.rows_.size(); ++i) {
+    order_a[i] = i;
+    order_b[i] = i;
+  }
+  if (!ordered) {
+    auto lexicographic = [](const std::vector<std::vector<int64_t>>& rows) {
+      return [&rows](size_t lhs, size_t rhs) { return rows[lhs] < rows[rhs]; };
+    };
+    std::sort(order_a.begin(), order_a.end(), lexicographic(a.rows_));
+    std::sort(order_b.begin(), order_b.end(), lexicographic(b.rows_));
+  }
+  for (size_t i = 0; i < a.rows_.size(); ++i) {
+    const std::vector<int64_t>& row_a = a.rows_[order_a[i]];
+    const std::vector<int64_t>& row_b = b.rows_[order_b[i]];
+    for (size_t c = 0; c < a.schema_.size(); ++c) {
+      if (!CellsEqual(a.schema_[c].type, row_a[c], row_b[c])) {
+        return fail(StrFormat("row %zu column %zu differs (%lld vs %lld)", i, c,
+                              static_cast<long long>(row_a[c]),
+                              static_cast<long long>(row_b[c])));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace dfp

@@ -1,0 +1,44 @@
+// Materialized query results, read back host-side from the output buffer.
+#ifndef DFP_SRC_ENGINE_RESULT_H_
+#define DFP_SRC_ENGINE_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/plan/physical.h"
+#include "src/storage/stringheap.h"
+
+namespace dfp {
+
+class Result {
+ public:
+  Result() = default;
+  Result(std::vector<OutputColumn> schema, std::vector<std::vector<int64_t>> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const std::vector<OutputColumn>& schema() const { return schema_; }
+  const std::vector<std::vector<int64_t>>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+
+  // Cell payload.
+  int64_t at(size_t row, size_t column) const { return rows_[row][column]; }
+
+  // Renders the cell using its column type ("12.34", "1995-04-01", interned string bytes).
+  std::string CellToString(const StringHeap& strings, size_t row, size_t column) const;
+
+  // Renders up to `max_rows` rows as an aligned table.
+  std::string ToString(const StringHeap& strings, size_t max_rows = 20) const;
+
+  // Order-sensitive or order-insensitive comparison with tolerance for doubles. On mismatch
+  // returns false and describes the difference in `diff` (if non-null).
+  static bool Equivalent(const Result& a, const Result& b, bool ordered, std::string* diff);
+
+ private:
+  std::vector<OutputColumn> schema_;
+  std::vector<std::vector<int64_t>> rows_;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_ENGINE_RESULT_H_

@@ -1,0 +1,20 @@
+// Tuple-at-a-time reference executor for physical plans.
+//
+// Runs entirely host-side (no cost model, no VCPU) and is the correctness oracle for the
+// compiling engine: every query in the test suite is executed by both and the results compared.
+// Aggregation and expression semantics replicate the generated code exactly (see
+// src/plan/eval.h), including NaN averages for empty groupjoin groups.
+#ifndef DFP_SRC_INTERP_INTERPRETER_H_
+#define DFP_SRC_INTERP_INTERPRETER_H_
+
+#include "src/engine/database.h"
+#include "src/engine/result.h"
+#include "src/plan/physical.h"
+
+namespace dfp {
+
+Result InterpretPlan(Database& db, const PhysicalOp& root);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_INTERP_INTERPRETER_H_

@@ -1,0 +1,111 @@
+// VIR: the engine's Machine IR. Non-SSA, typed, register-based, with basic blocks.
+//
+// Every instruction carries a query-unique id that serves as the Tagging Dictionary key (Log B
+// maps these ids to pipeline tasks) and that survives into machine code as debug info.
+#ifndef DFP_SRC_IR_INSTR_H_
+#define DFP_SRC_IR_INSTR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/opcode.h"
+
+namespace dfp {
+
+inline constexpr uint32_t kNoVReg = 0xFFFFFFFFu;
+inline constexpr uint32_t kNoBlock = 0xFFFFFFFFu;
+inline constexpr uint32_t kNoIrCallee = 0xFFFFFFFFu;
+
+// An operand: nothing, a virtual register, or an immediate.
+struct Value {
+  enum class Kind : uint8_t { kNone, kVReg, kImm };
+  Kind kind = Kind::kNone;
+  uint32_t vreg = kNoVReg;
+  int64_t imm = 0;
+
+  static Value None() { return Value(); }
+  static Value Reg(uint32_t vreg) {
+    Value v;
+    v.kind = Kind::kVReg;
+    v.vreg = vreg;
+    return v;
+  }
+  static Value Imm(int64_t imm) {
+    Value v;
+    v.kind = Kind::kImm;
+    v.imm = imm;
+    return v;
+  }
+  static Value ImmF(double value);
+
+  bool IsReg() const { return kind == Kind::kVReg; }
+  bool IsImm() const { return kind == Kind::kImm; }
+  bool IsNone() const { return kind == Kind::kNone; }
+};
+
+struct IrInstr {
+  Opcode op = Opcode::kConst;
+  IrType type = IrType::kI64;
+  uint32_t id = 0;  // Query-unique id: the Tagging Dictionary key for this instruction.
+  uint32_t dst = kNoVReg;
+  Value a;
+  Value b;
+  Value c;
+  int32_t disp = 0;                  // Displacement for memory operations.
+  uint32_t target0 = kNoBlock;       // Branch targets (block ids).
+  uint32_t target1 = kNoBlock;
+  uint32_t callee = kNoIrCallee;     // Global function id for kCall.
+  std::vector<Value> args;           // Call arguments.
+  std::string comment;               // Optional annotation shown in listings.
+
+  bool HasDst() const { return dst != kNoVReg; }
+};
+
+struct IrBlock {
+  std::string name;
+  std::vector<IrInstr> instrs;
+
+  bool IsTerminated() const { return !instrs.empty() && IsTerminator(instrs.back().op); }
+};
+
+class IrFunction {
+ public:
+  IrFunction(std::string name, uint8_t num_args) : name_(std::move(name)), num_args_(num_args) {
+    next_vreg_ = num_args;  // Arguments occupy v0..v(n-1).
+  }
+
+  uint32_t AddBlock(std::string name) {
+    blocks_.push_back(IrBlock{std::move(name), {}});
+    return static_cast<uint32_t>(blocks_.size() - 1);
+  }
+
+  uint32_t NewReg() { return next_vreg_++; }
+
+  const std::string& name() const { return name_; }
+  uint8_t num_args() const { return num_args_; }
+  uint32_t next_vreg() const { return next_vreg_; }
+  std::vector<IrBlock>& blocks() { return blocks_; }
+  const std::vector<IrBlock>& blocks() const { return blocks_; }
+  IrBlock& block(uint32_t id) { return blocks_[id]; }
+  const IrBlock& block(uint32_t id) const { return blocks_[id]; }
+
+  // Total instruction count across blocks.
+  size_t InstrCount() const {
+    size_t count = 0;
+    for (const IrBlock& block : blocks_) {
+      count += block.instrs.size();
+    }
+    return count;
+  }
+
+ private:
+  std::string name_;
+  uint8_t num_args_;
+  uint32_t next_vreg_;
+  std::vector<IrBlock> blocks_;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_IR_INSTR_H_

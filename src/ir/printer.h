@@ -1,0 +1,34 @@
+// Textual rendering of VIR functions, LLVM-flavoured for familiarity.
+//
+// The listing retains per-line instruction ids so that profiling reports can annotate each line
+// with sample counts and operator attribution (the paper's Figure 6b view).
+#ifndef DFP_SRC_IR_PRINTER_H_
+#define DFP_SRC_IR_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/instr.h"
+
+namespace dfp {
+
+struct IrListingLine {
+  std::string text;
+  uint32_t instr_id = 0xFFFFFFFFu;  // kNoIrId for labels and headers.
+  uint32_t block = kNoBlock;
+};
+
+struct IrListing {
+  std::vector<IrListingLine> lines;
+
+  std::string ToString() const;
+};
+
+IrListing PrintFunction(const IrFunction& function);
+
+// One-line rendering of a single instruction (used in listings and error messages).
+std::string InstrToString(const IrInstr& instr, const IrFunction& function);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_IR_PRINTER_H_

@@ -1,0 +1,18 @@
+// Structural checks on VIR functions: run after code generation and after every optimization
+// pass in debug-heavy paths, and extensively in tests.
+#ifndef DFP_SRC_IR_VERIFIER_H_
+#define DFP_SRC_IR_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ir/instr.h"
+
+namespace dfp {
+
+// Returns a list of problems; empty means the function is well-formed.
+std::vector<std::string> VerifyFunction(const IrFunction& function);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_IR_VERIFIER_H_

@@ -1,0 +1,293 @@
+#include "src/plan/builder.h"
+
+#include "src/util/check.h"
+#include "src/util/str.h"
+
+namespace dfp {
+namespace {
+
+int FindSlot(const std::vector<OutputColumn>& schema, const std::string& name) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int MustFindSlot(const std::vector<OutputColumn>& schema, const std::string& name) {
+  int slot = FindSlot(schema, name);
+  if (slot < 0) {
+    throw Error("unknown column: '" + name + "'");
+  }
+  return slot;
+}
+
+}  // namespace
+
+PlanBuilder PlanBuilder::Scan(const Table& table) {
+  PlanBuilder builder;
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kTableScan;
+  op->table = &table;
+  op->label = StrFormat("TableScan %s", table.name().c_str());
+  for (const ColumnDef& column : table.schema().columns) {
+    op->output.push_back({column.name, column.type});
+  }
+  builder.root_ = std::move(op);
+  return builder;
+}
+
+int PlanBuilder::Slot(const std::string& name) const {
+  return MustFindSlot(root_->output, name);
+}
+
+ExprPtr PlanBuilder::Col(const std::string& name) const {
+  int slot = Slot(name);
+  return MakeColumnRef(slot, root_->output[static_cast<size_t>(slot)].type);
+}
+
+PlanBuilder& PlanBuilder::FilterBy(ExprPtr predicate, std::string label) {
+  DFP_CHECK(predicate->type == ColumnType::kBool);
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kFilter;
+  op->label = label.empty() ? "Filter " + predicate->ToString() : std::move(label);
+  op->output = root_->output;
+  op->exprs.push_back(std::move(predicate));
+  op->children.push_back(std::move(root_));
+  root_ = std::move(op);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::MapTo(std::vector<std::pair<std::string, ExprPtr>> columns) {
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kMap;
+  op->label = "Map";
+  op->output = root_->output;
+  for (auto& [name, expr] : columns) {
+    op->output.push_back({name, expr->type});
+    op->exprs.push_back(std::move(expr));
+  }
+  op->children.push_back(std::move(root_));
+  root_ = std::move(op);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::JoinWith(PlanBuilder build, std::vector<std::string> probe_keys,
+                                   std::vector<std::string> build_keys,
+                                   std::vector<std::string> build_payload, JoinType join_type,
+                                   std::string label) {
+  DFP_CHECK(probe_keys.size() == build_keys.size());
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kHashJoin;
+  op->join_type = join_type;
+  const char* join_name = join_type == JoinType::kInner
+                              ? "HashJoin"
+                              : (join_type == JoinType::kSemi ? "SemiJoin" : "AntiJoin");
+  op->label = label.empty()
+                  ? StrFormat("%s %s=%s", join_name, probe_keys.front().c_str(),
+                              build_keys.front().c_str())
+                  : std::move(label);
+  for (const std::string& key : probe_keys) {
+    op->probe_keys.push_back(MustFindSlot(root_->output, key));
+  }
+  for (const std::string& key : build_keys) {
+    op->build_keys.push_back(MustFindSlot(build.root_->output, key));
+  }
+  op->output = root_->output;
+  if (join_type == JoinType::kInner) {
+    for (const std::string& column : build_payload) {
+      int slot = MustFindSlot(build.root_->output, column);
+      op->build_payload.push_back(slot);
+      op->output.push_back(build.root_->output[static_cast<size_t>(slot)]);
+    }
+  } else {
+    DFP_CHECK(build_payload.empty());
+  }
+  op->children.push_back(std::move(build.root_));  // children[0] = build.
+  op->children.push_back(std::move(root_));        // children[1] = probe.
+  root_ = std::move(op);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::GroupByKeys(std::vector<std::string> keys,
+                                      std::vector<std::pair<std::string, ExprPtr>> aggregates,
+                                      std::string label) {
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kGroupBy;
+  op->label = label.empty() ? "GroupBy" : std::move(label);
+  for (const std::string& key : keys) {
+    int slot = MustFindSlot(root_->output, key);
+    op->group_keys.push_back(slot);
+    op->output.push_back(root_->output[static_cast<size_t>(slot)]);
+  }
+  for (auto& [name, expr] : aggregates) {
+    DFP_CHECK(expr->kind == ExprKind::kAggregate);
+    op->output.push_back({name, expr->type});
+    op->exprs.push_back(std::move(expr));
+  }
+  op->children.push_back(std::move(root_));
+  root_ = std::move(op);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::GroupJoinWith(PlanBuilder build, std::vector<std::string> probe_keys,
+                                        std::vector<std::string> build_keys,
+                                        std::vector<std::string> build_payload,
+                                        std::vector<std::pair<std::string, ExprPtr>> aggregates,
+                                        std::string label) {
+  DFP_CHECK(probe_keys.size() == build_keys.size());
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kGroupJoin;
+  op->label = label.empty() ? "GroupJoin" : std::move(label);
+  for (const std::string& key : probe_keys) {
+    op->probe_keys.push_back(MustFindSlot(root_->output, key));
+  }
+  for (const std::string& key : build_keys) {
+    op->build_keys.push_back(MustFindSlot(build.root_->output, key));
+  }
+  for (const std::string& column : build_payload) {
+    int slot = MustFindSlot(build.root_->output, column);
+    op->build_payload.push_back(slot);
+    op->output.push_back(build.root_->output[static_cast<size_t>(slot)]);
+  }
+  for (auto& [name, expr] : aggregates) {
+    DFP_CHECK(expr->kind == ExprKind::kAggregate);
+    op->output.push_back({name, expr->type});
+    op->exprs.push_back(std::move(expr));
+  }
+  op->children.push_back(std::move(build.root_));
+  op->children.push_back(std::move(root_));
+  root_ = std::move(op);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::OrderBy(std::vector<std::pair<std::string, bool>> keys, int64_t limit) {
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kSort;
+  op->label = "Sort";
+  op->output = root_->output;
+  for (auto& [name, desc] : keys) {
+    op->sort_items.push_back({MustFindSlot(root_->output, name), desc});
+  }
+  op->limit = limit;
+  op->children.push_back(std::move(root_));
+  root_ = std::move(op);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::LimitTo(int64_t limit) {
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kLimit;
+  op->label = StrFormat("Limit %lld", static_cast<long long>(limit));
+  op->output = root_->output;
+  op->limit = limit;
+  op->children.push_back(std::move(root_));
+  root_ = std::move(op);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::Project(std::vector<std::string> columns) {
+  // Projection is a Map whose computed columns replace the input tuple.
+  std::vector<OutputColumn> new_schema;
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kMap;
+  op->label = "Project";
+  for (const std::string& name : columns) {
+    int slot = MustFindSlot(root_->output, name);
+    op->exprs.push_back(
+        MakeColumnRef(slot, root_->output[static_cast<size_t>(slot)].type));
+    new_schema.push_back(root_->output[static_cast<size_t>(slot)]);
+  }
+  // A projecting Map replaces the schema instead of appending.
+  op->projecting = true;
+  op->output = std::move(new_schema);
+  op->children.push_back(std::move(root_));
+  root_ = std::move(op);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::JoinWithSlots(PlanBuilder build, std::vector<int> probe_keys,
+                                        std::vector<int> build_keys,
+                                        std::vector<int> build_payload, JoinType join_type,
+                                        std::string label) {
+  DFP_CHECK(probe_keys.size() == build_keys.size());
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kHashJoin;
+  op->join_type = join_type;
+  op->label = label.empty() ? "HashJoin" : std::move(label);
+  op->probe_keys = std::move(probe_keys);
+  op->build_keys = std::move(build_keys);
+  op->output = root_->output;
+  if (join_type == JoinType::kInner) {
+    for (int slot : build_payload) {
+      op->build_payload.push_back(slot);
+      op->output.push_back(build.root_->output[static_cast<size_t>(slot)]);
+    }
+  } else {
+    DFP_CHECK(build_payload.empty());
+  }
+  op->children.push_back(std::move(build.root_));
+  op->children.push_back(std::move(root_));
+  root_ = std::move(op);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::GroupBySlots(std::vector<int> keys,
+                                       std::vector<std::pair<std::string, ExprPtr>> aggregates,
+                                       std::string label) {
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kGroupBy;
+  op->label = label.empty() ? "GroupBy" : std::move(label);
+  for (int slot : keys) {
+    op->group_keys.push_back(slot);
+    op->output.push_back(root_->output[static_cast<size_t>(slot)]);
+  }
+  for (auto& [name, expr] : aggregates) {
+    DFP_CHECK(expr->kind == ExprKind::kAggregate);
+    op->output.push_back({name, expr->type});
+    op->exprs.push_back(std::move(expr));
+  }
+  op->children.push_back(std::move(root_));
+  root_ = std::move(op);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::OrderBySlots(std::vector<SortItem> items, int64_t limit) {
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kSort;
+  op->label = "Sort";
+  op->output = root_->output;
+  op->sort_items = std::move(items);
+  op->limit = limit;
+  op->children.push_back(std::move(root_));
+  root_ = std::move(op);
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::ProjectSlots(std::vector<std::pair<std::string, int>> columns) {
+  auto op = std::make_unique<PhysicalOp>();
+  op->kind = OpKind::kMap;
+  op->label = "Project";
+  op->projecting = true;
+  for (auto& [name, slot] : columns) {
+    const ColumnType type = root_->output[static_cast<size_t>(slot)].type;
+    op->exprs.push_back(MakeColumnRef(slot, type));
+    op->output.push_back({name, type});
+  }
+  op->children.push_back(std::move(root_));
+  root_ = std::move(op);
+  return *this;
+}
+
+PhysicalOpPtr PlanBuilder::Build() {
+  auto sink = std::make_unique<PhysicalOp>();
+  sink->kind = OpKind::kResultSink;
+  sink->label = "ResultSink";
+  sink->output = root_->output;
+  sink->children.push_back(std::move(root_));
+  FinalizePlan(*sink);
+  return sink;
+}
+
+}  // namespace dfp

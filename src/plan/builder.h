@@ -1,0 +1,105 @@
+// Fluent construction of physical plans — the library's hand-written-plan API.
+//
+// Used directly by examples, benchmarks, and tests, and by the SQL binder after join ordering.
+#ifndef DFP_SRC_PLAN_BUILDER_H_
+#define DFP_SRC_PLAN_BUILDER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/plan/physical.h"
+
+namespace dfp {
+
+// (name, expression) pairs for Map/GroupBy; variadic helper because initializer lists cannot
+// carry move-only ExprPtr values: NamedExprs("a", expr_a, "b", expr_b).
+using NamedExpr = std::pair<std::string, ExprPtr>;
+
+inline void AppendNamedExprs(std::vector<NamedExpr>*) {}
+
+template <typename... Rest>
+void AppendNamedExprs(std::vector<NamedExpr>* out, std::string name, ExprPtr expr,
+                      Rest&&... rest) {
+  out->emplace_back(std::move(name), std::move(expr));
+  AppendNamedExprs(out, std::forward<Rest>(rest)...);
+}
+
+template <typename... Args>
+std::vector<NamedExpr> NamedExprs(Args&&... args) {
+  std::vector<NamedExpr> out;
+  AppendNamedExprs(&out, std::forward<Args>(args)...);
+  return out;
+}
+
+class PlanBuilder {
+ public:
+  // Starts a plan with a full table scan.
+  static PlanBuilder Scan(const Table& table);
+
+  // Current output schema of the plan under construction.
+  const std::vector<OutputColumn>& schema() const { return root_->output; }
+
+  // Slot index of the named output column (throws dfp::Error if absent or ambiguous is fine:
+  // the first match wins; qualify names in SQL for disambiguation).
+  int Slot(const std::string& name) const;
+
+  // Column reference to the named output column.
+  ExprPtr Col(const std::string& name) const;
+
+  PlanBuilder& FilterBy(ExprPtr predicate, std::string label = "");
+
+  // Appends computed columns.
+  PlanBuilder& MapTo(std::vector<std::pair<std::string, ExprPtr>> columns);
+
+  // Hash join: `build` becomes the build side, *this the probe side. `build_payload` lists the
+  // build-side columns appended to the probe tuple (inner joins only).
+  PlanBuilder& JoinWith(PlanBuilder build, std::vector<std::string> probe_keys,
+                        std::vector<std::string> build_keys,
+                        std::vector<std::string> build_payload,
+                        JoinType join_type = JoinType::kInner, std::string label = "");
+
+  // Hash aggregation. `aggregates` are (output name, aggregate expression) pairs.
+  PlanBuilder& GroupByKeys(std::vector<std::string> keys,
+                           std::vector<std::pair<std::string, ExprPtr>> aggregates,
+                           std::string label = "");
+
+  // Fused group-by + join (paper Section 5.4): groups the build side by its keys, aggregates
+  // probe-side matches. Output = build_payload columns ++ aggregates over the probe tuple.
+  PlanBuilder& GroupJoinWith(PlanBuilder build, std::vector<std::string> probe_keys,
+                             std::vector<std::string> build_keys,
+                             std::vector<std::string> build_payload,
+                             std::vector<std::pair<std::string, ExprPtr>> aggregates,
+                             std::string label = "");
+
+  PlanBuilder& OrderBy(std::vector<std::pair<std::string, bool>> keys, int64_t limit = -1);
+
+  PlanBuilder& LimitTo(int64_t limit);
+
+  // Keeps only the named columns, in order (pure projection; implemented via Map of refs).
+  PlanBuilder& Project(std::vector<std::string> columns);
+
+  // Wraps the plan in a ResultSink and finalizes it (assigns operator ids and bounds).
+  PhysicalOpPtr Build();
+
+  // --- Slot-based variants (used by the SQL binder, immune to duplicate column names) ---
+
+  PlanBuilder& JoinWithSlots(PlanBuilder build, std::vector<int> probe_keys,
+                             std::vector<int> build_keys, std::vector<int> build_payload,
+                             JoinType join_type = JoinType::kInner, std::string label = "");
+
+  PlanBuilder& GroupBySlots(std::vector<int> keys,
+                            std::vector<std::pair<std::string, ExprPtr>> aggregates,
+                            std::string label = "");
+
+  PlanBuilder& OrderBySlots(std::vector<SortItem> items, int64_t limit = -1);
+
+  PlanBuilder& ProjectSlots(std::vector<std::pair<std::string, int>> columns);
+
+ private:
+  PhysicalOpPtr root_;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_PLAN_BUILDER_H_

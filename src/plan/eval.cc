@@ -1,0 +1,194 @@
+#include "src/plan/eval.h"
+
+#include <bit>
+
+#include "src/util/check.h"
+#include "src/util/date.h"
+#include "src/util/decimal.h"
+#include "src/util/str.h"
+
+namespace dfp {
+namespace {
+
+inline double AsD(int64_t payload) { return std::bit_cast<double>(payload); }
+inline int64_t FromD(double value) { return std::bit_cast<int64_t>(value); }
+
+// Promotes a payload of type `from` to type `to` for mixed arithmetic (int64 -> decimal/double).
+int64_t Promote(int64_t payload, ColumnType from, ColumnType to) {
+  if (from == to) {
+    return payload;
+  }
+  if (from == ColumnType::kInt64 && to == ColumnType::kDecimal) {
+    return payload * kDecimalScale;
+  }
+  if (from == ColumnType::kInt64 && to == ColumnType::kDouble) {
+    return FromD(static_cast<double>(payload));
+  }
+  if (from == ColumnType::kDate && to == ColumnType::kDate) {
+    return payload;
+  }
+  // Date +/- int64: both sides stay integral day counts.
+  if ((from == ColumnType::kInt64 && to == ColumnType::kDate) ||
+      (from == ColumnType::kDate && to == ColumnType::kInt64)) {
+    return payload;
+  }
+  if (from == ColumnType::kDecimal && to == ColumnType::kDouble) {
+    return FromD(DecimalToDouble(payload));
+  }
+  throw Error(std::string("cannot promote ") + ColumnTypeName(from) + " to " +
+              ColumnTypeName(to));
+}
+
+int CompareStrings(const StringHeap* strings, int64_t a, int64_t b) {
+  DFP_CHECK(strings != nullptr);
+  std::string_view sa = strings->Get(static_cast<uint64_t>(a));
+  std::string_view sb = strings->Get(static_cast<uint64_t>(b));
+  int cmp = sa.compare(sb);
+  return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+}
+
+}  // namespace
+
+int64_t EvalScalar(const Expr& expr, const EvalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef:
+      DFP_CHECK(expr.slot >= 0 && static_cast<size_t>(expr.slot) < ctx.tuple.size());
+      return ctx.tuple[static_cast<size_t>(expr.slot)];
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kUnary: {
+      int64_t value = EvalScalar(*expr.left, ctx);
+      if (expr.un == UnOp::kNot) {
+        return value == 0 ? 1 : 0;
+      }
+      return expr.left->type == ColumnType::kDouble ? FromD(-AsD(value)) : -value;
+    }
+    case ExprKind::kBinary: {
+      const BinOp op = expr.bin;
+      // Short-circuit logic first.
+      if (op == BinOp::kAnd) {
+        return EvalScalar(*expr.left, ctx) != 0 && EvalScalar(*expr.right, ctx) != 0 ? 1 : 0;
+      }
+      if (op == BinOp::kOr) {
+        return EvalScalar(*expr.left, ctx) != 0 || EvalScalar(*expr.right, ctx) != 0 ? 1 : 0;
+      }
+      int64_t lhs = EvalScalar(*expr.left, ctx);
+      int64_t rhs = EvalScalar(*expr.right, ctx);
+      if (IsComparison(op)) {
+        int cmp;
+        if (expr.left->type == ColumnType::kString) {
+          // Equality of interned strings is payload equality; ordering reads bytes.
+          if (op == BinOp::kEq) {
+            return lhs == rhs;
+          }
+          if (op == BinOp::kNe) {
+            return lhs != rhs;
+          }
+          cmp = CompareStrings(ctx.strings, lhs, rhs);
+        } else if (expr.left->type == ColumnType::kDouble ||
+                   expr.right->type == ColumnType::kDouble) {
+          double a = expr.left->type == ColumnType::kDouble ? AsD(lhs)
+                                                            : static_cast<double>(lhs);
+          double b = expr.right->type == ColumnType::kDouble ? AsD(rhs)
+                                                             : static_cast<double>(rhs);
+          cmp = a < b ? -1 : (a > b ? 1 : 0);
+        } else {
+          // Integral comparisons; mixed int/decimal promotes to decimal.
+          ColumnType common =
+              expr.left->type == expr.right->type
+                  ? expr.left->type
+                  : BinaryResultType(BinOp::kAdd, expr.left->type, expr.right->type);
+          int64_t a = Promote(lhs, expr.left->type, common);
+          int64_t b = Promote(rhs, expr.right->type, common);
+          cmp = a < b ? -1 : (a > b ? 1 : 0);
+        }
+        switch (op) {
+          case BinOp::kEq:
+            return cmp == 0;
+          case BinOp::kNe:
+            return cmp != 0;
+          case BinOp::kLt:
+            return cmp < 0;
+          case BinOp::kLe:
+            return cmp <= 0;
+          case BinOp::kGt:
+            return cmp > 0;
+          default:
+            return cmp >= 0;
+        }
+      }
+      // Arithmetic.
+      const ColumnType result = expr.type;
+      lhs = Promote(lhs, expr.left->type, result);
+      rhs = Promote(rhs, expr.right->type, result);
+      if (result == ColumnType::kDouble) {
+        switch (op) {
+          case BinOp::kAdd:
+            return FromD(AsD(lhs) + AsD(rhs));
+          case BinOp::kSub:
+            return FromD(AsD(lhs) - AsD(rhs));
+          case BinOp::kMul:
+            return FromD(AsD(lhs) * AsD(rhs));
+          case BinOp::kDiv:
+            return FromD(AsD(lhs) / AsD(rhs));
+          default:
+            throw Error("unsupported double operation");
+        }
+      }
+      switch (op) {
+        case BinOp::kAdd:
+          return lhs + rhs;
+        case BinOp::kSub:
+          return lhs - rhs;
+        case BinOp::kMul:
+          return result == ColumnType::kDecimal ? DecimalMul(lhs, rhs) : lhs * rhs;
+        case BinOp::kDiv:
+          DFP_CHECK(rhs != 0);
+          return result == ColumnType::kDecimal ? DecimalDiv(lhs, rhs) : lhs / rhs;
+        case BinOp::kRem:
+          DFP_CHECK(rhs != 0);
+          return lhs % rhs;
+        default:
+          throw Error("unsupported integer operation");
+      }
+    }
+    case ExprKind::kCase: {
+      for (const auto& [cond, value] : expr.whens) {
+        if (EvalScalar(*cond, ctx) != 0) {
+          return EvalScalar(*value, ctx);
+        }
+      }
+      return EvalScalar(*expr.else_value, ctx);
+    }
+    case ExprKind::kLike: {
+      DFP_CHECK(ctx.strings != nullptr);
+      int64_t value = EvalScalar(*expr.left, ctx);
+      return LikeMatch(ctx.strings->Get(static_cast<uint64_t>(value)), expr.pattern) ? 1 : 0;
+    }
+    case ExprKind::kInList: {
+      int64_t value = EvalScalar(*expr.left, ctx);
+      for (int64_t candidate : expr.list) {
+        if (candidate == value) {
+          return 1;
+        }
+      }
+      return 0;
+    }
+    case ExprKind::kCast: {
+      int64_t value = EvalScalar(*expr.left, ctx);
+      return Promote(value, expr.left->type, expr.type);
+    }
+    case ExprKind::kExtractYear: {
+      int year = 0;
+      int month = 0;
+      int day = 0;
+      YmdFromDate(static_cast<int32_t>(EvalScalar(*expr.left, ctx)), &year, &month, &day);
+      return year;
+    }
+    case ExprKind::kAggregate:
+      throw Error("aggregate expression evaluated in scalar context");
+  }
+  DFP_UNREACHABLE();
+}
+
+}  // namespace dfp

@@ -1,0 +1,27 @@
+// Host-side expression evaluation — the semantics reference shared with the code generator.
+//
+// Used by the Volcano interpreter (correctness oracle) and by tests. Must agree exactly with the
+// VIR the engine generates: decimal rescaling, truncating integer division, date-as-days
+// arithmetic, interned-string equality, short-circuit AND/OR, byte-wise string ordering.
+#ifndef DFP_SRC_PLAN_EVAL_H_
+#define DFP_SRC_PLAN_EVAL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/plan/expr.h"
+#include "src/storage/stringheap.h"
+
+namespace dfp {
+
+struct EvalContext {
+  std::span<const int64_t> tuple;    // Slot payloads.
+  const StringHeap* strings = nullptr;  // Needed for LIKE and string ordering.
+};
+
+// Evaluates a scalar (non-aggregate) expression to its register payload.
+int64_t EvalScalar(const Expr& expr, const EvalContext& ctx);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_PLAN_EVAL_H_

@@ -1,0 +1,188 @@
+#include "src/plan/physical.h"
+
+#include "src/util/check.h"
+#include "src/util/str.h"
+
+namespace dfp {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kTableScan:
+      return "TableScan";
+    case OpKind::kFilter:
+      return "Filter";
+    case OpKind::kMap:
+      return "Map";
+    case OpKind::kHashJoin:
+      return "HashJoin";
+    case OpKind::kGroupBy:
+      return "GroupBy";
+    case OpKind::kGroupJoin:
+      return "GroupJoin";
+    case OpKind::kSort:
+      return "Sort";
+    case OpKind::kLimit:
+      return "Limit";
+    case OpKind::kResultSink:
+      return "ResultSink";
+  }
+  return "?";
+}
+
+namespace {
+
+void AssignIds(PhysicalOp& op, uint32_t* next) {
+  op.id = (*next)++;
+  for (auto& child : op.children) {
+    AssignIds(*child, next);
+  }
+}
+
+// Upper bound on the number of tuples an operator can emit, used to size hash tables and
+// materialization buffers exactly (the engine's joins are key/foreign-key equi-joins, so a
+// probe tuple matches at most one build group... conservatively we still use the probe bound).
+uint64_t ComputeBounds(PhysicalOp& op) {
+  uint64_t bound = 0;
+  std::vector<uint64_t> child_bounds;
+  child_bounds.reserve(op.children.size());
+  for (auto& child : op.children) {
+    child_bounds.push_back(ComputeBounds(*child));
+  }
+  switch (op.kind) {
+    case OpKind::kTableScan:
+      bound = op.table->row_count();
+      break;
+    case OpKind::kFilter:
+    case OpKind::kMap:
+    case OpKind::kSort:
+    case OpKind::kResultSink:
+      bound = child_bounds[0];
+      break;
+    case OpKind::kLimit:
+      bound = op.limit >= 0 ? std::min<uint64_t>(child_bounds[0],
+                                                 static_cast<uint64_t>(op.limit))
+                            : child_bounds[0];
+      break;
+    case OpKind::kHashJoin:
+      // PK-FK equi-join: each probe tuple matches at most one build tuple.
+      bound = child_bounds[1];
+      break;
+    case OpKind::kGroupBy:
+      bound = child_bounds[0];
+      break;
+    case OpKind::kGroupJoin:
+      bound = child_bounds[0];  // One output row per build-side group at most.
+      break;
+  }
+  op.bound_rows = bound;
+  if (op.estimated_rows == 0) {
+    op.estimated_rows = static_cast<double>(bound);
+  }
+  return bound;
+}
+
+void Validate(const PhysicalOp& op) {
+  switch (op.kind) {
+    case OpKind::kTableScan:
+      DFP_CHECK(op.table != nullptr && op.children.empty());
+      DFP_CHECK(op.output.size() == op.table->schema().columns.size());
+      break;
+    case OpKind::kFilter:
+      DFP_CHECK(op.children.size() == 1 && op.exprs.size() == 1);
+      DFP_CHECK(op.output.size() == op.child(0)->output.size());
+      break;
+    case OpKind::kMap:
+      DFP_CHECK(op.children.size() == 1);
+      if (op.projecting) {
+        DFP_CHECK(op.output.size() == op.exprs.size());
+      } else {
+        DFP_CHECK(op.output.size() == op.child(0)->output.size() + op.exprs.size());
+      }
+      break;
+    case OpKind::kHashJoin:
+      DFP_CHECK(op.children.size() == 2);
+      DFP_CHECK(!op.build_keys.empty() && op.build_keys.size() == op.probe_keys.size());
+      if (op.join_type == JoinType::kInner) {
+        DFP_CHECK(op.output.size() == op.child(1)->output.size() + op.build_payload.size());
+      } else {
+        DFP_CHECK(op.output.size() == op.child(1)->output.size());
+      }
+      break;
+    case OpKind::kGroupBy:
+      DFP_CHECK(op.children.size() == 1);
+      DFP_CHECK(op.output.size() == op.group_keys.size() + op.exprs.size());
+      break;
+    case OpKind::kGroupJoin:
+      DFP_CHECK(op.children.size() == 2);
+      DFP_CHECK(!op.build_keys.empty() && op.build_keys.size() == op.probe_keys.size());
+      DFP_CHECK(op.output.size() == op.build_payload.size() + op.exprs.size());
+      break;
+    case OpKind::kSort:
+      DFP_CHECK(op.children.size() == 1 && !op.sort_items.empty());
+      DFP_CHECK(op.output.size() == op.child(0)->output.size());
+      break;
+    case OpKind::kLimit:
+      DFP_CHECK(op.children.size() == 1 && op.limit >= 0);
+      break;
+    case OpKind::kResultSink:
+      DFP_CHECK(op.children.size() == 1);
+      break;
+  }
+  for (const auto& child : op.children) {
+    Validate(*child);
+  }
+}
+
+}  // namespace
+
+uint32_t FinalizePlan(PhysicalOp& root) {
+  uint32_t next = 0;
+  AssignIds(root, &next);
+  ComputeBounds(root);
+  Validate(root);
+  return next;
+}
+
+std::vector<PhysicalOp*> PlanOperators(PhysicalOp& root) {
+  std::vector<PhysicalOp*> out;
+  std::vector<PhysicalOp*> stack = {&root};
+  while (!stack.empty()) {
+    PhysicalOp* op = stack.back();
+    stack.pop_back();
+    out.push_back(op);
+    for (auto it = op->children.rbegin(); it != op->children.rend(); ++it) {
+      stack.push_back(it->get());
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void RenderNode(const PhysicalOp& op, int depth,
+                const std::function<std::string(const PhysicalOp&)>& annotate, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(op.label.empty() ? OpKindName(op.kind) : op.label);
+  if (annotate) {
+    std::string extra = annotate(op);
+    if (!extra.empty()) {
+      out->append(" ");
+      out->append(extra);
+    }
+  }
+  out->push_back('\n');
+  for (const auto& child : op.children) {
+    RenderNode(*child, depth + 1, annotate, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderPlanTree(const PhysicalOp& root,
+                           const std::function<std::string(const PhysicalOp&)>& annotate) {
+  std::string out;
+  RenderNode(root, 0, annotate, &out);
+  return out;
+}
+
+}  // namespace dfp

@@ -1,0 +1,27 @@
+// Profiling sample records, the raw material of Tailored Profiling.
+#ifndef DFP_SRC_PMU_SAMPLE_H_
+#define DFP_SRC_PMU_SAMPLE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dfp {
+
+inline constexpr int kNumMachineRegs = 16;
+inline constexpr int kTagRegister = 15;  // Architecturally global register used by Register Tagging.
+
+// One PEBS-style sample. `ip` is a global instruction pointer (code-segment base + offset).
+// `callstack` holds return addresses, innermost caller first, when call-stack sampling is on.
+struct Sample {
+  uint64_t tsc = 0;
+  uint64_t ip = 0;
+  uint64_t addr = 0;  // Accessed address for memory events, 0 otherwise.
+  bool has_registers = false;
+  std::array<uint64_t, kNumMachineRegs> regs{};
+  std::vector<uint64_t> callstack;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_PMU_SAMPLE_H_

@@ -1,0 +1,163 @@
+#include "src/profiling/serialize.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "src/util/check.h"
+
+namespace dfp {
+namespace {
+
+constexpr const char* kDictionaryHeader = "# dfp tagging dictionary v1";
+constexpr const char* kSamplesHeader = "# dfp samples v1";
+
+[[noreturn]] void Malformed(const std::string& line) {
+  throw Error("malformed profiling meta-data line: '" + line + "'");
+}
+
+}  // namespace
+
+void WriteDictionary(const TaggingDictionary& dictionary, std::ostream& out) {
+  out << kDictionaryHeader << "\n";
+  for (const TaskInfo& task : dictionary.tasks()) {
+    out << "task " << task.id << " " << task.op << " " << task.name << "\n";
+  }
+  // Log B entries, ordered by instruction id for a stable file.
+  std::vector<uint32_t> ids;
+  ids.reserve(dictionary.entries().size());
+  for (const auto& [ir_id, owners] : dictionary.entries()) {
+    (void)owners;
+    ids.push_back(ir_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (uint32_t ir_id : ids) {
+    out << "link " << ir_id;
+    for (TaskId task : *dictionary.TasksOf(ir_id)) {
+      out << " " << task;
+    }
+    out << "\n";
+  }
+}
+
+TaggingDictionary ReadDictionary(std::istream& in) {
+  TaggingDictionary dictionary;
+  std::string line;
+  if (!std::getline(in, line) || line != kDictionaryHeader) {
+    throw Error("not a dfp tagging dictionary file");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream stream(line);
+    std::string kind;
+    stream >> kind;
+    if (kind == "task") {
+      TaskId id = 0;
+      OperatorId op = 0;
+      std::string name;
+      if (!(stream >> id >> op)) {
+        Malformed(line);
+      }
+      std::getline(stream, name);
+      if (!name.empty() && name.front() == ' ') {
+        name.erase(name.begin());
+      }
+      TaskId assigned = dictionary.AddTask(op, name);
+      if (assigned != id) {
+        throw Error("tagging dictionary tasks out of order");
+      }
+    } else if (kind == "link") {
+      uint32_t ir_id = 0;
+      if (!(stream >> ir_id)) {
+        Malformed(line);
+      }
+      TaskId task = 0;
+      bool any = false;
+      while (stream >> task) {
+        dictionary.LinkInstr(ir_id, task);
+        any = true;
+      }
+      if (!any) {
+        Malformed(line);
+      }
+    } else {
+      Malformed(line);
+    }
+  }
+  return dictionary;
+}
+
+void WriteSamples(const std::vector<Sample>& samples, std::ostream& out) {
+  out << kSamplesHeader << "\n";
+  for (const Sample& sample : samples) {
+    out << "sample " << sample.tsc << " " << sample.ip << " " << sample.addr;
+    if (sample.has_registers) {
+      out << " R";
+      for (uint64_t reg : sample.regs) {
+        out << " " << reg;
+      }
+    }
+    if (!sample.callstack.empty()) {
+      out << " S " << sample.callstack.size();
+      for (uint64_t ip : sample.callstack) {
+        out << " " << ip;
+      }
+    }
+    out << "\n";
+  }
+}
+
+std::vector<Sample> ReadSamples(std::istream& in) {
+  std::vector<Sample> samples;
+  std::string line;
+  if (!std::getline(in, line) || line != kSamplesHeader) {
+    throw Error("not a dfp samples file");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream stream(line);
+    std::string kind;
+    stream >> kind;
+    if (kind != "sample") {
+      Malformed(line);
+    }
+    Sample sample;
+    if (!(stream >> sample.tsc >> sample.ip >> sample.addr)) {
+      Malformed(line);
+    }
+    std::string section;
+    while (stream >> section) {
+      if (section == "R") {
+        sample.has_registers = true;
+        for (uint64_t& reg : sample.regs) {
+          if (!(stream >> reg)) {
+            Malformed(line);
+          }
+        }
+      } else if (section == "S") {
+        size_t depth = 0;
+        if (!(stream >> depth)) {
+          Malformed(line);
+        }
+        sample.callstack.resize(depth);
+        for (uint64_t& ip : sample.callstack) {
+          if (!(stream >> ip)) {
+            Malformed(line);
+          }
+        }
+      } else {
+        Malformed(line);
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace dfp

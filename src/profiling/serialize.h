@@ -1,0 +1,37 @@
+// Serialization of profiling meta-data and samples.
+//
+// The paper's prototype writes the Tagging Dictionary to a meta-data file at the end of
+// compilation and feeds samples through `perf script` into a decoupled post-processing phase.
+// These functions provide the same decoupling: a dictionary and a sample stream written by one
+// process can be resolved by another (or archived next to a recorded profile).
+#ifndef DFP_SRC_PROFILING_SERIALIZE_H_
+#define DFP_SRC_PROFILING_SERIALIZE_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/pmu/sample.h"
+#include "src/profiling/tagging_dictionary.h"
+
+namespace dfp {
+
+// Line-oriented text format:
+//   # dfp tagging dictionary v1
+//   task <task-id> <operator-id> <name...>
+//   link <ir-id> <task-id> [<task-id>...]
+void WriteDictionary(const TaggingDictionary& dictionary, std::ostream& out);
+
+// Inverse of WriteDictionary. Throws dfp::Error on malformed input.
+TaggingDictionary ReadDictionary(std::istream& in);
+
+// perf-script-like sample dump:
+//   # dfp samples v1
+//   sample <tsc> <ip> <addr> [R <16 register values>] [S <depth> <return-ips...>]
+void WriteSamples(const std::vector<Sample>& samples, std::ostream& out);
+
+// Inverse of WriteSamples. Throws dfp::Error on malformed input.
+std::vector<Sample> ReadSamples(std::istream& in);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_PROFILING_SERIALIZE_H_

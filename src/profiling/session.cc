@@ -1,0 +1,157 @@
+#include "src/profiling/session.h"
+
+namespace dfp {
+
+ProfilingSession::ProfilingSession(ProfilingConfig config) : config_(config) {}
+
+SamplingConfig ProfilingSession::MakeSamplingConfig() const {
+  SamplingConfig sampling;
+  sampling.enabled = config_.enable_sampling;
+  sampling.event = config_.event;
+  sampling.period = config_.period;
+  sampling.capture_address = config_.capture_address;
+  sampling.capture_registers = config_.attribution == AttributionMode::kRegisterTagging ||
+                               config_.tag_all_instructions;
+  sampling.capture_callstack = config_.attribution == AttributionMode::kCallStack;
+  return sampling;
+}
+
+void ProfilingSession::RecordExecution(std::vector<Sample> samples, uint64_t cycles,
+                                       PmuCounters counters) {
+  samples_ = std::move(samples);
+  execution_cycles_ = cycles;
+  counters_ = counters;
+  resolved_.clear();
+  resolved_done_ = false;
+}
+
+void ProfilingSession::LoadForPostProcessing(TaggingDictionary dictionary,
+                                             std::vector<Sample> samples, uint64_t cycles) {
+  dictionary_ = std::move(dictionary);
+  samples_ = std::move(samples);
+  execution_cycles_ = cycles;
+  resolved_.clear();
+  resolved_done_ = false;
+}
+
+void ProfilingSession::Resolve(const CodeMap& code_map) {
+  if (resolved_done_) {
+    return;
+  }
+  resolved_.clear();
+  resolved_.reserve(samples_.size());
+  for (const Sample& sample : samples_) {
+    resolved_.push_back(ResolveOne(sample, code_map));
+  }
+  resolved_done_ = true;
+}
+
+ResolvedSample ProfilingSession::ResolveOne(const Sample& sample,
+                                            const CodeMap& code_map) const {
+  ResolvedSample out;
+  out.tsc = sample.tsc;
+  out.ip = sample.ip;
+  out.addr = sample.addr;
+  const CodeSegment* segment = code_map.FindByIp(sample.ip);
+  if (segment == nullptr) {
+    return out;  // Unattributed.
+  }
+  out.segment = segment->id;
+
+  // Task-level tag in the register's lower half; with packed_tags the operator tag sits in the
+  // upper half (Section 4.2.5 chunking).
+  const uint64_t task_tag =
+      sample.has_registers ? (sample.regs[kTagRegister] & 0xFFFFFFFFull) : 0;
+  const uint64_t op_tag =
+      sample.has_registers && config_.packed_tags ? (sample.regs[kTagRegister] >> 32) : 0;
+  const bool tag_valid = task_tag != 0 && task_tag <= dictionary_.tasks().size();
+
+  // Attributes a sample landing at generated query code via debug info and Log B.
+  auto resolve_generated = [&](const CodeSegment& seg, uint64_t ip, ResolvedSample* dst) {
+    const MInstr& instr = seg.code[ip - seg.base_ip];
+    dst->ir_id = instr.ir_id;
+    const std::vector<TaskId>* owners = dictionary_.TasksOf(instr.ir_id);
+    if (owners == nullptr || owners->empty()) {
+      return false;
+    }
+    TaskId task = owners->front();
+    if (owners->size() > 1) {
+      // Multi-owner instruction (CSE / fusing across tasks): the tag register decides when
+      // available, otherwise the first owner wins and the sample is flagged.
+      if (tag_valid) {
+        task = static_cast<TaskId>(task_tag - 1);
+        dst->via_tag = true;
+      } else {
+        dst->ambiguous = true;
+      }
+    }
+    dst->task = task;
+    dst->op = dictionary_.OperatorOf(task);
+    dst->category = ResolvedSample::Category::kOperator;
+    return true;
+  };
+
+  switch (segment->kind) {
+    case SegmentKind::kGenerated:
+      resolve_generated(*segment, sample.ip, &out);
+      return out;
+
+    case SegmentKind::kRuntime: {
+      // Shared source location: disambiguate via the tag register (Register Tagging) or by
+      // walking the call stack to the innermost generated-code frame.
+      if (tag_valid) {
+        out.task = static_cast<TaskId>(task_tag - 1);
+        // With packed tags the operator comes straight from the register's upper half; without
+        // packing it is looked up through Log A.
+        out.op = op_tag != 0 ? static_cast<OperatorId>(op_tag - 1)
+                             : dictionary_.OperatorOf(out.task);
+        out.category = ResolvedSample::Category::kOperator;
+        out.via_tag = true;
+        return out;
+      }
+      for (uint64_t caller_ip : sample.callstack) {
+        const CodeSegment* caller = code_map.FindByIp(caller_ip);
+        if (caller != nullptr && caller->kind == SegmentKind::kGenerated) {
+          if (resolve_generated(*caller, caller_ip, &out)) {
+            out.via_callstack = true;
+            out.ir_id = kNoIrId;  // The sample itself is in runtime code.
+          }
+          return out;
+        }
+      }
+      return out;  // Unattributed shared code.
+    }
+
+    case SegmentKind::kKernel:
+      out.category = ResolvedSample::Category::kKernel;
+      return out;
+
+    case SegmentKind::kSyslib:
+      return out;  // System libraries are not covered by tagging: unattributed.
+  }
+  return out;
+}
+
+AttributionStats ProfilingSession::Stats() const {
+  AttributionStats stats;
+  stats.total = resolved_.size();
+  for (const ResolvedSample& sample : resolved_) {
+    switch (sample.category) {
+      case ResolvedSample::Category::kOperator:
+        ++stats.operator_samples;
+        break;
+      case ResolvedSample::Category::kKernel:
+        ++stats.kernel_samples;
+        break;
+      case ResolvedSample::Category::kUnattributed:
+        ++stats.unattributed;
+        break;
+    }
+    stats.ambiguous += sample.ambiguous;
+    stats.via_tag += sample.via_tag;
+    stats.via_callstack += sample.via_callstack;
+  }
+  return stats;
+}
+
+}  // namespace dfp

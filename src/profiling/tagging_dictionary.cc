@@ -1,0 +1,58 @@
+#include "src/profiling/tagging_dictionary.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace dfp {
+
+TaskId TaggingDictionary::AddTask(OperatorId op, std::string name) {
+  TaskInfo info;
+  info.id = static_cast<TaskId>(tasks_.size());
+  info.op = op;
+  info.name = std::move(name);
+  tasks_.push_back(std::move(info));
+  return tasks_.back().id;
+}
+
+void TaggingDictionary::LinkInstr(uint32_t ir_id, TaskId task) {
+  DFP_CHECK(task < tasks_.size());
+  std::vector<TaskId>& owners = instr_tasks_[ir_id];
+  if (std::find(owners.begin(), owners.end(), task) == owners.end()) {
+    owners.push_back(task);
+  }
+}
+
+const std::vector<TaskId>* TaggingDictionary::TasksOf(uint32_t ir_id) const {
+  auto it = instr_tasks_.find(ir_id);
+  return it == instr_tasks_.end() ? nullptr : &it->second;
+}
+
+void TaggingDictionary::OnRemove(uint32_t ir_id) { instr_tasks_.erase(ir_id); }
+
+void TaggingDictionary::OnAbsorb(uint32_t kept_id, uint32_t absorbed_id) {
+  auto absorbed = instr_tasks_.find(absorbed_id);
+  if (absorbed == instr_tasks_.end()) {
+    return;  // Absorbed instruction was not covered (e.g. runtime code); nothing to merge.
+  }
+  std::vector<TaskId>& kept = instr_tasks_[kept_id];
+  for (TaskId task : absorbed->second) {
+    if (std::find(kept.begin(), kept.end(), task) == kept.end()) {
+      kept.push_back(task);
+    }
+  }
+}
+
+uint64_t TaggingDictionary::ApproxBytes() const {
+  uint64_t bytes = 0;
+  for (const TaskInfo& task : tasks_) {
+    bytes += 8 /* task id + operator id */ + task.name.size();
+  }
+  for (const auto& [ir_id, owners] : instr_tasks_) {
+    (void)ir_id;
+    bytes += 8ull * owners.size();  // (ir id, task) pairs.
+  }
+  return bytes;
+}
+
+}  // namespace dfp

@@ -1,0 +1,73 @@
+// The Tagging Dictionary (paper Section 4.2.2).
+//
+// One log per lowering step:
+//   Log A: pipeline task -> dataflow-graph operator (populated during pipeline construction).
+//   Log B: Machine IR instruction id -> pipeline task(s) (populated during code generation
+//          through the IRBuilder observer).
+// The third lowering step (Machine IR -> machine instructions) is covered by the backend's debug
+// info (per-machine-instruction IR ids), the analogue of DWARF in the paper's prototype.
+//
+// The dictionary is a LineageListener: optimization passes report eliminated and absorbed
+// instructions so the mapping stays correct under code motion (Table 1). An instruction that
+// absorbed work from another task has multiple owners; samples on it are disambiguated at
+// post-processing time via the tag register when available.
+#ifndef DFP_SRC_PROFILING_TAGGING_DICTIONARY_H_
+#define DFP_SRC_PROFILING_TAGGING_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/backend/lineage.h"
+#include "src/plan/physical.h"
+
+namespace dfp {
+
+using TaskId = uint32_t;
+inline constexpr TaskId kNoTask = 0xFFFFFFFFu;
+inline constexpr OperatorId kNoOperator = 0xFFFFFFFFu;
+
+struct TaskInfo {
+  TaskId id = kNoTask;
+  OperatorId op = kNoOperator;
+  std::string name;  // "probe", "build", "aggregate", ...
+};
+
+class TaggingDictionary : public LineageListener {
+ public:
+  // --- Log A ---
+  TaskId AddTask(OperatorId op, std::string name);
+  const TaskInfo& task(TaskId id) const { return tasks_[id]; }
+  const std::vector<TaskInfo>& tasks() const { return tasks_; }
+  OperatorId OperatorOf(TaskId id) const { return tasks_[id].op; }
+
+  // --- Log B ---
+  void LinkInstr(uint32_t ir_id, TaskId task);
+  // Owning tasks of an instruction (usually one; several after CSE/fusing across tasks).
+  // Returns nullptr for unknown instructions (e.g. runtime-function code).
+  const std::vector<TaskId>* TasksOf(uint32_t ir_id) const;
+
+  // --- Lineage (Table 1) ---
+  void OnRemove(uint32_t ir_id) override;
+  void OnAbsorb(uint32_t kept_id, uint32_t absorbed_id) override;
+
+  // All Log B entries (for serialization and diagnostics).
+  const std::unordered_map<uint32_t, std::vector<TaskId>>& entries() const {
+    return instr_tasks_;
+  }
+
+  // --- Storage accounting (Section 6.2) ---
+  size_t log_a_entries() const { return tasks_.size(); }
+  size_t log_b_entries() const { return instr_tasks_.size(); }
+  // Approximate serialized size: Log A rows + one (ir id, task) pair per Log B owner entry.
+  uint64_t ApproxBytes() const;
+
+ private:
+  std::vector<TaskInfo> tasks_;
+  std::unordered_map<uint32_t, std::vector<TaskId>> instr_tasks_;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_PROFILING_TAGGING_DICTIONARY_H_

@@ -1,0 +1,55 @@
+#include "src/runtime/hashtable.h"
+
+#include <bit>
+
+#include "src/util/check.h"
+
+namespace dfp {
+
+VAddr CreateHashTable(VMem& mem, uint32_t region, uint64_t capacity, uint64_t payload_bytes) {
+  DFP_CHECK(capacity > 0);
+  const uint64_t entry_size = (kHtEntryPayload + payload_bytes + 7) & ~7ull;
+  const uint64_t dir_size = std::bit_ceil(std::max<uint64_t>(capacity, 8));
+  const uint64_t dir_shift = 64 - static_cast<uint64_t>(std::countr_zero(dir_size));
+
+  VAddr table = mem.Alloc(region, kHtHeaderBytes);
+  VAddr directory = mem.Alloc(region, dir_size * 8);
+  VAddr entries = mem.Alloc(region, capacity * entry_size);
+
+  mem.Write<uint64_t>(table + kHtDirBase, directory);
+  mem.Write<uint64_t>(table + kHtDirShift, dir_shift);
+  mem.Write<uint64_t>(table + kHtEntrySize, entry_size);
+  mem.Write<uint64_t>(table + kHtBumpNext, entries);
+  mem.Write<uint64_t>(table + kHtBumpEnd, entries + capacity * entry_size);
+  mem.Write<uint64_t>(table + kHtCount, 0);
+  mem.Write<uint64_t>(table + kHtDirCount, dir_size);
+  return table;
+}
+
+std::vector<VAddr> HashTableView::Entries() const {
+  std::vector<VAddr> out;
+  const VAddr directory = mem_.Read<uint64_t>(table_ + kHtDirBase);
+  const uint64_t slots = mem_.Read<uint64_t>(table_ + kHtDirCount);
+  for (uint64_t slot = 0; slot < slots; ++slot) {
+    VAddr entry = mem_.Read<uint64_t>(directory + slot * 8);
+    while (entry != 0) {
+      out.push_back(entry);
+      entry = mem_.Read<uint64_t>(entry + kHtEntryNext);
+    }
+  }
+  return out;
+}
+
+std::vector<VAddr> HashTableView::Chain(uint64_t hash) const {
+  std::vector<VAddr> out;
+  const uint64_t shift = mem_.Read<uint64_t>(table_ + kHtDirShift);
+  const VAddr directory = mem_.Read<uint64_t>(table_ + kHtDirBase);
+  VAddr entry = mem_.Read<uint64_t>(directory + (hash >> shift) * 8);
+  while (entry != 0) {
+    out.push_back(entry);
+    entry = mem_.Read<uint64_t>(entry + kHtEntryNext);
+  }
+  return out;
+}
+
+}  // namespace dfp

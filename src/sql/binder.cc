@@ -1,0 +1,712 @@
+#include "src/sql/binder.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "src/plan/builder.h"
+#include "src/sql/parser.h"
+#include "src/util/check.h"
+#include "src/util/str.h"
+
+namespace dfp {
+namespace {
+
+// A column visible at some point of the plan: where it came from and its slot type.
+struct BoundColumn {
+  std::string alias;  // Table alias (empty for derived columns).
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+};
+
+using Schema = std::vector<BoundColumn>;
+
+int FindColumn(const Schema& schema, const std::string& qualifier, const std::string& name,
+               bool* ambiguous) {
+  int found = -1;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i].name != name) {
+      continue;
+    }
+    if (!qualifier.empty() && schema[i].alias != qualifier) {
+      continue;
+    }
+    if (found >= 0) {
+      if (ambiguous != nullptr) {
+        *ambiguous = true;
+      }
+      return found;
+    }
+    found = static_cast<int>(i);
+  }
+  return found;
+}
+
+int MustFindColumn(const Schema& schema, const std::string& qualifier, const std::string& name) {
+  bool ambiguous = false;
+  int slot = FindColumn(schema, qualifier, name, &ambiguous);
+  std::string display = qualifier.empty() ? name : qualifier + "." + name;
+  if (ambiguous) {
+    throw Error("ambiguous column reference: '" + display + "'");
+  }
+  if (slot < 0) {
+    throw Error("unknown column: '" + display + "'");
+  }
+  return slot;
+}
+
+// Conjunct splitting of the WHERE clause.
+void SplitConjuncts(SqlExpr* expr, std::vector<SqlExpr*>* out) {
+  if (expr == nullptr) {
+    return;
+  }
+  if (expr->kind == SqlExprKind::kBinary && expr->bin == SqlBinOp::kAnd) {
+    SplitConjuncts(expr->left.get(), out);
+    SplitConjuncts(expr->right.get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+// Collects the table aliases an expression references (resolved against the per-alias schemas).
+void CollectAliases(const SqlExpr& expr,
+                    const std::unordered_map<std::string, const Schema*>& by_alias,
+                    std::set<std::string>* out) {
+  if (expr.kind == SqlExprKind::kColumn) {
+    if (!expr.qualifier.empty()) {
+      out->insert(expr.qualifier);
+      return;
+    }
+    for (const auto& [alias, schema] : by_alias) {
+      if (FindColumn(*schema, "", expr.column, nullptr) >= 0) {
+        out->insert(alias);
+      }
+    }
+    return;
+  }
+  if (expr.left != nullptr) {
+    CollectAliases(*expr.left, by_alias, out);
+  }
+  if (expr.right != nullptr) {
+    CollectAliases(*expr.right, by_alias, out);
+  }
+  if (expr.third != nullptr) {
+    CollectAliases(*expr.third, by_alias, out);
+  }
+  if (expr.else_value != nullptr) {
+    CollectAliases(*expr.else_value, by_alias, out);
+  }
+  for (const SqlExprPtr& element : expr.list) {
+    CollectAliases(*element, by_alias, out);
+  }
+  for (const auto& [cond, value] : expr.whens) {
+    CollectAliases(*cond, by_alias, out);
+    CollectAliases(*value, by_alias, out);
+  }
+}
+
+// Structural equality of SQL expressions (used to match SELECT/ORDER BY items against GROUP BY
+// key expressions).
+bool EqualSql(const SqlExpr& a, const SqlExpr& b) {
+  if (a.kind != b.kind || a.bin != b.bin || a.agg != b.agg || a.int_value != b.int_value ||
+      a.string_value != b.string_value || a.qualifier != b.qualifier || a.column != b.column) {
+    return false;
+  }
+  auto child_equal = [](const SqlExprPtr& x, const SqlExprPtr& y) {
+    if ((x == nullptr) != (y == nullptr)) {
+      return false;
+    }
+    return x == nullptr || EqualSql(*x, *y);
+  };
+  if (!child_equal(a.left, b.left) || !child_equal(a.right, b.right) ||
+      !child_equal(a.third, b.third) || !child_equal(a.else_value, b.else_value)) {
+    return false;
+  }
+  if (a.list.size() != b.list.size() || a.whens.size() != b.whens.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.list.size(); ++i) {
+    if (!EqualSql(*a.list[i], *b.list[i])) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.whens.size(); ++i) {
+    if (!EqualSql(*a.whens[i].first, *b.whens[i].first) ||
+        !EqualSql(*a.whens[i].second, *b.whens[i].second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ContainsAggregate(const SqlExpr& expr) {
+  if (expr.kind == SqlExprKind::kAggregate) {
+    return true;
+  }
+  if (expr.left != nullptr && ContainsAggregate(*expr.left)) {
+    return true;
+  }
+  if (expr.right != nullptr && ContainsAggregate(*expr.right)) {
+    return true;
+  }
+  if (expr.third != nullptr && ContainsAggregate(*expr.third)) {
+    return true;
+  }
+  if (expr.else_value != nullptr && ContainsAggregate(*expr.else_value)) {
+    return true;
+  }
+  for (const SqlExprPtr& element : expr.list) {
+    if (ContainsAggregate(*element)) {
+      return true;
+    }
+  }
+  for (const auto& [cond, value] : expr.whens) {
+    if (ContainsAggregate(*cond) || ContainsAggregate(*value)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CollectAggregates(SqlExpr* expr, std::vector<SqlExpr*>* out) {
+  if (expr == nullptr) {
+    return;
+  }
+  if (expr->kind == SqlExprKind::kAggregate) {
+    out->push_back(expr);
+    return;  // Nested aggregates are invalid; inputs are scalar.
+  }
+  CollectAggregates(expr->left.get(), out);
+  CollectAggregates(expr->right.get(), out);
+  CollectAggregates(expr->third.get(), out);
+  CollectAggregates(expr->else_value.get(), out);
+  for (SqlExprPtr& element : expr->list) {
+    CollectAggregates(element.get(), out);
+  }
+  for (auto& [cond, value] : expr->whens) {
+    CollectAggregates(cond.get(), out);
+    CollectAggregates(value.get(), out);
+  }
+}
+
+class Binder {
+ public:
+  Binder(Database& db, const SelectStatement& stmt) : db_(db), stmt_(stmt) {}
+
+  PhysicalOpPtr Bind() {
+    BuildRelations();
+    ClassifyPredicates();
+    ApplyLocalFilters();
+    JoinRelations();
+    ApplyResidualFilters();
+    BindAggregation();
+    ApplyHaving();
+    ApplySelectProjection();
+    ApplyDistinct();
+    ApplyOrderByAndLimit();
+    return stream_->builder.Build();
+  }
+
+ private:
+  struct Relation {
+    std::string alias;
+    PlanBuilder builder;
+    Schema schema;
+    double base_rows = 0;
+    double estimate = 0;
+    std::vector<const SqlExpr*> local_filters;
+    bool joined = false;
+
+    Relation(std::string a, PlanBuilder b) : alias(std::move(a)), builder(std::move(b)) {}
+  };
+
+  struct JoinEdge {
+    size_t left_relation;
+    size_t right_relation;
+    const SqlExpr* left_column;   // Column on the left relation.
+    const SqlExpr* right_column;  // Column on the right relation.
+  };
+
+  void BuildRelations() {
+    std::set<std::string> seen;
+    for (const SqlTableRef& ref : stmt_.from) {
+      if (!seen.insert(ref.alias).second) {
+        throw Error("duplicate table alias: '" + ref.alias + "'");
+      }
+      const Table& table = db_.table(ref.table);
+      Relation relation(ref.alias, PlanBuilder::Scan(table));
+      for (const ColumnDef& column : table.schema().columns) {
+        relation.schema.push_back({ref.alias, column.name, column.type});
+      }
+      relation.base_rows = static_cast<double>(table.row_count());
+      relation.estimate = relation.base_rows;
+      relations_.push_back(std::move(relation));
+    }
+    for (Relation& relation : relations_) {
+      schemas_by_alias_[relation.alias] = &relation.schema;
+    }
+  }
+
+  size_t RelationIndex(const std::string& alias) const {
+    for (size_t i = 0; i < relations_.size(); ++i) {
+      if (relations_[i].alias == alias) {
+        return i;
+      }
+    }
+    throw Error("unknown table alias: '" + alias + "'");
+  }
+
+  double Selectivity(const SqlExpr& predicate) const {
+    switch (predicate.kind) {
+      case SqlExprKind::kBinary:
+        switch (predicate.bin) {
+          case SqlBinOp::kEq:
+            return 0.05;
+          case SqlBinOp::kNe:
+            return 0.9;
+          case SqlBinOp::kOr:
+            return 0.6;
+          default:
+            return 0.35;
+        }
+      case SqlExprKind::kLike:
+        return 0.25;
+      case SqlExprKind::kBetween:
+        return 0.3;
+      case SqlExprKind::kInList:
+        return 0.2;
+      default:
+        return 0.5;
+    }
+  }
+
+  void ClassifyPredicates() {
+    std::vector<SqlExpr*> conjuncts;
+    SplitConjuncts(stmt_.where.get(), &conjuncts);
+    for (SqlExpr* conjunct : conjuncts) {
+      if (ContainsAggregate(*conjunct)) {
+        throw Error("aggregates are not allowed in WHERE");
+      }
+      std::set<std::string> aliases;
+      CollectAliases(*conjunct, schemas_by_alias_, &aliases);
+      if (aliases.size() <= 1) {
+        size_t relation =
+            aliases.empty() ? 0 : RelationIndex(*aliases.begin());
+        relations_[relation].local_filters.push_back(conjunct);
+        relations_[relation].estimate *= Selectivity(*conjunct);
+        continue;
+      }
+      // Equi-join edge?
+      if (aliases.size() == 2 && conjunct->kind == SqlExprKind::kBinary &&
+          conjunct->bin == SqlBinOp::kEq &&
+          conjunct->left->kind == SqlExprKind::kColumn &&
+          conjunct->right->kind == SqlExprKind::kColumn) {
+        std::set<std::string> left_alias;
+        std::set<std::string> right_alias;
+        CollectAliases(*conjunct->left, schemas_by_alias_, &left_alias);
+        CollectAliases(*conjunct->right, schemas_by_alias_, &right_alias);
+        if (left_alias.size() == 1 && right_alias.size() == 1 &&
+            *left_alias.begin() != *right_alias.begin()) {
+          JoinEdge edge;
+          edge.left_relation = RelationIndex(*left_alias.begin());
+          edge.right_relation = RelationIndex(*right_alias.begin());
+          edge.left_column = conjunct->left.get();
+          edge.right_column = conjunct->right.get();
+          edges_.push_back(edge);
+          continue;
+        }
+      }
+      residual_filters_.push_back(conjunct);
+    }
+  }
+
+  void ApplyLocalFilters() {
+    for (Relation& relation : relations_) {
+      for (const SqlExpr* filter : relation.local_filters) {
+        ExprPtr bound = BindScalar(*filter, relation.schema, nullptr);
+        if (bound->type != ColumnType::kBool) {
+          throw Error("WHERE predicate is not boolean");
+        }
+        relation.builder.FilterBy(std::move(bound));
+      }
+    }
+  }
+
+  void JoinRelations() {
+    // The largest relation becomes the probe stream; connected relations are joined greedily by
+    // ascending estimated size (they become build sides).
+    size_t start = 0;
+    for (size_t i = 1; i < relations_.size(); ++i) {
+      if (relations_[i].estimate > relations_[start].estimate) {
+        start = i;
+      }
+    }
+    stream_ = &relations_[start];
+    stream_->joined = true;
+    stream_schema_ = stream_->schema;
+    size_t joined_count = 1;
+    while (joined_count < relations_.size()) {
+      // Candidates connected to the current stream.
+      size_t best = relations_.size();
+      for (const JoinEdge& edge : edges_) {
+        for (size_t candidate : {edge.left_relation, edge.right_relation}) {
+          size_t other = candidate == edge.left_relation ? edge.right_relation
+                                                         : edge.left_relation;
+          if (!relations_[candidate].joined && relations_[other].joined) {
+            if (best == relations_.size() ||
+                relations_[candidate].estimate < relations_[best].estimate) {
+              best = candidate;
+            }
+          }
+        }
+      }
+      if (best == relations_.size()) {
+        throw Error("cross joins without equi-conditions are not supported");
+      }
+      Relation& build = relations_[best];
+      // All edges connecting the stream side to `build`.
+      std::vector<int> probe_slots;
+      std::vector<int> build_slots;
+      for (const JoinEdge& edge : edges_) {
+        const SqlExpr* stream_col = nullptr;
+        const SqlExpr* build_col = nullptr;
+        if (edge.left_relation == best && relations_[edge.right_relation].joined) {
+          build_col = edge.left_column;
+          stream_col = edge.right_column;
+        } else if (edge.right_relation == best && relations_[edge.left_relation].joined) {
+          build_col = edge.right_column;
+          stream_col = edge.left_column;
+        } else {
+          continue;
+        }
+        probe_slots.push_back(
+            MustFindColumn(stream_schema_, stream_col->qualifier, stream_col->column));
+        build_slots.push_back(
+            MustFindColumn(build.schema, build_col->qualifier, build_col->column));
+      }
+      DFP_CHECK(!probe_slots.empty());
+      // Build payload: every build-side column (kept simple; pruning is an optimization).
+      std::vector<int> payload;
+      for (size_t i = 0; i < build.schema.size(); ++i) {
+        payload.push_back(static_cast<int>(i));
+      }
+      std::string label = StrFormat("HashJoin %s", build.alias.c_str());
+      stream_->builder.JoinWithSlots(std::move(build.builder), probe_slots, build_slots,
+                                     payload, JoinType::kInner, label);
+      for (const BoundColumn& column : build.schema) {
+        stream_schema_.push_back(column);
+      }
+      // Probe-side cardinality shrinks by the build side's filter selectivity (PK-FK model).
+      double match_probability =
+          build.base_rows > 0 ? std::min(1.0, build.estimate / build.base_rows) : 1.0;
+      stream_->estimate *= match_probability;
+      build.joined = true;
+      ++joined_count;
+    }
+  }
+
+  void ApplyResidualFilters() {
+    for (const SqlExpr* filter : residual_filters_) {
+      ExprPtr bound = BindScalar(*filter, stream_schema_, nullptr);
+      if (bound->type != ColumnType::kBool) {
+        throw Error("WHERE predicate is not boolean");
+      }
+      stream_->builder.FilterBy(std::move(bound));
+    }
+  }
+
+  void BindAggregation() {
+    // Gather aggregate uses across SELECT, HAVING, ORDER BY.
+    std::vector<SqlExpr*> aggregates;
+    for (const SqlSelectItem& item : stmt_.select_list) {
+      CollectAggregates(item.expr.get(), &aggregates);
+    }
+    CollectAggregates(stmt_.having.get(), &aggregates);
+    for (const SqlOrderItem& item : stmt_.order_by) {
+      CollectAggregates(item.expr.get(), &aggregates);
+    }
+    if (aggregates.empty() && stmt_.group_by.empty()) {
+      return;  // Not an aggregation query.
+    }
+    grouped_ = true;
+
+    // Bind key expressions. Plain columns group directly; computed keys (e.g. year(l_shipdate))
+    // are appended via a Map below the group-by first.
+    std::vector<int> key_slots;
+    Schema post_schema;
+    std::vector<std::pair<std::string, ExprPtr>> computed_keys;
+    size_t pre_width = stream_schema_.size();
+    std::vector<std::pair<const SqlExpr*, size_t>> computed_positions;  // (sql node, key index)
+    for (size_t k = 0; k < stmt_.group_by.size(); ++k) {
+      const SqlExprPtr& key = stmt_.group_by[k];
+      if (key->kind == SqlExprKind::kColumn) {
+        int slot = MustFindColumn(stream_schema_, key->qualifier, key->column);
+        key_slots.push_back(slot);
+        post_schema.push_back(stream_schema_[static_cast<size_t>(slot)]);
+        continue;
+      }
+      ExprPtr bound = BindScalar(*key, stream_schema_, nullptr);
+      std::string name = StrFormat("$key%zu", k);
+      int slot = static_cast<int>(pre_width + computed_keys.size());
+      key_slots.push_back(slot);
+      post_schema.push_back({"", name, bound->type});
+      computed_positions.emplace_back(key.get(), post_schema.size() - 1);
+      computed_keys.emplace_back(std::move(name), std::move(bound));
+    }
+    if (!computed_keys.empty()) {
+      stream_->builder.MapTo(std::move(computed_keys));
+      for (size_t i = 0; i < computed_positions.size(); ++i) {
+        stream_schema_.push_back(post_schema[computed_positions[i].second]);
+      }
+      for (const auto& [sql_node, key_index] : computed_positions) {
+        group_expr_slots_.emplace_back(sql_node, static_cast<int>(key_index));
+      }
+    }
+    std::vector<std::pair<std::string, ExprPtr>> bound_aggregates;
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      SqlExpr* agg = aggregates[i];
+      AggOp op = agg->agg == SqlAgg::kSum     ? AggOp::kSum
+                 : agg->agg == SqlAgg::kCount ? AggOp::kCount
+                 : agg->agg == SqlAgg::kAvg   ? AggOp::kAvg
+                 : agg->agg == SqlAgg::kMin   ? AggOp::kMin
+                 : agg->agg == SqlAgg::kMax   ? AggOp::kMax
+                                              : AggOp::kCountStar;
+      ExprPtr input;
+      if (op != AggOp::kCountStar) {
+        input = BindScalar(*agg->left, stream_schema_, nullptr);
+      }
+      ExprPtr bound = MakeAggregate(op, std::move(input));
+      std::string name = StrFormat("$agg%zu", i);
+      agg_slots_[agg] = static_cast<int>(post_schema.size());
+      post_schema.push_back({"", name, bound->type});
+      bound_aggregates.emplace_back(std::move(name), std::move(bound));
+    }
+    stream_->builder.GroupBySlots(key_slots, std::move(bound_aggregates), "GroupBy");
+    stream_schema_ = std::move(post_schema);
+  }
+
+  void ApplyHaving() {
+    if (stmt_.having == nullptr) {
+      return;
+    }
+    if (!grouped_) {
+      throw Error("HAVING without aggregation");
+    }
+    ExprPtr bound = BindScalar(*stmt_.having, stream_schema_, &agg_slots_);
+    if (bound->type != ColumnType::kBool) {
+      throw Error("HAVING predicate is not boolean");
+    }
+    stream_->builder.FilterBy(std::move(bound), "Having");
+  }
+
+  static std::string DefaultAlias(const SqlExpr& expr, size_t index) {
+    if (expr.kind == SqlExprKind::kColumn) {
+      return expr.column;
+    }
+    return StrFormat("col%zu", index + 1);
+  }
+
+  void ApplySelectProjection() {
+    std::vector<std::pair<std::string, ExprPtr>> outputs;
+    Schema post_schema;
+    // Identity projection: every select item is the i-th column with its current name.
+    bool identity = stmt_.select_list.size() == stream_schema_.size();
+    for (size_t i = 0; i < stmt_.select_list.size(); ++i) {
+      const SqlSelectItem& item = stmt_.select_list[i];
+      ExprPtr bound = BindScalar(*item.expr, stream_schema_, grouped_ ? &agg_slots_ : nullptr);
+      std::string name = !item.alias.empty() ? item.alias : DefaultAlias(*item.expr, i);
+      if (identity && !(bound->kind == ExprKind::kColumnRef &&
+                        bound->slot == static_cast<int>(i) &&
+                        name == stream_schema_[i].name)) {
+        identity = false;
+      }
+      post_schema.push_back({"", name, bound->type});
+      outputs.emplace_back(std::move(name), std::move(bound));
+    }
+    if (!identity) {
+      ProjectingMap(stream_->builder, std::move(outputs));
+    }
+    stream_schema_ = std::move(post_schema);
+  }
+
+  // Replaces the schema with the given computed columns: append via Map, then project.
+  static void ProjectingMap(PlanBuilder& builder,
+                            std::vector<std::pair<std::string, ExprPtr>> outputs) {
+    const size_t before = builder.schema().size();
+    std::vector<std::string> names;
+    names.reserve(outputs.size());
+    for (const auto& [name, expr] : outputs) {
+      names.push_back(name);
+    }
+    builder.MapTo(std::move(outputs));
+    std::vector<std::pair<std::string, int>> slots;
+    for (size_t i = 0; i < names.size(); ++i) {
+      slots.emplace_back(names[i], static_cast<int>(before + i));
+    }
+    builder.ProjectSlots(std::move(slots));
+  }
+
+  void ApplyDistinct() {
+    if (!stmt_.distinct) {
+      return;
+    }
+    // DISTINCT = group by every output column with no aggregates.
+    std::vector<int> keys;
+    for (size_t i = 0; i < stream_schema_.size(); ++i) {
+      keys.push_back(static_cast<int>(i));
+    }
+    stream_->builder.GroupBySlots(std::move(keys), {}, "Distinct");
+  }
+
+  void ApplyOrderByAndLimit() {
+    if (!stmt_.order_by.empty()) {
+      std::vector<SortItem> items;
+      for (const SqlOrderItem& item : stmt_.order_by) {
+        if (item.expr->kind != SqlExprKind::kColumn) {
+          throw Error("ORDER BY supports column references and select aliases only");
+        }
+        // Resolve against the select output first (aliases), then fail.
+        Schema select_schema;
+        for (const BoundColumn& column : stream_schema_) {
+          select_schema.push_back(column);
+        }
+        int slot = MustFindColumn(select_schema, item.expr->qualifier, item.expr->column);
+        items.push_back({slot, item.descending});
+      }
+      stream_->builder.OrderBySlots(std::move(items), stmt_.limit);
+    } else if (stmt_.limit >= 0) {
+      stream_->builder.LimitTo(stmt_.limit);
+    }
+  }
+
+  // --- Scalar binding ---
+
+  ExprPtr BindScalar(const SqlExpr& expr, const Schema& schema,
+                     const std::unordered_map<const SqlExpr*, int>* agg_slots) {
+    // In post-aggregation contexts, an expression that structurally matches a GROUP BY key
+    // expression refers to that key's output column.
+    if (agg_slots != nullptr && expr.kind != SqlExprKind::kColumn) {
+      for (const auto& [key_expr, slot] : group_expr_slots_) {
+        if (EqualSql(expr, *key_expr)) {
+          return MakeColumnRef(slot, stream_schema_[static_cast<size_t>(slot)].type);
+        }
+      }
+    }
+    switch (expr.kind) {
+      case SqlExprKind::kColumn: {
+        int slot = MustFindColumn(schema, expr.qualifier, expr.column);
+        return MakeColumnRef(slot, schema[static_cast<size_t>(slot)].type);
+      }
+      case SqlExprKind::kIntLit:
+        return MakeLiteral(ColumnType::kInt64, expr.int_value);
+      case SqlExprKind::kDecimalLit:
+        return MakeLiteral(ColumnType::kDecimal, expr.int_value);
+      case SqlExprKind::kDateLit:
+        return MakeLiteral(ColumnType::kDate, expr.int_value);
+      case SqlExprKind::kStringLit:
+        return MakeLiteral(ColumnType::kString,
+                           static_cast<int64_t>(db_.strings().Intern(expr.string_value)));
+      case SqlExprKind::kBinary: {
+        static const std::unordered_map<int, BinOp> kOps = {
+            {static_cast<int>(SqlBinOp::kAdd), BinOp::kAdd},
+            {static_cast<int>(SqlBinOp::kSub), BinOp::kSub},
+            {static_cast<int>(SqlBinOp::kMul), BinOp::kMul},
+            {static_cast<int>(SqlBinOp::kDiv), BinOp::kDiv},
+            {static_cast<int>(SqlBinOp::kRem), BinOp::kRem},
+            {static_cast<int>(SqlBinOp::kEq), BinOp::kEq},
+            {static_cast<int>(SqlBinOp::kNe), BinOp::kNe},
+            {static_cast<int>(SqlBinOp::kLt), BinOp::kLt},
+            {static_cast<int>(SqlBinOp::kLe), BinOp::kLe},
+            {static_cast<int>(SqlBinOp::kGt), BinOp::kGt},
+            {static_cast<int>(SqlBinOp::kGe), BinOp::kGe},
+            {static_cast<int>(SqlBinOp::kAnd), BinOp::kAnd},
+            {static_cast<int>(SqlBinOp::kOr), BinOp::kOr},
+        };
+        return MakeBinary(kOps.at(static_cast<int>(expr.bin)),
+                          BindScalar(*expr.left, schema, agg_slots),
+                          BindScalar(*expr.right, schema, agg_slots));
+      }
+      case SqlExprKind::kUnaryMinus:
+        return MakeUnary(UnOp::kNeg, BindScalar(*expr.left, schema, agg_slots));
+      case SqlExprKind::kNot:
+        return MakeUnary(UnOp::kNot, BindScalar(*expr.left, schema, agg_slots));
+      case SqlExprKind::kLike:
+        return MakeLike(BindScalar(*expr.left, schema, agg_slots), expr.string_value);
+      case SqlExprKind::kBetween: {
+        ExprPtr low = MakeBinary(BinOp::kGe, BindScalar(*expr.left, schema, agg_slots),
+                                 BindScalar(*expr.right, schema, agg_slots));
+        ExprPtr high = MakeBinary(BinOp::kLe, BindScalar(*expr.left, schema, agg_slots),
+                                  BindScalar(*expr.third, schema, agg_slots));
+        return MakeBinary(BinOp::kAnd, std::move(low), std::move(high));
+      }
+      case SqlExprKind::kInList: {
+        ExprPtr input = BindScalar(*expr.left, schema, agg_slots);
+        const ColumnType type = input->type;
+        std::vector<int64_t> candidates;
+        for (const SqlExprPtr& element : expr.list) {
+          ExprPtr bound = BindScalar(*element, schema, agg_slots);
+          if (bound->kind != ExprKind::kLiteral) {
+            throw Error("IN lists must contain literals");
+          }
+          int64_t payload = bound->literal;
+          // Promote int literals to the input's representation.
+          if (bound->type == ColumnType::kInt64 && type == ColumnType::kDecimal) {
+            payload *= 100;
+          }
+          candidates.push_back(payload);
+        }
+        return MakeInList(std::move(input), std::move(candidates));
+      }
+      case SqlExprKind::kCase: {
+        std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+        for (const auto& [cond, value] : expr.whens) {
+          whens.emplace_back(BindScalar(*cond, schema, agg_slots),
+                             BindScalar(*value, schema, agg_slots));
+        }
+        return MakeCase(std::move(whens), BindScalar(*expr.else_value, schema, agg_slots));
+      }
+      case SqlExprKind::kYear: {
+        ExprPtr input = BindScalar(*expr.left, schema, agg_slots);
+        if (input->type != ColumnType::kDate) {
+          throw Error("year() requires a date argument");
+        }
+        return MakeExtractYear(std::move(input));
+      }
+      case SqlExprKind::kAggregate: {
+        if (agg_slots == nullptr) {
+          throw Error("aggregate used outside an aggregation context");
+        }
+        auto it = agg_slots->find(&expr);
+        DFP_CHECK(it != agg_slots->end());
+        return MakeColumnRef(it->second, stream_schema_[static_cast<size_t>(it->second)].type);
+      }
+    }
+    DFP_UNREACHABLE();
+  }
+
+  Database& db_;
+  const SelectStatement& stmt_;
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, const Schema*> schemas_by_alias_;
+  std::vector<JoinEdge> edges_;
+  std::vector<const SqlExpr*> residual_filters_;
+  Relation* stream_ = nullptr;
+  Schema stream_schema_;
+  bool grouped_ = false;
+  std::unordered_map<const SqlExpr*, int> agg_slots_;
+  std::vector<std::pair<const SqlExpr*, int>> group_expr_slots_;
+};
+
+}  // namespace
+
+PhysicalOpPtr BindSelect(Database& db, const SelectStatement& stmt) {
+  Binder binder(db, stmt);
+  return binder.Bind();
+}
+
+PhysicalOpPtr PlanSql(Database& db, const std::string& sql) {
+  SelectStatement stmt = ParseSelect(sql);
+  return BindSelect(db, stmt);
+}
+
+}  // namespace dfp

@@ -1,0 +1,25 @@
+// Binder: resolves a parsed SELECT statement against the catalog and produces an optimized
+// physical plan (filter pushdown, greedy join ordering on estimated cardinalities, aggregate
+// extraction, HAVING/ORDER BY/LIMIT lowering).
+#ifndef DFP_SRC_SQL_BINDER_H_
+#define DFP_SRC_SQL_BINDER_H_
+
+#include <string>
+
+#include "src/engine/database.h"
+#include "src/plan/physical.h"
+#include "src/sql/ast.h"
+
+namespace dfp {
+
+// Binds a parsed statement. Throws dfp::Error on unknown tables/columns, ambiguous names,
+// type mismatches, or unsupported constructs (cross joins without equi-conditions, aggregates
+// mixed with non-grouped columns).
+PhysicalOpPtr BindSelect(Database& db, const SelectStatement& stmt);
+
+// Parse + bind in one step.
+PhysicalOpPtr PlanSql(Database& db, const std::string& sql);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_SQL_BINDER_H_

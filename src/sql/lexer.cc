@@ -1,0 +1,136 @@
+#include "src/sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "src/util/check.h"
+#include "src/util/str.h"
+
+namespace dfp {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "select", "from",  "where",   "group", "by",   "having", "order",  "limit", "as",
+      "and",    "or",    "not",     "in",    "like", "between", "case",  "when",  "then",
+      "else",   "end",   "sum",     "count", "avg",  "min",    "max",    "asc",   "desc",
+      "date",   "exists", "distinct", "year"};
+  return kKeywords;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+        ++i;
+      }
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        ++i;
+        size_t frac_start = i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          ++i;
+        }
+        token.kind = TokenKind::kDecimal;
+        token.text = sql.substr(start, i - start);
+        int64_t whole = std::stoll(sql.substr(start, frac_start - 1 - start));
+        std::string frac = sql.substr(frac_start, i - frac_start);
+        frac.resize(2, '0');  // Scale-2 decimals.
+        token.decimal_value = whole * 100 + std::stoll(frac.substr(0, 2));
+      } else {
+        token.kind = TokenKind::kInt;
+        token.text = sql.substr(start, i - start);
+        token.int_value = std::stoll(token.text);
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) || sql[i] == '_')) {
+        ++i;
+      }
+      token.text = ToLower(sql.substr(start, i - start));
+      token.kind =
+          Keywords().count(token.text) != 0 ? TokenKind::kKeyword : TokenKind::kIdent;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // Escaped quote.
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        throw Error(StrFormat("unterminated string literal at offset %zu", token.position));
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(value);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    // Symbols, including two-character comparison operators.
+    static const char kSingle[] = "(),.;=<>+-*/%";
+    if (c == '<' && i + 1 < n && (sql[i + 1] == '=' || sql[i + 1] == '>')) {
+      token.kind = TokenKind::kSymbol;
+      token.text = sql.substr(i, 2);
+      i += 2;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      token.kind = TokenKind::kSymbol;
+      token.text = ">=";
+      i += 2;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    bool known = false;
+    for (char s : kSingle) {
+      if (c == s) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw Error(StrFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+    token.kind = TokenKind::kSymbol;
+    token.text = std::string(1, c);
+    ++i;
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace dfp

@@ -1,0 +1,34 @@
+// SQL tokenizer.
+#ifndef DFP_SRC_SQL_LEXER_H_
+#define DFP_SRC_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfp {
+
+enum class TokenKind : uint8_t {
+  kIdent,
+  kKeyword,  // Normalized to lowercase.
+  kInt,
+  kDecimal,  // Numeric literal with a fractional part.
+  kString,   // Quoted literal, quotes stripped.
+  kSymbol,   // Operators and punctuation: ( ) , . = <> < <= > >= + - * / %
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // Lowercased for keywords/identifiers; verbatim for strings.
+  int64_t int_value = 0;
+  int64_t decimal_value = 0;  // Scale-2 payload for kDecimal.
+  size_t position = 0;        // Byte offset, for error messages.
+};
+
+// Tokenizes `sql`. Throws dfp::Error on malformed input (unterminated strings, bad characters).
+std::vector<Token> Tokenize(const std::string& sql);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_SQL_LEXER_H_

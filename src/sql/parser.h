@@ -1,0 +1,17 @@
+// Recursive-descent parser for the SQL subset (see README for the grammar).
+#ifndef DFP_SRC_SQL_PARSER_H_
+#define DFP_SRC_SQL_PARSER_H_
+
+#include <string>
+
+#include "src/sql/ast.h"
+
+namespace dfp {
+
+// Parses one SELECT statement (an optional trailing ';' is allowed).
+// Throws dfp::Error with a position-annotated message on syntax errors.
+SelectStatement ParseSelect(const std::string& sql);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_SQL_PARSER_H_

@@ -1,0 +1,34 @@
+// Table schemas and the catalog.
+#ifndef DFP_SRC_STORAGE_SCHEMA_H_
+#define DFP_SRC_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/storage/types.h"
+
+namespace dfp {
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+};
+
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+
+  // Index of the named column, or -1.
+  int FindColumn(const std::string& column_name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == column_name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_STORAGE_SCHEMA_H_

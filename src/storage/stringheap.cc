@@ -1,0 +1,19 @@
+#include "src/storage/stringheap.h"
+
+#include <cstring>
+
+namespace dfp {
+
+uint64_t StringHeap::Intern(std::string_view text) {
+  auto it = interned_.find(std::string(text));
+  if (it != interned_.end()) {
+    return it->second;
+  }
+  VAddr addr = mem_->Alloc(region_, text.size() == 0 ? 1 : text.size(), 1);
+  std::memcpy(mem_->Data(addr), text.data(), text.size());
+  uint64_t packed = PackStringRef(addr, text.size());
+  interned_.emplace(std::string(text), packed);
+  return packed;
+}
+
+}  // namespace dfp

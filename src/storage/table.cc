@@ -1,0 +1,87 @@
+#include "src/storage/table.h"
+
+#include <bit>
+
+#include "src/util/check.h"
+
+namespace dfp {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDecimal:
+      return "decimal";
+    case ColumnType::kDate:
+      return "date";
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+TableBuilder::TableBuilder(TableSchema schema, VMem* mem, uint32_t region, StringHeap* strings)
+    : schema_(std::move(schema)), mem_(mem), region_(region), strings_(strings) {
+  columns_.resize(schema_.columns.size());
+  current_.resize(schema_.columns.size(), 0);
+}
+
+void TableBuilder::BeginRow() {
+  FlushRow();
+  std::fill(current_.begin(), current_.end(), 0);
+  in_row_ = true;
+  ++rows_;
+}
+
+void TableBuilder::SetDouble(size_t column, double value) {
+  current_[column] = std::bit_cast<int64_t>(value);
+}
+
+void TableBuilder::SetString(size_t column, std::string_view text) {
+  DFP_CHECK(schema_.columns[column].type == ColumnType::kString);
+  current_[column] = static_cast<int64_t>(strings_->Intern(text));
+}
+
+void TableBuilder::FlushRow() {
+  if (!in_row_) {
+    return;
+  }
+  for (size_t c = 0; c < current_.size(); ++c) {
+    columns_[c].push_back(current_[c]);
+  }
+  in_row_ = false;
+}
+
+Table TableBuilder::Finish() {
+  FlushRow();
+  std::vector<VAddr> bases;
+  bases.reserve(schema_.columns.size());
+  const uint64_t rows = rows_;
+  for (size_t c = 0; c < schema_.columns.size(); ++c) {
+    const uint32_t width = ColumnWidth(schema_.columns[c].type);
+    // Pad so that generated code may safely load one element past the end.
+    VAddr base = mem_->Alloc(region_, (rows + 1) * width, 64);
+    for (uint64_t r = 0; r < rows; ++r) {
+      const int64_t value = columns_[c][r];
+      switch (width) {
+        case 1:
+          mem_->Write<uint8_t>(base + r, static_cast<uint8_t>(value));
+          break;
+        case 4:
+          mem_->Write<int32_t>(base + r * 4, static_cast<int32_t>(value));
+          break;
+        default:
+          mem_->Write<int64_t>(base + r * 8, value);
+          break;
+      }
+    }
+    bases.push_back(base);
+  }
+  return Table(std::move(schema_), rows, std::move(bases));
+}
+
+}  // namespace dfp

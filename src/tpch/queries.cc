@@ -1,0 +1,314 @@
+#include "src/tpch/queries.h"
+
+#include "src/plan/builder.h"
+#include "src/sql/binder.h"
+#include "src/util/check.h"
+#include "src/util/date.h"
+
+namespace dfp {
+namespace {
+
+// Q4 variant: EXISTS becomes a semi join (same operator mix as the original).
+PhysicalOpPtr BuildQ4SemiJoin(Database& db) {
+  PlanBuilder late = PlanBuilder::Scan(db.table("lineitem"));
+  late.FilterBy(MakeBinary(BinOp::kLt, late.Col("l_commitdate"), late.Col("l_receiptdate")));
+  PlanBuilder orders = PlanBuilder::Scan(db.table("orders"));
+  orders.FilterBy(MakeBinary(
+      BinOp::kAnd,
+      MakeBinary(BinOp::kGe, orders.Col("o_orderdate"),
+                 MakeLiteral(ColumnType::kDate, ParseDate("1993-07-01"))),
+      MakeBinary(BinOp::kLt, orders.Col("o_orderdate"),
+                 MakeLiteral(ColumnType::kDate, ParseDate("1993-10-01")))));
+  orders.JoinWith(std::move(late), {"o_orderkey"}, {"l_orderkey"}, {}, JoinType::kSemi,
+                  "SemiJoin lineitem");
+  orders.GroupByKeys({"o_orderpriority"},
+                     NamedExprs("order_count", MakeAggregate(AggOp::kCountStar, nullptr)));
+  orders.OrderBy({{"o_orderpriority", false}});
+  return orders.Build();
+}
+
+// Q22 variant: customers without recent orders (anti join), counted per nation.
+PhysicalOpPtr BuildQ22AntiJoin(Database& db) {
+  PlanBuilder orders = PlanBuilder::Scan(db.table("orders"));
+  orders.FilterBy(MakeBinary(BinOp::kGe, orders.Col("o_orderdate"),
+                             MakeLiteral(ColumnType::kDate, ParseDate("1998-01-01"))));
+  PlanBuilder customers = PlanBuilder::Scan(db.table("customer"));
+  customers.FilterBy(MakeBinary(BinOp::kGt, customers.Col("c_acctbal"),
+                                MakeLiteral(ColumnType::kDecimal, 0)));
+  customers.JoinWith(std::move(orders), {"c_custkey"}, {"o_custkey"}, {}, JoinType::kAnti,
+                     "AntiJoin orders");
+  customers.GroupByKeys(
+      {"c_nationkey"},
+      NamedExprs("numcust", MakeAggregate(AggOp::kCountStar, nullptr), "totacctbal",
+                 MakeAggregate(AggOp::kSum, customers.Col("c_acctbal"))));
+  customers.OrderBy({{"c_nationkey", false}});
+  return customers.Build();
+}
+
+// Groupjoin showcase: per-supplier sales statistics using the fused operator (Section 5.4).
+PhysicalOpPtr BuildGroupJoinQuery(Database& db) {
+  PlanBuilder suppliers = PlanBuilder::Scan(db.table("supplier"));
+  PlanBuilder lineitem = PlanBuilder::Scan(db.table("lineitem"));
+  lineitem.GroupJoinWith(std::move(suppliers), {"l_suppkey"}, {"s_suppkey"},
+                         {"s_suppkey", "s_name"},
+                         NamedExprs("parts", MakeAggregate(AggOp::kCountStar, nullptr),
+                                    "revenue",
+                                    MakeAggregate(AggOp::kSum, lineitem.Col("l_extendedprice"))),
+                         "GroupJoin supplier");
+  return lineitem.Build();
+}
+
+std::vector<QuerySpec> BuildSuite() {
+  std::vector<QuerySpec> suite;
+
+  suite.push_back({"q1", "pricing summary report (aggregation-heavy)",
+                   "select l_returnflag, l_linestatus, "
+                   "sum(l_quantity) as sum_qty, "
+                   "sum(l_extendedprice) as sum_base_price, "
+                   "sum(l_extendedprice * (1 - l_discount)) as sum_disc_price, "
+                   "sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge, "
+                   "avg(l_quantity) as avg_qty, "
+                   "avg(l_extendedprice) as avg_price, "
+                   "avg(l_discount) as avg_disc, "
+                   "count(*) as count_order "
+                   "from lineitem "
+                   "where l_shipdate <= date '1998-09-02' "
+                   "group by l_returnflag, l_linestatus "
+                   "order by l_returnflag, l_linestatus",
+                   nullptr, true});
+
+  suite.push_back({"q3", "shipping priority (3-way join, top-k)",
+                   "select l_orderkey, "
+                   "sum(l_extendedprice * (1 - l_discount)) as revenue, "
+                   "o_orderdate, o_shippriority "
+                   "from customer, orders, lineitem "
+                   "where c_mktsegment = 'BUILDING' "
+                   "and c_custkey = o_custkey and l_orderkey = o_orderkey "
+                   "and o_orderdate < date '1995-03-15' and l_shipdate > date '1995-03-15' "
+                   "group by l_orderkey, o_orderdate, o_shippriority "
+                   "order by revenue desc, o_orderdate "
+                   "limit 10",
+                   nullptr, true});
+
+  suite.push_back({"q4", "order priority checking (EXISTS as semi join)", "", BuildQ4SemiJoin,
+                   true});
+
+  suite.push_back({"q5", "local supplier volume (6-way join)",
+                   "select n_name, sum(l_extendedprice * (1 - l_discount)) as revenue "
+                   "from customer, orders, lineitem, supplier, nation, region "
+                   "where c_custkey = o_custkey and l_orderkey = o_orderkey "
+                   "and l_suppkey = s_suppkey and c_nationkey = s_nationkey "
+                   "and s_nationkey = n_nationkey and n_regionkey = r_regionkey "
+                   "and r_name = 'ASIA' "
+                   "and o_orderdate >= date '1994-01-01' and o_orderdate < date '1995-01-01' "
+                   "group by n_name "
+                   "order by revenue desc",
+                   nullptr, true});
+
+  suite.push_back({"q6", "forecasting revenue change (selective scan)",
+                   "select sum(l_extendedprice * l_discount) as revenue "
+                   "from lineitem "
+                   "where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01' "
+                   "and l_discount between 0.05 and 0.07 and l_quantity < 24",
+                   nullptr, false});
+
+  suite.push_back({"q10", "returned item reporting (4-way join, top-k)",
+                   "select c_custkey, c_name, "
+                   "sum(l_extendedprice * (1 - l_discount)) as revenue, c_acctbal, n_name "
+                   "from customer, orders, lineitem, nation "
+                   "where c_custkey = o_custkey and l_orderkey = o_orderkey "
+                   "and o_orderdate >= date '1993-10-01' and o_orderdate < date '1994-01-01' "
+                   "and l_returnflag = 'R' and c_nationkey = n_nationkey "
+                   "group by c_custkey, c_name, c_acctbal, n_name "
+                   "order by revenue desc "
+                   "limit 20",
+                   nullptr, true});
+
+  suite.push_back({"q12", "shipping modes and order priority (CASE aggregation)",
+                   "select l_shipmode, "
+                   "sum(case when o_orderpriority = '1-URGENT' or o_orderpriority = '2-HIGH' "
+                   "then 1 else 0 end) as high_line_count, "
+                   "sum(case when o_orderpriority <> '1-URGENT' and o_orderpriority <> '2-HIGH' "
+                   "then 1 else 0 end) as low_line_count "
+                   "from orders, lineitem "
+                   "where o_orderkey = l_orderkey "
+                   "and l_shipmode in ('MAIL', 'SHIP') "
+                   "and l_commitdate < l_receiptdate and l_shipdate < l_commitdate "
+                   "and l_receiptdate >= date '1994-01-01' and l_receiptdate < date '1995-01-01' "
+                   "group by l_shipmode "
+                   "order by l_shipmode",
+                   nullptr, true});
+
+  suite.push_back({"q14", "promotion effect (LIKE + post-aggregation arithmetic)",
+                   "select 100.00 * sum(case when p_type like 'PROMO%' "
+                   "then l_extendedprice * (1 - l_discount) else 0.00 end) "
+                   "/ sum(l_extendedprice * (1 - l_discount)) as promo_revenue "
+                   "from lineitem, part "
+                   "where l_partkey = p_partkey "
+                   "and l_shipdate >= date '1995-09-01' and l_shipdate < date '1995-10-01'",
+                   nullptr, false});
+
+  suite.push_back({"q18", "large volume customer (HAVING on aggregate)",
+                   "select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, "
+                   "sum(l_quantity) as total_qty "
+                   "from customer, orders, lineitem "
+                   "where o_orderkey = l_orderkey and c_custkey = o_custkey "
+                   "group by c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice "
+                   "having sum(l_quantity) > 150 "
+                   "order by o_totalprice desc, o_orderdate "
+                   "limit 100",
+                   nullptr, true});
+
+  suite.push_back({"q19", "discounted revenue (disjunctive cross-table predicate)",
+                   "select sum(l_extendedprice * (1 - l_discount)) as revenue "
+                   "from lineitem, part "
+                   "where p_partkey = l_partkey "
+                   "and ((p_brand = 'Brand#12' and l_quantity between 1 and 11) "
+                   "or (p_brand = 'Brand#23' and l_quantity between 10 and 20) "
+                   "or (p_brand = 'Brand#34' and l_quantity between 20 and 30))",
+                   nullptr, false});
+
+  suite.push_back({"q7", "volume shipping (year() extraction, per-year grouping)",
+                   "select n_name, year(l_shipdate) as l_year, "
+                   "sum(l_extendedprice * (1 - l_discount)) as revenue "
+                   "from supplier, lineitem, orders, nation "
+                   "where s_suppkey = l_suppkey and o_orderkey = l_orderkey "
+                   "and s_nationkey = n_nationkey "
+                   "and l_shipdate between date '1995-01-01' and date '1996-12-31' "
+                   "and (n_name = 'FRANCE' or n_name = 'GERMANY') "
+                   "group by n_name, year(l_shipdate) "
+                   "order by n_name, l_year",
+                   nullptr, true});
+
+  suite.push_back({"q8", "national market share (CASE share of a computed-year group)",
+                   "select year(o_orderdate) as o_year, "
+                   "sum(case when n_name = 'BRAZIL' then l_extendedprice * (1 - l_discount) "
+                   "else 0.00 end) / sum(l_extendedprice * (1 - l_discount)) as mkt_share "
+                   "from part, supplier, lineitem, orders, nation "
+                   "where p_partkey = l_partkey and s_suppkey = l_suppkey "
+                   "and l_orderkey = o_orderkey and s_nationkey = n_nationkey "
+                   "and o_orderdate between date '1995-01-01' and date '1996-12-31' "
+                   "and p_type = 'ECONOMY ANODIZED STEEL' "
+                   "group by year(o_orderdate) "
+                   "order by o_year",
+                   nullptr, true});
+
+  suite.push_back({"q16", "parts/supplier relationship (DISTINCT)",
+                   "select distinct p_brand, p_type, p_size "
+                   "from part, partsupp "
+                   "where p_partkey = ps_partkey "
+                   "and p_size in (1, 14, 23, 45, 19, 3, 36, 9) "
+                   "and p_brand <> 'Brand#45' "
+                   "order by p_brand, p_type, p_size "
+                   "limit 40",
+                   nullptr, true});
+
+  suite.push_back({"q22", "global sales opportunity (anti join)", "", BuildQ22AntiJoin, true});
+
+  suite.push_back({"qgj", "per-supplier statistics (fused groupjoin)", "", BuildGroupJoinQuery,
+                   false});
+
+  suite.push_back({"fig9", "paper Figure 9 use-case query",
+                   "select l_orderkey, avg(l_extendedprice) as avg_price "
+                   "from lineitem, orders "
+                   "where o_orderdate < date '1995-04-01' and o_orderkey = l_orderkey "
+                   "group by l_orderkey",
+                   nullptr, false});
+
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<QuerySpec>& TpchQuerySuite() {
+  static const std::vector<QuerySpec> kSuite = BuildSuite();
+  return kSuite;
+}
+
+const QuerySpec& FindQuery(const std::string& name) {
+  for (const QuerySpec& spec : TpchQuerySuite()) {
+    if (spec.name == name) {
+      return spec;
+    }
+  }
+  throw Error("unknown query: '" + name + "'");
+}
+
+PhysicalOpPtr BuildQueryPlan(Database& db, const QuerySpec& spec) {
+  if (!spec.sql.empty()) {
+    return PlanSql(db, spec.sql);
+  }
+  DFP_CHECK(spec.build != nullptr);
+  return spec.build(db);
+}
+
+PhysicalOpPtr BuildFig9Plan(Database& db) {
+  PlanBuilder orders = PlanBuilder::Scan(db.table("orders"));
+  orders.FilterBy(MakeBinary(BinOp::kLt, orders.Col("o_orderdate"),
+                             MakeLiteral(ColumnType::kDate, ParseDate("1995-04-01"))),
+                  "Filter o_orderdate");
+  PlanBuilder lineitem = PlanBuilder::Scan(db.table("lineitem"));
+  lineitem.JoinWith(std::move(orders), {"l_orderkey"}, {"o_orderkey"}, {}, JoinType::kInner,
+                    "HashJoin orders");
+  lineitem.GroupByKeys(
+      {"l_orderkey"},
+      NamedExprs("avg_price", MakeAggregate(AggOp::kAvg, lineitem.Col("l_extendedprice"))),
+      "GroupBy l_orderkey");
+  return lineitem.Build();
+}
+
+namespace {
+
+// Shared tail of the Figure 10 plans: aggregate the joined stream.
+void FinishFig10(PlanBuilder& lineitem) {
+  lineitem.GroupByKeys(
+      {"l_suppkey"},
+      NamedExprs("qty", MakeAggregate(AggOp::kSum, lineitem.Col("l_quantity"))),
+      "GroupBy");
+}
+
+}  // namespace
+
+PhysicalOpPtr BuildFig10OptimizerPlan(Database& db, int32_t date_cutoff) {
+  // Optimizer's choice: probe the smaller hash table (partsupp, filtered) first, orders second.
+  PlanBuilder partsupp = PlanBuilder::Scan(db.table("partsupp"));
+  partsupp.FilterBy(MakeBinary(BinOp::kEq,
+                               MakeBinary(BinOp::kRem, partsupp.Col("ps_suppkey"),
+                                          MakeLiteral(ColumnType::kInt64, 2)),
+                               MakeLiteral(ColumnType::kInt64, 0)),
+                    "Filter partsupp");
+  PlanBuilder orders = PlanBuilder::Scan(db.table("orders"));
+  orders.FilterBy(MakeBinary(BinOp::kLt, orders.Col("o_orderdate"),
+                             MakeLiteral(ColumnType::kDate, date_cutoff)),
+                  "Filter o_orderdate");
+  PlanBuilder lineitem = PlanBuilder::Scan(db.table("lineitem"));
+  lineitem.JoinWith(std::move(partsupp), {"l_partkey", "l_suppkey"},
+                    {"ps_partkey", "ps_suppkey"}, {}, JoinType::kInner, "Join part.");
+  lineitem.JoinWith(std::move(orders), {"l_orderkey"}, {"o_orderkey"}, {}, JoinType::kInner,
+                    "Join ord.");
+  FinishFig10(lineitem);
+  return lineitem.Build();
+}
+
+PhysicalOpPtr BuildFig10AlternativePlan(Database& db, int32_t date_cutoff) {
+  // Alternative: probe orders (selective date filter) first, partsupp second.
+  PlanBuilder partsupp = PlanBuilder::Scan(db.table("partsupp"));
+  partsupp.FilterBy(MakeBinary(BinOp::kEq,
+                               MakeBinary(BinOp::kRem, partsupp.Col("ps_suppkey"),
+                                          MakeLiteral(ColumnType::kInt64, 2)),
+                               MakeLiteral(ColumnType::kInt64, 0)),
+                    "Filter partsupp");
+  PlanBuilder orders = PlanBuilder::Scan(db.table("orders"));
+  orders.FilterBy(MakeBinary(BinOp::kLt, orders.Col("o_orderdate"),
+                             MakeLiteral(ColumnType::kDate, date_cutoff)),
+                  "Filter o_orderdate");
+  PlanBuilder lineitem = PlanBuilder::Scan(db.table("lineitem"));
+  lineitem.JoinWith(std::move(orders), {"l_orderkey"}, {"o_orderkey"}, {}, JoinType::kInner,
+                    "Join ord.");
+  lineitem.JoinWith(std::move(partsupp), {"l_partkey", "l_suppkey"},
+                    {"ps_partkey", "ps_suppkey"}, {}, JoinType::kInner, "Join part.");
+  FinishFig10(lineitem);
+  return lineitem.Build();
+}
+
+}  // namespace dfp

@@ -1,0 +1,107 @@
+#include "src/util/chart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/str.h"
+
+namespace dfp {
+namespace {
+
+// Five intensity levels from empty to full.
+char IntensityChar(double share) {
+  if (share <= 0.02) {
+    return ' ';
+  }
+  if (share < 0.25) {
+    return '.';
+  }
+  if (share < 0.5) {
+    return ':';
+  }
+  if (share < 0.75) {
+    return '*';
+  }
+  return '#';
+}
+
+}  // namespace
+
+std::string RenderBarChart(const std::vector<std::pair<std::string, double>>& entries, int width) {
+  double max_value = 0.0;
+  size_t label_width = 0;
+  for (const auto& [label, value] : entries) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::string out;
+  for (const auto& [label, value] : entries) {
+    int bar = max_value > 0 ? static_cast<int>(std::lround(value / max_value * width)) : 0;
+    out += PadRight(label, label_width);
+    out += " |";
+    out += std::string(static_cast<size_t>(bar), '#');
+    out += StrFormat(" %.1f%%\n", value * 100.0);
+  }
+  return out;
+}
+
+std::string RenderTimeSeriesChart(const TimeSeriesChart& chart) {
+  if (chart.values.empty()) {
+    return "(no data)\n";
+  }
+  size_t buckets = chart.values.front().size();
+  size_t label_width = 0;
+  for (const auto& name : chart.series_names) {
+    label_width = std::max(label_width, name.size());
+  }
+  // Normalize each bucket so cells show the share of that bucket's total activity.
+  std::vector<double> bucket_totals(buckets, 0.0);
+  for (const auto& series : chart.values) {
+    for (size_t b = 0; b < buckets; ++b) {
+      bucket_totals[b] += series[b];
+    }
+  }
+  std::string out;
+  for (size_t s = 0; s < chart.values.size(); ++s) {
+    out += PadRight(s < chart.series_names.size() ? chart.series_names[s] : "?", label_width);
+    out += " |";
+    for (size_t b = 0; b < buckets; ++b) {
+      double share = bucket_totals[b] > 0 ? chart.values[s][b] / bucket_totals[b] : 0.0;
+      out.push_back(IntensityChar(share));
+    }
+    out += "|\n";
+  }
+  out += std::string(label_width, ' ');
+  out += " +";
+  out += std::string(buckets, '-');
+  out += "+\n";
+  out += std::string(label_width, ' ');
+  out += StrFormat("  0%sms (time ->)%s\n", "", StrFormat("  total %.2f ms", chart.total_duration_ms).c_str());
+  return out;
+}
+
+std::string RenderScatterPlot(const ScatterPlot& plot) {
+  std::vector<std::string> grid(static_cast<size_t>(plot.height),
+                                std::string(static_cast<size_t>(plot.width), ' '));
+  for (const auto& [x, y] : plot.points) {
+    if (plot.x_max <= 0 || plot.y_max <= 0) {
+      continue;
+    }
+    int col = std::min(plot.width - 1, static_cast<int>(x / plot.x_max * plot.width));
+    int row = std::min(plot.height - 1, static_cast<int>(y / plot.y_max * plot.height));
+    if (col >= 0 && row >= 0) {
+      // Row 0 rendered at the bottom (y grows upward).
+      grid[static_cast<size_t>(plot.height - 1 - row)][static_cast<size_t>(col)] = '.';
+    }
+  }
+  std::string out = plot.title.empty() ? "" : plot.title + "\n";
+  for (const auto& row : grid) {
+    out += "|" + row + "|\n";
+  }
+  out += "+" + std::string(static_cast<size_t>(plot.width), '-') + "+\n";
+  out += StrFormat("x: %s (0..%.2f)   y: %s (0..%.1f MB)\n", plot.x_label.c_str(), plot.x_max,
+                   plot.y_label.c_str(), plot.y_max / (1024.0 * 1024.0));
+  return out;
+}
+
+}  // namespace dfp

@@ -1,0 +1,40 @@
+// ASCII chart rendering for profiling reports (terminal equivalents of the paper's figures).
+#ifndef DFP_SRC_UTIL_CHART_H_
+#define DFP_SRC_UTIL_CHART_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfp {
+
+// Horizontal bar chart: one labelled bar per entry, scaled to the maximum value.
+// Used for per-operator cost summaries (Figure 9b style).
+std::string RenderBarChart(const std::vector<std::pair<std::string, double>>& entries, int width);
+
+// Activity-over-time chart: one row per series, one column per time bucket; cell intensity
+// reflects the series' share of activity within the bucket (Figure 7 / Figure 11 style).
+// `values[s][b]` is the activity share of series `s` in bucket `b` (any non-negative scale).
+struct TimeSeriesChart {
+  std::vector<std::string> series_names;
+  std::vector<std::vector<double>> values;  // [series][bucket]
+  double total_duration_ms = 0.0;
+};
+std::string RenderTimeSeriesChart(const TimeSeriesChart& chart);
+
+// Scatter plot of (x, y) points on a character grid (Figure 12 style: time vs. address).
+struct ScatterPlot {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  double x_max = 0.0;
+  double y_max = 0.0;
+  std::vector<std::pair<double, double>> points;
+  int width = 72;
+  int height = 12;
+};
+std::string RenderScatterPlot(const ScatterPlot& plot);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_UTIL_CHART_H_

@@ -1,0 +1,44 @@
+// Lightweight invariant checking and error reporting used across the library.
+//
+// DFP_CHECK aborts on violated internal invariants (programming errors); dfp::Error is thrown for
+// recoverable, user-facing failures (parse errors, binding errors, bad configuration).
+#ifndef DFP_SRC_UTIL_CHECK_H_
+#define DFP_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace dfp {
+
+// Exception type for user-facing errors (malformed SQL, unknown tables, invalid configuration).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string message) : std::runtime_error(std::move(message)) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "DFP_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace dfp
+
+// Aborts the process when `cond` is false. Used for internal invariants that indicate bugs in the
+// library itself, never for input validation.
+#define DFP_CHECK(cond)                                         \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::dfp::internal::CheckFailed(#cond, __FILE__, __LINE__);  \
+    }                                                           \
+  } while (false)
+
+// Marks unreachable code paths.
+#define DFP_UNREACHABLE() ::dfp::internal::CheckFailed("unreachable", __FILE__, __LINE__)
+
+#endif  // DFP_SRC_UTIL_CHECK_H_

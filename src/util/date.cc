@@ -1,0 +1,54 @@
+#include "src/util/date.h"
+
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace dfp {
+
+// Conversion based on Howard Hinnant's public-domain civil-days algorithms.
+int32_t DateFromYmd(int year, int month, int day) {
+  year -= month <= 2;
+  const int era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int32_t>(era * 146097 + static_cast<int>(doe) - 719468);
+}
+
+void YmdFromDate(int32_t days, int* year, int* month, int* day) {
+  int32_t z = days + 719468;
+  const int era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *year = y + (*month <= 2);
+}
+
+int32_t ParseDate(const std::string& text) {
+  int year = 0;
+  int month = 0;
+  int day = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &year, &month, &day) != 3 || month < 1 || month > 12 ||
+      day < 1 || day > 31) {
+    throw Error("malformed date literal: '" + text + "'");
+  }
+  return DateFromYmd(year, month, day);
+}
+
+std::string DateToString(int32_t days) {
+  int year = 0;
+  int month = 0;
+  int day = 0;
+  YmdFromDate(days, &year, &month, &day);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+}  // namespace dfp

@@ -1,0 +1,24 @@
+// Calendar dates stored as days since 1970-01-01 (int32), the representation used in VCPU memory.
+#ifndef DFP_SRC_UTIL_DATE_H_
+#define DFP_SRC_UTIL_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dfp {
+
+// Days since the Unix epoch for the given proleptic Gregorian calendar date.
+int32_t DateFromYmd(int year, int month, int day);
+
+// Inverse of DateFromYmd.
+void YmdFromDate(int32_t days, int* year, int* month, int* day);
+
+// Parses "yyyy-mm-dd". Throws dfp::Error on malformed input.
+int32_t ParseDate(const std::string& text);
+
+// Renders as "yyyy-mm-dd".
+std::string DateToString(int32_t days);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_UTIL_DATE_H_

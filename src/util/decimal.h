@@ -1,0 +1,48 @@
+// Fixed-point decimal arithmetic with two fractional digits, matching TPC-H money semantics.
+//
+// Decimals are stored as scaled int64 values (price 12.34 -> 1234) both host-side and in VCPU
+// memory; the code generator emits plain integer instructions with explicit rescaling, which is
+// what makes division show up as a hotspot in generated code, as in Listing 1 of the paper.
+#ifndef DFP_SRC_UTIL_DECIMAL_H_
+#define DFP_SRC_UTIL_DECIMAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dfp {
+
+inline constexpr int64_t kDecimalScale = 100;  // Two fractional digits.
+
+// Constructs a scaled decimal from whole and fractional (cent) parts.
+inline constexpr int64_t MakeDecimal(int64_t whole, int64_t cents) {
+  return whole * kDecimalScale + (whole < 0 ? -cents : cents);
+}
+
+// Multiplication of two scale-2 decimals, truncating to scale 2 (matches generated code).
+inline constexpr int64_t DecimalMul(int64_t a, int64_t b) { return a * b / kDecimalScale; }
+
+// Division of two scale-2 decimals, truncating to scale 2 (matches generated code).
+inline constexpr int64_t DecimalDiv(int64_t a, int64_t b) { return a * kDecimalScale / b; }
+
+// Renders a scaled decimal as "-12.34".
+inline std::string DecimalToString(int64_t value) {
+  int64_t whole = value / kDecimalScale;
+  int64_t cents = value % kDecimalScale;
+  if (cents < 0) {
+    cents = -cents;
+  }
+  std::string out = (value < 0 && whole == 0) ? "-0" : std::to_string(whole);
+  out.push_back('.');
+  out.push_back(static_cast<char>('0' + cents / 10));
+  out.push_back(static_cast<char>('0' + cents % 10));
+  return out;
+}
+
+// Converts a scaled decimal to a double (used when aggregates produce averages).
+inline constexpr double DecimalToDouble(int64_t value) {
+  return static_cast<double>(value) / static_cast<double>(kDecimalScale);
+}
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_UTIL_DECIMAL_H_

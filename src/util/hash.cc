@@ -1,0 +1,62 @@
+#include "src/util/hash.h"
+
+#include <array>
+
+namespace dfp {
+namespace {
+
+// CRC32-C (polynomial 0x1EDC6F41, reflected 0x82F63B78) lookup table, computed at start-up.
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256> kCrcTable = BuildCrcTable();
+
+inline uint32_t CrcByte(uint32_t crc, uint8_t byte) {
+  return (crc >> 8) ^ kCrcTable[(crc ^ byte) & 0xFFu];
+}
+
+inline uint64_t RotateRight(uint64_t value, unsigned amount) {
+  amount &= 63u;
+  if (amount == 0) {
+    return value;
+  }
+  return (value >> amount) | (value << (64 - amount));
+}
+
+}  // namespace
+
+uint32_t Crc32u64(uint32_t seed, uint64_t value) {
+  uint32_t crc = seed;
+  for (int i = 0; i < 8; ++i) {
+    crc = CrcByte(crc, static_cast<uint8_t>(value >> (i * 8)));
+  }
+  return crc;
+}
+
+uint64_t HashKey(uint64_t key) {
+  // Matches the instruction sequence emitted by the code generator:
+  //   %7 = crc32 kHashSeed1, %key
+  //   %8 = crc32 kHashSeed2, %key
+  //   %9 = rotr %8, 32
+  //   %10 = xor %7, %9
+  //   %11 = mul %10, kHashMultiplier
+  uint64_t lane1 = Crc32u64(static_cast<uint32_t>(kHashSeed1), key);
+  uint64_t lane2 = Crc32u64(static_cast<uint32_t>(kHashSeed2), key);
+  uint64_t mixed = lane1 ^ RotateRight(lane2, 32);
+  return mixed * kHashMultiplier;
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return RotateRight(a, 17) ^ (b * kHashMultiplier);
+}
+
+}  // namespace dfp

@@ -1,0 +1,33 @@
+// Hashing primitives shared by the query engine and the generated code's semantics.
+//
+// The VCPU exposes a `crc32` instruction whose behaviour must match the host-side implementation
+// here, because hash tables are built by generated code but are also inspected by host-side
+// components (the Volcano interpreter oracle and tests).
+#ifndef DFP_SRC_UTIL_HASH_H_
+#define DFP_SRC_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace dfp {
+
+// CRC32-C (Castagnoli) of an 8-byte value folded into `seed`, mirroring the x86 crc32q
+// instruction semantics that compiling engines such as Umbra emit for hashing.
+uint32_t Crc32u64(uint32_t seed, uint64_t value);
+
+// 64-bit hash of a 64-bit key built from two crc32 lanes, a rotate, and a multiplicative mix.
+// This is the exact sequence the code generator emits (cf. Listing 1 of the paper), so host and
+// generated code agree on hash values.
+uint64_t HashKey(uint64_t key);
+
+// Combines two hashes (for multi-column keys).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+// Seeds used by the generated hashing sequence. Exposed so the code generator can emit them as
+// immediates and tests can cross-check.
+inline constexpr uint64_t kHashSeed1 = 5961697176435608501ull;
+inline constexpr uint64_t kHashSeed2 = 2231409791114444147ull;
+inline constexpr uint64_t kHashMultiplier = 2685821657736338717ull;
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_UTIL_HASH_H_

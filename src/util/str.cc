@@ -1,0 +1,73 @@
+#include "src/util/str.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dfp {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string PercentString(double share) {
+  return StrFormat("%.1f%%", share * 100.0);
+}
+
+std::string PadLeft(const std::string& text, size_t width) {
+  if (text.size() >= width) {
+    return text;
+  }
+  return std::string(width - text.size(), ' ') + text;
+}
+
+std::string PadRight(const std::string& text, size_t width) {
+  if (text.size() >= width) {
+    return text;
+  }
+  return text + std::string(width - text.size(), ' ');
+}
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative wildcard matching with backtracking over the last '%'.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') {
+    ++p;
+  }
+  return p == pattern.size();
+}
+
+}  // namespace dfp

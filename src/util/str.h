@@ -1,0 +1,29 @@
+// Small string helpers used by report rendering and the SQL front end.
+#ifndef DFP_SRC_UTIL_STR_H_
+#define DFP_SRC_UTIL_STR_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace dfp {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Lowercases ASCII.
+std::string ToLower(std::string_view text);
+
+// "12.3%"-style percentage with one decimal place; `share` in [0, 1].
+std::string PercentString(double share);
+
+// Left-pads (align right) or right-pads (align left) to the given width.
+std::string PadLeft(const std::string& text, size_t width);
+std::string PadRight(const std::string& text, size_t width);
+
+// Matches a SQL LIKE pattern ('%' any run, '_' any single char) against `text`.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_UTIL_STR_H_

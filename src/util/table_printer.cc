@@ -1,0 +1,59 @@
+#include "src/util/table_printer.h"
+
+#include <algorithm>
+
+#include "src/util/str.h"
+
+namespace dfp {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)), right_align_(header_.size(), false) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::SetRightAlign(size_t column, bool right) {
+  if (column < right_align_.size()) {
+    right_align_[column] = right;
+  }
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += (right_align_[i] ? PadLeft(row[i], widths[i]) : PadRight(row[i], widths[i]));
+      if (i + 1 < row.size()) {
+        line += "  ";
+      }
+    }
+    // Trim trailing spaces for stable golden output.
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w + 2;
+  }
+  out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+}  // namespace dfp

@@ -1,0 +1,29 @@
+// Aligned text table rendering for benchmark output and query results.
+#ifndef DFP_SRC_UTIL_TABLE_PRINTER_H_
+#define DFP_SRC_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace dfp {
+
+// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  // `right_align[i]` selects right alignment for column i (defaults to left for all).
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  void SetRightAlign(size_t column, bool right);
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> right_align_;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,80 @@
+#include "src/vcpu/cache.h"
+
+#include <bit>
+
+#include "src/util/check.h"
+
+namespace dfp {
+
+CacheLevel::CacheLevel(const CacheLevelConfig& config, uint32_t line_bytes)
+    : ways_(config.ways), latency_(config.latency) {
+  DFP_CHECK(line_bytes > 0 && (line_bytes & (line_bytes - 1)) == 0);
+  uint64_t line_count = config.size_bytes / line_bytes;
+  DFP_CHECK(line_count % ways_ == 0);
+  set_count_ = static_cast<uint32_t>(line_count / ways_);
+  DFP_CHECK(set_count_ > 0 && (set_count_ & (set_count_ - 1)) == 0);
+  line_shift_ = static_cast<uint32_t>(std::countr_zero(line_bytes));
+  lines_.resize(line_count);
+}
+
+bool CacheLevel::Access(VAddr addr) {
+  uint64_t line_addr = addr >> line_shift_;
+  uint32_t set = static_cast<uint32_t>(line_addr & (set_count_ - 1));
+  uint64_t tag = line_addr >> std::countr_zero(static_cast<uint64_t>(set_count_));
+  Line* set_lines = &lines_[static_cast<size_t>(set) * ways_];
+  ++tick_;
+  uint32_t victim = 0;
+  uint64_t victim_age = ~0ull;
+  for (uint32_t way = 0; way < ways_; ++way) {
+    if (set_lines[way].tag == tag) {
+      set_lines[way].age = tick_;
+      return true;
+    }
+    if (set_lines[way].age < victim_age) {
+      victim_age = set_lines[way].age;
+      victim = way;
+    }
+  }
+  set_lines[victim].tag = tag;
+  set_lines[victim].age = tick_;
+  return false;
+}
+
+void CacheLevel::Reset() {
+  for (Line& line : lines_) {
+    line = Line();
+  }
+  tick_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig& config)
+    : config_(config),
+      l1_(config.l1, config.line_bytes),
+      l2_(config.l2, config.line_bytes),
+      l3_(config.l3, config.line_bytes) {}
+
+CacheAccessResult CacheHierarchy::Access(VAddr addr) {
+  ++stats_.accesses;
+  if (l1_.Access(addr)) {
+    return {1, l1_.latency()};
+  }
+  ++stats_.l1_misses;
+  if (l2_.Access(addr)) {
+    return {2, l2_.latency()};
+  }
+  ++stats_.l2_misses;
+  if (l3_.Access(addr)) {
+    return {3, l3_.latency()};
+  }
+  ++stats_.l3_misses;
+  return {4, config_.memory_latency};
+}
+
+void CacheHierarchy::Reset() {
+  l1_.Reset();
+  l2_.Reset();
+  l3_.Reset();
+  stats_ = CacheStats();
+}
+
+}  // namespace dfp

@@ -1,0 +1,104 @@
+// The simulated CPU: executes machine code with a cycle cost model, drives the cache hierarchy,
+// branch predictor, and PMU, and provides the host bridge for kernel/system-library work.
+//
+// Calls use register windows: each frame has its own 16-register file, except that register 15
+// (the tag register) is architecturally global across frames — that property is what Register
+// Tagging relies on to let samples taken inside shared callees observe the caller's identity.
+#ifndef DFP_SRC_VCPU_CPU_H_
+#define DFP_SRC_VCPU_CPU_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/pmu/pmu.h"
+#include "src/vcpu/branch_predictor.h"
+#include "src/vcpu/cache.h"
+#include "src/vcpu/code_map.h"
+#include "src/vcpu/cost_model.h"
+#include "src/vcpu/minstr.h"
+#include "src/vcpu/vmem.h"
+
+namespace dfp {
+
+struct CpuStats {
+  uint64_t instructions = 0;
+  uint64_t calls = 0;
+  uint64_t max_stack_depth = 0;
+};
+
+class Cpu {
+ public:
+  Cpu(VMem& mem, const CodeMap& code_map, Pmu& pmu, CacheConfig cache_config = CacheConfig());
+
+  // Calls a function (compiled or host) and runs it to completion. Returns its result.
+  uint64_t CallFunction(uint32_t func_id, std::span<const uint64_t> args);
+
+  // Current timestamp counter (cycles since construction).
+  uint64_t tsc() const { return cycles_; }
+
+  VMem& mem() { return mem_; }
+  const CodeMap& code_map() const { return code_map_; }
+  Pmu& pmu() { return pmu_; }
+  const CacheHierarchy& cache() const { return cache_; }
+  const CpuStats& stats() const { return stats_; }
+  uint64_t tag_register() const { return tag_reg_; }
+
+  // --- Host bridge (used by kernel/syslib host functions) ---
+
+  // Models `instrs` instructions of host work attributed to `segment_id`; advances the clock,
+  // counts events, and emits samples with synthetic IPs inside the segment.
+  void HostWork(uint32_t segment_id, uint64_t instrs);
+
+  // Models one data load issued by host work: goes through the cache model and load events.
+  void HostLoad(uint32_t segment_id, VAddr addr);
+
+  // Adds raw cycles without events (e.g. fixed device latencies).
+  void AddCycles(uint64_t cycles) { cycles_ += cycles; }
+
+  // Return addresses of the currently suspended frames, innermost caller first (global IPs).
+  std::vector<uint64_t> CaptureCallStack() const;
+
+ private:
+  struct Frame {
+    const CodeSegment* seg = nullptr;
+    uint32_t off = 0;  // Offset of the next instruction to execute.
+    uint8_t ret_dst = kNoPhysReg;
+    std::array<uint64_t, kNumPhysRegs> regs{};
+    std::vector<uint64_t> spills;
+  };
+
+  static constexpr size_t kMaxStackDepth = 1024;
+
+  void Run(size_t stop_depth);
+  void TakeSample(uint64_t ip, uint64_t addr);
+  uint64_t ReadArg(Frame& frame, const MArg& arg, uint32_t* extra_cost);
+
+  uint64_t ReadReg(const Frame& frame, uint8_t reg) const {
+    return reg == kTagReg ? tag_reg_ : frame.regs[reg];
+  }
+  void WriteReg(Frame& frame, uint8_t reg, uint64_t value) {
+    if (reg == kTagReg) {
+      tag_reg_ = value;
+    } else {
+      frame.regs[reg] = value;
+    }
+  }
+
+  VMem& mem_;
+  const CodeMap& code_map_;
+  Pmu& pmu_;
+  CacheHierarchy cache_;
+  BranchPredictor predictor_;
+  std::vector<Frame> frames_;
+  uint64_t cycles_ = 0;
+  uint64_t tag_reg_ = 0;
+  uint64_t host_ip_counter_ = 0;
+  uint64_t ret_value_ = 0;
+  CpuStats stats_;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_VCPU_CPU_H_

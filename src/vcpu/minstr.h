@@ -1,0 +1,52 @@
+// Machine instruction format executed by the VCPU.
+//
+// Operands are physical registers (0..15). Register 15 is architecturally global (shared across
+// call frames) and is the register Tailored Profiling reserves for Register Tagging. Calls use a
+// register-window convention: the callee receives a fresh register file with arguments copied
+// into r0..rN by the call instruction; argument sources may be registers, spill slots, or
+// immediates (the stack-argument analogue).
+#ifndef DFP_SRC_VCPU_MINSTR_H_
+#define DFP_SRC_VCPU_MINSTR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ir/opcode.h"
+
+namespace dfp {
+
+inline constexpr uint8_t kNumPhysRegs = 16;
+inline constexpr uint8_t kTagReg = 15;
+inline constexpr uint8_t kNoPhysReg = 0xFF;
+inline constexpr uint32_t kNoCallee = 0xFFFFFFFFu;
+
+// A call argument source.
+struct MArg {
+  enum class Kind : uint8_t { kReg, kSpill, kImm };
+  Kind kind = Kind::kReg;
+  uint64_t value = 0;  // Register index, spill slot, or immediate bits.
+};
+
+struct MInstr {
+  Opcode op = Opcode::kConst;
+  IrType type = IrType::kI64;
+  uint8_t dst = kNoPhysReg;
+  uint8_t ra = kNoPhysReg;
+  uint8_t rb = kNoPhysReg;
+  uint8_t rc = kNoPhysReg;
+  bool b_is_imm = false;  // Second operand is `imm` instead of `rb`.
+  bool a_is_imm = false;  // First operand is `imm` (kConst, kSetTag immediate form).
+  bool is_tag = false;    // Instruction belongs to a Register Tagging save/set/restore sequence.
+  int64_t imm = 0;
+  int32_t disp = 0;          // Displacement for loads/stores.
+  uint16_t spill_slot = 0;   // For kLoadSpill/kStoreSpill.
+  uint32_t target0 = 0;      // Branch targets: code offsets within the segment (after fixup).
+  uint32_t target1 = 0;
+  uint32_t callee = kNoCallee;  // Global function id for kCall.
+  uint32_t ir_id = kNoIrId;     // Debug info: the VIR instruction this was lowered from.
+  std::vector<MArg> args;       // Call arguments.
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_VCPU_MINSTR_H_

@@ -1,0 +1,47 @@
+#include "src/vcpu/vmem.h"
+
+namespace dfp {
+
+VMem::VMem(uint64_t capacity) : bytes_(capacity, 0), next_base_(64) {
+  // The first 64 bytes are reserved so that address 0 acts as a null pointer and small
+  // accidental offsets fault visibly in tests.
+}
+
+uint32_t VMem::CreateRegion(const std::string& name, uint64_t size) {
+  DFP_CHECK(next_base_ + size <= bytes_.size());
+  MemRegion region;
+  region.name = name;
+  region.base = next_base_;
+  region.size = size;
+  regions_.push_back(region);
+  next_base_ += size;
+  return static_cast<uint32_t>(regions_.size() - 1);
+}
+
+VAddr VMem::Alloc(uint32_t region_id, uint64_t bytes, uint64_t align) {
+  DFP_CHECK(region_id < regions_.size());
+  DFP_CHECK(align > 0 && (align & (align - 1)) == 0);
+  MemRegion& region = regions_[region_id];
+  uint64_t offset = (region.used + align - 1) & ~(align - 1);
+  DFP_CHECK(offset + bytes <= region.size);
+  region.used = offset + bytes;
+  return region.base + offset;
+}
+
+void VMem::ResetRegion(uint32_t region_id) {
+  DFP_CHECK(region_id < regions_.size());
+  MemRegion& region = regions_[region_id];
+  std::memset(bytes_.data() + region.base, 0, region.used);
+  region.used = 0;
+}
+
+const MemRegion* VMem::FindRegion(VAddr addr) const {
+  for (const MemRegion& region : regions_) {
+    if (addr >= region.base && addr < region.base + region.size) {
+      return &region;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace dfp

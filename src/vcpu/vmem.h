@@ -1,0 +1,86 @@
+// Flat virtual memory for the simulated CPU.
+//
+// All data the generated code touches (table columns, hash tables, query state, output buffers,
+// the string heap) lives in one contiguous arena addressed by 64-bit offsets. Named regions carve
+// up the arena so profiling reports can describe what an address belongs to, and per-region bump
+// allocation mimics how an engine lays out its memory. Address 0 is reserved as the null pointer.
+#ifndef DFP_SRC_VCPU_VMEM_H_
+#define DFP_SRC_VCPU_VMEM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace dfp {
+
+using VAddr = uint64_t;
+
+// One named region of the arena (e.g. "columns", "hashtables", "state").
+struct MemRegion {
+  std::string name;
+  VAddr base = 0;
+  uint64_t size = 0;
+  uint64_t used = 0;
+};
+
+class VMem {
+ public:
+  // `capacity` is the total arena size in bytes; the arena is allocated eagerly so that
+  // addresses are stable for the lifetime of the VMem.
+  explicit VMem(uint64_t capacity);
+
+  // Creates a named region of `size` bytes. Regions are carved out sequentially.
+  // Returns the region id used with `Alloc`.
+  uint32_t CreateRegion(const std::string& name, uint64_t size);
+
+  // Bump-allocates `bytes` (aligned to `align`) from the region. Aborts if the region is full:
+  // capacity planning is the caller's job and exhaustion indicates an engine bug.
+  VAddr Alloc(uint32_t region, uint64_t bytes, uint64_t align = 8);
+
+  // Releases all allocations in the region and zeroes its used bytes, so that the next query's
+  // allocations see fresh zero-initialized memory.
+  void ResetRegion(uint32_t region);
+
+  // Raw accessors. Bounds-checked in debug builds via DFP_CHECK.
+  uint8_t* Data(VAddr addr) {
+    DFP_CHECK(addr < bytes_.size());
+    return bytes_.data() + addr;
+  }
+  const uint8_t* Data(VAddr addr) const {
+    DFP_CHECK(addr < bytes_.size());
+    return bytes_.data() + addr;
+  }
+
+  template <typename T>
+  T Read(VAddr addr) const {
+    DFP_CHECK(addr + sizeof(T) <= bytes_.size());
+    T value;
+    std::memcpy(&value, bytes_.data() + addr, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  void Write(VAddr addr, T value) {
+    DFP_CHECK(addr + sizeof(T) <= bytes_.size());
+    std::memcpy(bytes_.data() + addr, &value, sizeof(T));
+  }
+
+  uint64_t capacity() const { return bytes_.size(); }
+  const std::vector<MemRegion>& regions() const { return regions_; }
+  const MemRegion& region(uint32_t id) const { return regions_[id]; }
+
+  // Name of the region containing `addr`, or "unknown".
+  const MemRegion* FindRegion(VAddr addr) const;
+
+ private:
+  std::vector<uint8_t> bytes_;
+  std::vector<MemRegion> regions_;
+  uint64_t next_base_;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_VCPU_VMEM_H_

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/interp.h"
+#include "src/ir/printer.h"
+#include "tests/testing/vcpu_harness.h"
+
+namespace dfp {
+namespace {
+
+// f(a, b) = (a + b) * 3 - b.
+void BuildSimple(IrFunction& fn) {
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  uint32_t sum = b.Add(Value::Reg(0), Value::Reg(1));
+  uint32_t scaled = b.Mul(Value::Reg(sum), Value::Imm(3));
+  uint32_t result = b.Sub(Value::Reg(scaled), Value::Reg(1));
+  b.Ret(Value::Reg(result));
+}
+
+TEST(BackendExec, SimpleArithmetic) {
+  IrFunction fn("simple", 2);
+  BuildSimple(fn);
+  VcpuHarness harness;
+  EXPECT_EQ(harness.CompileAndRun(fn, {10, 4}), 38u);
+}
+
+TEST(BackendExec, UnoptimizedMatchesOptimized) {
+  IrFunction a("a", 2);
+  BuildSimple(a);
+  IrFunction b("b", 2);
+  BuildSimple(b);
+  VcpuHarness harness;
+  CompileOptions no_opt;
+  no_opt.optimize = false;
+  EXPECT_EQ(harness.CompileAndRun(a, {123, 456}, no_opt), harness.CompileAndRun(b, {123, 456}));
+}
+
+// Loop summing n 64-bit values at base, with an in-loop conditional (skip odd values).
+void BuildLoop(IrFunction& fn) {
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  uint32_t entry = b.CreateBlock("entry");
+  uint32_t head = b.CreateBlock("head");
+  uint32_t body = b.CreateBlock("body");
+  uint32_t add_block = b.CreateBlock("add");
+  uint32_t cont = b.CreateBlock("cont");
+  uint32_t exit = b.CreateBlock("exit");
+
+  b.SetInsertPoint(entry);
+  uint32_t i = b.Const(0);
+  uint32_t acc = b.Const(0);
+  b.Br(head);
+
+  b.SetInsertPoint(head);
+  uint32_t cond = b.CmpLt(Value::Reg(i), Value::Reg(1));
+  b.CondBr(Value::Reg(cond), body, exit);
+
+  b.SetInsertPoint(body);
+  uint32_t offset = b.Mul(Value::Reg(i), Value::Imm(8));
+  uint32_t addr = b.Add(Value::Reg(0), Value::Reg(offset));
+  uint32_t value = b.Load(Opcode::kLoad8, Value::Reg(addr));
+  uint32_t odd = b.Binary(Opcode::kAnd, Value::Reg(value), Value::Imm(1));
+  b.CondBr(Value::Reg(odd), cont, add_block);
+
+  b.SetInsertPoint(add_block);
+  b.Assign(acc, Opcode::kAdd, Value::Reg(acc), Value::Reg(value));
+  b.Br(cont);
+
+  b.SetInsertPoint(cont);
+  b.Assign(i, Opcode::kAdd, Value::Reg(i), Value::Imm(1));
+  b.Br(head);
+
+  b.SetInsertPoint(exit);
+  b.Ret(Value::Reg(acc));
+}
+
+TEST(BackendExec, LoopWithBranches) {
+  IrFunction fn("loop", 2);
+  BuildLoop(fn);
+  VcpuHarness harness;
+  uint32_t region = harness.mem.CreateRegion("data", 4096);
+  VAddr base = harness.mem.Alloc(region, 32 * 8);
+  uint64_t expected = 0;
+  for (uint64_t k = 0; k < 32; ++k) {
+    harness.mem.Write<uint64_t>(base + k * 8, k * 3);
+    if ((k * 3) % 2 == 0) {
+      expected += k * 3;
+    }
+  }
+  EXPECT_EQ(harness.CompileAndRun(fn, {base, 32}), expected);
+}
+
+TEST(BackendExec, RegisterPressureForcesSpillsButStaysCorrect) {
+  // Compute sum of 24 live values: forces spilling with 12-13 allocatable registers.
+  IrFunction fn("pressure", 1);
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  std::vector<uint32_t> values;
+  for (int i = 0; i < 24; ++i) {
+    values.push_back(b.Mul(Value::Reg(0), Value::Imm(i + 1)));
+  }
+  // Sum them in reverse so every value stays live until used.
+  uint32_t acc = b.Const(0);
+  for (int i = 23; i >= 0; --i) {
+    b.Assign(acc, Opcode::kAdd, Value::Reg(acc), Value::Reg(values[static_cast<size_t>(i)]));
+  }
+  b.Ret(Value::Reg(acc));
+
+  CompileStats stats;
+  CompileOptions options;
+  IrFunction copy = fn;  // CompileFunction mutates; keep a pristine copy for the interpreter.
+  EmittedFunction emitted = CompileFunction(copy, options, &stats);
+  EXPECT_GT(stats.spilled_vregs, 0u);
+
+  VcpuHarness harness;
+  uint64_t compiled = harness.CompileAndRun(fn, {7});
+  uint64_t expected = 0;
+  for (int i = 1; i <= 24; ++i) {
+    expected += 7ull * static_cast<uint64_t>(i);
+  }
+  EXPECT_EQ(compiled, expected);
+}
+
+TEST(BackendExec, ReservedTagRegisterStillCorrectAndSlower) {
+  auto build = [](IrFunction& fn) {
+    IrIdAllocator ids;
+    IrBuilder b(&fn, &ids);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    std::vector<uint32_t> values;
+    for (int i = 0; i < 16; ++i) {
+      values.push_back(b.Add(Value::Reg(0), Value::Imm(i)));
+    }
+    uint32_t acc = b.Const(0);
+    for (int i = 15; i >= 0; --i) {
+      b.Assign(acc, Opcode::kAdd, Value::Reg(acc), Value::Reg(values[static_cast<size_t>(i)]));
+    }
+    b.Ret(Value::Reg(acc));
+  };
+  IrFunction with_tag("with_tag", 1);
+  build(with_tag);
+  IrFunction without_tag("without_tag", 1);
+  build(without_tag);
+
+  VcpuHarness harness;
+  CompileOptions reserve;
+  reserve.reserve_tag_register = true;
+  uint64_t r1 = harness.CompileAndRun(with_tag, {100}, reserve);
+  uint64_t cycles_reserved = harness.last_cycles;
+  uint64_t r2 = harness.CompileAndRun(without_tag, {100});
+  uint64_t cycles_free = harness.last_cycles;
+  EXPECT_EQ(r1, r2);
+  EXPECT_GE(cycles_reserved, cycles_free);  // One register less can only hurt.
+}
+
+TEST(BackendExec, CallsBetweenCompiledFunctions) {
+  VcpuHarness harness;
+  // Callee: g(x) = x * x + 1.
+  IrFunction callee("g", 1);
+  {
+    IrIdAllocator ids;
+    IrBuilder b(&callee, &ids);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    uint32_t sq = b.Mul(Value::Reg(0), Value::Reg(0));
+    uint32_t r = b.Add(Value::Reg(sq), Value::Imm(1));
+    b.Ret(Value::Reg(r));
+  }
+  uint32_t callee_id = harness.Compile(callee);
+
+  // Caller: f(a, b) = g(a) + g(b) + b (checks caller registers survive the register window).
+  IrFunction caller("f", 2);
+  {
+    IrIdAllocator ids;
+    IrBuilder b(&caller, &ids);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    uint32_t ga = b.Call(callee_id, {Value::Reg(0)}, /*has_result=*/true);
+    uint32_t gb = b.Call(callee_id, {Value::Reg(1)}, /*has_result=*/true);
+    uint32_t sum = b.Add(Value::Reg(ga), Value::Reg(gb));
+    uint32_t total = b.Add(Value::Reg(sum), Value::Reg(1));
+    b.Ret(Value::Reg(total));
+  }
+  uint32_t caller_id = harness.Compile(caller);
+  EXPECT_EQ(harness.Run(caller_id, {3, 5}), (9u + 1) + (25u + 1) + 5);
+}
+
+TEST(BackendExec, HostFunctionCalls) {
+  VcpuHarness harness;
+  uint32_t host_segment = harness.code_map.AddHostSegment(SegmentKind::kKernel, "host_mul", 16);
+  uint32_t host_id2 = harness.code_map.AddHostFunction(
+      "host_mul", host_segment,
+      [host_segment](Cpu& cpu, std::span<const uint64_t> args) -> uint64_t {
+        cpu.HostWork(host_segment, 10);
+        return args[0] * args[1];
+      },
+      2);
+
+  IrFunction caller("f", 2);
+  {
+    IrIdAllocator ids;
+    IrBuilder b(&caller, &ids);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    uint32_t r = b.Call(host_id2, {Value::Reg(0), Value::Reg(1)}, /*has_result=*/true);
+    b.Ret(Value::Reg(r));
+  }
+  uint32_t caller_id = harness.Compile(caller);
+  EXPECT_EQ(harness.Run(caller_id, {6, 7}), 42u);
+}
+
+TEST(BackendExec, TagRegisterSurvivesCalls) {
+  VcpuHarness harness;
+  // Callee reads the global tag register.
+  IrFunction callee("read_tag", 0);
+  {
+    IrIdAllocator ids;
+    IrBuilder b(&callee, &ids);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    uint32_t tag = b.GetTag();
+    b.Ret(Value::Reg(tag));
+  }
+  CompileOptions reserve;
+  reserve.reserve_tag_register = true;
+  uint32_t callee_id = harness.Compile(callee, reserve);
+
+  // Caller: set tag, call, restore, return callee's observation.
+  IrFunction caller("set_and_call", 0);
+  {
+    IrIdAllocator ids;
+    IrBuilder b(&caller, &ids);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    uint32_t saved = b.GetTag();
+    b.SetTag(Value::Imm(1234));
+    uint32_t seen = b.Call(callee_id, {}, /*has_result=*/true);
+    b.SetTag(Value::Reg(saved));
+    b.Ret(Value::Reg(seen));
+  }
+  uint32_t caller_id = harness.Compile(caller, reserve);
+  EXPECT_EQ(harness.Run(caller_id, {}), 1234u);
+}
+
+TEST(BackendExec, DebugInfoCoversAllInstructions) {
+  IrFunction fn("loop", 2);
+  BuildLoop(fn);
+  CompileOptions options;
+  EmittedFunction emitted = CompileFunction(fn, options);
+  for (const MInstr& instr : emitted.code) {
+    EXPECT_NE(instr.ir_id, kNoIrId);
+  }
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,182 @@
+// Engine edge cases: empty inputs, all-filtered pipelines, multi-key joins, string group keys,
+// repeated self-joins, and degenerate limits — each checked against the Volcano oracle.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "src/engine/query_engine.h"
+#include "src/interp/interpreter.h"
+#include "src/plan/builder.h"
+#include "src/util/random.h"
+
+namespace dfp {
+namespace {
+
+class EdgeTest : public ::testing::Test {
+ protected:
+  EdgeTest() : engine(&db) {
+    Random rng(99);
+    {
+      TableBuilder t = db.CreateTableBuilder({"empty_table",
+                                              {{"a", ColumnType::kInt64},
+                                               {"b", ColumnType::kDecimal}}});
+      db.AddTable(t.Finish());
+    }
+    {
+      TableBuilder t = db.CreateTableBuilder({"one_row", {{"a", ColumnType::kInt64}}});
+      t.BeginRow();
+      t.SetI64(0, 42);
+      db.AddTable(t.Finish());
+    }
+    {
+      TableBuilder t = db.CreateTableBuilder({"pairs",
+                                              {{"x", ColumnType::kInt64},
+                                               {"y", ColumnType::kInt64},
+                                               {"tag", ColumnType::kString},
+                                               {"v", ColumnType::kDecimal}}});
+      for (int i = 0; i < 2000; ++i) {
+        t.BeginRow();
+        t.SetI64(0, rng.Uniform(0, 20));
+        t.SetI64(1, rng.Uniform(0, 20));
+        t.SetString(2, rng.Chance(0.5) ? "left" : "right");
+        t.SetDecimal(3, rng.Uniform(-5000, 5000));
+      }
+      db.AddTable(t.Finish());
+    }
+  }
+
+  void CheckAgainstOracle(PhysicalOpPtr plan, bool ordered, const char* name) {
+    CompiledQuery query = engine.Compile(std::move(plan), nullptr, name);
+    Result compiled = engine.Execute(query);
+    Result reference = InterpretPlan(db, *query.plan);
+    std::string diff;
+    EXPECT_TRUE(Result::Equivalent(compiled, reference, ordered, &diff)) << name << ": " << diff;
+  }
+
+  Database db;
+  QueryEngine engine;
+};
+
+TEST_F(EdgeTest, ScanOfEmptyTable) {
+  PlanBuilder plan = PlanBuilder::Scan(db.table("empty_table"));
+  CheckAgainstOracle(plan.Build(), true, "empty_scan");
+}
+
+TEST_F(EdgeTest, GroupByOverEmptyInputYieldsNoGroups) {
+  PlanBuilder plan = PlanBuilder::Scan(db.table("empty_table"));
+  plan.GroupByKeys({"a"}, NamedExprs("s", MakeAggregate(AggOp::kSum, plan.Col("b"))));
+  CompiledQuery query = engine.Compile(plan.Build(), nullptr, "empty_group");
+  EXPECT_EQ(engine.Execute(query).row_count(), 0u);
+}
+
+TEST_F(EdgeTest, JoinWithEmptyBuildSide) {
+  PlanBuilder build = PlanBuilder::Scan(db.table("empty_table"));
+  PlanBuilder probe = PlanBuilder::Scan(db.table("pairs"));
+  probe.JoinWith(std::move(build), {"x"}, {"a"}, {"b"});
+  CheckAgainstOracle(probe.Build(), false, "empty_build");
+}
+
+TEST_F(EdgeTest, AntiJoinWithEmptyBuildSideKeepsEverything) {
+  PlanBuilder build = PlanBuilder::Scan(db.table("empty_table"));
+  PlanBuilder probe = PlanBuilder::Scan(db.table("pairs"));
+  probe.JoinWith(std::move(build), {"x"}, {"a"}, {}, JoinType::kAnti);
+  CompiledQuery query = engine.Compile(probe.Build(), nullptr, "anti_empty");
+  EXPECT_EQ(engine.Execute(query).row_count(), db.table("pairs").row_count());
+}
+
+TEST_F(EdgeTest, FilterEliminatingEverything) {
+  PlanBuilder plan = PlanBuilder::Scan(db.table("pairs"));
+  plan.FilterBy(MakeBinary(BinOp::kGt, plan.Col("x"), MakeLiteral(ColumnType::kInt64, 1000)));
+  plan.GroupByKeys({"y"}, NamedExprs("n", MakeAggregate(AggOp::kCountStar, nullptr)));
+  CheckAgainstOracle(plan.Build(), false, "filter_all");
+}
+
+TEST_F(EdgeTest, MultiKeyJoin) {
+  PlanBuilder build = PlanBuilder::Scan(db.table("pairs"));
+  build.FilterBy(MakeBinary(BinOp::kEq, build.Col("tag"),
+                            MakeLiteral(ColumnType::kString,
+                                        static_cast<int64_t>(db.strings().Intern("left")))));
+  PlanBuilder probe = PlanBuilder::Scan(db.table("pairs"));
+  probe.JoinWith(std::move(build), {"x", "y"}, {"x", "y"}, {"v"});
+  probe.GroupByKeys({"x"}, NamedExprs("total", MakeAggregate(AggOp::kSum, probe.Col("v"))));
+  CheckAgainstOracle(probe.Build(), false, "multikey");
+}
+
+TEST_F(EdgeTest, StringGroupKeys) {
+  PlanBuilder plan = PlanBuilder::Scan(db.table("pairs"));
+  plan.GroupByKeys({"tag"}, NamedExprs("n", MakeAggregate(AggOp::kCountStar, nullptr), "avg_v",
+                                       MakeAggregate(AggOp::kAvg, plan.Col("v"))));
+  CheckAgainstOracle(plan.Build(), false, "string_keys");
+}
+
+TEST_F(EdgeTest, SelfJoinTwice) {
+  // pairs joined with itself twice through different keys: three scans of one table.
+  PlanBuilder first = PlanBuilder::Scan(db.table("pairs"));
+  PlanBuilder second = PlanBuilder::Scan(db.table("pairs"));
+  PlanBuilder probe = PlanBuilder::Scan(db.table("one_row"));
+  // one_row.a = 42 never matches x in [0,20]: exercises fully-missing probes through two joins.
+  probe.JoinWith(std::move(first), {"a"}, {"x"}, {"v"});
+  probe.JoinWith(std::move(second), {"a"}, {"y"}, {"tag"});
+  CheckAgainstOracle(probe.Build(), false, "self_join");
+}
+
+TEST_F(EdgeTest, SortEmptyAndSingleRow) {
+  {
+    PlanBuilder plan = PlanBuilder::Scan(db.table("empty_table"));
+    plan.OrderBy({{"a", false}});
+    CheckAgainstOracle(plan.Build(), true, "sort_empty");
+  }
+  {
+    PlanBuilder plan = PlanBuilder::Scan(db.table("one_row"));
+    plan.OrderBy({{"a", true}});
+    CheckAgainstOracle(plan.Build(), true, "sort_one");
+  }
+}
+
+TEST_F(EdgeTest, SortByStringAndDecimal) {
+  PlanBuilder plan = PlanBuilder::Scan(db.table("pairs"));
+  plan.OrderBy({{"tag", false}, {"v", true}, {"x", false}, {"y", false}});
+  CheckAgainstOracle(plan.Build(), true, "sort_multi");
+}
+
+TEST_F(EdgeTest, LimitLargerThanInput) {
+  PlanBuilder plan = PlanBuilder::Scan(db.table("one_row"));
+  plan.LimitTo(100);
+  CompiledQuery query = engine.Compile(plan.Build(), nullptr, "big_limit");
+  EXPECT_EQ(engine.Execute(query).row_count(), 1u);
+}
+
+TEST_F(EdgeTest, TopKLargerThanInput) {
+  PlanBuilder plan = PlanBuilder::Scan(db.table("pairs"));
+  plan.OrderBy({{"v", false}}, /*limit=*/100000);
+  CheckAgainstOracle(plan.Build(), true, "big_topk");
+}
+
+TEST_F(EdgeTest, GroupJoinWithUnmatchedGroupsYieldsNaNAverages) {
+  // one_row (a=42) never matches pairs.x: the single group has count 0 and a NaN average,
+  // identically in compiled and interpreted execution.
+  PlanBuilder build = PlanBuilder::Scan(db.table("one_row"));
+  PlanBuilder probe = PlanBuilder::Scan(db.table("pairs"));
+  probe.GroupJoinWith(std::move(build), {"x"}, {"a"}, {"a"},
+                      NamedExprs("avg_v", MakeAggregate(AggOp::kAvg, probe.Col("v"))));
+  CompiledQuery query = engine.Compile(probe.Build(), nullptr, "nan_group");
+  Result compiled = engine.Execute(query);
+  ASSERT_EQ(compiled.row_count(), 1u);
+  EXPECT_TRUE(std::isnan(std::bit_cast<double>(static_cast<uint64_t>(compiled.at(0, 1)))));
+  Result reference = InterpretPlan(db, *query.plan);
+  std::string diff;
+  EXPECT_TRUE(Result::Equivalent(compiled, reference, false, &diff)) << diff;
+}
+
+TEST_F(EdgeTest, ChainedMapsAndProjections) {
+  PlanBuilder plan = PlanBuilder::Scan(db.table("pairs"));
+  plan.MapTo(NamedExprs("sum_xy", MakeBinary(BinOp::kAdd, plan.Col("x"), plan.Col("y"))));
+  plan.MapTo(NamedExprs("sq", MakeBinary(BinOp::kMul, plan.Col("sum_xy"), plan.Col("sum_xy"))));
+  plan.Project({"sq", "tag"});
+  plan.MapTo(NamedExprs("neg", MakeUnary(UnOp::kNeg, plan.Col("sq"))));
+  CheckAgainstOracle(plan.Build(), true, "chained_maps");
+}
+
+}  // namespace
+}  // namespace dfp

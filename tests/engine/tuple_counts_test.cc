@@ -1,0 +1,109 @@
+// EXPLAIN-ANALYZE-style per-task tuple counters (CodegenOptions::count_tuples).
+#include <gtest/gtest.h>
+
+#include "src/engine/query_engine.h"
+#include "src/interp/interpreter.h"
+#include "src/plan/builder.h"
+#include "src/profiling/reports.h"
+#include "src/util/random.h"
+
+namespace dfp {
+namespace {
+
+class TupleCountsTest : public ::testing::Test {
+ protected:
+  TupleCountsTest() : engine(&db) {
+    Random rng(31);
+    TableBuilder dims = db.CreateTableBuilder(
+        {"dims", {{"id", ColumnType::kInt64}, {"w", ColumnType::kInt64}}});
+    for (int i = 0; i < 100; ++i) {
+      dims.BeginRow();
+      dims.SetI64(0, i);
+      dims.SetI64(1, i % 7);
+    }
+    db.AddTable(dims.Finish());
+    TableBuilder facts = db.CreateTableBuilder(
+        {"facts", {{"id", ColumnType::kInt64}, {"v", ColumnType::kInt64}}});
+    for (int i = 0; i < 5000; ++i) {
+      facts.BeginRow();
+      facts.SetI64(0, rng.Uniform(0, 199));  // Half the ids miss the dims table.
+      facts.SetI64(1, rng.Uniform(0, 100));
+    }
+    db.AddTable(facts.Finish());
+  }
+
+  Database db;
+  QueryEngine engine;
+};
+
+TEST_F(TupleCountsTest, CountsMatchSemantics) {
+  PlanBuilder dims = PlanBuilder::Scan(db.table("dims"));
+  dims.FilterBy(MakeBinary(BinOp::kLt, dims.Col("id"), MakeLiteral(ColumnType::kInt64, 50)),
+                "DimFilter");
+  PlanBuilder facts = PlanBuilder::Scan(db.table("facts"));
+  facts.FilterBy(MakeBinary(BinOp::kGe, facts.Col("v"), MakeLiteral(ColumnType::kInt64, 10)),
+                 "FactFilter");
+  facts.JoinWith(std::move(dims), {"id"}, {"id"}, {"w"}, JoinType::kInner, "TheJoin");
+  facts.GroupByKeys({"w"}, NamedExprs("n", MakeAggregate(AggOp::kCountStar, nullptr)),
+                    "TheGroupBy");
+
+  ProfilingConfig config;
+  config.enable_sampling = false;
+  ProfilingSession session(config);
+  CodegenOptions options;
+  options.count_tuples = true;
+  CompiledQuery query = engine.Compile(facts.Build(), &session, "counted", options);
+  Result result = engine.Execute(query);
+
+  // Reference counts from the oracle.
+  Result reference = InterpretPlan(db, *query.plan);
+  std::string diff;
+  ASSERT_TRUE(Result::Equivalent(result, reference, false, &diff)) << diff;
+
+  // Gather counts by task name.
+  std::map<std::string, uint64_t> by_name;
+  for (const auto& [task, count] : query.tuple_counts) {
+    by_name[session.dictionary().task(task).name] += count;
+  }
+  ASSERT_FALSE(by_name.empty());
+  // Scans see every base tuple (two scan tasks share the name "scan").
+  EXPECT_EQ(by_name.at("scan"), 5000u + 100u);
+  // The dim filter passes ids 0..49; the build inserts exactly those.
+  EXPECT_EQ(by_name.at("build"), 50u);
+  // Aggregate consumes exactly the join's matches; output writes one row per group.
+  EXPECT_EQ(by_name.at("output"), result.row_count());
+  EXPECT_GT(by_name.at("probe"), 0u);
+  EXPECT_EQ(by_name.at("aggregate"), by_name.at("probe"));
+  EXPECT_EQ(by_name.at("scan groups"), result.row_count());
+
+  // Rendered table mentions tasks and counts.
+  std::string table = RenderTaskTupleCounts(query, session.dictionary());
+  EXPECT_NE(table.find("probe"), std::string::npos);
+  EXPECT_NE(table.find("TheJoin"), std::string::npos);
+}
+
+TEST_F(TupleCountsTest, CountersDoNotChangeResults) {
+  auto make = [&]() {
+    PlanBuilder facts = PlanBuilder::Scan(db.table("facts"));
+    facts.GroupByKeys({"id"}, NamedExprs("s", MakeAggregate(AggOp::kSum, facts.Col("v"))));
+    return facts.Build();
+  };
+  CompiledQuery plain = engine.Compile(make(), nullptr, "plain");
+  Result expected = engine.Execute(plain);
+  uint64_t plain_cycles = engine.last_cycles();
+
+  ProfilingConfig config;
+  config.enable_sampling = false;
+  ProfilingSession session(config);
+  CodegenOptions options;
+  options.count_tuples = true;
+  CompiledQuery counted = engine.Compile(make(), &session, "counted", options);
+  Result actual = engine.Execute(counted);
+  std::string diff;
+  EXPECT_TRUE(Result::Equivalent(actual, expected, false, &diff)) << diff;
+  // Counting costs a little, never nothing.
+  EXPECT_GT(engine.last_cycles(), plain_cycles);
+}
+
+}  // namespace
+}  // namespace dfp

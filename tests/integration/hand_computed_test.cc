@@ -1,0 +1,170 @@
+// Hand-computed ground truth: both the compiling engine AND the Volcano oracle are checked
+// against results worked out by hand on a tiny dataset — guarding against a bug common to both.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "src/engine/query_engine.h"
+#include "src/interp/interpreter.h"
+#include "src/sql/binder.h"
+#include "src/util/date.h"
+#include "src/util/decimal.h"
+
+namespace dfp {
+namespace {
+
+class HandComputedTest : public ::testing::Test {
+ protected:
+  HandComputedTest() : engine(&db) {
+    // items: (1, 10.00, 'a', 2000-01-05) (2, 20.00, 'b', 2001-03-05) (3, 30.00, 'a', 2001-07-01)
+    //        (4, 40.00, 'b', 2002-02-02) (5, 50.50, 'a', 2002-12-31)
+    TableBuilder items = db.CreateTableBuilder({"items",
+                                                {{"id", ColumnType::kInt64},
+                                                 {"price", ColumnType::kDecimal},
+                                                 {"grp", ColumnType::kString},
+                                                 {"d", ColumnType::kDate}}});
+    struct RowSpec {
+      int64_t id;
+      int64_t cents;
+      const char* grp;
+      const char* date;
+    };
+    const RowSpec rows[] = {{1, 1000, "a", "2000-01-05"},
+                            {2, 2000, "b", "2001-03-05"},
+                            {3, 3000, "a", "2001-07-01"},
+                            {4, 4000, "b", "2002-02-02"},
+                            {5, 5050, "a", "2002-12-31"}};
+    for (const RowSpec& row : rows) {
+      items.BeginRow();
+      items.SetI64(0, row.id);
+      items.SetDecimal(1, row.cents);
+      items.SetString(2, row.grp);
+      items.SetDate(3, ParseDate(row.date));
+    }
+    db.AddTable(items.Finish());
+
+    // refs: (1, 7) (3, 9) (3, 11) — id 3 appears twice (multi-match probe), ids 2,4,5 missing.
+    TableBuilder refs = db.CreateTableBuilder(
+        {"refs", {{"item_id", ColumnType::kInt64}, {"w", ColumnType::kInt64}}});
+    for (auto [item, w] : {std::pair<int64_t, int64_t>{1, 7}, {3, 9}, {3, 11}}) {
+      refs.BeginRow();
+      refs.SetI64(0, item);
+      refs.SetI64(1, w);
+    }
+    db.AddTable(refs.Finish());
+  }
+
+  // Runs the SQL through BOTH engines; verifies they agree; returns the compiled result.
+  Result Run(const std::string& sql, bool ordered) {
+    CompiledQuery query = engine.Compile(PlanSql(db, sql), nullptr, "hand");
+    Result compiled = engine.Execute(query);
+    Result reference = InterpretPlan(db, *query.plan);
+    std::string diff;
+    EXPECT_TRUE(Result::Equivalent(compiled, reference, ordered, &diff)) << sql << ": " << diff;
+    return compiled;
+  }
+
+  Database db;
+  QueryEngine engine;
+};
+
+TEST_F(HandComputedTest, GroupedAggregates) {
+  // Group 'a': prices 10.00, 30.00, 50.50 -> sum 90.50, min 10.00, max 50.50, avg 30.1666...
+  // Group 'b': prices 20.00, 40.00 -> sum 60.00, min 20.00, max 40.00, avg 30.0.
+  Result r = Run(
+      "select grp, count(*) n, sum(price) s, min(price) lo, max(price) hi, avg(price) a "
+      "from items group by grp order by grp",
+      true);
+  ASSERT_EQ(r.row_count(), 2u);
+  EXPECT_EQ(r.CellToString(db.strings(), 0, 0), "a");
+  EXPECT_EQ(r.at(0, 1), 3);
+  EXPECT_EQ(r.at(0, 2), 9050);
+  EXPECT_EQ(r.at(0, 3), 1000);
+  EXPECT_EQ(r.at(0, 4), 5050);
+  EXPECT_NEAR(std::bit_cast<double>(static_cast<uint64_t>(r.at(0, 5))), 90.50 / 3.0, 1e-12);
+  EXPECT_EQ(r.CellToString(db.strings(), 1, 0), "b");
+  EXPECT_EQ(r.at(1, 1), 2);
+  EXPECT_EQ(r.at(1, 2), 6000);
+  EXPECT_NEAR(std::bit_cast<double>(static_cast<uint64_t>(r.at(1, 5))), 30.0, 1e-12);
+}
+
+TEST_F(HandComputedTest, DecimalArithmetic) {
+  // price * 1.10 truncated to cents: 10.00->11.00, 20.00->22.00, 30.00->33.00, 40.00->44.00,
+  // 50.50->55.55.
+  Result r = Run("select id, price * 1.10 taxed from items order by id", true);
+  ASSERT_EQ(r.row_count(), 5u);
+  EXPECT_EQ(r.at(0, 1), 1100);
+  EXPECT_EQ(r.at(4, 1), 5555);
+  // Division: 50.50 / 3 = 16.83 (truncating scale-2).
+  Result q = Run("select price / 3 third from items where id = 5", false);
+  EXPECT_EQ(q.at(0, 0), 1683);
+}
+
+TEST_F(HandComputedTest, JoinWithMultiMatch) {
+  // Inner join: id 1 matches (w 7), id 3 matches twice (w 9, 11) -> 3 rows; sum w = 27.
+  Result r = Run(
+      "select sum(r.w) total, count(*) n from items i, refs r where i.id = r.item_id", false);
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.at(0, 0), 27);
+  EXPECT_EQ(r.at(0, 1), 3);
+}
+
+TEST_F(HandComputedTest, YearExtractionExactDates) {
+  Result r = Run("select id, year(d) y from items order by id", true);
+  const int64_t expected[] = {2000, 2001, 2001, 2002, 2002};
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(r.at(i, 1), expected[i]) << i;
+  }
+  // Grouping by year: 2000 -> 1 row, 2001 -> 2, 2002 -> 2.
+  Result g = Run("select year(d) y, count(*) n from items group by year(d) order by y", true);
+  ASSERT_EQ(g.row_count(), 3u);
+  EXPECT_EQ(g.at(0, 0), 2000);
+  EXPECT_EQ(g.at(0, 1), 1);
+  EXPECT_EQ(g.at(2, 0), 2002);
+  EXPECT_EQ(g.at(2, 1), 2);
+}
+
+TEST_F(HandComputedTest, YearBoundaryDates) {
+  // Leap years, year boundaries, century rules.
+  TableBuilder t = db.CreateTableBuilder({"edge_dates", {{"d", ColumnType::kDate}}});
+  const char* dates[] = {"1999-12-31", "2000-01-01", "2000-02-29", "2000-12-31",
+                         "2100-01-01", "1970-01-01", "1992-02-29"};
+  for (const char* date : dates) {
+    t.BeginRow();
+    t.SetDate(0, ParseDate(date));
+  }
+  db.AddTable(t.Finish());
+  Result r = Run("select year(d) y from edge_dates", true);
+  const int64_t expected[] = {1999, 2000, 2000, 2000, 2100, 1970, 1992};
+  ASSERT_EQ(r.row_count(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(r.at(i, 0), expected[i]) << dates[i];
+  }
+}
+
+TEST_F(HandComputedTest, CaseBetweenInLike) {
+  Result r = Run(
+      "select id, case when price between 15.00 and 45.00 then 1 else 0 end mid "
+      "from items where grp like 'a%' and id in (1, 3, 5) order by id",
+      true);
+  ASSERT_EQ(r.row_count(), 3u);
+  EXPECT_EQ(r.at(0, 0), 1);
+  EXPECT_EQ(r.at(0, 1), 0);  // 10.00 not in [15, 45].
+  EXPECT_EQ(r.at(1, 0), 3);
+  EXPECT_EQ(r.at(1, 1), 1);  // 30.00 in range.
+  EXPECT_EQ(r.at(2, 0), 5);
+  EXPECT_EQ(r.at(2, 1), 0);  // 50.50 above.
+}
+
+TEST_F(HandComputedTest, HavingAndTopK) {
+  Result r = Run(
+      "select grp, sum(price) s from items group by grp having count(*) > 2 "
+      "order by s desc limit 1",
+      true);
+  ASSERT_EQ(r.row_count(), 1u);
+  EXPECT_EQ(r.CellToString(db.strings(), 0, 0), "a");
+  EXPECT_EQ(r.at(0, 1), 9050);
+}
+
+}  // namespace
+}  // namespace dfp

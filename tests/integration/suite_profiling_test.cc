@@ -1,0 +1,91 @@
+// Integration: the full TPC-H-derived query suite under every profiling configuration —
+// results must be identical to unprofiled execution and attribution must stay in the paper's
+// regime across the board.
+#include <gtest/gtest.h>
+
+#include "src/engine/query_engine.h"
+#include "src/profiling/validation.h"
+#include "src/tpch/datagen.h"
+#include "src/tpch/queries.h"
+
+namespace dfp {
+namespace {
+
+Database* SuiteDb() {
+  static Database* db = [] {
+    auto* instance = new Database();
+    TpchOptions options;
+    options.scale = 0.002;
+    GenerateTpch(*instance, options);
+    return instance;
+  }();
+  return db;
+}
+
+class SuiteProfiling : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SuiteProfiling, AllModesAgreeAndAttribute) {
+  const QuerySpec& spec = FindQuery(GetParam());
+  Database& db = *SuiteDb();
+  QueryEngine engine(&db);
+
+  CompiledQuery plain = engine.Compile(BuildQueryPlan(db, spec), nullptr, spec.name);
+  Result expected = engine.Execute(plain);
+  const uint64_t plain_cycles = engine.last_cycles();
+
+  for (AttributionMode mode :
+       {AttributionMode::kRegisterTagging, AttributionMode::kCallStack}) {
+    ProfilingConfig config;
+    config.period = 700;
+    config.attribution = mode;
+    ProfilingSession session(config);
+    CompiledQuery query =
+        engine.Compile(BuildQueryPlan(db, spec), &session, spec.name + "_p");
+    Result result = engine.Execute(query);
+    std::string diff;
+    EXPECT_TRUE(Result::Equivalent(result, expected, spec.ordered_result, &diff))
+        << spec.name << " mode " << static_cast<int>(mode) << ": " << diff;
+    // Profiling costs time, never saves it.
+    EXPECT_GE(engine.last_cycles(), plain_cycles);
+    session.Resolve(db.code_map());
+    AttributionStats stats = session.Stats();
+    if (stats.total > 50) {
+      double attributed =
+          static_cast<double>(stats.operator_samples + stats.kernel_samples) /
+          static_cast<double>(stats.total);
+      EXPECT_GT(attributed, 0.9) << spec.name;
+    }
+  }
+}
+
+TEST_P(SuiteProfiling, ValidationModeCleanAcrossSuite) {
+  const QuerySpec& spec = FindQuery(GetParam());
+  Database& db = *SuiteDb();
+  QueryEngine engine(&db);
+  ProfilingConfig config;
+  config.period = 311;
+  config.tag_all_instructions = true;
+  ProfilingSession session(config);
+  CompiledQuery query = engine.Compile(BuildQueryPlan(db, spec), &session, spec.name + "_v");
+  engine.Execute(query);
+  session.Resolve(db.code_map());
+  ValidationReport report = CrossCheckAttribution(session, db.code_map());
+  EXPECT_EQ(report.mismatches, 0u) << spec.name;
+  EXPECT_GT(report.checked, 0u) << spec.name;
+}
+
+std::vector<std::string> Names() {
+  std::vector<std::string> names;
+  for (const QuerySpec& spec : TpchQuerySuite()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, SuiteProfiling, ::testing::ValuesIn(Names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace dfp

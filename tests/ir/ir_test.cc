@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+
+namespace dfp {
+namespace {
+
+TEST(IrBuilder, AssignsUniqueIdsAndRegisters) {
+  IrFunction fn("f", 1);
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  uint32_t c = b.Const(7);
+  uint32_t sum = b.Add(Value::Reg(0), Value::Reg(c));
+  b.Ret(Value::Reg(sum));
+  EXPECT_EQ(fn.InstrCount(), 3u);
+  EXPECT_EQ(ids.count(), 3u);
+  EXPECT_NE(c, sum);
+  EXPECT_GT(fn.next_vreg(), 2u);
+  EXPECT_TRUE(VerifyFunction(fn).empty());
+}
+
+TEST(IrBuilder, ObserverSeesEveryInstruction) {
+  IrFunction fn("f", 0);
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  int observed = 0;
+  b.SetObserver([&](const IrInstr&) { ++observed; });
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Const(1);
+  b.Const(2);
+  b.Ret();
+  EXPECT_EQ(observed, 3);
+}
+
+TEST(IrBuilder, EmitHashMatchesHostHash) {
+  // Structural check: the emitted sequence is crc32, crc32, rotr, xor, mul.
+  IrFunction fn("f", 1);
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  uint32_t hash = b.EmitHash(Value::Reg(0));
+  b.Ret(Value::Reg(hash));
+  const auto& instrs = fn.block(0).instrs;
+  ASSERT_EQ(instrs.size(), 6u);
+  EXPECT_EQ(instrs[0].op, Opcode::kCrc32);
+  EXPECT_EQ(instrs[1].op, Opcode::kCrc32);
+  EXPECT_EQ(instrs[2].op, Opcode::kRotr);
+  EXPECT_EQ(instrs[3].op, Opcode::kXor);
+  EXPECT_EQ(instrs[4].op, Opcode::kMul);
+}
+
+TEST(IrVerifier, DetectsMissingTerminator) {
+  IrFunction fn("f", 0);
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Const(1);
+  EXPECT_FALSE(VerifyFunction(fn).empty());
+}
+
+TEST(IrVerifier, DetectsBadBranchTarget) {
+  IrFunction fn("f", 0);
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Br(0);
+  fn.block(0).instrs.back().target0 = 99;
+  EXPECT_FALSE(VerifyFunction(fn).empty());
+}
+
+TEST(IrVerifier, DetectsMachineOnlyOpcode) {
+  IrFunction fn("f", 0);
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Ret();
+  IrInstr bad;
+  bad.op = Opcode::kLoadSpill;
+  bad.dst = fn.NewReg();
+  bad.id = ids.Next();
+  fn.block(0).instrs.insert(fn.block(0).instrs.begin(), bad);
+  EXPECT_FALSE(VerifyFunction(fn).empty());
+}
+
+TEST(IrVerifier, DetectsDuplicateIds) {
+  IrFunction fn("f", 0);
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Const(1);
+  b.Const(2);
+  b.Ret();
+  fn.block(0).instrs[1].id = fn.block(0).instrs[0].id;
+  EXPECT_FALSE(VerifyFunction(fn).empty());
+}
+
+TEST(IrPrinter, ListingHasLinePerInstruction) {
+  IrFunction fn("pipeline", 1);
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  uint32_t entry = b.CreateBlock("entry");
+  uint32_t exit = b.CreateBlock("exit");
+  b.SetInsertPoint(entry);
+  uint32_t v = b.Load(Opcode::kLoad4, Value::Reg(0), 8);
+  b.CondBr(Value::Reg(v), exit, exit);
+  b.SetInsertPoint(exit);
+  b.Ret();
+  IrListing listing = PrintFunction(fn);
+  std::string text = listing.ToString();
+  EXPECT_NE(text.find("func pipeline"), std::string::npos);
+  EXPECT_NE(text.find("load4"), std::string::npos);
+  EXPECT_NE(text.find("condbr"), std::string::npos);
+  EXPECT_NE(text.find("entry:"), std::string::npos);
+  // Each instruction line carries its instruction id.
+  int instr_lines = 0;
+  for (const IrListingLine& line : listing.lines) {
+    if (line.instr_id != kNoIrId) {
+      ++instr_lines;
+    }
+  }
+  EXPECT_EQ(instr_lines, 3);
+}
+
+TEST(IrPrinter, CommentsAppearInListing) {
+  IrFunction fn("f", 1);
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  b.Load(Opcode::kLoad8, Value::Reg(0), 0, "directory lookup");
+  b.Ret();
+  EXPECT_NE(PrintFunction(fn).ToString().find("directory lookup"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,98 @@
+// Multi-level tag packing (paper Section 4.2.5): the operator tag rides in the upper half of
+// the tag register, so runtime-code samples resolve their operator without consulting Log A.
+#include <gtest/gtest.h>
+
+#include "src/engine/query_engine.h"
+#include "src/plan/builder.h"
+#include "src/profiling/validation.h"
+#include "src/util/random.h"
+
+namespace dfp {
+namespace {
+
+class PackedTagsTest : public ::testing::Test {
+ protected:
+  PackedTagsTest() : engine(&db) {
+    Random rng(7);
+    TableBuilder dims = db.CreateTableBuilder({"dims", {{"id", ColumnType::kInt64}}});
+    for (int i = 0; i < 100; ++i) {
+      dims.BeginRow();
+      dims.SetI64(0, i);
+    }
+    db.AddTable(dims.Finish());
+    TableBuilder facts = db.CreateTableBuilder(
+        {"facts", {{"id", ColumnType::kInt64}, {"v", ColumnType::kInt64}}});
+    for (int i = 0; i < 10000; ++i) {
+      facts.BeginRow();
+      facts.SetI64(0, rng.Uniform(0, 99));
+      facts.SetI64(1, rng.Uniform(0, 1000));
+    }
+    db.AddTable(facts.Finish());
+  }
+
+  PhysicalOpPtr MakePlan() {
+    PlanBuilder dims = PlanBuilder::Scan(db.table("dims"));
+    PlanBuilder facts = PlanBuilder::Scan(db.table("facts"));
+    facts.JoinWith(std::move(dims), {"id"}, {"id"}, {}, JoinType::kInner, "TheJoin");
+    facts.GroupByKeys({"id"}, NamedExprs("s", MakeAggregate(AggOp::kSum, facts.Col("v"))),
+                      "TheGroupBy");
+    return facts.Build();
+  }
+
+  Database db;
+  QueryEngine engine;
+};
+
+TEST_F(PackedTagsTest, PackedResolutionMatchesLogA) {
+  ProfilingConfig config;
+  config.period = 150;
+  config.packed_tags = true;
+  ProfilingSession session(config);
+  CompiledQuery query = engine.Compile(MakePlan(), &session, "packed");
+  Result packed_result = engine.Execute(query);
+  session.Resolve(db.code_map());
+
+  // Every via-tag sample's operator (from the upper chunk) must agree with Log A.
+  size_t checked = 0;
+  for (const ResolvedSample& sample : session.resolved()) {
+    if (sample.via_tag && sample.task != kNoTask) {
+      EXPECT_EQ(sample.op, session.dictionary().OperatorOf(sample.task));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10u);
+
+  // Results and per-operator attribution identical to the unpacked mode.
+  ProfilingConfig unpacked_config;
+  unpacked_config.period = 150;
+  ProfilingSession unpacked(unpacked_config);
+  CompiledQuery unpacked_query = engine.Compile(MakePlan(), &unpacked, "unpacked");
+  Result unpacked_result = engine.Execute(unpacked_query);
+  unpacked.Resolve(db.code_map());
+  std::string diff;
+  EXPECT_TRUE(Result::Equivalent(packed_result, unpacked_result, false, &diff)) << diff;
+  AttributionStats a = session.Stats();
+  AttributionStats b = unpacked.Stats();
+  EXPECT_EQ(a.operator_samples + a.kernel_samples + a.unattributed, a.total);
+  // Both attribute essentially everything.
+  EXPECT_GT(static_cast<double>(a.operator_samples) / static_cast<double>(a.total), 0.9);
+  EXPECT_GT(static_cast<double>(b.operator_samples) / static_cast<double>(b.total), 0.9);
+}
+
+TEST_F(PackedTagsTest, ValidationModeStillCleanWithPackedTags) {
+  ProfilingConfig config;
+  config.period = 211;
+  config.packed_tags = true;
+  config.tag_all_instructions = true;
+  ProfilingSession session(config);
+  CompiledQuery query = engine.Compile(MakePlan(), &session, "packed_validate");
+  engine.Execute(query);
+  session.Resolve(db.code_map());
+  // Validation tags are task-only; the cross-check masks the task chunk, so packing must not
+  // introduce mismatches.
+  ValidationReport report = CrossCheckAttribution(session, db.code_map());
+  EXPECT_EQ(report.mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace dfp

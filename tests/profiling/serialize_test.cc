@@ -1,0 +1,140 @@
+// Serialization round-trips and offline post-processing: a session reconstructed from the
+// meta-data file and the sample dump must resolve identically to the live session.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/engine/query_engine.h"
+#include "src/plan/builder.h"
+#include "src/profiling/serialize.h"
+#include "src/util/random.h"
+
+namespace dfp {
+namespace {
+
+TEST(Serialize, DictionaryRoundTrip) {
+  TaggingDictionary dictionary;
+  TaskId scan = dictionary.AddTask(0, "scan");
+  TaskId probe = dictionary.AddTask(2, "probe of join");
+  dictionary.LinkInstr(10, scan);
+  dictionary.LinkInstr(11, probe);
+  dictionary.LinkInstr(12, scan);
+  dictionary.OnAbsorb(12, 11);  // Multi-owner entry.
+
+  std::stringstream stream;
+  WriteDictionary(dictionary, stream);
+  TaggingDictionary loaded = ReadDictionary(stream);
+  EXPECT_EQ(loaded.tasks().size(), 2u);
+  EXPECT_EQ(loaded.task(probe).name, "probe of join");
+  EXPECT_EQ(loaded.OperatorOf(probe), 2u);
+  ASSERT_NE(loaded.TasksOf(12), nullptr);
+  EXPECT_EQ(loaded.TasksOf(12)->size(), 2u);
+  EXPECT_EQ(loaded.TasksOf(99), nullptr);
+}
+
+TEST(Serialize, SamplesRoundTrip) {
+  std::vector<Sample> samples;
+  Sample plain;
+  plain.tsc = 100;
+  plain.ip = 0x1000001;
+  samples.push_back(plain);
+  Sample with_regs;
+  with_regs.tsc = 200;
+  with_regs.ip = 0x1000002;
+  with_regs.addr = 0xBEEF;
+  with_regs.has_registers = true;
+  for (int i = 0; i < kNumMachineRegs; ++i) {
+    with_regs.regs[static_cast<size_t>(i)] = static_cast<uint64_t>(i * 7);
+  }
+  samples.push_back(with_regs);
+  Sample with_stack;
+  with_stack.tsc = 300;
+  with_stack.ip = 0x1000003;
+  with_stack.callstack = {0x2000001, 0x2000002};
+  samples.push_back(with_stack);
+
+  std::stringstream stream;
+  WriteSamples(samples, stream);
+  std::vector<Sample> loaded = ReadSamples(stream);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[0].tsc, 100u);
+  EXPECT_FALSE(loaded[0].has_registers);
+  EXPECT_TRUE(loaded[1].has_registers);
+  EXPECT_EQ(loaded[1].regs[15], 105u);
+  EXPECT_EQ(loaded[1].addr, 0xBEEFu);
+  EXPECT_EQ(loaded[2].callstack.size(), 2u);
+  EXPECT_EQ(loaded[2].callstack[1], 0x2000002u);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  {
+    std::stringstream stream("not a header\n");
+    EXPECT_THROW(ReadDictionary(stream), Error);
+  }
+  {
+    std::stringstream stream("# dfp tagging dictionary v1\nbogus 1 2\n");
+    EXPECT_THROW(ReadDictionary(stream), Error);
+  }
+  {
+    std::stringstream stream("# dfp samples v1\nsample nope\n");
+    EXPECT_THROW(ReadSamples(stream), Error);
+  }
+}
+
+TEST(Serialize, OfflineResolutionMatchesLiveSession) {
+  Database db;
+  {
+    Random rng(3);
+    TableBuilder products = db.CreateTableBuilder(
+        {"products", {{"id", ColumnType::kInt64}, {"category", ColumnType::kString}}});
+    for (int i = 0; i < 50; ++i) {
+      products.BeginRow();
+      products.SetI64(0, i);
+      products.SetString(1, i % 2 == 0 ? "Chip" : "Other");
+    }
+    db.AddTable(products.Finish());
+    TableBuilder sales = db.CreateTableBuilder(
+        {"sales", {{"id", ColumnType::kInt64}, {"price", ColumnType::kDecimal}}});
+    for (int i = 0; i < 5000; ++i) {
+      sales.BeginRow();
+      sales.SetI64(0, rng.Uniform(0, 49));
+      sales.SetDecimal(1, rng.Uniform(1, 1000));
+    }
+    db.AddTable(sales.Finish());
+  }
+  QueryEngine engine(&db);
+  ProfilingConfig config;
+  config.period = 200;
+  ProfilingSession live(config);
+  PlanBuilder products = PlanBuilder::Scan(db.table("products"));
+  PlanBuilder sales = PlanBuilder::Scan(db.table("sales"));
+  sales.JoinWith(std::move(products), {"id"}, {"id"}, {"category"});
+  sales.GroupByKeys({"category"},
+                    NamedExprs("total", MakeAggregate(AggOp::kSum, sales.Col("price"))));
+  CompiledQuery query = engine.Compile(sales.Build(), &live, "offline");
+  engine.Execute(query);
+
+  // Serialize the meta-data and samples, then resolve in a fresh session.
+  std::stringstream dict_file;
+  WriteDictionary(live.dictionary(), dict_file);
+  std::stringstream sample_file;
+  WriteSamples(live.samples(), sample_file);
+
+  ProfilingSession offline(config);
+  offline.LoadForPostProcessing(ReadDictionary(dict_file), ReadSamples(sample_file),
+                                live.execution_cycles());
+
+  live.Resolve(db.code_map());
+  offline.Resolve(db.code_map());
+  ASSERT_EQ(live.resolved().size(), offline.resolved().size());
+  for (size_t i = 0; i < live.resolved().size(); ++i) {
+    EXPECT_EQ(live.resolved()[i].op, offline.resolved()[i].op) << i;
+    EXPECT_EQ(live.resolved()[i].task, offline.resolved()[i].task) << i;
+    EXPECT_EQ(static_cast<int>(live.resolved()[i].category),
+              static_cast<int>(offline.resolved()[i].category))
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,51 @@
+// Shared test harness: compiles VIR functions and runs them on a fresh VCPU.
+#ifndef DFP_TESTS_TESTING_VCPU_HARNESS_H_
+#define DFP_TESTS_TESTING_VCPU_HARNESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/backend/compiler.h"
+#include "src/pmu/pmu.h"
+#include "src/vcpu/cpu.h"
+#include "src/vcpu/vmem.h"
+
+namespace dfp {
+
+class VcpuHarness {
+ public:
+  explicit VcpuHarness(uint64_t mem_capacity = 16ull << 20) : mem(mem_capacity) {}
+
+  // Compiles the function, registers it, and returns its global function id.
+  uint32_t Compile(IrFunction& function, const CompileOptions& options = CompileOptions()) {
+    EmittedFunction emitted = CompileFunction(function, options);
+    uint32_t segment =
+        code_map.AddSegment(SegmentKind::kGenerated, function.name(), std::move(emitted.code));
+    return code_map.AddFunction(function.name(), segment, 0, emitted.spill_slots,
+                                emitted.num_args);
+  }
+
+  // Runs a previously compiled (or host) function on a fresh CPU.
+  uint64_t Run(uint32_t func_id, std::vector<uint64_t> args) {
+    Cpu cpu(mem, code_map, pmu);
+    uint64_t result = cpu.CallFunction(func_id, args);
+    last_cycles = cpu.tsc();
+    last_instructions = cpu.stats().instructions;
+    return result;
+  }
+
+  uint64_t CompileAndRun(IrFunction& function, std::vector<uint64_t> args,
+                         const CompileOptions& options = CompileOptions()) {
+    return Run(Compile(function, options), std::move(args));
+  }
+
+  VMem mem;
+  CodeMap code_map;
+  Pmu pmu;
+  uint64_t last_cycles = 0;
+  uint64_t last_instructions = 0;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_TESTS_TESTING_VCPU_HARNESS_H_

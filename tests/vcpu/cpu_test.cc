@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/ir/builder.h"
+#include "tests/testing/vcpu_harness.h"
+
+namespace dfp {
+namespace {
+
+// Simple counted loop of `n` iterations with one load per iteration.
+IrFunction CountedLoop() {
+  IrFunction fn("loop", 2);  // (base, n)
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  uint32_t entry = b.CreateBlock("entry");
+  uint32_t head = b.CreateBlock("head");
+  uint32_t body = b.CreateBlock("body");
+  uint32_t exit = b.CreateBlock("exit");
+  b.SetInsertPoint(entry);
+  uint32_t i = b.Const(0);
+  uint32_t acc = b.Const(0);
+  b.Br(head);
+  b.SetInsertPoint(head);
+  uint32_t more = b.CmpLt(Value::Reg(i), Value::Reg(1));
+  b.CondBr(Value::Reg(more), body, exit);
+  b.SetInsertPoint(body);
+  uint32_t off = b.Binary(Opcode::kShl, Value::Reg(i), Value::Imm(3));
+  uint32_t addr = b.Add(Value::Reg(0), Value::Reg(off));
+  uint32_t v = b.Load(Opcode::kLoad8, Value::Reg(addr));
+  b.Assign(acc, Opcode::kAdd, Value::Reg(acc), Value::Reg(v));
+  b.Assign(i, Opcode::kAdd, Value::Reg(i), Value::Imm(1));
+  b.Br(head);
+  b.SetInsertPoint(exit);
+  b.Ret(Value::Reg(acc));
+  return fn;
+}
+
+TEST(Cpu, CountsEventsAndCycles) {
+  VcpuHarness harness;
+  uint32_t region = harness.mem.CreateRegion("data", 1 << 16);
+  VAddr base = harness.mem.Alloc(region, 1000 * 8);
+  IrFunction fn = CountedLoop();
+  harness.CompileAndRun(fn, {base, 1000});
+  EXPECT_GT(harness.last_cycles, 1000u);
+  EXPECT_GE(harness.pmu.counters()[PmuEvent::kLoads], 1000u);
+  EXPECT_GT(harness.pmu.counters()[PmuEvent::kInstrRetired], 5000u);
+  // Sequential 8-byte loads: one L1 miss per 64-byte line.
+  EXPECT_NEAR(static_cast<double>(harness.pmu.counters()[PmuEvent::kL1Miss]), 125.0, 8.0);
+}
+
+TEST(Cpu, SamplesArriveAtPeriodWithCorrectIps) {
+  VcpuHarness harness;
+  SamplingConfig config;
+  config.enabled = true;
+  config.period = 97;
+  harness.pmu.Configure(config);
+  uint32_t region = harness.mem.CreateRegion("data", 1 << 16);
+  VAddr base = harness.mem.Alloc(region, 500 * 8);
+  IrFunction fn = CountedLoop();
+  uint32_t fn_id = harness.Compile(fn);
+  Cpu cpu(harness.mem, harness.code_map, harness.pmu);
+  uint64_t args[] = {base, 500};
+  cpu.CallFunction(fn_id, args);
+  const std::vector<Sample>& samples = harness.pmu.samples();
+  ASSERT_GT(samples.size(), 20u);
+  const CodeSegment& segment = harness.code_map.segment(0);
+  for (const Sample& sample : samples) {
+    EXPECT_GE(sample.ip, segment.base_ip);
+    EXPECT_LT(sample.ip, segment.base_ip + segment.code.size());
+  }
+  // Instruction count / period samples (+-1 for boundary effects).
+  uint64_t instr = cpu.stats().instructions;
+  EXPECT_NEAR(static_cast<double>(samples.size()), static_cast<double>(instr / 97), 2.0);
+}
+
+TEST(Cpu, CallStackCaptureWalksFrames) {
+  VcpuHarness harness;
+  // inner(x) = x + 1; outer(x) = inner(x) * 2.
+  IrFunction inner("inner", 1);
+  {
+    IrIdAllocator ids;
+    IrBuilder b(&inner, &ids);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    // Burn instructions so samples land inside.
+    uint32_t acc = b.Const(0);
+    for (int i = 0; i < 50; ++i) {
+      b.Assign(acc, Opcode::kAdd, Value::Reg(acc), Value::Reg(0));
+    }
+    uint32_t r = b.Add(Value::Reg(acc), Value::Imm(1));
+    b.Ret(Value::Reg(r));
+  }
+  uint32_t inner_id = harness.Compile(inner);
+  IrFunction outer("outer", 1);
+  {
+    IrIdAllocator ids;
+    IrBuilder b(&outer, &ids);
+    b.SetInsertPoint(b.CreateBlock("entry"));
+    uint32_t r = b.Call(inner_id, {Value::Reg(0)}, true);
+    uint32_t doubled = b.Mul(Value::Reg(r), Value::Imm(2));
+    b.Ret(Value::Reg(doubled));
+  }
+  uint32_t outer_id = harness.Compile(outer);
+
+  SamplingConfig config;
+  config.enabled = true;
+  config.period = 7;
+  config.capture_callstack = true;
+  harness.pmu.Configure(config);
+  Cpu cpu(harness.mem, harness.code_map, harness.pmu);
+  uint64_t args[] = {5};
+  // inner: acc = 50 * x, returns acc + 1; outer doubles it.
+  EXPECT_EQ(cpu.CallFunction(outer_id, args), 2u * (50 * 5 + 1));
+  const CodeSegment& outer_segment = harness.code_map.segment(
+      harness.code_map.function(outer_id).segment);
+  bool saw_inner_sample_with_outer_frame = false;
+  for (const Sample& sample : harness.pmu.samples()) {
+    const CodeSegment* segment = harness.code_map.FindByIp(sample.ip);
+    if (segment != nullptr && segment->name == "inner" && !sample.callstack.empty()) {
+      const CodeSegment* caller = harness.code_map.FindByIp(sample.callstack[0]);
+      ASSERT_NE(caller, nullptr);
+      EXPECT_EQ(caller->id, outer_segment.id);
+      // The call site IP must hold a call instruction.
+      const MInstr& at = caller->code[sample.callstack[0] - caller->base_ip];
+      EXPECT_EQ(at.op, Opcode::kCall);
+      saw_inner_sample_with_outer_frame = true;
+    }
+  }
+  EXPECT_TRUE(saw_inner_sample_with_outer_frame);
+}
+
+TEST(Cpu, BranchMispredictionsCostCycles) {
+  // Alternating branch outcomes vs. constant outcomes over the same instruction count.
+  auto build = [](bool alternating) {
+    IrFunction fn(alternating ? "alt" : "stable", 1);
+    IrIdAllocator ids;
+    IrBuilder b(&fn, &ids);
+    uint32_t entry = b.CreateBlock("entry");
+    uint32_t head = b.CreateBlock("head");
+    uint32_t body = b.CreateBlock("body");
+    uint32_t then_block = b.CreateBlock("then");
+    uint32_t cont = b.CreateBlock("cont");
+    uint32_t exit = b.CreateBlock("exit");
+    b.SetInsertPoint(entry);
+    uint32_t i = b.Const(0);
+    uint32_t acc = b.Const(0);
+    b.Br(head);
+    b.SetInsertPoint(head);
+    uint32_t more = b.CmpLt(Value::Reg(i), Value::Imm(2000));
+    b.CondBr(Value::Reg(more), body, exit);
+    b.SetInsertPoint(body);
+    uint32_t bit = alternating ? b.Binary(Opcode::kAnd, Value::Reg(i), Value::Imm(1))
+                               : b.Binary(Opcode::kAnd, Value::Reg(i), Value::Imm(0));
+    b.CondBr(Value::Reg(bit), then_block, cont);
+    b.SetInsertPoint(then_block);
+    b.Assign(acc, Opcode::kAdd, Value::Reg(acc), Value::Imm(1));
+    b.Br(cont);
+    b.SetInsertPoint(cont);
+    b.Assign(i, Opcode::kAdd, Value::Reg(i), Value::Imm(1));
+    b.Br(head);
+    b.SetInsertPoint(exit);
+    b.Ret(Value::Reg(acc));
+    return fn;
+  };
+  VcpuHarness harness;
+  IrFunction alternating = build(true);
+  harness.CompileAndRun(alternating, {0});
+  uint64_t alternating_cycles = harness.last_cycles;
+  uint64_t alternating_misses = harness.pmu.counters()[PmuEvent::kBranchMiss];
+
+  VcpuHarness harness2;
+  IrFunction stable = build(false);
+  harness2.CompileAndRun(stable, {0});
+  uint64_t stable_misses = harness2.pmu.counters()[PmuEvent::kBranchMiss];
+
+  EXPECT_GT(alternating_misses, 900u);  // ~1000 mispredictions of the alternating branch.
+  EXPECT_LT(stable_misses, 50u);
+  // The alternating variant executes ~1000 extra adds but pays far more in penalties.
+  EXPECT_GT(alternating_cycles, harness2.last_cycles + 10000);
+}
+
+TEST(Cpu, HostWorkEmitsSamplesInSegmentRange) {
+  VcpuHarness harness;
+  uint32_t segment = harness.code_map.AddHostSegment(SegmentKind::kKernel, "k", 32);
+  SamplingConfig config;
+  config.enabled = true;
+  config.period = 100;
+  harness.pmu.Configure(config);
+  Cpu cpu(harness.mem, harness.code_map, harness.pmu);
+  cpu.HostWork(segment, 10000);
+  EXPECT_EQ(cpu.stats().instructions, 10000u);
+  const std::vector<Sample>& samples = harness.pmu.samples();
+  EXPECT_NEAR(static_cast<double>(samples.size()), 100.0, 12.0);
+  const CodeSegment& seg = harness.code_map.segment(segment);
+  std::set<uint64_t> distinct_ips;
+  for (const Sample& sample : samples) {
+    EXPECT_GE(sample.ip, seg.base_ip);
+    EXPECT_LT(sample.ip, seg.base_ip + seg.virtual_size);
+    distinct_ips.insert(sample.ip);
+  }
+  EXPECT_GT(distinct_ips.size(), 5u);  // Synthetic IPs rotate through the range.
+}
+
+TEST(Cpu, DivisionByZeroTraps) {
+  IrFunction fn("div", 2);
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  b.SetInsertPoint(b.CreateBlock("entry"));
+  uint32_t q = b.Div(Value::Reg(0), Value::Reg(1));
+  b.Ret(Value::Reg(q));
+  VcpuHarness harness;
+  EXPECT_EQ(harness.CompileAndRun(fn, {10, 2}), 5u);
+  IrFunction fn2 = fn;  // Compiled code already registered; run with zero divisor.
+  EXPECT_DEATH(
+      {
+        VcpuHarness h2;
+        IrFunction f("div0", 2);
+        IrIdAllocator ids2;
+        IrBuilder b2(&f, &ids2);
+        b2.SetInsertPoint(b2.CreateBlock("entry"));
+        uint32_t q2 = b2.Div(Value::Reg(0), Value::Reg(1));
+        b2.Ret(Value::Reg(q2));
+        h2.CompileAndRun(f, {10, 0});
+      },
+      "DFP_CHECK");
+}
+
+TEST(Cpu, TagRegisterVisibleInSamples) {
+  IrFunction fn("tagged", 0);
+  IrIdAllocator ids;
+  IrBuilder b(&fn, &ids);
+  uint32_t entry = b.CreateBlock("entry");
+  uint32_t head = b.CreateBlock("head");
+  uint32_t body = b.CreateBlock("body");
+  uint32_t exit = b.CreateBlock("exit");
+  b.SetInsertPoint(entry);
+  b.SetTag(Value::Imm(777));
+  uint32_t i = b.Const(0);
+  b.Br(head);
+  b.SetInsertPoint(head);
+  uint32_t more = b.CmpLt(Value::Reg(i), Value::Imm(1000));
+  b.CondBr(Value::Reg(more), body, exit);
+  b.SetInsertPoint(body);
+  b.Assign(i, Opcode::kAdd, Value::Reg(i), Value::Imm(1));
+  b.Br(head);
+  b.SetInsertPoint(exit);
+  b.Ret();
+  VcpuHarness harness;
+  SamplingConfig config;
+  config.enabled = true;
+  config.period = 50;
+  config.capture_registers = true;
+  harness.pmu.Configure(config);
+  CompileOptions options;
+  options.reserve_tag_register = true;
+  harness.CompileAndRun(fn, {}, options);
+  ASSERT_GT(harness.pmu.samples().size(), 10u);
+  size_t tagged = 0;
+  for (const Sample& sample : harness.pmu.samples()) {
+    ASSERT_TRUE(sample.has_registers);
+    if (sample.regs[kTagRegister] == 777) {
+      ++tagged;
+    }
+  }
+  EXPECT_GT(tagged, harness.pmu.samples().size() - 3);  // All but the pre-SetTag prologue.
+}
+
+}  // namespace
+}  // namespace dfp

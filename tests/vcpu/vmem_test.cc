@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "src/vcpu/vmem.h"
+
+namespace dfp {
+namespace {
+
+TEST(VMem, RegionCarving) {
+  VMem mem(1 << 20);
+  uint32_t a = mem.CreateRegion("columns", 4096);
+  uint32_t b = mem.CreateRegion("hashtables", 8192);
+  EXPECT_NE(mem.region(a).base, 0u);  // Null page reserved.
+  EXPECT_EQ(mem.region(b).base, mem.region(a).base + 4096);
+  EXPECT_EQ(mem.regions().size(), 2u);
+}
+
+TEST(VMem, BumpAllocationRespectsAlignment) {
+  VMem mem(1 << 20);
+  uint32_t region = mem.CreateRegion("r", 4096);
+  VAddr first = mem.Alloc(region, 3, 1);
+  VAddr second = mem.Alloc(region, 8, 8);
+  EXPECT_EQ(second % 8, 0u);
+  EXPECT_GT(second, first);
+}
+
+TEST(VMem, ReadWriteRoundTrip) {
+  VMem mem(1 << 20);
+  uint32_t region = mem.CreateRegion("r", 4096);
+  VAddr addr = mem.Alloc(region, 64);
+  mem.Write<uint64_t>(addr, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(mem.Read<uint64_t>(addr), 0xDEADBEEFCAFEBABEull);
+  mem.Write<int32_t>(addr + 8, -42);
+  EXPECT_EQ(mem.Read<int32_t>(addr + 8), -42);
+  mem.Write<uint8_t>(addr + 12, 0x7F);
+  EXPECT_EQ(mem.Read<uint8_t>(addr + 12), 0x7F);
+}
+
+TEST(VMem, FindRegion) {
+  VMem mem(1 << 20);
+  uint32_t a = mem.CreateRegion("columns", 4096);
+  VAddr addr = mem.Alloc(a, 16);
+  const MemRegion* region = mem.FindRegion(addr);
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(region->name, "columns");
+  EXPECT_EQ(mem.FindRegion(1 << 19), nullptr);
+}
+
+TEST(VMem, DeathOnRegionOverflow) {
+  VMem mem(1 << 20);
+  uint32_t region = mem.CreateRegion("tiny", 16);
+  mem.Alloc(region, 16);
+  EXPECT_DEATH(mem.Alloc(region, 1), "DFP_CHECK");
+}
+
+}  // namespace
+}  // namespace dfp
