@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_activity.dir/bench_activity.cc.o"
+  "CMakeFiles/bench_activity.dir/bench_activity.cc.o.d"
+  "bench_activity"
+  "bench_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

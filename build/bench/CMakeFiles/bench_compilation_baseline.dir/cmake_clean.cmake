@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compilation_baseline.dir/bench_compilation_baseline.cc.o"
+  "CMakeFiles/bench_compilation_baseline.dir/bench_compilation_baseline.cc.o.d"
+  "bench_compilation_baseline"
+  "bench_compilation_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compilation_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

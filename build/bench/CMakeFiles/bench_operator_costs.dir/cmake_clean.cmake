@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operator_costs.dir/bench_operator_costs.cc.o"
+  "CMakeFiles/bench_operator_costs.dir/bench_operator_costs.cc.o.d"
+  "bench_operator_costs"
+  "bench_operator_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operator_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

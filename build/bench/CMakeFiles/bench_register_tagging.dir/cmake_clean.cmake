@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_register_tagging.dir/bench_register_tagging.cc.o"
+  "CMakeFiles/bench_register_tagging.dir/bench_register_tagging.cc.o.d"
+  "bench_register_tagging"
+  "bench_register_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_register_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_profile.dir/explain_profile.cpp.o"
+  "CMakeFiles/explain_profile.dir/explain_profile.cpp.o.d"
+  "explain_profile"
+  "explain_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_patterns.dir/memory_patterns.cpp.o"
+  "CMakeFiles/memory_patterns.dir/memory_patterns.cpp.o.d"
+  "memory_patterns"
+  "memory_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_comparison.dir/plan_comparison.cpp.o"
+  "CMakeFiles/plan_comparison.dir/plan_comparison.cpp.o.d"
+  "plan_comparison"
+  "plan_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

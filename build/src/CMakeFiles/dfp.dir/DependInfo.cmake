@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/compiler.cc" "src/CMakeFiles/dfp.dir/backend/compiler.cc.o" "gcc" "src/CMakeFiles/dfp.dir/backend/compiler.cc.o.d"
+  "/root/repo/src/backend/emitter.cc" "src/CMakeFiles/dfp.dir/backend/emitter.cc.o" "gcc" "src/CMakeFiles/dfp.dir/backend/emitter.cc.o.d"
+  "/root/repo/src/backend/liveness.cc" "src/CMakeFiles/dfp.dir/backend/liveness.cc.o" "gcc" "src/CMakeFiles/dfp.dir/backend/liveness.cc.o.d"
+  "/root/repo/src/backend/passes.cc" "src/CMakeFiles/dfp.dir/backend/passes.cc.o" "gcc" "src/CMakeFiles/dfp.dir/backend/passes.cc.o.d"
+  "/root/repo/src/backend/regalloc.cc" "src/CMakeFiles/dfp.dir/backend/regalloc.cc.o" "gcc" "src/CMakeFiles/dfp.dir/backend/regalloc.cc.o.d"
+  "/root/repo/src/engine/codegen.cc" "src/CMakeFiles/dfp.dir/engine/codegen.cc.o" "gcc" "src/CMakeFiles/dfp.dir/engine/codegen.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/dfp.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/dfp.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/query_engine.cc" "src/CMakeFiles/dfp.dir/engine/query_engine.cc.o" "gcc" "src/CMakeFiles/dfp.dir/engine/query_engine.cc.o.d"
+  "/root/repo/src/engine/result.cc" "src/CMakeFiles/dfp.dir/engine/result.cc.o" "gcc" "src/CMakeFiles/dfp.dir/engine/result.cc.o.d"
+  "/root/repo/src/interp/interpreter.cc" "src/CMakeFiles/dfp.dir/interp/interpreter.cc.o" "gcc" "src/CMakeFiles/dfp.dir/interp/interpreter.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/dfp.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/dfp.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/interp.cc" "src/CMakeFiles/dfp.dir/ir/interp.cc.o" "gcc" "src/CMakeFiles/dfp.dir/ir/interp.cc.o.d"
+  "/root/repo/src/ir/opcode.cc" "src/CMakeFiles/dfp.dir/ir/opcode.cc.o" "gcc" "src/CMakeFiles/dfp.dir/ir/opcode.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/dfp.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/dfp.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/CMakeFiles/dfp.dir/ir/verifier.cc.o" "gcc" "src/CMakeFiles/dfp.dir/ir/verifier.cc.o.d"
+  "/root/repo/src/plan/builder.cc" "src/CMakeFiles/dfp.dir/plan/builder.cc.o" "gcc" "src/CMakeFiles/dfp.dir/plan/builder.cc.o.d"
+  "/root/repo/src/plan/eval.cc" "src/CMakeFiles/dfp.dir/plan/eval.cc.o" "gcc" "src/CMakeFiles/dfp.dir/plan/eval.cc.o.d"
+  "/root/repo/src/plan/expr.cc" "src/CMakeFiles/dfp.dir/plan/expr.cc.o" "gcc" "src/CMakeFiles/dfp.dir/plan/expr.cc.o.d"
+  "/root/repo/src/plan/physical.cc" "src/CMakeFiles/dfp.dir/plan/physical.cc.o" "gcc" "src/CMakeFiles/dfp.dir/plan/physical.cc.o.d"
+  "/root/repo/src/pmu/pmu.cc" "src/CMakeFiles/dfp.dir/pmu/pmu.cc.o" "gcc" "src/CMakeFiles/dfp.dir/pmu/pmu.cc.o.d"
+  "/root/repo/src/profiling/reports.cc" "src/CMakeFiles/dfp.dir/profiling/reports.cc.o" "gcc" "src/CMakeFiles/dfp.dir/profiling/reports.cc.o.d"
+  "/root/repo/src/profiling/serialize.cc" "src/CMakeFiles/dfp.dir/profiling/serialize.cc.o" "gcc" "src/CMakeFiles/dfp.dir/profiling/serialize.cc.o.d"
+  "/root/repo/src/profiling/session.cc" "src/CMakeFiles/dfp.dir/profiling/session.cc.o" "gcc" "src/CMakeFiles/dfp.dir/profiling/session.cc.o.d"
+  "/root/repo/src/profiling/tagging_dictionary.cc" "src/CMakeFiles/dfp.dir/profiling/tagging_dictionary.cc.o" "gcc" "src/CMakeFiles/dfp.dir/profiling/tagging_dictionary.cc.o.d"
+  "/root/repo/src/profiling/validation.cc" "src/CMakeFiles/dfp.dir/profiling/validation.cc.o" "gcc" "src/CMakeFiles/dfp.dir/profiling/validation.cc.o.d"
+  "/root/repo/src/runtime/hashtable.cc" "src/CMakeFiles/dfp.dir/runtime/hashtable.cc.o" "gcc" "src/CMakeFiles/dfp.dir/runtime/hashtable.cc.o.d"
+  "/root/repo/src/runtime/runtime.cc" "src/CMakeFiles/dfp.dir/runtime/runtime.cc.o" "gcc" "src/CMakeFiles/dfp.dir/runtime/runtime.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/dfp.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/dfp.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/dfp.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/dfp.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/dfp.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/dfp.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/stringheap.cc" "src/CMakeFiles/dfp.dir/storage/stringheap.cc.o" "gcc" "src/CMakeFiles/dfp.dir/storage/stringheap.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/dfp.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/dfp.dir/storage/table.cc.o.d"
+  "/root/repo/src/tpch/datagen.cc" "src/CMakeFiles/dfp.dir/tpch/datagen.cc.o" "gcc" "src/CMakeFiles/dfp.dir/tpch/datagen.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/CMakeFiles/dfp.dir/tpch/queries.cc.o" "gcc" "src/CMakeFiles/dfp.dir/tpch/queries.cc.o.d"
+  "/root/repo/src/util/chart.cc" "src/CMakeFiles/dfp.dir/util/chart.cc.o" "gcc" "src/CMakeFiles/dfp.dir/util/chart.cc.o.d"
+  "/root/repo/src/util/date.cc" "src/CMakeFiles/dfp.dir/util/date.cc.o" "gcc" "src/CMakeFiles/dfp.dir/util/date.cc.o.d"
+  "/root/repo/src/util/hash.cc" "src/CMakeFiles/dfp.dir/util/hash.cc.o" "gcc" "src/CMakeFiles/dfp.dir/util/hash.cc.o.d"
+  "/root/repo/src/util/str.cc" "src/CMakeFiles/dfp.dir/util/str.cc.o" "gcc" "src/CMakeFiles/dfp.dir/util/str.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/dfp.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/dfp.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/vcpu/cache.cc" "src/CMakeFiles/dfp.dir/vcpu/cache.cc.o" "gcc" "src/CMakeFiles/dfp.dir/vcpu/cache.cc.o.d"
+  "/root/repo/src/vcpu/code_map.cc" "src/CMakeFiles/dfp.dir/vcpu/code_map.cc.o" "gcc" "src/CMakeFiles/dfp.dir/vcpu/code_map.cc.o.d"
+  "/root/repo/src/vcpu/cpu.cc" "src/CMakeFiles/dfp.dir/vcpu/cpu.cc.o" "gcc" "src/CMakeFiles/dfp.dir/vcpu/cpu.cc.o.d"
+  "/root/repo/src/vcpu/disasm.cc" "src/CMakeFiles/dfp.dir/vcpu/disasm.cc.o" "gcc" "src/CMakeFiles/dfp.dir/vcpu/disasm.cc.o.d"
+  "/root/repo/src/vcpu/vmem.cc" "src/CMakeFiles/dfp.dir/vcpu/vmem.cc.o" "gcc" "src/CMakeFiles/dfp.dir/vcpu/vmem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

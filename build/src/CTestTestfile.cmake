@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("vcpu")
+subdirs("pmu")
+subdirs("ir")
+subdirs("backend")
+subdirs("runtime")
+subdirs("storage")
+subdirs("tpch")
+subdirs("plan")
+subdirs("sql")
+subdirs("engine")
+subdirs("interp")
+subdirs("profiling")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_exec_test.dir/backend/exec_test.cc.o"
+  "CMakeFiles/backend_exec_test.dir/backend/exec_test.cc.o.d"
+  "backend_exec_test"
+  "backend_exec_test.pdb"
+  "backend_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_passes_test.dir/backend/passes_test.cc.o"
+  "CMakeFiles/backend_passes_test.dir/backend/passes_test.cc.o.d"
+  "backend_passes_test"
+  "backend_passes_test.pdb"
+  "backend_passes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_passes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

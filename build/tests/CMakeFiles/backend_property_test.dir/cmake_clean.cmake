@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_property_test.dir/backend/property_test.cc.o"
+  "CMakeFiles/backend_property_test.dir/backend/property_test.cc.o.d"
+  "backend_property_test"
+  "backend_property_test.pdb"
+  "backend_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hand_computed_test.dir/integration/hand_computed_test.cc.o"
+  "CMakeFiles/hand_computed_test.dir/integration/hand_computed_test.cc.o.d"
+  "hand_computed_test"
+  "hand_computed_test.pdb"
+  "hand_computed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hand_computed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

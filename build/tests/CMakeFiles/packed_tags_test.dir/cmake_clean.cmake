@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packed_tags_test.dir/profiling/packed_tags_test.cc.o"
+  "CMakeFiles/packed_tags_test.dir/profiling/packed_tags_test.cc.o.d"
+  "packed_tags_test"
+  "packed_tags_test.pdb"
+  "packed_tags_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packed_tags_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_plan_test.dir/integration/random_plan_test.cc.o"
+  "CMakeFiles/random_plan_test.dir/integration/random_plan_test.cc.o.d"
+  "random_plan_test"
+  "random_plan_test.pdb"
+  "random_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

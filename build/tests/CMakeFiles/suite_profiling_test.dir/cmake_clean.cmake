@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_profiling_test.dir/integration/suite_profiling_test.cc.o"
+  "CMakeFiles/suite_profiling_test.dir/integration/suite_profiling_test.cc.o.d"
+  "suite_profiling_test"
+  "suite_profiling_test.pdb"
+  "suite_profiling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_profiling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_counts_test.dir/engine/tuple_counts_test.cc.o"
+  "CMakeFiles/tuple_counts_test.dir/engine/tuple_counts_test.cc.o.d"
+  "tuple_counts_test"
+  "tuple_counts_test.pdb"
+  "tuple_counts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_counts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vmem_test.dir/vcpu/vmem_test.cc.o"
+  "CMakeFiles/vmem_test.dir/vcpu/vmem_test.cc.o.d"
+  "vmem_test"
+  "vmem_test.pdb"
+  "vmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/vmem_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/pmu_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_passes_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_property_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/dictionary_test[1]_include.cmake")
+include("/root/repo/build/tests/profiling_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/tpch_test[1]_include.cmake")
+include("/root/repo/build/tests/reports_test[1]_include.cmake")
+include("/root/repo/build/tests/regalloc_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/tuple_counts_test[1]_include.cmake")
+include("/root/repo/build/tests/suite_profiling_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/window_test[1]_include.cmake")
+include("/root/repo/build/tests/random_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/packed_tags_test[1]_include.cmake")
+include("/root/repo/build/tests/hand_computed_test[1]_include.cmake")
