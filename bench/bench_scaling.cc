@@ -1,0 +1,88 @@
+// Morsel-driven scaling experiment: the same compiled query executed on worker pools of
+// 1/2/4/8 simulated cores. Reports simulated-cycle speedup and per-worker busy/idle shares,
+// then drills into the 4-worker run with the multi-level profiles — per-worker activity
+// timeline, merged cost-annotated plan, and attribution statistics — to show that every
+// Tailored Profiling report works unchanged on the merged multi-worker sample stream.
+#include "bench/common.h"
+#include "src/profiling/reports.h"
+
+namespace dfp {
+namespace {
+
+CompiledQuery CompileParallel(QueryEngine& engine, Database& db, const QuerySpec& spec,
+                              ProfilingSession* session, const std::string& name) {
+  CodegenOptions options;
+  options.parallel = true;
+  return engine.Compile(BuildQueryPlan(db, spec), session, name, options);
+}
+
+int Main() {
+  PrintHeader("Morsel-driven scaling", "Section 3.1 of the morsel-driven execution extension");
+  std::unique_ptr<Database> db = MakeTpchDatabase(BenchScale());
+  QueryEngine engine(db.get());
+
+  for (const char* name : {"q1", "q6", "qgj"}) {
+    const QuerySpec& spec = FindQuery(name);
+    CompiledQuery sequential = engine.Compile(BuildQueryPlan(*db, spec), nullptr, spec.name);
+    engine.Execute(sequential);
+    const uint64_t base_cycles = engine.last_cycles();
+    std::printf("\n--- %s: %llu single-threaded cycles (%.2f ms simulated) ---\n", name,
+                static_cast<unsigned long long>(base_cycles), CyclesToMs(base_cycles));
+    std::printf("%-8s %14s %9s %s\n", "workers", "cycles", "speedup", "per-worker busy%");
+
+    CompiledQuery parallel = CompileParallel(engine, *db, spec, nullptr, spec.name + "_par");
+    for (uint32_t workers : {1u, 2u, 4u, 8u}) {
+      ParallelConfig config;
+      config.workers = workers;
+      engine.ExecuteParallel(parallel, config);
+      const uint64_t cycles = engine.last_cycles();
+      std::string busy;
+      uint64_t morsels = 0;
+      for (const WorkerMetrics& w : engine.last_worker_metrics()) {
+        busy += StrFormat("%s%.0f%%", busy.empty() ? "" : " ",
+                          100.0 * static_cast<double>(w.busy_cycles) /
+                              static_cast<double>(std::max<uint64_t>(1, cycles)));
+        morsels += w.morsels;
+      }
+      std::printf("%-8u %14llu %8.2fx %s  (%llu dispatches)\n", workers,
+                  static_cast<unsigned long long>(cycles),
+                  static_cast<double>(base_cycles) / static_cast<double>(cycles), busy.c_str(),
+                  static_cast<unsigned long long>(morsels));
+    }
+  }
+
+  // Drill-down: profile the 4-worker run of q1 and render the merged multi-level reports.
+  {
+    const QuerySpec& spec = FindQuery("q1");
+    ProfilingConfig pconfig;
+    pconfig.period = 2000;
+    ProfilingSession session(pconfig);
+    CompiledQuery query = CompileParallel(engine, *db, spec, &session, "q1_profiled");
+    ParallelConfig config;
+    config.workers = 4;
+    engine.ExecuteParallel(query, config);
+    session.Resolve(db->code_map());
+
+    std::printf("\n--- q1 at 4 workers: per-worker activity (one lane per worker) ---\n");
+    ActivityTimeline lanes = BuildWorkerActivityTimeline(session, 60);
+    std::printf("%s\n", RenderActivityTimeline(lanes).c_str());
+
+    std::printf("--- q1 at 4 workers: cost-annotated plan from the merged stream ---\n");
+    OperatorProfile profile = BuildOperatorProfile(session, query);
+    std::printf("%s\n", RenderAnnotatedPlan(profile, query).c_str());
+
+    std::printf("--- q1 at 4 workers: attribution statistics ---\n");
+    std::printf("%s\n", RenderAttributionStats(session.Stats()).c_str());
+  }
+
+  std::printf(
+      "Expected shape: scan-heavy queries (q1, qgj) approach linear scaling until the\n"
+      "sequential pipelines (group scan, output) and barriers dominate; q6's cheap scan\n"
+      "saturates earlier. Idle share grows with the pool when morsel supply runs short.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dfp
+
+int main() { return dfp::Main(); }

@@ -1,0 +1,66 @@
+// Parallel-execution scenario: a developer profiles the same query single-threaded and on a
+// 4-worker morsel-parallel pool. Each simulated core has its own PMU and tag register; the
+// engine merges the per-worker sample streams by timestamp, so every Tailored Profiling report
+// works unchanged — plus a per-worker activity timeline that makes idle phases visible.
+#include <cstdio>
+
+#include "src/engine/query_engine.h"
+#include "src/profiling/reports.h"
+#include "src/tpch/datagen.h"
+#include "src/tpch/queries.h"
+
+int main() {
+  using namespace dfp;
+  Database db;
+  TpchOptions options;
+  options.scale = 0.01;
+  GenerateTpch(db, options);
+  QueryEngine engine(&db);
+  const QuerySpec& spec = FindQuery("q1");
+
+  std::printf("Query q1 (TPC-H Q1 shape: scan lineitem, filter, group, sort).\n\n");
+
+  // Baseline: single-threaded profiled run.
+  ProfilingConfig pconfig;
+  pconfig.period = 5000;
+  ProfilingSession seq_session(pconfig);
+  CompiledQuery sequential = engine.Compile(BuildQueryPlan(db, spec), &seq_session, "q1");
+  engine.Execute(sequential);
+  const uint64_t seq_cycles = engine.last_cycles();
+
+  // The same plan compiled in morsel-parallel mode: pipeline functions take (state,
+  // morsel_begin, morsel_end), cursors move through the shared state block, and hash-table
+  // inserts go through the lock-striped runtime kernel.
+  ProfilingSession par_session(pconfig);
+  CodegenOptions codegen;
+  codegen.parallel = true;
+  CompiledQuery parallel = engine.Compile(BuildQueryPlan(db, spec), &par_session, "q1_par",
+                                          codegen);
+  ParallelConfig pool;
+  pool.workers = 4;
+  engine.ExecuteParallel(parallel, pool);
+  const uint64_t par_cycles = engine.last_cycles();
+
+  std::printf("single-threaded: %10llu simulated cycles\n",
+              static_cast<unsigned long long>(seq_cycles));
+  std::printf("4 workers:       %10llu simulated cycles (%.2fx speedup)\n\n",
+              static_cast<unsigned long long>(par_cycles),
+              static_cast<double>(seq_cycles) / static_cast<double>(par_cycles));
+
+  std::printf("Per-worker execution metrics:\n");
+  for (const WorkerMetrics& w : engine.last_worker_metrics()) {
+    std::printf("  worker %u: %3llu dispatches, %5.1f%% busy, %llu samples\n", w.worker_id,
+                static_cast<unsigned long long>(w.morsels),
+                100.0 * static_cast<double>(w.busy_cycles) / static_cast<double>(par_cycles),
+                static_cast<unsigned long long>(w.samples));
+  }
+
+  par_session.Resolve(db.code_map());
+  std::printf("\nPer-worker activity (one lane per worker; the tail is the sequential\n");
+  std::printf("group-scan/sort phase, which only worker 0 executes):\n%s\n",
+              RenderActivityTimeline(BuildWorkerActivityTimeline(par_session, 60)).c_str());
+
+  std::printf("Cost-annotated plan from the merged 4-worker sample stream:\n%s\n",
+              RenderAnnotatedPlan(BuildOperatorProfile(par_session, parallel), parallel).c_str());
+  return 0;
+}

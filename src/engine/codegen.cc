@@ -344,16 +344,19 @@ class PlanLowering {
 
 class PipelineEmitter {
  public:
+  // In parallel mode pipeline functions take (state, morsel_begin, morsel_end) and every
+  // cursor shared across morsels lives in the state block (see CodegenOptions::parallel).
   PipelineEmitter(Database& db, ProfilingSession* session, Pipeline& pipeline,
                   const std::unordered_map<uint64_t, uint32_t>& state_offsets,
                   const std::unordered_map<TaskId, uint32_t>* counter_offsets,
-                  IrIdAllocator& ids, std::string fn_name)
+                  IrIdAllocator& ids, std::string fn_name, bool parallel)
       : db_(db),
         session_(session),
         pipeline_(pipeline),
         state_offsets_(state_offsets),
         counter_offsets_(counter_offsets),
-        fn_(std::move(fn_name), 1),
+        parallel_(parallel),
+        fn_(std::move(fn_name), parallel ? 3 : 1),
         b_(&fn_, &ids) {
     if (session_ != nullptr) {
       b_.SetObserver([this](const IrInstr& instr) {
@@ -783,7 +786,9 @@ class PipelineEmitter {
         }
         case PipelineStep::Role::kSortMaterialize: {
           state.buf_base = LoadState(StateOffset(step.op->id, StateSlot::kBufferBase));
-          state.cursor = b_.Const(0);
+          if (!parallel_) {
+            state.cursor = b_.Const(0);
+          }
           break;
         }
         case PipelineStep::Role::kSortScanSource: {
@@ -798,17 +803,21 @@ class PipelineEmitter {
           break;
         }
         case PipelineStep::Role::kLimit:
-          state.cursor = b_.Const(0);
+          if (!parallel_) {
+            state.cursor = b_.Const(0);
+          }
           break;
         case PipelineStep::Role::kOutput: {
           state.buf_base = LoadState(StateOffset(step.op->id, StateSlot::kOutBase));
-          state.cursor = b_.Const(0);
+          if (!parallel_) {
+            state.cursor = b_.Const(0);
+          }
           break;
         }
         default:
           break;
       }
-      if (CountingEnabled(step)) {
+      if (CountingEnabled(step) && !parallel_) {
         state.tuple_counter = b_.Const(0);
         b_.AnnotateLast("tuple counter");
       }
@@ -816,6 +825,11 @@ class PipelineEmitter {
   }
 
   void EmitEpilog() {
+    if (parallel_) {
+      // Shared cursors and counters are updated in the state block tuple by tuple (modeled
+      // atomic fetch-adds); there is nothing to write back per morsel.
+      return;
+    }
     // Store live counters back to the state block.
     for (size_t i = 0; i < pipeline_.steps.size(); ++i) {
       const PipelineStep& step = pipeline_.steps[i];
@@ -865,12 +879,20 @@ class PipelineEmitter {
     uint32_t head = b_.CreateBlock("loopTuples");
     uint32_t body = b_.CreateBlock("scanBody");
     uint32_t cont = b_.CreateBlock("contScan");
-    uint32_t tid = b_.Const(0);
-    b_.AnnotateLast("tuple id");
+    uint32_t tid;
+    if (parallel_) {
+      // The morsel bounds arrive in the argument registers: tid runs [begin, end).
+      tid = 1;  // morsel_begin, advanced in place.
+    } else {
+      tid = b_.Const(0);
+      b_.AnnotateLast("tuple id");
+    }
     b_.Br(head);
 
     b_.SetInsertPoint(head);
-    uint32_t more = b_.CmpLt(Value::Reg(tid),
+    uint32_t more =
+        parallel_ ? b_.CmpLt(Value::Reg(tid), Value::Reg(2))
+                  : b_.CmpLt(Value::Reg(tid),
                              Value::Imm(static_cast<int64_t>(table.row_count())));
     b_.CondBr(Value::Reg(more), body, exit_block_);
 
@@ -1129,6 +1151,22 @@ class PipelineEmitter {
   void EmitLimit(size_t index, TupleContext& tuple) {
     const PipelineStep& step = pipeline_.steps[index];
     StepState& state = step_states_[index];
+    if (parallel_) {
+      // The limit counter is shared across morsels: load it from the state block, check, and
+      // publish the increment (modeled atomic fetch-add) before the downstream steps run.
+      const uint32_t offset = StateOffset(step.op->id, StateSlot::kLimitCounter);
+      uint32_t cursor = LoadState(offset, "shared limit counter");
+      uint32_t over = b_.Binary(Opcode::kCmpGe, Value::Reg(cursor),
+                                Value::Imm(step.op->limit));
+      uint32_t go = b_.CreateBlock("limitPass");
+      b_.CondBr(Value::Reg(over), exit_block_, go);
+      b_.SetInsertPoint(go);
+      uint32_t next = b_.Add(Value::Reg(cursor), Value::Imm(1));
+      StoreState(offset, Value::Reg(next));
+      CountTuple(index);
+      EmitSteps(index + 1, tuple);
+      return;
+    }
     uint32_t over = b_.Binary(Opcode::kCmpGe, Value::Reg(state.cursor),
                               Value::Imm(step.op->limit));
     uint32_t go = b_.CreateBlock("limitPass");
@@ -1147,7 +1185,21 @@ class PipelineEmitter {
                                ? step.op->output.size()
                                : step.op->child(0)->output.size();
     CountTuple(index);
-    uint32_t row_offset = b_.Mul(Value::Reg(state.cursor),
+    uint32_t cursor;
+    if (parallel_) {
+      // Claim an output slot from the shared counter (modeled atomic fetch-add): the claim is
+      // published before the row is written, so concurrent morsels never reuse a slot.
+      const uint32_t count_offset =
+          step.role == PipelineStep::Role::kOutput
+              ? StateOffset(step.op->id, StateSlot::kOutCount)
+              : StateOffset(step.op->id, StateSlot::kBufferCount);
+      cursor = LoadState(count_offset, "claim output slot");
+      uint32_t next = b_.Add(Value::Reg(cursor), Value::Imm(1));
+      StoreState(count_offset, Value::Reg(next));
+    } else {
+      cursor = state.cursor;
+    }
+    uint32_t row_offset = b_.Mul(Value::Reg(cursor),
                                  Value::Imm(static_cast<int64_t>(columns * 8)));
     uint32_t row_addr = b_.Add(Value::Reg(state.buf_base), Value::Reg(row_offset));
     for (size_t c = 0; c < columns; ++c) {
@@ -1155,7 +1207,9 @@ class PipelineEmitter {
       b_.Store(Opcode::kStore8, value.value, Value::Reg(row_addr),
                static_cast<int32_t>(c * 8), "materialize column");
     }
-    b_.Assign(state.cursor, Opcode::kAdd, Value::Reg(state.cursor), Value::Imm(1));
+    if (!parallel_) {
+      b_.Assign(state.cursor, Opcode::kAdd, Value::Reg(state.cursor), Value::Imm(1));
+    }
   }
 
   void EmitJoinBuild(size_t index, TupleContext& tuple) {
@@ -1168,7 +1222,7 @@ class PipelineEmitter {
       keys.push_back(tuple.Get(slot));
     }
     uint32_t hash = EmitKeyHash(keys);
-    uint32_t entry = TaggedCall(db_.runtime().ht_insert_fn(),
+    uint32_t entry = TaggedCall(InsertFn(),
                                 {Value::Reg(state.ht.table), Value::Reg(hash)},
                                 /*has_result=*/true, step.task, "insert build tuple");
     int32_t offset = static_cast<int32_t>(kHtEntryPayload);
@@ -1308,7 +1362,7 @@ class PipelineEmitter {
       keys.push_back(tuple.Get(slot));
     }
     uint32_t hash = EmitKeyHash(keys);
-    uint32_t entry = TaggedCall(db_.runtime().ht_insert_fn(),
+    uint32_t entry = TaggedCall(InsertFn(),
                                 {Value::Reg(state.ht.table), Value::Reg(hash)},
                                 /*has_result=*/true, step.task, "insert group");
     for (size_t k = 0; k < keys.size(); ++k) {
@@ -1412,7 +1466,7 @@ class PipelineEmitter {
     if (is_groupjoin_probe) {
       b_.Br(continue_stack_.back());
     } else {
-      uint32_t new_entry = TaggedCall(db_.runtime().ht_insert_fn(),
+      uint32_t new_entry = TaggedCall(InsertFn(),
                                       {Value::Reg(state.ht.table), Value::Reg(hash)},
                                       /*has_result=*/true, step.task, "insert group");
       b_.Copy(entry, Value::Reg(new_entry));
@@ -1517,14 +1571,28 @@ class PipelineEmitter {
            counter_offsets_->count(step.task) != 0;
   }
 
-  // Emits the per-task tuple counter increment at a step's "tuple processed" point.
+  // Emits the per-task tuple counter increment at a step's "tuple processed" point. Parallel
+  // pipelines update the counter's state slot directly (it is shared across morsels).
   void CountTuple(size_t step_index) {
     const PipelineStep& step = pipeline_.steps[step_index];
     if (!CountingEnabled(step)) {
       return;
     }
+    if (parallel_) {
+      const uint32_t offset = counter_offsets_->at(step.task);
+      uint32_t count = LoadState(offset, "shared tuple counter");
+      uint32_t next = b_.Add(Value::Reg(count), Value::Imm(1));
+      StoreState(offset, Value::Reg(next));
+      return;
+    }
     StepState& state = step_states_[step_index];
     b_.Assign(state.tuple_counter, Opcode::kAdd, Value::Reg(state.tuple_counter), Value::Imm(1));
+  }
+
+  // Hash-table builds in parallel pipelines must go through the stripe-locked insert: the bump
+  // allocator and directory chains are shared across workers.
+  uint32_t InsertFn() const {
+    return parallel_ ? db_.runtime().ht_insert_locked_fn() : db_.runtime().ht_insert_fn();
   }
 
   Database& db_;
@@ -1532,6 +1600,7 @@ class PipelineEmitter {
   Pipeline& pipeline_;
   const std::unordered_map<uint64_t, uint32_t>& state_offsets_;
   const std::unordered_map<TaskId, uint32_t>* counter_offsets_;
+  bool parallel_ = false;
   IrFunction fn_;
   IrBuilder b_;
   Value state_base_;
@@ -1554,6 +1623,7 @@ CompiledQuery CompileQuery(Database& db, PhysicalOpPtr plan, ProfilingSession* s
   query.plan = std::move(plan);
   query.output_schema = query.plan->output;
   query.session = session;
+  query.parallel = options.parallel;
 
   // Step 1: operators -> pipelines of tasks (+ execution schedule, Log A).
   PlanLowering lowering(session, &query);
@@ -1596,7 +1666,8 @@ CompiledQuery CompileQuery(Database& db, PhysicalOpPtr plan, ProfilingSession* s
   for (Pipeline& pipeline : pipelines) {
     std::string fn_name = StrFormat("%s.p%u", query.name.c_str(), pipeline.id);
     PipelineEmitter emitter(db, session, pipeline, state_offsets,
-                            counter_offsets.empty() ? nullptr : &counter_offsets, ids, fn_name);
+                            counter_offsets.empty() ? nullptr : &counter_offsets, ids, fn_name,
+                            options.parallel);
     emitter.Emit();
     IrFunction ir = emitter.Take();
 

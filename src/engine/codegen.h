@@ -23,6 +23,12 @@ struct CodegenOptions {
   // which the paper contrasts with sampled time in Section 6.1). Requires a profiling session
   // (counters are keyed by task). Adds per-tuple work, so it is off by default.
   bool count_tuples = false;
+  // Morsel-driven parallel mode: pipeline functions take (state, morsel_begin, morsel_end)
+  // instead of (state), table scans iterate the given morsel, and all cross-morsel cursors
+  // (output slots, sort buffer slots, limit counters, tuple counters) live in the shared state
+  // block instead of being hoisted into registers. Hash-table builds go through the
+  // lock-striped insert. Queries compiled this way run via QueryEngine::ExecuteParallel.
+  bool parallel = false;
 };
 
 // Compiles `plan` (taking ownership) against `db`. `session` may be null (no profiling).

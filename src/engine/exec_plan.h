@@ -107,6 +107,9 @@ struct CompiledQuery {
   uint32_t out_count_offset = 0;
   ProfilingSession* session = nullptr;  // Borrowed; may be null.
   std::string name;
+  // Compiled in morsel-parallel mode (CodegenOptions::parallel): pipeline functions take
+  // (state, morsel_begin, morsel_end) and must run through QueryEngine::ExecuteParallel.
+  bool parallel = false;
 
   // Per-task tuple counter state slots (filled when compiled with count_tuples) and the counts
   // read back after the most recent execution.

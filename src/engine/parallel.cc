@@ -1,0 +1,203 @@
+// Morsel-driven parallel execution: QueryEngine::ExecuteParallel and the worker pool.
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/engine/query_engine.h"
+#include "src/runtime/hashtable.h"
+#include "src/util/check.h"
+#include "src/vcpu/cpu.h"
+
+namespace dfp {
+namespace {
+
+// One simulated core: its own PMU (sample buffer, counters) and CPU (TSC, caches, predictor,
+// shadow call stack, tag register), sharing the database's memory and code map.
+struct Worker {
+  Worker(Database& db, uint32_t id) : pmu(db.pmu_costs()), cpu(db.mem(), db.code_map(), pmu) {
+    cpu.set_worker_id(id);
+  }
+
+  Pmu pmu;
+  Cpu cpu;
+  uint64_t busy_cycles = 0;
+  uint64_t work_items = 0;
+};
+
+}  // namespace
+
+Result QueryEngine::ExecuteParallel(CompiledQuery& query, const ParallelConfig& config) {
+  DFP_CHECK(query.parallel);  // Must be compiled with CodegenOptions::parallel.
+  DFP_CHECK(config.workers >= 1 && config.workers <= 64);
+  DFP_CHECK(config.morsel_rows >= 1);
+
+  db_->ResetScratch();
+  ProfilingSession* session = query.session;
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(config.workers);
+  for (uint32_t i = 0; i < config.workers; ++i) {
+    workers.push_back(std::make_unique<Worker>(*db_, i));
+    if (session != nullptr) {
+      workers.back()->pmu.Configure(session->MakeSamplingConfig());
+    }
+  }
+
+  VMem& mem = db_->mem();
+  const VAddr state = mem.Alloc(db_->state_region(), std::max<uint64_t>(8, query.state_bytes));
+  const uint32_t kernel_exec = db_->runtime().kernel_exec_segment();
+
+  // Runs `fn` on `w`, charging the elapsed cycles to its busy time.
+  auto run_on = [](Worker& w, auto&& body) {
+    const uint64_t before = w.cpu.tsc();
+    body(w);
+    w.busy_cycles += w.cpu.tsc() - before;
+    ++w.work_items;
+  };
+  // The worker that would start new work earliest; ties go to the lowest id, which makes the
+  // morsel schedule deterministic.
+  auto next_worker = [&]() -> Worker& {
+    Worker* best = workers[0].get();
+    for (const auto& w : workers) {
+      if (w->cpu.tsc() < best->cpu.tsc()) {
+        best = w.get();
+      }
+    }
+    return *best;
+  };
+  // Synchronizes all workers to the slowest clock (idle wait at a pipeline barrier).
+  auto barrier = [&] {
+    uint64_t max_tsc = 0;
+    for (const auto& w : workers) {
+      max_tsc = std::max(max_tsc, w->cpu.tsc());
+    }
+    for (const auto& w : workers) {
+      w->cpu.AddCycles(max_tsc - w->cpu.tsc());
+    }
+  };
+
+  for (const ExecStep& step : query.exec_steps) {
+    switch (step.kind) {
+      case ExecStep::Kind::kCreateHashTable: {
+        run_on(*workers[0], [&](Worker& w) {
+          VAddr table = CreateHashTable(mem, db_->hashtables_region(), step.ht_capacity,
+                                        step.ht_payload_bytes);
+          mem.Write<uint64_t>(state + step.state_offset0, table);
+          w.cpu.HostWork(kernel_exec, 200 + step.ht_capacity / 16);
+        });
+        break;
+      }
+      case ExecStep::Kind::kAllocBuffer: {
+        run_on(*workers[0], [&](Worker& w) {
+          VAddr buffer = mem.Alloc(db_->output_region(), step.buffer_bytes);
+          mem.Write<uint64_t>(state + step.state_offset0, buffer);
+          mem.Write<uint64_t>(state + step.state_offset1, 0);
+          w.cpu.HostWork(kernel_exec, 100 + step.buffer_bytes / 4096);
+        });
+        break;
+      }
+      case ExecStep::Kind::kRunPipeline: {
+        const PipelineArtifact& artifact = query.pipelines[step.pipeline];
+        const PipelineStep& source = artifact.pipeline.steps[0];
+        if (source.role == PipelineStep::Role::kScanSource) {
+          // Split the scan into morsels; dispatch in table order to the earliest-free worker.
+          // Dispatch order serializes the morsels' memory effects identically to a sequential
+          // scan, so results match single-threaded execution exactly.
+          const uint64_t rows = source.op->table->row_count();
+          for (uint64_t begin = 0; begin < rows; begin += config.morsel_rows) {
+            const uint64_t end = std::min(rows, begin + config.morsel_rows);
+            run_on(next_worker(), [&](Worker& w) {
+              const uint64_t args[] = {state, begin, end};
+              w.cpu.CallFunction(artifact.function, args);
+            });
+          }
+        } else {
+          // Pipelines over intermediate results (group scans, sort scans) run sequentially.
+          run_on(*workers[0], [&](Worker& w) {
+            const uint64_t args[] = {state, 0, 0};
+            w.cpu.CallFunction(artifact.function, args);
+          });
+        }
+        break;
+      }
+      case ExecStep::Kind::kSort: {
+        run_on(*workers[0], [&](Worker& w) {
+          const uint64_t buffer = mem.Read<uint64_t>(state + step.state_offset0);
+          const uint64_t rows = mem.Read<uint64_t>(state + step.state_offset1);
+          const uint64_t args[] = {buffer, rows, step.sort_spec};
+          w.cpu.CallFunction(db_->runtime().sort_fn(), args);
+        });
+        break;
+      }
+    }
+    barrier();
+  }
+
+  // Read the result rows back host-side (same layout as the sequential engine).
+  const VAddr out_base = mem.Read<uint64_t>(state + query.out_base_offset);
+  const uint64_t out_count = mem.Read<uint64_t>(state + query.out_count_offset);
+  const size_t columns = query.output_schema.size();
+  std::vector<std::vector<int64_t>> rows;
+  rows.reserve(out_count);
+  for (uint64_t r = 0; r < out_count; ++r) {
+    std::vector<int64_t> row(columns);
+    for (size_t c = 0; c < columns; ++c) {
+      row[c] = mem.Read<int64_t>(out_base + r * query.output_row_size + c * 8);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  query.tuple_counts.clear();
+  for (const auto& [task, offset] : query.tuple_count_slots) {
+    query.tuple_counts[task] = mem.Read<uint64_t>(state + offset);
+  }
+
+  // Aggregate metrics: wall clock is the slowest worker (all equal after the final barrier);
+  // counters and traffic are summed across the pool.
+  last_cycles_ = workers[0]->cpu.tsc();
+  last_counters_ = PmuCounters();
+  last_cache_stats_ = CacheStats();
+  last_cpu_stats_ = CpuStats();
+  last_worker_metrics_.clear();
+  std::vector<Sample> merged;
+  for (uint32_t i = 0; i < config.workers; ++i) {
+    Worker& w = *workers[i];
+    WorkerMetrics metrics;
+    metrics.worker_id = i;
+    metrics.busy_cycles = w.busy_cycles;
+    metrics.idle_cycles = w.cpu.tsc() - w.busy_cycles;
+    metrics.morsels = w.work_items;
+    metrics.samples = w.pmu.samples().size();
+    metrics.counters = w.pmu.counters();
+    metrics.cache_stats = w.cpu.cache().stats();
+    metrics.cpu_stats = w.cpu.stats();
+    for (int e = 0; e < kPmuEventCount; ++e) {
+      last_counters_.values[e] += metrics.counters.values[e];
+    }
+    last_cache_stats_.accesses += metrics.cache_stats.accesses;
+    last_cache_stats_.l1_misses += metrics.cache_stats.l1_misses;
+    last_cache_stats_.l2_misses += metrics.cache_stats.l2_misses;
+    last_cache_stats_.l3_misses += metrics.cache_stats.l3_misses;
+    last_cpu_stats_.instructions += metrics.cpu_stats.instructions;
+    last_cpu_stats_.calls += metrics.cpu_stats.calls;
+    last_cpu_stats_.max_stack_depth =
+        std::max(last_cpu_stats_.max_stack_depth, metrics.cpu_stats.max_stack_depth);
+    last_worker_metrics_.push_back(metrics);
+    if (session != nullptr) {
+      std::vector<Sample> samples = w.pmu.TakeSamples();
+      merged.insert(merged.end(), std::make_move_iterator(samples.begin()),
+                    std::make_move_iterator(samples.end()));
+    }
+  }
+  if (session != nullptr) {
+    // Merge the per-worker streams into one timeline; each stream is already TSC-sorted, so
+    // a stable sort by TSC keeps ties ordered by worker id.
+    std::stable_sort(merged.begin(), merged.end(), [](const Sample& a, const Sample& b) {
+      return a.tsc != b.tsc ? a.tsc < b.tsc : a.worker_id < b.worker_id;
+    });
+    session->RecordExecution(std::move(merged), last_cycles_, last_counters_, config.workers);
+  }
+  return Result(query.output_schema, std::move(rows));
+}
+
+}  // namespace dfp

@@ -1,0 +1,47 @@
+// Morsel-driven parallel execution (Umbra-style) on a pool of simulated VCPU workers.
+//
+// Pipelines whose source is a table scan are split into fixed-size morsels; each morsel is
+// dispatched to the worker whose simulated clock is lowest (greedy earliest-finish scheduling,
+// ties broken by worker id), so the schedule is a deterministic function of the query and the
+// configuration. Every worker owns a full core model — its own TSC, cache hierarchy, branch
+// predictor, shadow call stack, tag register, and PEBS-like sample buffer — and runs the same
+// compiled machine code over its morsels. Host steps (hash-table creation, buffer allocation,
+// sorting) and pipelines without a scannable source run on worker 0 while the others idle at a
+// barrier. After the run the per-worker sample streams are merged by TSC into one stream whose
+// samples carry `worker_id`, so every report works unchanged on parallel runs.
+//
+// Because the simulator interleaves workers at morsel granularity and morsels are dispatched in
+// table order, all memory effects are serialized in the same order a single-threaded run
+// produces: results are bit-identical to sequential execution and repeated runs are
+// deterministic. Only the simulated clocks (and therefore profiles and speedups) differ.
+#ifndef DFP_SRC_ENGINE_PARALLEL_H_
+#define DFP_SRC_ENGINE_PARALLEL_H_
+
+#include <cstdint>
+
+#include "src/pmu/pmu.h"
+#include "src/vcpu/cache.h"
+#include "src/vcpu/cpu.h"
+
+namespace dfp {
+
+struct ParallelConfig {
+  uint32_t workers = 4;
+  uint64_t morsel_rows = 1024;  // Tuples per morsel (Umbra uses adaptive sizes; we use fixed).
+};
+
+// Per-worker execution metrics of the most recent ExecuteParallel().
+struct WorkerMetrics {
+  uint32_t worker_id = 0;
+  uint64_t busy_cycles = 0;  // Cycles spent executing morsels/host steps.
+  uint64_t idle_cycles = 0;  // Cycles spent waiting at barriers.
+  uint64_t morsels = 0;      // Work items executed (morsels + sequential pipeline runs).
+  uint64_t samples = 0;      // PMU samples taken on this worker.
+  PmuCounters counters;
+  CacheStats cache_stats;
+  CpuStats cpu_stats;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_ENGINE_PARALLEL_H_

@@ -12,7 +12,10 @@ CompiledQuery QueryEngine::Compile(PhysicalOpPtr plan, ProfilingSession* session
 }
 
 Result QueryEngine::Execute(CompiledQuery& query) {
+  // Parallel-compiled pipelines expect morsel bounds in the argument registers.
+  DFP_CHECK(!query.parallel);
   db_->ResetScratch();
+  last_worker_metrics_.clear();
   Pmu pmu(db_->pmu_costs());
   ProfilingSession* session = query.session;
   if (session != nullptr) {

@@ -3,9 +3,11 @@
 #define DFP_SRC_ENGINE_QUERY_ENGINE_H_
 
 #include <string>
+#include <vector>
 
 #include "src/engine/codegen.h"
 #include "src/engine/database.h"
+#include "src/engine/parallel.h"
 #include "src/engine/result.h"
 #include "src/profiling/session.h"
 #include "src/vcpu/cpu.h"
@@ -25,8 +27,14 @@ class QueryEngine {
   // Runs a compiled query on a fresh VCPU. Per-query scratch memory is reset first, so results
   // of previous executions must be read back before re-executing. When the query was compiled
   // with a profiling session, the PMU is armed with the session's sampling configuration and the
-  // collected samples are handed to the session afterwards.
+  // collected samples are handed to the session afterwards. The query must not have been
+  // compiled with CodegenOptions::parallel (use ExecuteParallel for those).
   Result Execute(CompiledQuery& query);
+
+  // Runs a query compiled with CodegenOptions::parallel on a pool of simulated VCPU workers
+  // (see src/engine/parallel.h). Results are identical to single-threaded execution; the
+  // session — when attached — receives the merged per-worker sample stream.
+  Result ExecuteParallel(CompiledQuery& query, const ParallelConfig& config = ParallelConfig());
 
   // Convenience: compile and execute in one step.
   Result Run(PhysicalOpPtr plan, ProfilingSession* session = nullptr,
@@ -34,11 +42,14 @@ class QueryEngine {
 
   Database& db() { return *db_; }
 
-  // Metrics of the most recent Execute().
+  // Metrics of the most recent Execute()/ExecuteParallel(). After a parallel run, cycles are
+  // the simulated wall clock (max over workers), counters and cache stats are summed across
+  // workers, and last_worker_metrics() has the per-worker breakdown (empty after Execute()).
   uint64_t last_cycles() const { return last_cycles_; }
   const PmuCounters& last_counters() const { return last_counters_; }
   const CacheStats& last_cache_stats() const { return last_cache_stats_; }
   const CpuStats& last_cpu_stats() const { return last_cpu_stats_; }
+  const std::vector<WorkerMetrics>& last_worker_metrics() const { return last_worker_metrics_; }
 
  private:
   Database* db_;
@@ -46,6 +57,7 @@ class QueryEngine {
   PmuCounters last_counters_;
   CacheStats last_cache_stats_;
   CpuStats last_cpu_stats_;
+  std::vector<WorkerMetrics> last_worker_metrics_;
 };
 
 }  // namespace dfp

@@ -175,6 +175,27 @@ ActivityTimeline BuildActivityTimeline(const ProfilingSession& session,
   return timeline;
 }
 
+ActivityTimeline BuildWorkerActivityTimeline(const ProfilingSession& session, size_t buckets) {
+  DFP_CHECK(buckets > 0);
+  ActivityTimeline timeline;
+  timeline.total_cycles = session.execution_cycles();
+  timeline.bucket_cycles = std::max<uint64_t>(1, timeline.total_cycles / buckets + 1);
+
+  const size_t lanes = std::max<uint32_t>(1, session.worker_count());
+  for (size_t w = 0; w < lanes; ++w) {
+    timeline.series_names.push_back(StrFormat("worker %zu", w));
+  }
+  timeline.bucket_samples.assign(lanes, std::vector<double>(buckets, 0.0));
+
+  for (const ResolvedSample& sample : session.resolved()) {
+    const size_t bucket =
+        std::min(buckets - 1, static_cast<size_t>(sample.tsc / timeline.bucket_cycles));
+    const size_t lane = std::min<size_t>(lanes - 1, sample.worker_id);
+    timeline.bucket_samples[lane][bucket] += 1.0;
+  }
+  return timeline;
+}
+
 std::string RenderActivityTimeline(const ActivityTimeline& timeline) {
   TimeSeriesChart chart;
   chart.series_names = timeline.series_names;

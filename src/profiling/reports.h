@@ -79,6 +79,11 @@ struct ActivityTimeline {
 ActivityTimeline BuildActivityTimeline(const ProfilingSession& session,
                                        const CompiledQuery& query, size_t buckets);
 
+// Activity timeline with one lane per worker instead of one per operator: each series counts
+// that worker's samples per bucket, making idle phases (barrier waits, sequential pipelines)
+// visible on parallel runs. Works on any resolved session; single-threaded runs get one lane.
+ActivityTimeline BuildWorkerActivityTimeline(const ProfilingSession& session, size_t buckets);
+
 // Renders the timeline as an ASCII intensity chart; also exportable as CSV.
 std::string RenderActivityTimeline(const ActivityTimeline& timeline);
 std::string ActivityTimelineCsv(const ActivityTimeline& timeline);

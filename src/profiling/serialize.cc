@@ -95,6 +95,10 @@ void WriteSamples(const std::vector<Sample>& samples, std::ostream& out) {
   out << kSamplesHeader << "\n";
   for (const Sample& sample : samples) {
     out << "sample " << sample.tsc << " " << sample.ip << " " << sample.addr;
+    if (sample.worker_id != 0) {
+      // Written only for parallel runs so single-threaded dumps keep the v1 layout.
+      out << " W " << sample.worker_id;
+    }
     if (sample.has_registers) {
       out << " R";
       for (uint64_t reg : sample.regs) {
@@ -133,7 +137,11 @@ std::vector<Sample> ReadSamples(std::istream& in) {
     }
     std::string section;
     while (stream >> section) {
-      if (section == "R") {
+      if (section == "W") {
+        if (!(stream >> sample.worker_id)) {
+          Malformed(line);
+        }
+      } else if (section == "R") {
         sample.has_registers = true;
         for (uint64_t& reg : sample.regs) {
           if (!(stream >> reg)) {

@@ -24,9 +24,10 @@ void WriteDictionary(const TaggingDictionary& dictionary, std::ostream& out);
 // Inverse of WriteDictionary. Throws dfp::Error on malformed input.
 TaggingDictionary ReadDictionary(std::istream& in);
 
-// perf-script-like sample dump:
+// perf-script-like sample dump (`W` appears only for samples from workers other than 0, so
+// single-threaded dumps are unchanged):
 //   # dfp samples v1
-//   sample <tsc> <ip> <addr> [R <16 register values>] [S <depth> <return-ips...>]
+//   sample <tsc> <ip> <addr> [W <worker>] [R <16 register values>] [S <depth> <return-ips...>]
 void WriteSamples(const std::vector<Sample>& samples, std::ostream& out);
 
 // Inverse of WriteSamples. Throws dfp::Error on malformed input.

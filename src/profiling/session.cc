@@ -1,5 +1,7 @@
 #include "src/profiling/session.h"
 
+#include <algorithm>
+
 namespace dfp {
 
 ProfilingSession::ProfilingSession(ProfilingConfig config) : config_(config) {}
@@ -17,10 +19,11 @@ SamplingConfig ProfilingSession::MakeSamplingConfig() const {
 }
 
 void ProfilingSession::RecordExecution(std::vector<Sample> samples, uint64_t cycles,
-                                       PmuCounters counters) {
+                                       PmuCounters counters, uint32_t worker_count) {
   samples_ = std::move(samples);
   execution_cycles_ = cycles;
   counters_ = counters;
+  worker_count_ = worker_count;
   resolved_.clear();
   resolved_done_ = false;
 }
@@ -30,6 +33,11 @@ void ProfilingSession::LoadForPostProcessing(TaggingDictionary dictionary,
   dictionary_ = std::move(dictionary);
   samples_ = std::move(samples);
   execution_cycles_ = cycles;
+  // The pool size is not serialized; recover it from the sample stream.
+  worker_count_ = 1;
+  for (const Sample& sample : samples_) {
+    worker_count_ = std::max(worker_count_, sample.worker_id + 1);
+  }
   resolved_.clear();
   resolved_done_ = false;
 }
@@ -52,6 +60,7 @@ ResolvedSample ProfilingSession::ResolveOne(const Sample& sample,
   out.tsc = sample.tsc;
   out.ip = sample.ip;
   out.addr = sample.addr;
+  out.worker_id = sample.worker_id;
   const CodeSegment* segment = code_map.FindByIp(sample.ip);
   if (segment == nullptr) {
     return out;  // Unattributed.

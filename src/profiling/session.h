@@ -57,6 +57,7 @@ struct ResolvedSample {
   uint64_t tsc = 0;
   uint64_t ip = 0;
   uint64_t addr = 0;
+  uint32_t worker_id = 0;  // VCPU that took the sample (0 on single-threaded runs).
   bool ambiguous = false;      // Multi-owner instruction without tag evidence.
   bool via_tag = false;        // Disambiguated through the tag register.
   bool via_callstack = false;  // Disambiguated by walking the call stack.
@@ -89,8 +90,14 @@ class ProfilingSession {
     return config_.attribution == AttributionMode::kRegisterTagging;
   }
 
-  // Recorded by the engine after execution.
-  void RecordExecution(std::vector<Sample> samples, uint64_t cycles, PmuCounters counters);
+  // Recorded by the engine after execution. For parallel runs `samples` is the per-worker
+  // streams merged by (tsc, worker_id) and `worker_count` the pool size; single-threaded
+  // executions use the default of one worker.
+  void RecordExecution(std::vector<Sample> samples, uint64_t cycles, PmuCounters counters,
+                       uint32_t worker_count = 1);
+
+  // Number of workers that produced the recorded samples (1 for single-threaded runs).
+  uint32_t worker_count() const { return worker_count_; }
 
   // Offline post-processing: reconstitute a session from a serialized Tagging Dictionary and
   // sample dump (see src/profiling/serialize.h), mirroring the paper's decoupled pipeline of
@@ -117,6 +124,7 @@ class ProfilingSession {
   std::vector<ResolvedSample> resolved_;
   PmuCounters counters_;
   uint64_t execution_cycles_ = 0;
+  uint32_t worker_count_ = 1;
   bool resolved_done_ = false;
 };
 

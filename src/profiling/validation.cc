@@ -1,5 +1,7 @@
 #include "src/profiling/validation.h"
 
+#include <algorithm>
+
 #include "src/util/check.h"
 
 namespace dfp {
@@ -47,33 +49,54 @@ std::vector<MInstr> ApplyValidationTags(std::vector<MInstr> code,
   return out;
 }
 
+namespace {
+
+// Classifies one sample into `report`: checked/mismatch when both an IP attribution and a tag
+// are available, skipped otherwise.
+void CrossCheckOne(const ProfilingSession& session, const CodeMap& code_map,
+                   const Sample& sample, ValidationReport* report) {
+  const CodeSegment* segment = code_map.FindByIp(sample.ip);
+  if (segment == nullptr || segment->kind != SegmentKind::kGenerated ||
+      !sample.has_registers) {
+    ++report->skipped;
+    return;
+  }
+  const MInstr& instr = segment->code[sample.ip - segment->base_ip];
+  const std::vector<TaskId>* owners = session.dictionary().TasksOf(instr.ir_id);
+  if (owners == nullptr || owners->size() != 1) {
+    ++report->skipped;
+    return;
+  }
+  const uint64_t tag = sample.regs[kTagRegister] & 0xFFFFFFFFull;  // Task-level chunk.
+  if (tag == 0) {
+    ++report->skipped;  // Sample before the first tag write (function prologue).
+    return;
+  }
+  ++report->checked;
+  if (tag != static_cast<uint64_t>(owners->front()) + 1) {
+    ++report->mismatches;
+  }
+}
+
+}  // namespace
+
 ValidationReport CrossCheckAttribution(const ProfilingSession& session,
                                        const CodeMap& code_map) {
   ValidationReport report;
   for (const Sample& sample : session.samples()) {
-    const CodeSegment* segment = code_map.FindByIp(sample.ip);
-    if (segment == nullptr || segment->kind != SegmentKind::kGenerated ||
-        !sample.has_registers) {
-      ++report.skipped;
-      continue;
-    }
-    const MInstr& instr = segment->code[sample.ip - segment->base_ip];
-    const std::vector<TaskId>* owners = session.dictionary().TasksOf(instr.ir_id);
-    if (owners == nullptr || owners->size() != 1) {
-      ++report.skipped;
-      continue;
-    }
-    const uint64_t tag = sample.regs[kTagRegister] & 0xFFFFFFFFull;  // Task-level chunk.
-    if (tag == 0) {
-      ++report.skipped;  // Sample before the first tag write (function prologue).
-      continue;
-    }
-    ++report.checked;
-    if (tag != static_cast<uint64_t>(owners->front()) + 1) {
-      ++report.mismatches;
-    }
+    CrossCheckOne(session, code_map, sample, &report);
   }
   return report;
+}
+
+std::vector<ValidationReport> CrossCheckAttributionPerWorker(const ProfilingSession& session,
+                                                             const CodeMap& code_map) {
+  std::vector<ValidationReport> reports(std::max<uint32_t>(1, session.worker_count()));
+  for (const Sample& sample : session.samples()) {
+    const size_t worker = std::min<size_t>(reports.size() - 1, sample.worker_id);
+    CrossCheckOne(session, code_map, sample, &reports[worker]);
+  }
+  return reports;
 }
 
 }  // namespace dfp

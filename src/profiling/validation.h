@@ -28,6 +28,12 @@ struct ValidationReport {
 // whose query was compiled with tag_all_instructions.
 ValidationReport CrossCheckAttribution(const ProfilingSession& session, const CodeMap& code_map);
 
+// Same cross-check, split by the worker that took each sample: index w holds worker w's report.
+// The vector covers session.worker_count() workers (one entry for single-threaded runs), so a
+// parallel run can assert zero mismatches on every worker, not just worker 0.
+std::vector<ValidationReport> CrossCheckAttributionPerWorker(const ProfilingSession& session,
+                                                             const CodeMap& code_map);
+
 }  // namespace dfp
 
 #endif  // DFP_SRC_PROFILING_VALIDATION_H_

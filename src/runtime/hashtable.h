@@ -9,6 +9,7 @@
 //            +16 entry size       +24 bump next (next free entry)
 //            +32 bump end         +40 entry count
 //            +48 directory slot count (for generated scans over all chains)
+//            +56 stripe locks (64 x 8 bytes; taken by rt_ht_insert_locked, stripe = hash & 63)
 //   entry:   +0  next entry (0 terminates the chain)
 //            +8  hash
 //            +16 payload (keys and aggregate state, layout decided by the code generator)
@@ -32,7 +33,9 @@ inline constexpr int64_t kHtBumpNext = 24;
 inline constexpr int64_t kHtBumpEnd = 32;
 inline constexpr int64_t kHtCount = 40;
 inline constexpr int64_t kHtDirCount = 48;
-inline constexpr uint64_t kHtHeaderBytes = 56;
+inline constexpr int64_t kHtStripeLocks = 56;
+inline constexpr uint64_t kHtNumStripes = 64;  // Must be a power of two (stripe = hash & 63).
+inline constexpr uint64_t kHtHeaderBytes = 56 + kHtNumStripes * 8;
 
 inline constexpr int64_t kHtEntryNext = 0;
 inline constexpr int64_t kHtEntryHash = 8;

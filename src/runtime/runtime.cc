@@ -35,6 +35,7 @@ Runtime::Runtime(VMem* mem, CodeMap* code_map, uint32_t hashtable_region)
   RegisterKernelFunctions();
   RegisterSyslibFunctions();
   BuildHtInsert();
+  BuildHtInsertLocked();
   BuildHtLookup();
 }
 
@@ -83,6 +84,49 @@ void Runtime::BuildHtInsert() {
       code_map_->AddSegment(SegmentKind::kRuntime, "rt_ht_insert", std::move(emitted.code));
   ht_insert_fn_ = code_map_->AddFunction("rt_ht_insert", ht_insert_segment_, 0,
                                          emitted.spill_slots, emitted.num_args);
+}
+
+void Runtime::BuildHtInsertLocked() {
+  // Thread-safe wrapper around rt_ht_insert: takes the stripe lock for the hash before the
+  // insert and releases it afterwards. In the simulation workers are interleaved at morsel
+  // granularity, so the lock is always free — the spin loop models the uncontended fast path
+  // (one locked read-modify-write per insert) and the code structure matches what a real
+  // lock-striped build side executes.
+  IrFunction fn("rt_ht_insert_locked", 2);  // r0 = table, r1 = hash
+  IrIdAllocator ids(kRuntimeIrIdBase + (2u << 20));
+  IrBuilder b(&fn, &ids);
+  const Value table = Value::Reg(0);
+  const Value hash = Value::Reg(1);
+
+  uint32_t entry = b.CreateBlock("entry");
+  uint32_t spin = b.CreateBlock("spin");
+  uint32_t locked = b.CreateBlock("locked");
+
+  b.SetInsertPoint(entry);
+  uint32_t stripe =
+      b.Binary(Opcode::kAnd, hash, Value::Imm(static_cast<int64_t>(kHtNumStripes - 1)));
+  uint32_t offset = b.Binary(Opcode::kShl, Value::Reg(stripe), Value::Imm(3));
+  uint32_t lock_base = b.Add(table, Value::Imm(kHtStripeLocks));
+  uint32_t lock_addr = b.Add(Value::Reg(lock_base), Value::Reg(offset));
+  b.Br(spin);
+
+  b.SetInsertPoint(spin);
+  uint32_t held = b.Load(Opcode::kLoad8, Value::Reg(lock_addr), 0, "acquire stripe lock");
+  uint32_t busy = b.CmpNe(Value::Reg(held), Value::Imm(0));
+  b.CondBr(Value::Reg(busy), spin, locked);
+
+  b.SetInsertPoint(locked);
+  b.Store(Opcode::kStore8, Value::Imm(1), Value::Reg(lock_addr), 0, "lock taken");
+  uint32_t new_entry = b.Call(ht_insert_fn_, {table, hash}, /*has_result=*/true,
+                              "insert under stripe lock");
+  b.Store(Opcode::kStore8, Value::Imm(0), Value::Reg(lock_addr), 0, "release stripe lock");
+  b.Ret(Value::Reg(new_entry));
+
+  EmittedFunction emitted = CompileFunction(fn, RuntimeCompileOptions());
+  uint32_t segment = code_map_->AddSegment(SegmentKind::kRuntime, "rt_ht_insert_locked",
+                                           std::move(emitted.code));
+  ht_insert_locked_fn_ = code_map_->AddFunction("rt_ht_insert_locked", segment, 0,
+                                                emitted.spill_slots, emitted.num_args);
 }
 
 void Runtime::BuildHtLookup() {

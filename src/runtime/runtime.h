@@ -40,6 +40,10 @@ class Runtime {
 
   // rt_ht_insert(table, hash) -> new entry address. The paper's shared source location.
   uint32_t ht_insert_fn() const { return ht_insert_fn_; }
+  // rt_ht_insert_locked(table, hash) -> new entry address, taking the table's stripe lock
+  // (stripe = hash & 63) around the insert. Parallel pipelines call this variant so concurrent
+  // workers never race on the bump allocator or a directory chain.
+  uint32_t ht_insert_locked_fn() const { return ht_insert_locked_fn_; }
   // rt_ht_lookup(table, hash) -> first chain entry with that hash, or 0.
   uint32_t ht_lookup_fn() const { return ht_lookup_fn_; }
 
@@ -61,6 +65,7 @@ class Runtime {
 
  private:
   void BuildHtInsert();
+  void BuildHtInsertLocked();
   void BuildHtLookup();
   void RegisterKernelFunctions();
   void RegisterSyslibFunctions();
@@ -71,6 +76,7 @@ class Runtime {
 
   uint32_t ht_insert_fn_ = 0;
   uint32_t ht_insert_segment_ = 0;
+  uint32_t ht_insert_locked_fn_ = 0;
   uint32_t ht_lookup_fn_ = 0;
   uint32_t sort_fn_ = 0;
   uint32_t ht_grow_fn_ = 0;

@@ -350,6 +350,7 @@ void Cpu::TakeSample(uint64_t ip, uint64_t addr) {
   Sample sample;
   sample.tsc = cycles_;
   sample.ip = ip;
+  sample.worker_id = worker_id_;
   if (config.capture_address) {
     sample.addr = addr;
   }

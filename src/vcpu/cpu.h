@@ -45,6 +45,10 @@ class Cpu {
   const CpuStats& stats() const { return stats_; }
   uint64_t tag_register() const { return tag_reg_; }
 
+  // Identity of this VCPU in a worker pool; stamped into every sample it takes.
+  void set_worker_id(uint32_t id) { worker_id_ = id; }
+  uint32_t worker_id() const { return worker_id_; }
+
   // --- Host bridge (used by kernel/syslib host functions) ---
 
   // Models `instrs` instructions of host work attributed to `segment_id`; advances the clock,
@@ -94,6 +98,7 @@ class Cpu {
   std::vector<Frame> frames_;
   uint64_t cycles_ = 0;
   uint64_t tag_reg_ = 0;
+  uint32_t worker_id_ = 0;
   uint64_t host_ip_counter_ = 0;
   uint64_t ret_value_ = 0;
   CpuStats stats_;
