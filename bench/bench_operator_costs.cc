@@ -57,4 +57,7 @@ int Main() {
 }  // namespace
 }  // namespace dfp
 
-int main() { return dfp::Main(); }
+int main(int argc, char** argv) {
+  dfp::BenchInit(argc, argv);
+  return dfp::Main();
+}

@@ -1,0 +1,115 @@
+// Query service experiment: throughput of a warm compiled-plan cache against cold compilation,
+// plus the fleet-level profile the service aggregates while serving.
+//
+// A repeating workload of TPC-H-style queries is pushed through the QueryService twice: the
+// first pass compiles every distinct plan (cold), the second hits the cache for all of them
+// (warm). In a compiling engine serving short queries, compilation dominates end-to-end cost,
+// so the warm pass sustains a multiple of the cold pass's throughput — the economic argument
+// for a plan cache. The fleet profile report shows the per-fingerprint aggregation (hit/miss
+// counters, compile-vs-execute split, hottest operators across the whole workload).
+#include "bench/common.h"
+#include "src/service/query_service.h"
+
+namespace dfp {
+namespace {
+
+int Main() {
+  PrintHeader("Query service: plan cache and fleet profiling",
+              "Section 5.2 production framing, extended to a serving process");
+
+  ServiceConfig config;
+  config.parallel.workers = 4;
+  config.max_active_sessions = 2;
+  config.session_hashtables_bytes = 32ull << 20;
+  config.session_output_bytes = 16ull << 20;
+  config.profiling.period = 5000;
+
+  DatabaseConfig db_config;
+  db_config.extra_bytes = ServiceArenaBytes(config);
+  auto db = std::make_unique<Database>(db_config);
+  TpchOptions options;
+  options.scale = BenchScale();
+  TpchRowCounts counts = GenerateTpch(*db, options);
+  std::printf("# TPC-H-style dataset: scale %.4g, %llu lineitem rows\n", options.scale,
+              static_cast<unsigned long long>(counts.lineitem));
+
+  QueryService service(*db, config);
+  // Six distinct plans: the cold pass compiles each one, the warm pass hits on all of them.
+  const std::vector<std::string> workload = {"q6", "q1", "q3", "q14", "q4", "q12"};
+
+  auto run_pass = [&](const char* label) {
+    const uint64_t before = service.ServiceNowCycles();
+    for (const std::string& name : workload) {
+      service.Submit(BuildQueryPlan(*db, FindQuery(name)), name);
+    }
+    service.Drain();
+    const uint64_t cycles = service.ServiceNowCycles() - before;
+    std::printf("%-6s %zu queries in %12llu cycles (%8.3f ms simulated, %.2f queries/ms)\n",
+                label, workload.size(), static_cast<unsigned long long>(cycles),
+                CyclesToMs(cycles),
+                static_cast<double>(workload.size()) / CyclesToMs(cycles));
+    return cycles;
+  };
+
+  std::printf("\n--- Throughput: %zu-query workload, %u workers, %u concurrent sessions ---\n",
+              workload.size(), config.parallel.workers, config.max_active_sessions);
+  const uint64_t cold_cycles = run_pass("cold");
+  const uint64_t warm_cycles = run_pass("warm");
+  const double speedup = static_cast<double>(cold_cycles) / static_cast<double>(warm_cycles);
+  std::printf("warm/cold throughput: %.2fx\n", speedup);
+
+  const PlanCacheStats& cache = service.plan_cache().stats();
+  std::printf("\n--- Plan cache ---\n");
+  std::printf("hits %llu  misses %llu  evictions %llu  resident %llu entries / %llu code bytes\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.evictions),
+              static_cast<unsigned long long>(cache.resident_entries),
+              static_cast<unsigned long long>(cache.resident_code_bytes));
+
+  std::printf("\n%s\n", service.fleet_profile().Render().c_str());
+
+  if (GlobalBenchOptions().json) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Field("queries_per_pass", static_cast<uint64_t>(workload.size()));
+    json.Field("workers", static_cast<uint64_t>(config.parallel.workers));
+    json.Field("max_active_sessions", static_cast<uint64_t>(config.max_active_sessions));
+    json.Field("cold_cycles", cold_cycles);
+    json.Field("warm_cycles", warm_cycles);
+    json.Field("warm_speedup", speedup);
+    json.Field("cache_hits", cache.hits);
+    json.Field("cache_misses", cache.misses);
+    json.BeginArray("plans");
+    for (const auto& [fingerprint, plan] : service.fleet_profile().plans()) {
+      (void)fingerprint;
+      json.BeginObject();
+      json.Field("name", plan.name);
+      json.Field("fingerprint", FingerprintKey({plan.fingerprint, 0}));
+      json.Field("executions", plan.executions);
+      json.Field("cache_hits", plan.cache_hits);
+      json.Field("cache_misses", plan.cache_misses);
+      json.Field("compile_cycles", plan.compile_cycles);
+      json.Field("execute_cycles", plan.execute_cycles);
+      json.Field("samples", plan.samples);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    json.WriteTo("BENCH_service.json");
+  }
+
+  std::printf(
+      "Expected shape: the warm pass serves every query from the plan cache, so its\n"
+      "throughput exceeds the cold pass by at least 2x at small scales where compilation\n"
+      "dominates; the gap narrows as data volume grows and execution takes over.\n");
+  return speedup >= 2.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dfp
+
+int main(int argc, char** argv) {
+  dfp::BenchInit(argc, argv);
+  return dfp::Main();
+}

@@ -3,6 +3,7 @@
 #define DFP_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -13,15 +14,116 @@
 
 namespace dfp {
 
+// Flags shared by all experiment binaries:
+//   --smoke  quick CI pass: smallest useful scale, unchanged logic.
+//   --json   additionally write the machine-readable BENCH_<name>.json (where supported).
+struct BenchOptions {
+  bool smoke = false;
+  bool json = false;
+};
+
+inline BenchOptions& GlobalBenchOptions() {
+  static BenchOptions options;
+  return options;
+}
+
+// Call first from main(). Unknown flags abort with usage, so CI typos fail loudly.
+inline void BenchInit(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      GlobalBenchOptions().smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      GlobalBenchOptions().json = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
 // Default experiment scale: large enough for stable sample counts, small enough to keep the
-// whole experiment suite in seconds. Override with the DFP_SCALE environment variable.
+// whole experiment suite in seconds. Override with the DFP_SCALE environment variable;
+// --smoke drops to the smallest scale that still exercises every code path.
 inline double BenchScale(double fallback = 0.01) {
   const char* env = std::getenv("DFP_SCALE");
   if (env != nullptr) {
     return std::atof(env);
   }
+  if (GlobalBenchOptions().smoke) {
+    return 0.002;
+  }
   return fallback;
 }
+
+// Minimal JSON emitter for the BENCH_*.json artifacts: objects/arrays of numbers and strings,
+// enough for plotting scripts — not a general serializer.
+class JsonWriter {
+ public:
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray(const std::string& key) {
+    Key(key);
+    Open('[');
+  }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+  void BeginObject(const std::string& key) {
+    Key(key);
+    Open('{');
+  }
+
+  void Field(const std::string& key, const std::string& value) {
+    Key(key);
+    out_ += '"';
+    out_ += value;
+    out_ += '"';
+  }
+  void Field(const std::string& key, double value) {
+    Key(key);
+    out_ += StrFormat("%.6g", value);
+  }
+  void Field(const std::string& key, uint64_t value) {
+    Key(key);
+    out_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+  }
+  void Field(const std::string& key, bool value) {
+    Key(key);
+    out_ += value ? "true" : "false";
+  }
+
+  // Writes to `path` and reports where the artifact landed.
+  void WriteTo(const std::string& path) {
+    out_ += '\n';
+    FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::fwrite(out_.data(), 1, out_.size(), file);
+    std::fclose(file);
+    std::printf("# wrote %s\n", path.c_str());
+  }
+
+ private:
+  void Separator() {
+    if (!out_.empty() && out_.back() != '{' && out_.back() != '[' && out_.back() != ':') {
+      out_ += ',';
+    }
+  }
+  void Key(const std::string& key) {
+    Separator();
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+  }
+  void Open(char c) {
+    Separator();
+    out_ += c;
+  }
+  void Close(char c) { out_ += c; }
+
+  std::string out_;
+};
 
 inline std::unique_ptr<Database> MakeTpchDatabase(double scale, bool correlated_dates = false) {
   auto db = std::make_unique<Database>();

@@ -7,7 +7,8 @@ namespace {
 
 uint64_t TotalBytes(const DatabaseConfig& config) {
   return config.columns_bytes + config.strings_bytes + config.hashtables_bytes +
-         config.state_bytes + config.output_bytes + (1 << 16) /* reserved head room */;
+         config.state_bytes + config.output_bytes + config.extra_bytes +
+         (1 << 16) /* reserved head room */;
 }
 
 }  // namespace
@@ -25,6 +26,7 @@ Database::Database(DatabaseConfig config) : config_(config), mem_(TotalBytes(con
 void Database::AddTable(Table table) {
   std::string name = table.name();
   DFP_CHECK(tables_.emplace(std::move(name), std::move(table)).second);
+  ++catalog_version_;
 }
 
 const Table& Database::table(const std::string& name) const {

@@ -25,6 +25,9 @@ struct DatabaseConfig {
   uint64_t hashtables_bytes = 160ull << 20;
   uint64_t state_bytes = 1ull << 20;
   uint64_t output_bytes = 128ull << 20;
+  // Extra arena head room for regions created after start-up (the query service carves its
+  // per-session scratch regions out of this; 0 means no service sessions can be hosted).
+  uint64_t extra_bytes = 0;
   PmuCosts pmu_costs;
 };
 
@@ -53,6 +56,17 @@ class Database {
   const Table& table(const std::string& name) const;
   bool HasTable(const std::string& name) const { return tables_.count(name) != 0; }
 
+  // Monotonic version of the catalog (tables + schemas). Bumped by AddTable; compiled-plan
+  // caches mix it into plan fingerprints and drop entries when it moves.
+  uint64_t catalog_version() const { return catalog_version_; }
+
+  // Carves an additional region out of the arena's `extra_bytes` head room (per-session scratch
+  // for the query service). Aborts when the arena is exhausted — size the DatabaseConfig for the
+  // intended session count.
+  uint32_t CreateScratchRegion(const std::string& name, uint64_t size) {
+    return mem_.CreateRegion(name, size);
+  }
+
   // Releases per-query scratch memory (hash tables, state, output buffers). Base table data and
   // strings are untouched.
   void ResetScratch();
@@ -69,6 +83,7 @@ class Database {
   std::unique_ptr<StringHeap> strings_;
   std::unique_ptr<Runtime> runtime_;
   std::map<std::string, Table> tables_;
+  uint64_t catalog_version_ = 0;
 };
 
 }  // namespace dfp

@@ -1,4 +1,5 @@
-// Morsel-driven parallel execution: QueryEngine::ExecuteParallel and the worker pool.
+// Morsel-driven parallel execution: the incremental ParallelRun executor and
+// QueryEngine::ExecuteParallel driving it to completion.
 #include <algorithm>
 #include <memory>
 #include <vector>
@@ -9,13 +10,37 @@
 #include "src/vcpu/cpu.h"
 
 namespace dfp {
-namespace {
+
+uint64_t ResolveMorselRows(const ParallelConfig& config, const PipelineArtifact& artifact,
+                           uint64_t scan_rows, uint32_t workers) {
+  if (config.morsel_rows != 0) {
+    return config.morsel_rows;
+  }
+  // The optimizer's estimate sizes the morsels; the true row count only bounds them below.
+  const double estimated = artifact.pipeline.steps[0].op->estimated_rows;
+  const uint64_t est_rows =
+      estimated > 0 ? static_cast<uint64_t>(estimated) : std::max<uint64_t>(1, scan_rows);
+  // Per-row work proxy: the pipeline function is almost entirely its row loop, so its machine
+  // instruction count approximates the per-row path length in cycles.
+  const uint64_t per_row_cycles = std::max<uint64_t>(8, artifact.stats.machine_instrs / 2);
+  // Large enough that the fixed dispatch cost stays ~1% of the morsel's work...
+  const uint64_t amortize = kMorselDispatchCycles * 100 / per_row_cycles;
+  // ...and small enough that each worker sees a healthy number of morsels to balance over.
+  const uint64_t balance = std::max<uint64_t>(1, est_rows / (16ull * workers));
+  uint64_t rows = std::max(amortize, balance);
+  // Guarantee several morsels per worker even when amortization asks for chunkier ones: the
+  // tail imbalance of a scan is about one morsel, so ~8 morsels/worker bounds it near 1/8.
+  rows = std::min(rows, std::max<uint64_t>(1, est_rows / (8ull * workers)));
+  return std::clamp<uint64_t>(rows, 64, 1ull << 16);
+}
 
 // One simulated core: its own PMU (sample buffer, counters) and CPU (TSC, caches, predictor,
 // shadow call stack, tag register), sharing the database's memory and code map.
-struct Worker {
-  Worker(Database& db, uint32_t id) : pmu(db.pmu_costs()), cpu(db.mem(), db.code_map(), pmu) {
+struct ParallelRun::Worker {
+  Worker(Database& db, uint32_t id, uint32_t session_id)
+      : pmu(db.pmu_costs()), cpu(db.mem(), db.code_map(), pmu) {
     cpu.set_worker_id(id);
+    cpu.set_session_id(session_id);
   }
 
   Pmu pmu;
@@ -24,144 +49,185 @@ struct Worker {
   uint64_t work_items = 0;
 };
 
-}  // namespace
-
-Result QueryEngine::ExecuteParallel(CompiledQuery& query, const ParallelConfig& config) {
+ParallelRun::ParallelRun(Database& db, CompiledQuery& query, const ParallelConfig& config,
+                         ScratchRegions regions, const SamplingConfig* sampling,
+                         uint32_t session_id)
+    : db_(db), query_(query), config_(config), regions_(regions) {
   DFP_CHECK(query.parallel);  // Must be compiled with CodegenOptions::parallel.
   DFP_CHECK(config.workers >= 1 && config.workers <= 64);
-  DFP_CHECK(config.morsel_rows >= 1);
 
-  db_->ResetScratch();
-  ProfilingSession* session = query.session;
-
-  std::vector<std::unique_ptr<Worker>> workers;
-  workers.reserve(config.workers);
+  workers_.reserve(config.workers);
   for (uint32_t i = 0; i < config.workers; ++i) {
-    workers.push_back(std::make_unique<Worker>(*db_, i));
-    if (session != nullptr) {
-      workers.back()->pmu.Configure(session->MakeSamplingConfig());
+    workers_.push_back(std::make_unique<Worker>(db, i, session_id));
+    if (sampling != nullptr) {
+      workers_.back()->pmu.Configure(*sampling);
     }
   }
+  state_ = db.mem().Alloc(regions_.state, std::max<uint64_t>(8, query.state_bytes));
+  kernel_exec_ = db.runtime().kernel_exec_segment();
+}
 
-  VMem& mem = db_->mem();
-  const VAddr state = mem.Alloc(db_->state_region(), std::max<uint64_t>(8, query.state_bytes));
-  const uint32_t kernel_exec = db_->runtime().kernel_exec_segment();
+ParallelRun::~ParallelRun() = default;
 
-  // Runs `fn` on `w`, charging the elapsed cycles to its busy time.
-  auto run_on = [](Worker& w, auto&& body) {
-    const uint64_t before = w.cpu.tsc();
-    body(w);
-    w.busy_cycles += w.cpu.tsc() - before;
-    ++w.work_items;
-  };
-  // The worker that would start new work earliest; ties go to the lowest id, which makes the
-  // morsel schedule deterministic.
-  auto next_worker = [&]() -> Worker& {
-    Worker* best = workers[0].get();
-    for (const auto& w : workers) {
-      if (w->cpu.tsc() < best->cpu.tsc()) {
-        best = w.get();
-      }
+// The worker that would start new work earliest; ties go to the lowest id, which makes the
+// morsel schedule deterministic.
+ParallelRun::Worker& ParallelRun::NextWorker() {
+  Worker* best = workers_[0].get();
+  for (const auto& w : workers_) {
+    if (w->cpu.tsc() < best->cpu.tsc()) {
+      best = w.get();
     }
-    return *best;
-  };
-  // Synchronizes all workers to the slowest clock (idle wait at a pipeline barrier).
-  auto barrier = [&] {
-    uint64_t max_tsc = 0;
-    for (const auto& w : workers) {
-      max_tsc = std::max(max_tsc, w->cpu.tsc());
-    }
-    for (const auto& w : workers) {
-      w->cpu.AddCycles(max_tsc - w->cpu.tsc());
-    }
-  };
+  }
+  return *best;
+}
 
-  for (const ExecStep& step : query.exec_steps) {
+// Synchronizes all workers to the slowest clock (idle wait at a pipeline barrier).
+void ParallelRun::Barrier() {
+  uint64_t max_tsc = 0;
+  for (const auto& w : workers_) {
+    max_tsc = std::max(max_tsc, w->cpu.tsc());
+  }
+  for (const auto& w : workers_) {
+    w->cpu.AddCycles(max_tsc - w->cpu.tsc());
+  }
+}
+
+// Runs `body` on `w`, charging the elapsed cycles to its busy time.
+template <typename Body>
+ParallelRun::Unit ParallelRun::RunOn(Worker& w, const Body& body) {
+  const uint64_t before = w.cpu.tsc();
+  body(w);
+  const uint64_t elapsed = w.cpu.tsc() - before;
+  w.busy_cycles += elapsed;
+  ++w.work_items;
+  Unit unit;
+  unit.worker = w.cpu.worker_id();
+  unit.cycles = elapsed;
+  return unit;
+}
+
+uint64_t ParallelRun::WallCycles() const {
+  uint64_t max_tsc = 0;
+  for (const auto& w : workers_) {
+    max_tsc = std::max(max_tsc, w->cpu.tsc());
+  }
+  return max_tsc;
+}
+
+ParallelRun::Unit ParallelRun::Step() {
+  VMem& mem = db_.mem();
+  while (!done()) {
+    const ExecStep& step = query_.exec_steps[step_idx_];
     switch (step.kind) {
       case ExecStep::Kind::kCreateHashTable: {
-        run_on(*workers[0], [&](Worker& w) {
-          VAddr table = CreateHashTable(mem, db_->hashtables_region(), step.ht_capacity,
+        Unit unit = RunOn(*workers_[0], [&](Worker& w) {
+          VAddr table = CreateHashTable(mem, regions_.hashtables, step.ht_capacity,
                                         step.ht_payload_bytes);
-          mem.Write<uint64_t>(state + step.state_offset0, table);
-          w.cpu.HostWork(kernel_exec, 200 + step.ht_capacity / 16);
+          mem.Write<uint64_t>(state_ + step.state_offset0, table);
+          // Directory set-up cost (zeroing is modeled, the memory itself is pre-zeroed).
+          w.cpu.HostWork(kernel_exec_, 200 + step.ht_capacity / 16);
         });
-        break;
+        Barrier();
+        ++step_idx_;
+        return unit;
       }
       case ExecStep::Kind::kAllocBuffer: {
-        run_on(*workers[0], [&](Worker& w) {
-          VAddr buffer = mem.Alloc(db_->output_region(), step.buffer_bytes);
-          mem.Write<uint64_t>(state + step.state_offset0, buffer);
-          mem.Write<uint64_t>(state + step.state_offset1, 0);
-          w.cpu.HostWork(kernel_exec, 100 + step.buffer_bytes / 4096);
+        Unit unit = RunOn(*workers_[0], [&](Worker& w) {
+          VAddr buffer = mem.Alloc(regions_.output, step.buffer_bytes);
+          mem.Write<uint64_t>(state_ + step.state_offset0, buffer);
+          mem.Write<uint64_t>(state_ + step.state_offset1, 0);
+          w.cpu.HostWork(kernel_exec_, 100 + step.buffer_bytes / 4096);
         });
-        break;
+        Barrier();
+        ++step_idx_;
+        return unit;
       }
       case ExecStep::Kind::kRunPipeline: {
-        const PipelineArtifact& artifact = query.pipelines[step.pipeline];
+        const PipelineArtifact& artifact = query_.pipelines[step.pipeline];
         const PipelineStep& source = artifact.pipeline.steps[0];
-        if (source.role == PipelineStep::Role::kScanSource) {
-          // Split the scan into morsels; dispatch in table order to the earliest-free worker.
-          // Dispatch order serializes the morsels' memory effects identically to a sequential
-          // scan, so results match single-threaded execution exactly.
-          const uint64_t rows = source.op->table->row_count();
-          for (uint64_t begin = 0; begin < rows; begin += config.morsel_rows) {
-            const uint64_t end = std::min(rows, begin + config.morsel_rows);
-            run_on(next_worker(), [&](Worker& w) {
-              const uint64_t args[] = {state, begin, end};
-              w.cpu.CallFunction(artifact.function, args);
-            });
-          }
-        } else {
+        if (source.role != PipelineStep::Role::kScanSource) {
           // Pipelines over intermediate results (group scans, sort scans) run sequentially.
-          run_on(*workers[0], [&](Worker& w) {
-            const uint64_t args[] = {state, 0, 0};
+          Unit unit = RunOn(*workers_[0], [&](Worker& w) {
+            const uint64_t args[] = {state_, 0, 0};
+            w.cpu.CallFunction(artifact.function, args);
+          });
+          Barrier();
+          ++step_idx_;
+          return unit;
+        }
+        // Split the scan into morsels; dispatch in table order to the earliest-free worker.
+        // Dispatch order serializes the morsels' memory effects identically to a sequential
+        // scan, so results match single-threaded execution exactly.
+        if (!in_scan_) {
+          in_scan_ = true;
+          scan_rows_ = source.op->table->row_count();
+          scan_next_ = 0;
+          scan_morsel_rows_ = ResolveMorselRows(config_, artifact, scan_rows_, config_.workers);
+        }
+        if (scan_next_ < scan_rows_) {
+          const uint64_t begin = scan_next_;
+          const uint64_t end = std::min(scan_rows_, begin + scan_morsel_rows_);
+          scan_next_ = end;
+          return RunOn(NextWorker(), [&](Worker& w) {
+            const uint64_t args[] = {state_, begin, end};
             w.cpu.CallFunction(artifact.function, args);
           });
         }
-        break;
+        // Scan exhausted (or empty): close the pipeline and look for the next unit.
+        in_scan_ = false;
+        Barrier();
+        ++step_idx_;
+        continue;
       }
       case ExecStep::Kind::kSort: {
-        run_on(*workers[0], [&](Worker& w) {
-          const uint64_t buffer = mem.Read<uint64_t>(state + step.state_offset0);
-          const uint64_t rows = mem.Read<uint64_t>(state + step.state_offset1);
+        Unit unit = RunOn(*workers_[0], [&](Worker& w) {
+          const uint64_t buffer = mem.Read<uint64_t>(state_ + step.state_offset0);
+          const uint64_t rows = mem.Read<uint64_t>(state_ + step.state_offset1);
           const uint64_t args[] = {buffer, rows, step.sort_spec};
-          w.cpu.CallFunction(db_->runtime().sort_fn(), args);
+          w.cpu.CallFunction(db_.runtime().sort_fn(), args);
         });
-        break;
+        Barrier();
+        ++step_idx_;
+        return unit;
       }
     }
-    barrier();
   }
+  return Unit();
+}
+
+Result ParallelRun::Finish() {
+  DFP_CHECK(done() && !finished_);
+  finished_ = true;
+  VMem& mem = db_.mem();
 
   // Read the result rows back host-side (same layout as the sequential engine).
-  const VAddr out_base = mem.Read<uint64_t>(state + query.out_base_offset);
-  const uint64_t out_count = mem.Read<uint64_t>(state + query.out_count_offset);
-  const size_t columns = query.output_schema.size();
+  const VAddr out_base = mem.Read<uint64_t>(state_ + query_.out_base_offset);
+  const uint64_t out_count = mem.Read<uint64_t>(state_ + query_.out_count_offset);
+  const size_t columns = query_.output_schema.size();
   std::vector<std::vector<int64_t>> rows;
   rows.reserve(out_count);
   for (uint64_t r = 0; r < out_count; ++r) {
     std::vector<int64_t> row(columns);
     for (size_t c = 0; c < columns; ++c) {
-      row[c] = mem.Read<int64_t>(out_base + r * query.output_row_size + c * 8);
+      row[c] = mem.Read<int64_t>(out_base + r * query_.output_row_size + c * 8);
     }
     rows.push_back(std::move(row));
   }
 
-  query.tuple_counts.clear();
-  for (const auto& [task, offset] : query.tuple_count_slots) {
-    query.tuple_counts[task] = mem.Read<uint64_t>(state + offset);
+  query_.tuple_counts.clear();
+  for (const auto& [task, offset] : query_.tuple_count_slots) {
+    query_.tuple_counts[task] = mem.Read<uint64_t>(state_ + offset);
   }
 
   // Aggregate metrics: wall clock is the slowest worker (all equal after the final barrier);
   // counters and traffic are summed across the pool.
-  last_cycles_ = workers[0]->cpu.tsc();
-  last_counters_ = PmuCounters();
-  last_cache_stats_ = CacheStats();
-  last_cpu_stats_ = CpuStats();
-  last_worker_metrics_.clear();
-  std::vector<Sample> merged;
-  for (uint32_t i = 0; i < config.workers; ++i) {
-    Worker& w = *workers[i];
+  merged_counters_ = PmuCounters();
+  merged_cache_stats_ = CacheStats();
+  merged_cpu_stats_ = CpuStats();
+  worker_metrics_.clear();
+  merged_samples_.clear();
+  for (uint32_t i = 0; i < config_.workers; ++i) {
+    Worker& w = *workers_[i];
     WorkerMetrics metrics;
     metrics.worker_id = i;
     metrics.busy_cycles = w.busy_cycles;
@@ -172,32 +238,58 @@ Result QueryEngine::ExecuteParallel(CompiledQuery& query, const ParallelConfig& 
     metrics.cache_stats = w.cpu.cache().stats();
     metrics.cpu_stats = w.cpu.stats();
     for (int e = 0; e < kPmuEventCount; ++e) {
-      last_counters_.values[e] += metrics.counters.values[e];
+      merged_counters_.values[e] += metrics.counters.values[e];
     }
-    last_cache_stats_.accesses += metrics.cache_stats.accesses;
-    last_cache_stats_.l1_misses += metrics.cache_stats.l1_misses;
-    last_cache_stats_.l2_misses += metrics.cache_stats.l2_misses;
-    last_cache_stats_.l3_misses += metrics.cache_stats.l3_misses;
-    last_cpu_stats_.instructions += metrics.cpu_stats.instructions;
-    last_cpu_stats_.calls += metrics.cpu_stats.calls;
-    last_cpu_stats_.max_stack_depth =
-        std::max(last_cpu_stats_.max_stack_depth, metrics.cpu_stats.max_stack_depth);
-    last_worker_metrics_.push_back(metrics);
-    if (session != nullptr) {
-      std::vector<Sample> samples = w.pmu.TakeSamples();
-      merged.insert(merged.end(), std::make_move_iterator(samples.begin()),
-                    std::make_move_iterator(samples.end()));
-    }
+    merged_cache_stats_.accesses += metrics.cache_stats.accesses;
+    merged_cache_stats_.l1_misses += metrics.cache_stats.l1_misses;
+    merged_cache_stats_.l2_misses += metrics.cache_stats.l2_misses;
+    merged_cache_stats_.l3_misses += metrics.cache_stats.l3_misses;
+    merged_cpu_stats_.instructions += metrics.cpu_stats.instructions;
+    merged_cpu_stats_.calls += metrics.cpu_stats.calls;
+    merged_cpu_stats_.max_stack_depth =
+        std::max(merged_cpu_stats_.max_stack_depth, metrics.cpu_stats.max_stack_depth);
+    worker_metrics_.push_back(metrics);
+    std::vector<Sample> samples = w.pmu.TakeSamples();
+    merged_samples_.insert(merged_samples_.end(), std::make_move_iterator(samples.begin()),
+                           std::make_move_iterator(samples.end()));
   }
+  // Merge the per-worker streams into one timeline; each stream is already TSC-sorted, so a
+  // stable sort by TSC keeps ties ordered by worker id.
+  std::stable_sort(merged_samples_.begin(), merged_samples_.end(),
+                   [](const Sample& a, const Sample& b) {
+                     return a.tsc != b.tsc ? a.tsc < b.tsc : a.worker_id < b.worker_id;
+                   });
+  return Result(query_.output_schema, std::move(rows));
+}
+
+Result QueryEngine::ExecuteParallel(CompiledQuery& query, const ParallelConfig& config) {
+  db_->ResetScratch();
+  ProfilingSession* session = query.session;
+  SamplingConfig sampling;
   if (session != nullptr) {
-    // Merge the per-worker streams into one timeline; each stream is already TSC-sorted, so
-    // a stable sort by TSC keeps ties ordered by worker id.
-    std::stable_sort(merged.begin(), merged.end(), [](const Sample& a, const Sample& b) {
-      return a.tsc != b.tsc ? a.tsc < b.tsc : a.worker_id < b.worker_id;
-    });
-    session->RecordExecution(std::move(merged), last_cycles_, last_counters_, config.workers);
+    sampling = session->MakeSamplingConfig();
   }
-  return Result(query.output_schema, std::move(rows));
+  ScratchRegions regions;
+  regions.hashtables = db_->hashtables_region();
+  regions.state = db_->state_region();
+  regions.output = db_->output_region();
+
+  ParallelRun run(*db_, query, config, regions, session != nullptr ? &sampling : nullptr);
+  while (!run.done()) {
+    run.Step();
+  }
+  Result result = run.Finish();
+
+  last_cycles_ = run.WallCycles();
+  last_counters_ = run.merged_counters();
+  last_cache_stats_ = run.merged_cache_stats();
+  last_cpu_stats_ = run.merged_cpu_stats();
+  last_worker_metrics_ = run.worker_metrics();
+  if (session != nullptr) {
+    session->RecordExecution(run.TakeMergedSamples(), last_cycles_, last_counters_,
+                             config.workers);
+  }
+  return result;
 }
 
 }  // namespace dfp

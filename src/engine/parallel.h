@@ -1,34 +1,57 @@
 // Morsel-driven parallel execution (Umbra-style) on a pool of simulated VCPU workers.
 //
-// Pipelines whose source is a table scan are split into fixed-size morsels; each morsel is
-// dispatched to the worker whose simulated clock is lowest (greedy earliest-finish scheduling,
-// ties broken by worker id), so the schedule is a deterministic function of the query and the
-// configuration. Every worker owns a full core model — its own TSC, cache hierarchy, branch
-// predictor, shadow call stack, tag register, and PEBS-like sample buffer — and runs the same
-// compiled machine code over its morsels. Host steps (hash-table creation, buffer allocation,
-// sorting) and pipelines without a scannable source run on worker 0 while the others idle at a
-// barrier. After the run the per-worker sample streams are merged by TSC into one stream whose
-// samples carry `worker_id`, so every report works unchanged on parallel runs.
+// Pipelines whose source is a table scan are split into morsels; each morsel is dispatched to
+// the worker whose simulated clock is lowest (greedy earliest-finish scheduling, ties broken by
+// worker id), so the schedule is a deterministic function of the query and the configuration.
+// Every worker owns a full core model — its own TSC, cache hierarchy, branch predictor, shadow
+// call stack, tag register, and PEBS-like sample buffer — and runs the same compiled machine
+// code over its morsels. Host steps (hash-table creation, buffer allocation, sorting) and
+// pipelines without a scannable source run on worker 0 while the others idle at a barrier.
+// After the run the per-worker sample streams are merged by TSC into one stream whose samples
+// carry `worker_id`, so every report works unchanged on parallel runs.
 //
 // Because the simulator interleaves workers at morsel granularity and morsels are dispatched in
 // table order, all memory effects are serialized in the same order a single-threaded run
 // produces: results are bit-identical to sequential execution and repeated runs are
 // deterministic. Only the simulated clocks (and therefore profiles and speedups) differ.
+//
+// The executor itself is exposed as the incremental ParallelRun below: QueryEngine's
+// ExecuteParallel drives one run to completion, while the query service (src/service/)
+// interleaves Step() calls of several runs to multiplex concurrent sessions over one pool.
 #ifndef DFP_SRC_ENGINE_PARALLEL_H_
 #define DFP_SRC_ENGINE_PARALLEL_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "src/engine/exec_plan.h"
+#include "src/engine/result.h"
 #include "src/pmu/pmu.h"
 #include "src/vcpu/cache.h"
 #include "src/vcpu/cpu.h"
 
 namespace dfp {
 
+class Database;
+
 struct ParallelConfig {
   uint32_t workers = 4;
-  uint64_t morsel_rows = 1024;  // Tuples per morsel (Umbra uses adaptive sizes; we use fixed).
+  // Tuples per morsel. 0 (the default) derives the size per pipeline from the optimizer's
+  // cardinality estimate and the fixed per-morsel dispatch cost (see ResolveMorselRows);
+  // a non-zero value forces that fixed size (Umbra uses adaptive sizes; we size per query).
+  uint64_t morsel_rows = 0;
 };
+
+// Modeled fixed cost of dispatching one morsel (function call, cursor reload, scheduling).
+// Used by the morsel sizing heuristic only; the simulator charges the real call costs.
+inline constexpr uint64_t kMorselDispatchCycles = 600;
+
+// Picks the morsel size for one scan pipeline: the configured fixed size if non-zero, otherwise
+// large enough that the per-morsel dispatch cost stays ~1% of the estimated morsel work (cheap
+// scans get chunkier morsels) but small enough that every worker still sees several morsels.
+uint64_t ResolveMorselRows(const ParallelConfig& config, const PipelineArtifact& artifact,
+                           uint64_t scan_rows, uint32_t workers);
 
 // Per-worker execution metrics of the most recent ExecuteParallel().
 struct WorkerMetrics {
@@ -40,6 +63,84 @@ struct WorkerMetrics {
   PmuCounters counters;
   CacheStats cache_stats;
   CpuStats cpu_stats;
+};
+
+// Scratch regions a run allocates from. QueryEngine::ExecuteParallel passes the database's
+// shared regions; the query service passes a session's private region set so concurrent
+// sessions never interfere through memory.
+struct ScratchRegions {
+  uint32_t hashtables = 0;
+  uint32_t state = 0;
+  uint32_t output = 0;
+};
+
+// One morsel-driven execution of a compiled parallel query, advanced one work unit at a time.
+// A work unit is a host step, one morsel, a sequential pipeline run, or a sort; barriers are
+// applied when an exec step completes. The unit sequence and every worker's clock depend only
+// on the query, the configuration, and the region contents — not on how Step() calls are
+// interleaved with other runs, which is what makes service sessions profile-isolated.
+class ParallelRun {
+ public:
+  // `sampling` may be null (no PMU sampling). `session_id` is stamped into every sample taken
+  // by this run's workers (see Sample::session_id).
+  ParallelRun(Database& db, CompiledQuery& query, const ParallelConfig& config,
+              ScratchRegions regions, const SamplingConfig* sampling, uint32_t session_id = 0);
+  ~ParallelRun();
+
+  bool done() const { return step_idx_ >= query_.exec_steps.size(); }
+
+  // Executes the next work unit. Returns the worker it ran on and its duration in cycles
+  // (0 cycles when only bookkeeping happened, e.g. an empty scan was skipped).
+  struct Unit {
+    uint32_t worker = 0;
+    uint64_t cycles = 0;
+  };
+  Unit Step();
+
+  // Simulated wall clock so far: the maximum TSC across the pool.
+  uint64_t WallCycles() const;
+
+  // After done(): reads the result rows and tuple counters back and computes the merged
+  // metrics. Must be called exactly once.
+  Result Finish();
+
+  // Valid after Finish().
+  const std::vector<WorkerMetrics>& worker_metrics() const { return worker_metrics_; }
+  const PmuCounters& merged_counters() const { return merged_counters_; }
+  const CacheStats& merged_cache_stats() const { return merged_cache_stats_; }
+  const CpuStats& merged_cpu_stats() const { return merged_cpu_stats_; }
+  // The per-worker sample streams merged by (tsc, worker id); empty without sampling.
+  std::vector<Sample> TakeMergedSamples() { return std::move(merged_samples_); }
+
+ private:
+  struct Worker;
+
+  Worker& NextWorker();
+  void Barrier();
+  template <typename Body>
+  Unit RunOn(Worker& w, const Body& body);
+
+  Database& db_;
+  CompiledQuery& query_;
+  ParallelConfig config_;
+  ScratchRegions regions_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  VAddr state_ = 0;
+  uint32_t kernel_exec_ = 0;
+
+  // Cursor over the execution schedule.
+  size_t step_idx_ = 0;
+  bool in_scan_ = false;
+  uint64_t scan_rows_ = 0;
+  uint64_t scan_next_ = 0;
+  uint64_t scan_morsel_rows_ = 0;
+
+  std::vector<WorkerMetrics> worker_metrics_;
+  PmuCounters merged_counters_;
+  CacheStats merged_cache_stats_;
+  CpuStats merged_cpu_stats_;
+  std::vector<Sample> merged_samples_;
+  bool finished_ = false;
 };
 
 }  // namespace dfp

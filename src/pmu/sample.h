@@ -14,11 +14,15 @@ inline constexpr int kTagRegister = 15;  // Architecturally global register used
 // One PEBS-style sample. `ip` is a global instruction pointer (code-segment base + offset).
 // `callstack` holds return addresses, innermost caller first, when call-stack sampling is on.
 // `worker_id` identifies the VCPU that took the sample; single-threaded runs use worker 0.
+// `session_id` identifies the query session the VCPU was executing for when the service layer
+// multiplexes concurrent sessions over one worker pool. It is a runtime demultiplexing key and
+// is not serialized: dumped streams are always per-session, so the id would be redundant there.
 struct Sample {
   uint64_t tsc = 0;
   uint64_t ip = 0;
   uint64_t addr = 0;  // Accessed address for memory events, 0 otherwise.
   uint32_t worker_id = 0;
+  uint32_t session_id = 0;
   bool has_registers = false;
   std::array<uint64_t, kNumMachineRegs> regs{};
   std::vector<uint64_t> callstack;

@@ -12,7 +12,8 @@ namespace dfp {
 namespace {
 
 constexpr const char* kDictionaryHeader = "# dfp tagging dictionary v1";
-constexpr const char* kSamplesHeader = "# dfp samples v1";
+constexpr const char* kSamplesHeaderV1 = "# dfp samples v1";
+constexpr const char* kSamplesHeaderV2 = "# dfp samples v2";
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed profiling meta-data line: '" + line + "'");
@@ -92,11 +93,17 @@ TaggingDictionary ReadDictionary(std::istream& in) {
 }
 
 void WriteSamples(const std::vector<Sample>& samples, std::ostream& out) {
-  out << kSamplesHeader << "\n";
+  // Streams carrying worker ids are v2; pure worker-0 streams keep the v1 header so dumps from
+  // single-threaded runs stay byte-compatible with pre-parallel readers.
+  bool multi_worker = false;
+  for (const Sample& sample : samples) {
+    multi_worker |= sample.worker_id != 0;
+  }
+  out << (multi_worker ? kSamplesHeaderV2 : kSamplesHeaderV1) << "\n";
   for (const Sample& sample : samples) {
     out << "sample " << sample.tsc << " " << sample.ip << " " << sample.addr;
     if (sample.worker_id != 0) {
-      // Written only for parallel runs so single-threaded dumps keep the v1 layout.
+      // Written only for samples off worker 0, so v2 streams stay close to the v1 layout.
       out << " W " << sample.worker_id;
     }
     if (sample.has_registers) {
@@ -118,9 +125,10 @@ void WriteSamples(const std::vector<Sample>& samples, std::ostream& out) {
 std::vector<Sample> ReadSamples(std::istream& in) {
   std::vector<Sample> samples;
   std::string line;
-  if (!std::getline(in, line) || line != kSamplesHeader) {
+  if (!std::getline(in, line) || (line != kSamplesHeaderV1 && line != kSamplesHeaderV2)) {
     throw Error("not a dfp samples file");
   }
+  const bool accept_worker_ids = line == kSamplesHeaderV2;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') {
       continue;
@@ -138,6 +146,11 @@ std::vector<Sample> ReadSamples(std::istream& in) {
     std::string section;
     while (stream >> section) {
       if (section == "W") {
+        if (!accept_worker_ids) {
+          // A v1 stream is single-threaded by definition; a worker-id token indicates a stream
+          // mislabeled (or truncated/spliced) rather than something to guess at.
+          throw Error("worker-id token in a v1 sample stream: '" + line + "'");
+        }
         if (!(stream >> sample.worker_id)) {
           Malformed(line);
         }

@@ -24,10 +24,14 @@ void WriteDictionary(const TaggingDictionary& dictionary, std::ostream& out);
 // Inverse of WriteDictionary. Throws dfp::Error on malformed input.
 TaggingDictionary ReadDictionary(std::istream& in);
 
-// perf-script-like sample dump (`W` appears only for samples from workers other than 0, so
-// single-threaded dumps are unchanged):
-//   # dfp samples v1
+// perf-script-like sample dump. Streams that carry worker ids (any sample from a worker other
+// than 0) are written with a v2 header; pure single-threaded dumps keep the v1 header and
+// layout, so files produced before the parallel engine read back unchanged:
+//   # dfp samples v1        (single-threaded: no W tokens allowed)
+//   # dfp samples v2        (parallel: W present on samples from workers other than 0)
 //   sample <tsc> <ip> <addr> [W <worker>] [R <16 register values>] [S <depth> <return-ips...>]
+// A session id is never written: dumped streams are per-session by construction (see
+// src/pmu/sample.h).
 void WriteSamples(const std::vector<Sample>& samples, std::ostream& out);
 
 // Inverse of WriteSamples. Throws dfp::Error on malformed input.

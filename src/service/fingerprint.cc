@@ -1,0 +1,147 @@
+#include "src/service/fingerprint.h"
+
+#include <cstdio>
+
+#include "src/util/hash.h"
+
+namespace dfp {
+namespace {
+
+// Accumulates the two fingerprint halves over a pre-order plan walk. Both halves use the
+// engine's HashCombine chain so the fingerprint is stable across platforms and runs.
+struct FingerprintBuilder {
+  uint64_t structure = 0xdf9de11ce0ull;  // Arbitrary non-zero seeds.
+  uint64_t literals = 0x117e7a15ull;
+
+  void Shape(uint64_t value) { structure = HashCombine(structure, HashKey(value)); }
+  void Literal(uint64_t value) { literals = HashCombine(literals, HashKey(value)); }
+
+  void ShapeString(const std::string& text) {
+    Shape(text.size());
+    for (char c : text) {
+      Shape(static_cast<uint64_t>(static_cast<unsigned char>(c)));
+    }
+  }
+
+  void LiteralString(const std::string& text) {
+    Literal(text.size());
+    for (char c : text) {
+      Literal(static_cast<uint64_t>(static_cast<unsigned char>(c)));
+    }
+  }
+
+  void AddExpr(const Expr& expr) {
+    Shape(static_cast<uint64_t>(expr.kind));
+    Shape(static_cast<uint64_t>(expr.type));
+    switch (expr.kind) {
+      case ExprKind::kColumnRef:
+        Shape(static_cast<uint64_t>(expr.slot));
+        break;
+      case ExprKind::kLiteral:
+        // The payload is a parameter, not part of the shape.
+        Literal(static_cast<uint64_t>(expr.literal));
+        break;
+      case ExprKind::kBinary:
+        Shape(static_cast<uint64_t>(expr.bin));
+        break;
+      case ExprKind::kUnary:
+        Shape(static_cast<uint64_t>(expr.un));
+        break;
+      case ExprKind::kAggregate:
+        Shape(static_cast<uint64_t>(expr.agg));
+        break;
+      case ExprKind::kLike:
+        // The pattern is a constant; only its presence shapes the plan.
+        LiteralString(expr.pattern);
+        break;
+      case ExprKind::kInList:
+        Shape(expr.list.size());
+        for (int64_t candidate : expr.list) {
+          Literal(static_cast<uint64_t>(candidate));
+        }
+        break;
+      case ExprKind::kCase:
+        Shape(expr.whens.size());
+        break;
+      case ExprKind::kCast:
+      case ExprKind::kExtractYear:
+        break;
+    }
+    for (const auto& [condition, value] : expr.whens) {
+      AddExpr(*condition);
+      AddExpr(*value);
+    }
+    if (expr.left != nullptr) {
+      AddExpr(*expr.left);
+    }
+    if (expr.right != nullptr) {
+      AddExpr(*expr.right);
+    }
+    if (expr.else_value != nullptr) {
+      AddExpr(*expr.else_value);
+    }
+  }
+
+  void AddOp(const PhysicalOp& op) {
+    Shape(static_cast<uint64_t>(op.kind));
+    Shape(op.children.size());
+    Shape(op.output.size());
+    for (const OutputColumn& column : op.output) {
+      Shape(static_cast<uint64_t>(column.type));
+    }
+    if (op.table != nullptr) {
+      ShapeString(op.table->name());
+    }
+    Shape(static_cast<uint64_t>(op.projecting));
+    Shape(static_cast<uint64_t>(op.join_type));
+    for (int slot : op.build_keys) {
+      Shape(static_cast<uint64_t>(slot) + 1);
+    }
+    for (int slot : op.probe_keys) {
+      Shape(static_cast<uint64_t>(slot) + 2);
+    }
+    for (int slot : op.build_payload) {
+      Shape(static_cast<uint64_t>(slot) + 3);
+    }
+    for (int slot : op.group_keys) {
+      Shape(static_cast<uint64_t>(slot) + 4);
+    }
+    for (const SortItem& item : op.sort_items) {
+      Shape(static_cast<uint64_t>(item.slot));
+      Shape(static_cast<uint64_t>(item.descending));
+    }
+    // LIMIT counts are tuning constants, not plan shape (a top-10 and a top-100 of the same
+    // query are the same prepared statement); presence is shaped via kind above.
+    if (op.limit >= 0) {
+      Literal(static_cast<uint64_t>(op.limit));
+    }
+    Shape(op.exprs.size());
+    for (const ExprPtr& expr : op.exprs) {
+      AddExpr(*expr);
+    }
+    for (const auto& child : op.children) {
+      AddOp(*child);
+    }
+  }
+};
+
+}  // namespace
+
+PlanFingerprint FingerprintPlan(const PhysicalOp& root, uint64_t catalog_version) {
+  FingerprintBuilder builder;
+  builder.Shape(catalog_version);
+  builder.AddOp(root);
+  PlanFingerprint fingerprint;
+  fingerprint.structure = builder.structure;
+  fingerprint.literals = builder.literals;
+  return fingerprint;
+}
+
+std::string FingerprintKey(const PlanFingerprint& fingerprint) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(fingerprint.structure));
+  return buffer;
+}
+
+}  // namespace dfp

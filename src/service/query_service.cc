@@ -1,0 +1,236 @@
+#include "src/service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/engine/codegen.h"
+#include "src/util/check.h"
+
+namespace dfp {
+
+uint64_t ServiceArenaBytes(const ServiceConfig& config) {
+  const uint64_t per_session = config.session_hashtables_bytes + config.session_state_bytes +
+                               config.session_output_bytes + 3 * kCacheCongruenceBytes;
+  return config.max_active_sessions * per_session;
+}
+
+// One in-flight query: its own virtual worker pool (inside `run`) over its slot's private
+// regions. The object is heap-allocated so the SamplingConfig and run stay pinned while the
+// active list grows and shrinks.
+struct QueryService::ActiveSession {
+  TicketId ticket = 0;
+  CachedPlanPtr entry;
+  size_t slot = 0;
+  std::unique_ptr<ParallelRun> run;
+};
+
+namespace {
+
+// Creates a scratch region whose base is congruent to `model_base` modulo the cache-congruence
+// stride, burning the gap as an anonymous pad region when needed.
+uint32_t CreateCongruentRegion(Database& db, const std::string& name, uint64_t size,
+                               uint64_t model_base) {
+  const uint64_t stride = kCacheCongruenceBytes;
+  const uint64_t next = db.mem().next_base();
+  const uint64_t pad = (model_base % stride + stride - next % stride) % stride;
+  if (pad != 0) {
+    db.CreateScratchRegion(name + ".pad", pad);
+  }
+  return db.CreateScratchRegion(name, size);
+}
+
+}  // namespace
+
+QueryService::QueryService(Database& db, ServiceConfig config)
+    : db_(db),
+      config_(std::move(config)),
+      cache_(config_.code_budget_bytes),
+      seen_catalog_version_(db.catalog_version()),
+      lane_cycles_(config_.parallel.workers, 0) {
+  DFP_CHECK(config_.max_active_sessions >= 1);
+  // One region set per session slot, each congruent to the engine's shared regions so a
+  // session's cache behavior matches a standalone run on the shared regions exactly.
+  const uint64_t ht_base = db_.mem().region(db_.hashtables_region()).base;
+  const uint64_t state_base = db_.mem().region(db_.state_region()).base;
+  const uint64_t out_base = db_.mem().region(db_.output_region()).base;
+  for (uint32_t s = 0; s < config_.max_active_sessions; ++s) {
+    const std::string prefix = "session" + std::to_string(s) + ".";
+    ScratchRegions regions;
+    regions.hashtables = CreateCongruentRegion(db_, prefix + "hashtables",
+                                               config_.session_hashtables_bytes, ht_base);
+    regions.state =
+        CreateCongruentRegion(db_, prefix + "state", config_.session_state_bytes, state_base);
+    regions.output =
+        CreateCongruentRegion(db_, prefix + "output", config_.session_output_bytes, out_base);
+    slots_.push_back(regions);
+    free_slots_.push_back(s);
+  }
+}
+
+QueryService::~QueryService() = default;
+
+const QueryTicket& QueryService::ticket(TicketId id) const {
+  DFP_CHECK(id >= 1 && id <= tickets_.size());
+  return *tickets_[id - 1];
+}
+
+TicketId QueryService::Submit(PhysicalOpPtr plan, std::string name, uint64_t deadline_cycles) {
+  auto ticket = std::make_unique<QueryTicket>();
+  ticket->id = static_cast<TicketId>(tickets_.size() + 1);
+  ticket->name = std::move(name);
+  ticket->fingerprint = FingerprintPlan(*plan, db_.catalog_version());
+  ticket->deadline_cycles =
+      deadline_cycles != 0 ? deadline_cycles : config_.default_deadline_cycles;
+  if (queue_.size() >= config_.queue_depth) {
+    ticket->status = TicketStatus::kRejected;
+    tickets_.push_back(std::move(ticket));
+    return tickets_.back()->id;
+  }
+  ticket->pending_plan = std::move(plan);
+  ticket->status = TicketStatus::kQueued;
+  queue_.push_back(ticket->id);
+  tickets_.push_back(std::move(ticket));
+  return tickets_.back()->id;
+}
+
+void QueryService::ChargeSerialWork(uint64_t cycles) {
+  auto least = std::min_element(lane_cycles_.begin(), lane_cycles_.end());
+  *least += cycles;
+}
+
+void QueryService::Admit(TicketId id) {
+  QueryTicket& ticket = TicketRef(id);
+
+  // Schema changes retire every cached artifact; the new catalog version is already mixed into
+  // fingerprints taken after the change, so this only reclaims budget from unreachable entries.
+  if (db_.catalog_version() != seen_catalog_version_) {
+    cache_.InvalidateAll();
+    seen_catalog_version_ = db_.catalog_version();
+  }
+
+  CachedPlanPtr entry = cache_.Lookup(ticket.fingerprint);
+  if (entry != nullptr) {
+    ticket.cache_hit = true;
+    ticket.compile_cycles = config_.compile_costs.cache_lookup_cycles;
+    ticket.pending_plan.reset();  // The cached artifact replaces the submitted plan.
+  } else {
+    // Cold path: run the full compile with a profiling session attached, so the Tagging
+    // Dictionary is built once and snapshotted with the artifact.
+    ProfilingSession compile_session(config_.profiling);
+    CodegenOptions options;
+    options.parallel = true;
+    entry = std::make_shared<CachedPlan>();
+    entry->query = CompileQuery(db_, std::move(ticket.pending_plan),
+                                config_.profile_executions ? &compile_session : nullptr,
+                                ticket.name, options);
+    entry->query.session = nullptr;  // The compile session dies here; executions bring their own.
+    entry->fingerprint = ticket.fingerprint;
+    entry->name = ticket.name;
+    entry->dictionary = compile_session.dictionary();
+    entry->catalog_version = db_.catalog_version();
+    entry->code_bytes = CompiledCodeBytes(entry->query, db_.code_map());
+    entry->compile_cycles = EstimateCompileCycles(entry->query, config_.compile_costs);
+    ticket.compile_cycles = entry->compile_cycles;
+    cache_.Insert(entry);
+  }
+  ChargeSerialWork(ticket.compile_cycles);
+  fleet_.RecordCompile(ticket.fingerprint, ticket.name, ticket.compile_cycles, ticket.cache_hit);
+
+  DFP_CHECK(!free_slots_.empty());
+  const size_t slot = free_slots_.front();
+  free_slots_.erase(free_slots_.begin());
+  const ScratchRegions& regions = slots_[slot];
+  db_.mem().ResetRegion(regions.hashtables);
+  db_.mem().ResetRegion(regions.state);
+  db_.mem().ResetRegion(regions.output);
+
+  auto session = std::make_unique<ActiveSession>();
+  session->ticket = id;
+  session->entry = entry;
+  session->slot = slot;
+  ticket.plan = entry;
+
+  SamplingConfig sampling;
+  const SamplingConfig* sampling_ptr = nullptr;
+  if (config_.profile_executions) {
+    ticket.session = std::make_unique<ProfilingSession>(config_.profiling);
+    // The snapshot taken at compile time makes warm executions resolve exactly like the cold one.
+    ticket.session->dictionary() = entry->dictionary;
+    sampling = ticket.session->MakeSamplingConfig();
+    sampling_ptr = &sampling;
+  }
+  session->run = std::make_unique<ParallelRun>(db_, entry->query, config_.parallel, regions,
+                                               sampling_ptr, id);
+  ticket.status = TicketStatus::kRunning;
+  active_.push_back(std::move(session));
+}
+
+bool QueryService::StepSession(ActiveSession& session) {
+  QueryTicket& ticket = TicketRef(session.ticket);
+  const ParallelRun::Unit unit = session.run->Step();
+  lane_cycles_[unit.worker] += unit.cycles;
+
+  if (ticket.deadline_cycles != 0 && !session.run->done() &&
+      session.run->WallCycles() > ticket.deadline_cycles) {
+    // Abandon the run: its partial state lives entirely in the slot's private regions, which are
+    // reset at the next admission.
+    ticket.status = TicketStatus::kTimedOut;
+    ticket.execute_cycles = session.run->WallCycles();
+    ticket.completed_at_cycles = ServiceNowCycles();
+    ticket.session.reset();
+    return true;
+  }
+  if (!session.run->done()) {
+    return false;
+  }
+
+  ticket.result = session.run->Finish();
+  ticket.execute_cycles = session.run->WallCycles();
+  ticket.worker_metrics = session.run->worker_metrics();
+  ticket.completed_at_cycles = ServiceNowCycles();
+  ticket.status = TicketStatus::kDone;
+  if (ticket.session != nullptr) {
+    ticket.session->RecordExecution(session.run->TakeMergedSamples(), ticket.execute_cycles,
+                                    session.run->merged_counters(), config_.parallel.workers);
+    ticket.session->Resolve(db_.code_map());
+    fleet_.RecordExecution(ticket.fingerprint, session.entry->query, *ticket.session,
+                           ticket.execute_cycles);
+  } else {
+    // Unprofiled executions still count toward the fleet's execute-cycle totals.
+    ProfilingSession empty;
+    fleet_.RecordExecution(ticket.fingerprint, session.entry->query, empty,
+                           ticket.execute_cycles);
+  }
+  return true;
+}
+
+void QueryService::Drain() {
+  while (!queue_.empty() || !active_.empty()) {
+    while (active_.size() < config_.max_active_sessions && !queue_.empty()) {
+      const TicketId next = queue_.front();
+      queue_.pop_front();
+      Admit(next);
+    }
+    // One unit per active session per round, in admission order: round-robin time-sharing of
+    // the pool. Completed sessions release their slot before the next admission sweep.
+    for (size_t i = 0; i < active_.size();) {
+      if (StepSession(*active_[i])) {
+        free_slots_.push_back(active_[i]->slot);
+        std::sort(free_slots_.begin(), free_slots_.end());
+        active_.erase(active_.begin() + i);
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+uint64_t QueryService::ServiceNowCycles() const {
+  uint64_t max_lane = 0;
+  for (uint64_t lane : lane_cycles_) {
+    max_lane = std::max(max_lane, lane);
+  }
+  return max_lane;
+}
+
+}  // namespace dfp

@@ -1,0 +1,163 @@
+// QueryService: a serving layer over the compiling engine — plan cache, concurrent session
+// scheduler, and fleet profile aggregation.
+//
+// The paper's production framing (always-on profiling, decoupled post-processing) implies a
+// long-lived serving process, not a one-query benchmark harness. This subsystem models that
+// process deterministically:
+//
+//  - Submissions are fingerprinted and admitted through a bounded queue; at most
+//    `max_active_sessions` queries are in flight.
+//  - Compilation goes through the PlanCache: a hit reuses the cached artifact (zero new
+//    code-segment bytes, bit-identical results, and — because the cached Tagging Dictionary is
+//    copied into the execution's session — identically attributed profiles).
+//  - Active sessions time-share one worker pool: the scheduler hands each active session one
+//    work unit (a morsel, host step, or sequential pipeline) per round, in admission order.
+//  - Every session executes on its own virtual workers against private scratch regions placed
+//    cache-congruent to the engine's shared regions (see kCacheCongruenceBytes), so a session's
+//    sample stream is byte-identical to running the same query alone at the same worker count:
+//    concurrent load never distorts a profile. Samples carry `session_id` for demultiplexing.
+//  - Completed executions fold into the ServiceProfile, keyed by structural fingerprint.
+//
+// Service time is modeled as per-lane busy cycles (lane = pool worker): each unit's cycles are
+// charged to the lane it ran on, compilation to the least-loaded lane. Throughput is
+// queries / max-lane-cycles. Everything — admission, interleaving, clocks, samples — is a
+// deterministic function of the submission sequence and the configuration.
+#ifndef DFP_SRC_SERVICE_QUERY_SERVICE_H_
+#define DFP_SRC_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/engine/parallel.h"
+#include "src/engine/result.h"
+#include "src/profiling/session.h"
+#include "src/service/fingerprint.h"
+#include "src/service/plan_cache.h"
+#include "src/service/service_profile.h"
+
+namespace dfp {
+
+// Private session regions are placed congruent to the engine's shared regions modulo this
+// stride: 512 KiB is one L3 way span (8 MiB / 16 ways) and a multiple of the L1 (4 KiB) and L2
+// (64 KiB) way spans, so an address and its session-region twin map to the same set in every
+// cache level. That makes a session's cache behavior — and therefore its sample stream —
+// identical to a standalone run's.
+inline constexpr uint64_t kCacheCongruenceBytes = 512ull * 1024;
+
+struct ServiceConfig {
+  // Execution pool shared (time-sliced) by all active sessions.
+  ParallelConfig parallel;
+  // Concurrency limits: in-flight sessions and the bounded submission queue behind them.
+  uint32_t max_active_sessions = 2;
+  uint32_t queue_depth = 16;
+  // Per-session deadline in simulated cycles of that session's own run; 0 = none. A Submit()
+  // argument overrides it per query.
+  uint64_t default_deadline_cycles = 0;
+  // Plan cache budget over generated machine-code bytes.
+  uint64_t code_budget_bytes = 1ull << 20;
+  // Per-session private scratch region sizes. Must be multiples of kCacheCongruenceBytes so the
+  // regions of consecutive slots stay mutually congruent; the Database's `extra_bytes` must
+  // cover max_active_sessions * (sum + up to 3 * kCacheCongruenceBytes padding).
+  uint64_t session_hashtables_bytes = 48ull << 20;
+  uint64_t session_state_bytes = 512ull * 1024;
+  uint64_t session_output_bytes = 24ull << 20;
+  // Profiling of served queries (the always-on facility). When off, queries still execute and
+  // the fleet profile still counts executions/cycles, just without operator attribution.
+  bool profile_executions = true;
+  ProfilingConfig profiling;
+  CompileCostModel compile_costs;
+};
+
+// Head room a DatabaseConfig needs in `extra_bytes` to host `config`'s session slots.
+uint64_t ServiceArenaBytes(const ServiceConfig& config);
+
+using TicketId = uint32_t;
+
+enum class TicketStatus : uint8_t {
+  kQueued,    // Waiting for an execution slot.
+  kRunning,   // Admitted; morsels in flight.
+  kDone,      // Finished; `result` and profile are valid.
+  kRejected,  // Bounced at submission: queue full.
+  kTimedOut,  // Aborted mid-run: deadline exceeded.
+};
+
+// One submitted query, from enqueue to completion.
+struct QueryTicket {
+  TicketId id = 0;
+  std::string name;
+  TicketStatus status = TicketStatus::kQueued;
+  PlanFingerprint fingerprint;
+  bool cache_hit = false;
+  uint64_t deadline_cycles = 0;   // 0 = none.
+  uint64_t compile_cycles = 0;    // Full compile on a miss, cache lookup cost on a hit.
+  uint64_t execute_cycles = 0;    // The session's own simulated wall clock.
+  uint64_t completed_at_cycles = 0;  // Service clock (max lane) when the ticket finished.
+  Result result;
+  // This execution's profile (resolved), when the service profiles executions.
+  std::unique_ptr<ProfilingSession> session;
+  std::vector<WorkerMetrics> worker_metrics;
+
+  // The compiled artifact the ticket executed (owned by the plan cache; kept alive here even
+  // across eviction). Null until admission.
+  std::shared_ptr<const CachedPlan> plan;
+
+  // Plan awaiting admission; consumed on a cache miss, discarded on a hit.
+  PhysicalOpPtr pending_plan;
+};
+
+class QueryService {
+ public:
+  // Carves the per-session scratch regions out of `db`'s extra arena head room; `db` must have
+  // been configured with `extra_bytes >= ServiceArenaBytes(config)`.
+  QueryService(Database& db, ServiceConfig config = ServiceConfig());
+  ~QueryService();
+
+  // Enqueues a query. Returns its ticket id immediately; status is kQueued, or kRejected when
+  // the queue is full. `deadline_cycles` overrides the config default (0 = use default).
+  TicketId Submit(PhysicalOpPtr plan, std::string name, uint64_t deadline_cycles = 0);
+
+  // Runs the scheduler until every submitted query has completed (or timed out).
+  void Drain();
+
+  const QueryTicket& ticket(TicketId id) const;
+  size_t ticket_count() const { return tickets_.size(); }
+
+  const PlanCache& plan_cache() const { return cache_; }
+  ServiceProfile& fleet_profile() { return fleet_; }
+  const ServiceProfile& fleet_profile() const { return fleet_; }
+
+  // Service clock: the busiest lane's cumulative cycles (lanes run concurrently, so this is the
+  // simulated elapsed time of everything served so far).
+  uint64_t ServiceNowCycles() const;
+  const std::vector<uint64_t>& lane_cycles() const { return lane_cycles_; }
+
+ private:
+  struct ActiveSession;
+
+  QueryTicket& TicketRef(TicketId id) { return *tickets_[id - 1]; }
+  void Admit(TicketId id);
+  // Advances `session` by one unit; returns true when the ticket completed (done or timed out).
+  bool StepSession(ActiveSession& session);
+  void ChargeSerialWork(uint64_t cycles);  // Compile/lookup work: to the least-loaded lane.
+
+  Database& db_;
+  ServiceConfig config_;
+  PlanCache cache_;
+  ServiceProfile fleet_;
+  uint64_t seen_catalog_version_;
+
+  std::vector<std::unique_ptr<QueryTicket>> tickets_;
+  std::deque<TicketId> queue_;
+  std::vector<std::unique_ptr<ActiveSession>> active_;  // Admission order.
+  std::vector<ScratchRegions> slots_;
+  std::vector<size_t> free_slots_;  // Kept sorted; lowest slot is reused first.
+  std::vector<uint64_t> lane_cycles_;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,235 @@
+#include "src/service/service_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/profiling/reports.h"
+#include "src/util/check.h"
+
+namespace dfp {
+namespace {
+
+constexpr const char* kProfileHeader = "# dfp service profile v1";
+
+[[noreturn]] void Malformed(const std::string& line) {
+  throw Error("malformed service profile line: '" + line + "'");
+}
+
+std::string HexKey(uint64_t fingerprint) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+}  // namespace
+
+FleetPlanProfile& ServiceProfile::PlanFor(const PlanFingerprint& fingerprint,
+                                          const std::string& name) {
+  FleetPlanProfile& plan = plans_[fingerprint.structure];
+  if (plan.executions == 0 && plan.compile_cycles == 0 && plan.name.empty()) {
+    plan.fingerprint = fingerprint.structure;
+    plan.name = name;
+  }
+  return plan;
+}
+
+void ServiceProfile::RecordCompile(const PlanFingerprint& fingerprint, const std::string& name,
+                                   uint64_t compile_cycles, bool cache_hit) {
+  FleetPlanProfile& plan = PlanFor(fingerprint, name);
+  plan.compile_cycles += compile_cycles;
+  total_compile_cycles_ += compile_cycles;
+  if (cache_hit) {
+    ++plan.cache_hits;
+  } else {
+    ++plan.cache_misses;
+  }
+}
+
+void ServiceProfile::RecordExecution(const PlanFingerprint& fingerprint,
+                                     const CompiledQuery& query, const ProfilingSession& session,
+                                     uint64_t execute_cycles) {
+  FleetPlanProfile& plan = PlanFor(fingerprint, query.name);
+  ++plan.executions;
+  plan.execute_cycles += execute_cycles;
+  total_execute_cycles_ += execute_cycles;
+
+  OperatorProfile profile = BuildOperatorProfile(session, query);
+  for (const OperatorCost& cost : profile.operators) {
+    FleetOperatorCost& fleet = plan.operators[cost.op];
+    fleet.op = cost.op;
+    if (fleet.label.empty()) {
+      fleet.label = cost.label;
+    }
+    fleet.samples += cost.samples;
+    plan.samples += cost.samples;
+    total_operator_samples_ += cost.samples;
+  }
+}
+
+std::vector<FleetHotspot> ServiceProfile::TopOperators(size_t k) const {
+  struct Row {
+    uint64_t fingerprint;
+    const FleetPlanProfile* plan;
+    const FleetOperatorCost* op;
+  };
+  std::vector<Row> rows;
+  for (const auto& [fingerprint, plan] : plans_) {
+    for (const auto& [op, cost] : plan.operators) {
+      (void)op;
+      rows.push_back(Row{fingerprint, &plan, &cost});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.op->samples != b.op->samples) {
+      return a.op->samples > b.op->samples;
+    }
+    if (a.fingerprint != b.fingerprint) {
+      return a.fingerprint < b.fingerprint;
+    }
+    return a.op->op < b.op->op;
+  });
+  if (rows.size() > k) {
+    rows.resize(k);
+  }
+
+  std::vector<FleetHotspot> hotspots;
+  hotspots.reserve(rows.size());
+  for (const Row& row : rows) {
+    FleetHotspot hotspot;
+    hotspot.plan_name = row.plan->name;
+    hotspot.op_label = row.op->label;
+    hotspot.samples = row.op->samples;
+    hotspot.share = total_operator_samples_ == 0
+                        ? 0
+                        : static_cast<double>(row.op->samples) /
+                              static_cast<double>(total_operator_samples_);
+    hotspots.push_back(std::move(hotspot));
+  }
+  return hotspots;
+}
+
+std::string ServiceProfile::Render(size_t top_k) const {
+  std::ostringstream out;
+  out << "=== Fleet profile ===\n";
+  uint64_t executions = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  for (const auto& [fingerprint, plan] : plans_) {
+    (void)fingerprint;
+    executions += plan.executions;
+    hits += plan.cache_hits;
+    misses += plan.cache_misses;
+  }
+  out << "plans " << plans_.size() << "  executions " << executions << "  cache " << hits
+      << " hit / " << misses << " miss\n";
+  const uint64_t total = total_compile_cycles_ + total_execute_cycles_;
+  out << "cycles: compile " << total_compile_cycles_ << "  execute " << total_execute_cycles_;
+  if (total != 0) {
+    char share[32];
+    std::snprintf(share, sizeof(share), "%.1f",
+                  100.0 * static_cast<double>(total_compile_cycles_) /
+                      static_cast<double>(total));
+    out << "  (compile share " << share << "%)";
+  }
+  out << "\n\n";
+
+  for (const auto& [fingerprint, plan] : plans_) {
+    out << "plan " << HexKey(fingerprint) << "  " << plan.name << "\n";
+    out << "  executions " << plan.executions << "  cache " << plan.cache_hits << " hit / "
+        << plan.cache_misses << " miss  compile " << plan.compile_cycles << " cyc  execute "
+        << plan.execute_cycles << " cyc  samples " << plan.samples << "\n";
+  }
+
+  std::vector<FleetHotspot> hotspots = TopOperators(top_k);
+  if (!hotspots.empty()) {
+    out << "\n--- Hottest operators (top " << hotspots.size() << ") ---\n";
+    for (const FleetHotspot& hotspot : hotspots) {
+      char share[32];
+      std::snprintf(share, sizeof(share), "%5.1f%%", 100.0 * hotspot.share);
+      out << "  " << share << "  " << hotspot.op_label << "  [" << hotspot.plan_name << "]  "
+          << hotspot.samples << " samples\n";
+    }
+  }
+  return out.str();
+}
+
+void WriteServiceProfile(const ServiceProfile& profile, std::ostream& out) {
+  out << kProfileHeader << "\n";
+  for (const auto& [fingerprint, plan] : profile.plans()) {
+    out << "plan " << HexKey(fingerprint) << " " << plan.executions << " " << plan.cache_hits
+        << " " << plan.cache_misses << " " << plan.compile_cycles << " " << plan.execute_cycles
+        << " " << plan.name << "\n";
+    for (const auto& [op, cost] : plan.operators) {
+      out << "op " << HexKey(fingerprint) << " " << op << " " << cost.samples << " " << cost.label
+          << "\n";
+    }
+  }
+}
+
+ServiceProfile ReadServiceProfile(std::istream& in) {
+  ServiceProfile profile;
+  std::string line;
+  if (!std::getline(in, line) || line != kProfileHeader) {
+    throw Error("not a dfp service profile file");
+  }
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream stream(line);
+    std::string kind;
+    stream >> kind;
+    if (kind == "plan") {
+      std::string key;
+      FleetPlanProfile plan;
+      if (!(stream >> key >> plan.executions >> plan.cache_hits >> plan.cache_misses >>
+            plan.compile_cycles >> plan.execute_cycles)) {
+        Malformed(line);
+      }
+      plan.fingerprint = std::stoull(key, nullptr, 16);
+      std::getline(stream, plan.name);
+      if (!plan.name.empty() && plan.name.front() == ' ') {
+        plan.name.erase(plan.name.begin());
+      }
+      // Rebuild the cross-plan totals as we load.
+      profile.AddLoadedPlan(std::move(plan));
+    } else if (kind == "op") {
+      std::string key;
+      FleetOperatorCost cost;
+      uint64_t op = 0;
+      if (!(stream >> key >> op >> cost.samples)) {
+        Malformed(line);
+      }
+      cost.op = static_cast<OperatorId>(op);
+      std::getline(stream, cost.label);
+      if (!cost.label.empty() && cost.label.front() == ' ') {
+        cost.label.erase(cost.label.begin());
+      }
+      profile.AddLoadedOperator(std::stoull(key, nullptr, 16), std::move(cost));
+    } else {
+      Malformed(line);
+    }
+  }
+  return profile;
+}
+
+void ServiceProfile::AddLoadedPlan(FleetPlanProfile plan) {
+  total_compile_cycles_ += plan.compile_cycles;
+  total_execute_cycles_ += plan.execute_cycles;
+  plans_[plan.fingerprint] = std::move(plan);
+}
+
+void ServiceProfile::AddLoadedOperator(uint64_t fingerprint, FleetOperatorCost cost) {
+  auto it = plans_.find(fingerprint);
+  if (it == plans_.end()) {
+    throw Error("service profile op line without a preceding plan line");
+  }
+  it->second.samples += cost.samples;
+  total_operator_samples_ += cost.samples;
+  it->second.operators[cost.op] = std::move(cost);
+}
+
+}  // namespace dfp

@@ -1,0 +1,100 @@
+// Fleet-level profile aggregation: folding every execution's resolved samples into
+// per-fingerprint cumulative statistics.
+//
+// The paper frames Tailored Profiling as an always-on production facility (§5.2: per-core perf
+// buffers, decoupled post-processing). This is the decoupled side at service scale: each query
+// execution's resolved samples are folded into its plan fingerprint's running totals — operator
+// costs, cache hit/miss counts, and the compile-vs-execute cycle split — and the whole profile
+// round-trips through the same line-oriented text format as the Tagging Dictionary and sample
+// dumps, so a fleet profile written by a serving process can be analyzed offline.
+#ifndef DFP_SRC_SERVICE_SERVICE_PROFILE_H_
+#define DFP_SRC_SERVICE_SERVICE_PROFILE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/engine/exec_plan.h"
+#include "src/profiling/session.h"
+#include "src/service/fingerprint.h"
+
+namespace dfp {
+
+struct FleetOperatorCost {
+  OperatorId op = kNoOperator;
+  std::string label;
+  uint64_t samples = 0;
+};
+
+// Cumulative statistics of one plan fingerprint (one prepared-statement family).
+struct FleetPlanProfile {
+  uint64_t fingerprint = 0;  // Structural hash (literal bindings aggregate together).
+  std::string name;          // Name of the first query seen with this fingerprint.
+  uint64_t executions = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t compile_cycles = 0;  // Cold compilations + warm lookup costs.
+  uint64_t execute_cycles = 0;  // Summed per-execution simulated wall clocks.
+  uint64_t samples = 0;
+  std::map<OperatorId, FleetOperatorCost> operators;
+};
+
+// One row of the hottest-operators-across-the-fleet report.
+struct FleetHotspot {
+  std::string plan_name;
+  std::string op_label;
+  uint64_t samples = 0;
+  double share = 0;  // Of all operator-attributed samples across the fleet.
+};
+
+class ServiceProfile {
+ public:
+  // Records one trip through the plan cache (hit or cold compile) for `fingerprint`.
+  void RecordCompile(const PlanFingerprint& fingerprint, const std::string& name,
+                     uint64_t compile_cycles, bool cache_hit);
+
+  // Folds one execution's resolved samples into the fingerprint's totals. `session` must be
+  // resolved; `query` supplies operator labels.
+  void RecordExecution(const PlanFingerprint& fingerprint, const CompiledQuery& query,
+                       const ProfilingSession& session, uint64_t execute_cycles);
+
+  const std::map<uint64_t, FleetPlanProfile>& plans() const { return plans_; }
+  uint64_t total_compile_cycles() const { return total_compile_cycles_; }
+  uint64_t total_execute_cycles() const { return total_execute_cycles_; }
+  uint64_t total_operator_samples() const { return total_operator_samples_; }
+
+  // The K hottest operators across all fingerprints, by cumulative samples (ties broken by
+  // fingerprint then operator id, so the report is deterministic).
+  std::vector<FleetHotspot> TopOperators(size_t k) const;
+
+  // Renders the fleet report: per-fingerprint summary plus the top-K table.
+  std::string Render(size_t top_k = 10) const;
+
+  // Used by ReadServiceProfile to reconstitute a profile; cross-plan totals are rebuilt as
+  // entries load (per-plan sample counts derive from the op lines).
+  void AddLoadedPlan(FleetPlanProfile plan);
+  void AddLoadedOperator(uint64_t fingerprint, FleetOperatorCost cost);
+
+ private:
+  FleetPlanProfile& PlanFor(const PlanFingerprint& fingerprint, const std::string& name);
+
+  std::map<uint64_t, FleetPlanProfile> plans_;
+  uint64_t total_compile_cycles_ = 0;
+  uint64_t total_execute_cycles_ = 0;
+  uint64_t total_operator_samples_ = 0;
+};
+
+// Line-oriented text format, in the family of WriteDictionary/WriteSamples (§5.2 decoupling):
+//   # dfp service profile v1
+//   plan <fingerprint-hex> <executions> <hits> <misses> <compile-cycles> <execute-cycles> <name...>
+//   op <fingerprint-hex> <operator-id> <samples> <label...>
+void WriteServiceProfile(const ServiceProfile& profile, std::ostream& out);
+
+// Inverse of WriteServiceProfile. Throws dfp::Error on malformed input.
+ServiceProfile ReadServiceProfile(std::istream& in);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_SERVICE_SERVICE_PROFILE_H_

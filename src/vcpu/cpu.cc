@@ -351,6 +351,7 @@ void Cpu::TakeSample(uint64_t ip, uint64_t addr) {
   sample.tsc = cycles_;
   sample.ip = ip;
   sample.worker_id = worker_id_;
+  sample.session_id = session_id_;
   if (config.capture_address) {
     sample.addr = addr;
   }

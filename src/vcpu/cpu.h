@@ -49,6 +49,11 @@ class Cpu {
   void set_worker_id(uint32_t id) { worker_id_ = id; }
   uint32_t worker_id() const { return worker_id_; }
 
+  // Query session this VCPU is currently executing for (service layer); stamped into every
+  // sample so concurrent sessions' streams can be demultiplexed. 0 outside the service.
+  void set_session_id(uint32_t id) { session_id_ = id; }
+  uint32_t session_id() const { return session_id_; }
+
   // --- Host bridge (used by kernel/syslib host functions) ---
 
   // Models `instrs` instructions of host work attributed to `segment_id`; advances the clock,
@@ -99,6 +104,7 @@ class Cpu {
   uint64_t cycles_ = 0;
   uint64_t tag_reg_ = 0;
   uint32_t worker_id_ = 0;
+  uint32_t session_id_ = 0;
   uint64_t host_ip_counter_ = 0;
   uint64_t ret_value_ = 0;
   CpuStats stats_;

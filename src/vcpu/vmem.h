@@ -69,6 +69,8 @@ class VMem {
   }
 
   uint64_t capacity() const { return bytes_.size(); }
+  // First address not yet carved into a region (where the next CreateRegion would start).
+  uint64_t next_base() const { return next_base_; }
   const std::vector<MemRegion>& regions() const { return regions_; }
   const MemRegion& region(uint32_t id) const { return regions_[id]; }
 

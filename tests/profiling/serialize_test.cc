@@ -66,6 +66,77 @@ TEST(Serialize, SamplesRoundTrip) {
   EXPECT_EQ(loaded[2].callstack[1], 0x2000002u);
 }
 
+TEST(Serialize, WorkerIdsRoundTripBeyondSingleDigits) {
+  // Pools larger than 9 workers produce multi-digit W tokens; sparse ids (a stream filtered to
+  // a few workers) must survive as-is.
+  std::vector<Sample> samples;
+  for (uint32_t worker : {0u, 7u, 12u, 48u}) {
+    Sample sample;
+    sample.tsc = 100 + worker;
+    sample.ip = 0x1000000 + worker;
+    sample.worker_id = worker;
+    samples.push_back(sample);
+  }
+  std::stringstream stream;
+  WriteSamples(samples, stream);
+  EXPECT_NE(stream.str().find("# dfp samples v2"), std::string::npos);
+  EXPECT_NE(stream.str().find("W 12"), std::string::npos);
+  EXPECT_NE(stream.str().find("W 48"), std::string::npos);
+  std::vector<Sample> loaded = ReadSamples(stream);
+  ASSERT_EQ(loaded.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(loaded[i].worker_id, samples[i].worker_id) << i;
+  }
+}
+
+TEST(Serialize, MixedWorkerStreamKeepsPerSampleIds) {
+  // A merged parallel stream interleaves worker-0 samples (no W token) with tagged ones;
+  // the worker id must reset to 0 between lines rather than sticking.
+  std::vector<Sample> samples;
+  for (uint32_t worker : {0u, 3u, 0u, 1u, 0u}) {
+    Sample sample;
+    sample.tsc = 500 + samples.size();
+    sample.ip = 0x1000010;
+    sample.has_registers = true;
+    sample.worker_id = worker;
+    samples.push_back(sample);
+  }
+  std::stringstream stream;
+  WriteSamples(samples, stream);
+  std::vector<Sample> loaded = ReadSamples(stream);
+  ASSERT_EQ(loaded.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(loaded[i].worker_id, samples[i].worker_id) << i;
+    EXPECT_TRUE(loaded[i].has_registers) << i;
+  }
+}
+
+TEST(Serialize, SingleWorkerStreamStaysV1) {
+  // Pure worker-0 streams keep the v1 header: dumps from single-threaded runs stay
+  // byte-compatible with pre-parallel readers.
+  std::vector<Sample> samples(3);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    samples[i].tsc = i;
+    samples[i].ip = 0x1000000;
+  }
+  std::stringstream stream;
+  WriteSamples(samples, stream);
+  EXPECT_NE(stream.str().find("# dfp samples v1"), std::string::npos);
+  EXPECT_EQ(stream.str().find(" W "), std::string::npos);
+}
+
+TEST(Serialize, RejectsWorkerTokenInV1Stream) {
+  // A v1 stream is single-threaded by definition; a W token means the file was mislabeled or
+  // spliced, and the loader must fail cleanly instead of guessing.
+  std::stringstream stream("# dfp samples v1\nsample 100 16777217 0 W 2\n");
+  EXPECT_THROW(ReadSamples(stream), Error);
+  // The same line under a v2 header is fine.
+  std::stringstream ok("# dfp samples v2\nsample 100 16777217 0 W 2\n");
+  std::vector<Sample> loaded = ReadSamples(ok);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].worker_id, 2u);
+}
+
 TEST(Serialize, RejectsMalformedInput) {
   {
     std::stringstream stream("not a header\n");

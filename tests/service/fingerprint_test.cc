@@ -1,0 +1,91 @@
+// Plan fingerprints: stability, literal parameterization, shape sensitivity, and catalog
+// versioning.
+#include <gtest/gtest.h>
+
+#include "src/service/fingerprint.h"
+#include "src/sql/binder.h"
+#include "src/tpch/datagen.h"
+
+namespace dfp {
+namespace {
+
+Database* TpchDb() {
+  static Database* db = [] {
+    auto* instance = new Database();
+    TpchOptions options;
+    options.scale = 0.01;
+    GenerateTpch(*instance, options);
+    return instance;
+  }();
+  return db;
+}
+
+PlanFingerprint FingerprintSql(const std::string& sql, uint64_t catalog_version = 0) {
+  Database& db = *TpchDb();
+  PhysicalOpPtr plan = PlanSql(db, sql);
+  return FingerprintPlan(*plan, catalog_version);
+}
+
+TEST(FingerprintTest, IdenticalQueriesShareBothHalves) {
+  const char* sql = "select sum(l_extendedprice) from lineitem where l_quantity < 24";
+  PlanFingerprint a = FingerprintSql(sql);
+  PlanFingerprint b = FingerprintSql(sql);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.structure, 0u);
+}
+
+TEST(FingerprintTest, LiteralChangeKeepsStructure) {
+  // The prepared-statement family: same shape, different constant.
+  PlanFingerprint a =
+      FingerprintSql("select sum(l_extendedprice) from lineitem where l_quantity < 24");
+  PlanFingerprint b =
+      FingerprintSql("select sum(l_extendedprice) from lineitem where l_quantity < 10");
+  EXPECT_EQ(a.structure, b.structure);
+  EXPECT_NE(a.literals, b.literals);
+  EXPECT_NE(a, b);
+}
+
+TEST(FingerprintTest, ShapeChangeChangesStructure) {
+  PlanFingerprint base =
+      FingerprintSql("select sum(l_extendedprice) from lineitem where l_quantity < 24");
+  // Different predicate column: different slot in the filter expression.
+  PlanFingerprint column =
+      FingerprintSql("select sum(l_extendedprice) from lineitem where l_linenumber < 24");
+  // Different aggregate input.
+  PlanFingerprint aggregate =
+      FingerprintSql("select sum(l_quantity) from lineitem where l_quantity < 24");
+  // Different comparison operator.
+  PlanFingerprint comparison =
+      FingerprintSql("select sum(l_extendedprice) from lineitem where l_quantity > 24");
+  EXPECT_NE(base.structure, column.structure);
+  EXPECT_NE(base.structure, aggregate.structure);
+  EXPECT_NE(base.structure, comparison.structure);
+}
+
+TEST(FingerprintTest, JoinPlansFingerprintDeterministically) {
+  const char* sql =
+      "select o_orderpriority, count(*) from orders, lineitem "
+      "where l_orderkey = o_orderkey and l_quantity < 30 group by o_orderpriority";
+  PlanFingerprint a = FingerprintSql(sql);
+  PlanFingerprint b = FingerprintSql(sql);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FingerprintTest, CatalogVersionRetiresFingerprints) {
+  const char* sql = "select sum(l_extendedprice) from lineitem where l_quantity < 24";
+  PlanFingerprint v0 = FingerprintSql(sql, 0);
+  PlanFingerprint v1 = FingerprintSql(sql, 1);
+  EXPECT_NE(v0.structure, v1.structure);
+  // Literals do not depend on the catalog version.
+  EXPECT_EQ(v0.literals, v1.literals);
+}
+
+TEST(FingerprintTest, KeyRendersStructureHalf) {
+  PlanFingerprint fingerprint;
+  fingerprint.structure = 0xabcd;
+  fingerprint.literals = 0x1234;
+  EXPECT_EQ(FingerprintKey(fingerprint), "000000000000abcd");
+}
+
+}  // namespace
+}  // namespace dfp
