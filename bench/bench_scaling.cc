@@ -3,6 +3,8 @@
 // then drills into the 4-worker run with the multi-level profiles — per-worker activity
 // timeline, merged cost-annotated plan, and attribution statistics — to show that every
 // Tailored Profiling report works unchanged on the merged multi-worker sample stream.
+#include <map>
+
 #include "bench/common.h"
 #include "src/profiling/reports.h"
 
@@ -41,16 +43,19 @@ int Main() {
       const uint64_t cycles = engine.last_cycles();
       std::string busy;
       uint64_t morsels = 0;
+      uint64_t steals = 0;
       for (const WorkerMetrics& w : engine.last_worker_metrics()) {
         busy += StrFormat("%s%.0f%%", busy.empty() ? "" : " ",
                           100.0 * static_cast<double>(w.busy_cycles) /
                               static_cast<double>(std::max<uint64_t>(1, cycles)));
         morsels += w.morsels;
+        steals += w.steals;
       }
-      std::printf("%-8u %14llu %8.2fx %s  (%llu dispatches)\n", workers,
+      std::printf("%-8u %14llu %8.2fx %s  (%llu dispatches, %llu steals)\n", workers,
                   static_cast<unsigned long long>(cycles),
                   static_cast<double>(base_cycles) / static_cast<double>(cycles), busy.c_str(),
-                  static_cast<unsigned long long>(morsels));
+                  static_cast<unsigned long long>(morsels),
+                  static_cast<unsigned long long>(steals));
       json.BeginObject();
       json.Field("query", std::string(name));
       json.Field("workers", static_cast<uint64_t>(workers));
@@ -58,6 +63,7 @@ int Main() {
       json.Field("sequential_cycles", base_cycles);
       json.Field("speedup", static_cast<double>(base_cycles) / static_cast<double>(cycles));
       json.Field("dispatches", morsels);
+      json.Field("steals", steals);
       json.EndObject();
     }
   }
@@ -104,6 +110,130 @@ int Main() {
     }
   }
   json.EndArray();
+
+  // Work stealing vs central dispatch on a skewed morsel distribution. Correlated order dates
+  // cluster q6's qualifying rows into one contiguous band of lineitem, so the band's morsels
+  // carry the aggregation work while the rest only evaluate (and reject) the filter: the nodes
+  // owning the band run long and everyone else goes stealing. Central dispatch balances the
+  // clocks perfectly but ignores locality, paying the remote-DRAM penalty on ~ (nodes-1)/nodes
+  // of its column traffic; the stealing scheduler keeps morsels node-local and eats remote
+  // traffic only for the morsels it actually steals.
+  {
+    std::unique_ptr<Database> skew_db =
+        MakeTpchDatabase(BenchScale(), /*correlated_dates=*/true);
+    QueryEngine skew_engine(skew_db.get());
+    const QuerySpec& spec = FindQuery("q6");
+    CompiledQuery parallel =
+        CompileParallel(skew_engine, *skew_db, spec, nullptr, spec.name + "_steal");
+    std::printf("\n--- Scheduler policies: q6 on date-skewed lineitem, 4 workers ---\n");
+    std::printf("%-10s %14s %12s %8s %12s %12s\n", "policy", "cycles", "dispatches", "steals",
+                "local", "remote");
+    json.BeginArray("stealing");
+    uint64_t central_cycles = 0;
+    uint64_t stealing_cycles = 0;
+    uint64_t stealing_steals = 0;
+    for (SchedulerPolicy policy : {SchedulerPolicy::kCentral, SchedulerPolicy::kWorkStealing}) {
+      const bool stealing = policy == SchedulerPolicy::kWorkStealing;
+      ParallelConfig config;
+      config.workers = 4;
+      config.scheduler = policy;
+      skew_engine.ExecuteParallel(parallel, config);
+      const uint64_t cycles = skew_engine.last_cycles();
+      uint64_t dispatches = 0;
+      uint64_t steals = 0;
+      uint64_t local = 0;
+      uint64_t remote = 0;
+      // Per-node traffic: workers pinned to the same node sum into one bucket.
+      std::map<uint32_t, NumaStats> per_node;
+      for (const WorkerMetrics& w : skew_engine.last_worker_metrics()) {
+        dispatches += w.morsels;
+        steals += w.steals;
+        local += w.numa_stats.local_accesses;
+        remote += w.numa_stats.remote_accesses;
+        NumaStats& node = per_node[w.node];
+        node.local_accesses += w.numa_stats.local_accesses;
+        node.remote_accesses += w.numa_stats.remote_accesses;
+        node.remote_dram += w.numa_stats.remote_dram;
+      }
+      if (stealing) {
+        stealing_cycles = cycles;
+        stealing_steals = steals;
+      } else {
+        central_cycles = cycles;
+      }
+      std::printf("%-10s %14llu %12llu %8llu %12llu %12llu\n",
+                  stealing ? "stealing" : "central",
+                  static_cast<unsigned long long>(cycles),
+                  static_cast<unsigned long long>(dispatches),
+                  static_cast<unsigned long long>(steals),
+                  static_cast<unsigned long long>(local),
+                  static_cast<unsigned long long>(remote));
+      json.BeginObject();
+      json.Field("query", std::string("q6_skewed"));
+      json.Field("policy", std::string(stealing ? "stealing" : "central"));
+      json.Field("workers", static_cast<uint64_t>(4));
+      json.Field("cycles", cycles);
+      json.Field("dispatches", dispatches);
+      json.Field("steals", steals);
+      json.Field("local_accesses", local);
+      json.Field("remote_accesses", remote);
+      json.BeginArray("nodes");
+      for (const auto& [node, stats] : per_node) {
+        json.BeginObject();
+        json.Field("node", static_cast<uint64_t>(node));
+        json.Field("local_accesses", stats.local_accesses);
+        json.Field("remote_accesses", stats.remote_accesses);
+        json.Field("remote_dram", stats.remote_dram);
+        json.EndObject();
+      }
+      json.EndArray();
+      json.EndObject();
+    }
+    json.EndArray();
+    std::printf("stealing vs central: %.3fx cycles, %llu steals\n",
+                static_cast<double>(stealing_cycles) / static_cast<double>(central_cycles),
+                static_cast<unsigned long long>(stealing_steals));
+    if (stealing_cycles > central_cycles || stealing_steals == 0) {
+      std::fprintf(stderr,
+                   "FAIL: stealing must be equal-or-better than central on the skewed scan "
+                   "(stealing=%llu central=%llu) with nonzero steals (%llu)\n",
+                   static_cast<unsigned long long>(stealing_cycles),
+                   static_cast<unsigned long long>(central_cycles),
+                   static_cast<unsigned long long>(stealing_steals));
+      return 1;
+    }
+
+    // Locality drill-down on the stealing run: sample loads with address capture so every
+    // sample carries its access's home node, then render the per-operator local/remote table
+    // and the locality timeline (steal-induced remote spikes show in the third lane).
+    ProfilingConfig pconfig;
+    pconfig.event = PmuEvent::kLoads;
+    pconfig.period = 500;
+    pconfig.capture_address = true;
+    ProfilingSession session(pconfig);
+    CompiledQuery profiled =
+        CompileParallel(skew_engine, *skew_db, spec, &session, spec.name + "_locality");
+    ParallelConfig config;
+    config.workers = 4;
+    skew_engine.ExecuteParallel(profiled, config);
+    session.Resolve(skew_db->code_map());
+    MemoryProfile mem_profile = BuildMemoryProfile(session, profiled);
+    std::printf("\n--- q6 stealing run: per-operator NUMA locality (sampled loads) ---\n");
+    std::printf("%s\n", RenderMemoryLocality(mem_profile).c_str());
+    std::printf("--- q6 stealing run: locality over time ---\n");
+    ActivityTimeline locality = BuildLocalityTimeline(session, 60);
+    std::printf("%s\n", RenderActivityTimeline(locality).c_str());
+    json.BeginArray("locality");
+    for (const MemoryProfileSeries& series : mem_profile.series) {
+      json.BeginObject();
+      json.Field("operator", series.label);
+      json.Field("local_accesses", series.local_accesses);
+      json.Field("remote_accesses", series.remote_accesses);
+      json.Field("stolen_remote", series.stolen_remote);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
 
   // Drill-down: profile the 4-worker run of q1 and render the merged multi-level reports.
   {

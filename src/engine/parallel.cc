@@ -31,8 +31,33 @@ uint64_t ResolveMorselRows(const ParallelConfig& config, const PipelineArtifact&
   // Guarantee several morsels per worker even when amortization asks for chunkier ones: the
   // tail imbalance of a scan is about one morsel, so ~8 morsels/worker bounds it near 1/8.
   rows = std::min(rows, std::max<uint64_t>(1, est_rows / (8ull * workers)));
-  return std::clamp<uint64_t>(rows, 64, 1ull << 16);
+  return std::clamp<uint64_t>(rows, kMinMorselRows, 1ull << 16);
 }
+
+namespace {
+
+// The NUMA topology of one run: nodes default to one per worker and never exceed the pool size,
+// so every node has at least one worker to own its deque.
+NumaConfig MakeNumaConfig(const ParallelConfig& config) {
+  NumaConfig numa;
+  numa.nodes = config.numa_nodes != 0 ? config.numa_nodes : config.workers;
+  numa.nodes = std::min(numa.nodes, config.workers);
+  return numa;
+}
+
+// Bare LIMIT pipelines produce "the first N tuples the scan emits": their result depends on
+// morsel completion order, so they must keep the table-order central dispatch. (LIMIT under a
+// sort runs on a sequential sort-scan pipeline and never reaches the morsel scheduler.)
+bool OrderSensitive(const PipelineArtifact& artifact) {
+  for (const PipelineStep& step : artifact.pipeline.steps) {
+    if (step.role == PipelineStep::Role::kLimit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 // One simulated core: its own PMU (sample buffer, counters) and CPU (TSC, caches, predictor,
 // shadow call stack, tag register), sharing the database's memory and code map.
@@ -47,22 +72,36 @@ struct ParallelRun::Worker {
   Cpu cpu;
   uint64_t busy_cycles = 0;
   uint64_t work_items = 0;
+  uint64_t steals = 0;
 };
 
 ParallelRun::ParallelRun(Database& db, CompiledQuery& query, const ParallelConfig& config,
                          ScratchRegions regions, const SamplingConfig* sampling,
                          uint32_t session_id)
-    : db_(db), query_(query), config_(config), regions_(regions) {
+    : db_(db), query_(query), config_(config), regions_(regions),
+      numa_(MakeNumaConfig(config)) {
   DFP_CHECK(query.parallel);  // Must be compiled with CodegenOptions::parallel.
   DFP_CHECK(config.workers >= 1 && config.workers <= 64);
+
+  // Overlay the node map: base table columns are range-partitioned (first-touch placement of
+  // morsel-driven loading), this run's scratch regions are chunk-interleaved per-node stripes.
+  numa_.AddPartitionedExtents(db.mem());
+  for (uint32_t region : {regions_.hashtables, regions_.state, regions_.output}) {
+    const MemRegion& r = db.mem().region(region);
+    numa_.AddInterleaved(r.base, r.size);
+  }
+  numa_.Seal();
 
   workers_.reserve(config.workers);
   for (uint32_t i = 0; i < config.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(db, i, session_id));
+    workers_.back()->cpu.ConfigureNuma(&numa_, static_cast<uint8_t>(i % numa_.nodes()));
     if (sampling != nullptr) {
       workers_.back()->pmu.Configure(*sampling);
     }
   }
+  deques_.resize(config.workers);
+  node_rr_.resize(numa_.nodes(), 0);
   state_ = db.mem().Alloc(regions_.state, std::max<uint64_t>(8, query.state_bytes));
   kernel_exec_ = db.runtime().kernel_exec_segment();
 }
@@ -114,6 +153,83 @@ uint64_t ParallelRun::WallCycles() const {
   return max_tsc;
 }
 
+// Opens a scan: sizes its morsels and, under work stealing, deals them onto the deques of the
+// workers pinned to each morsel's home node. The home node of a morsel is the node its first
+// row's column data lives on (the same `row * nodes / rows` range partition NumaMap applies to
+// the column arrays), so popping the own deque touches only local memory. Nodes with several
+// workers deal round-robin among them; the cursor persists across scans so repeated small scans
+// don't always load the node's first worker.
+void ParallelRun::BeginScan(const PipelineArtifact& artifact, const PipelineStep& source) {
+  in_scan_ = true;
+  scan_rows_ = source.op->table->row_count();
+  scan_next_ = 0;
+  scan_morsel_rows_ = ResolveMorselRows(config_, artifact, scan_rows_, config_.workers);
+  scan_stealing_ =
+      config_.scheduler == SchedulerPolicy::kWorkStealing && !OrderSensitive(artifact);
+  if (!scan_stealing_) {
+    return;
+  }
+  pending_morsels_ = 0;
+  const uint32_t nodes = numa_.nodes();
+  for (uint64_t begin = 0; begin < scan_rows_; begin += scan_morsel_rows_) {
+    const uint64_t end = std::min(scan_rows_, begin + scan_morsel_rows_);
+    const uint32_t node = static_cast<uint32_t>(begin * nodes / scan_rows_);
+    // Workers pinned to `node` are {node, node + nodes, node + 2*nodes, ...}.
+    const uint32_t on_node = (config_.workers - node - 1) / nodes + 1;
+    const uint32_t owner = node + (node_rr_[node]++ % on_node) * nodes;
+    deques_[owner].push_back(Morsel{begin, end});
+    ++pending_morsels_;
+  }
+}
+
+bool ParallelRun::TakeMorsel(uint32_t thief, Morsel* morsel, bool* stolen) {
+  if (pending_morsels_ == 0) {
+    return false;
+  }
+  std::deque<Morsel>& own = deques_[thief];
+  uint32_t source = thief;
+  bool from_front = false;
+  if (!own.empty()) {
+    *morsel = own.back();  // LIFO: the most recently dealt end stays cache-warm.
+    own.pop_back();
+    *stolen = false;
+  } else {
+    // Steal from the richest victim (ties to the lowest id) so load drains evenly; take the
+    // front — the morsel the victim would reach last, and the coldest in its caches.
+    uint32_t victim = config_.workers;
+    size_t best = 0;
+    for (uint32_t i = 0; i < config_.workers; ++i) {
+      if (deques_[i].size() > best) {
+        best = deques_[i].size();
+        victim = i;
+      }
+    }
+    DFP_CHECK(victim < config_.workers);
+    *morsel = deques_[victim].front();
+    deques_[victim].pop_front();
+    *stolen = true;
+    source = victim;
+    from_front = true;
+  }
+  --pending_morsels_;
+  // Endgame splitting: once fewer morsels remain than workers, halve each taken morsel and
+  // return the remainder to the deque it came from. The granularity shrinks geometrically to
+  // kMinMorselRows, so the scan's final imbalance is bounded by one minimum-size morsel — a
+  // full-size last morsel landing on the worker that also runs the sequential pipeline tail
+  // would otherwise stretch the critical path by the whole morsel.
+  if (pending_morsels_ < config_.workers && morsel->end - morsel->begin >= 2 * kMinMorselRows) {
+    const uint64_t mid = morsel->begin + (morsel->end - morsel->begin) / 2;
+    if (from_front) {
+      deques_[source].push_front(Morsel{mid, morsel->end});
+    } else {
+      deques_[source].push_back(Morsel{mid, morsel->end});
+    }
+    morsel->end = mid;
+    ++pending_morsels_;
+  }
+  return true;
+}
+
 ParallelRun::Unit ParallelRun::Step() {
   VMem& mem = db_.mem();
   while (!done()) {
@@ -155,16 +271,33 @@ ParallelRun::Unit ParallelRun::Step() {
           ++step_idx_;
           return unit;
         }
-        // Split the scan into morsels; dispatch in table order to the earliest-free worker.
-        // Dispatch order serializes the morsels' memory effects identically to a sequential
-        // scan, so results match single-threaded execution exactly.
+        // Split the scan into morsels and schedule them by the configured policy.
         if (!in_scan_) {
-          in_scan_ = true;
-          scan_rows_ = source.op->table->row_count();
-          scan_next_ = 0;
-          scan_morsel_rows_ = ResolveMorselRows(config_, artifact, scan_rows_, config_.workers);
+          BeginScan(artifact, source);
         }
-        if (scan_next_ < scan_rows_) {
+        if (scan_stealing_) {
+          // The earliest-free worker pops its own deque (node-local rows) or, empty-handed,
+          // steals; samples taken inside a stolen morsel carry the steal flag so its remote
+          // traffic stays attributable to the steal.
+          Morsel morsel;
+          bool stolen = false;
+          Worker& next = NextWorker();
+          if (TakeMorsel(next.cpu.worker_id(), &morsel, &stolen)) {
+            return RunOn(next, [&](Worker& w) {
+              if (stolen) {
+                ++w.steals;
+                w.cpu.AddCycles(kMorselStealCycles);
+                w.cpu.set_stolen_work(true);
+              }
+              const uint64_t args[] = {state_, morsel.begin, morsel.end};
+              w.cpu.CallFunction(artifact.function, args);
+              w.cpu.set_stolen_work(false);
+            });
+          }
+        } else if (scan_next_ < scan_rows_) {
+          // Central: dispatch in table order to the earliest-free worker. Serializes the
+          // morsels' memory effects identically to a sequential scan, so output row order
+          // matches single-threaded execution exactly (required by bare-LIMIT pipelines).
           const uint64_t begin = scan_next_;
           const uint64_t end = std::min(scan_rows_, begin + scan_morsel_rows_);
           scan_next_ = end;
@@ -224,19 +357,23 @@ Result ParallelRun::Finish() {
   merged_counters_ = PmuCounters();
   merged_cache_stats_ = CacheStats();
   merged_cpu_stats_ = CpuStats();
+  merged_numa_stats_ = NumaStats();
   worker_metrics_.clear();
   merged_samples_.clear();
   for (uint32_t i = 0; i < config_.workers; ++i) {
     Worker& w = *workers_[i];
     WorkerMetrics metrics;
     metrics.worker_id = i;
+    metrics.node = w.cpu.node_id();
     metrics.busy_cycles = w.busy_cycles;
     metrics.idle_cycles = w.cpu.tsc() - w.busy_cycles;
     metrics.morsels = w.work_items;
+    metrics.steals = w.steals;
     metrics.samples = w.pmu.samples().size();
     metrics.counters = w.pmu.counters();
     metrics.cache_stats = w.cpu.cache().stats();
     metrics.cpu_stats = w.cpu.stats();
+    metrics.numa_stats = w.cpu.numa_stats();
     for (int e = 0; e < kPmuEventCount; ++e) {
       merged_counters_.values[e] += metrics.counters.values[e];
     }
@@ -248,6 +385,9 @@ Result ParallelRun::Finish() {
     merged_cpu_stats_.calls += metrics.cpu_stats.calls;
     merged_cpu_stats_.max_stack_depth =
         std::max(merged_cpu_stats_.max_stack_depth, metrics.cpu_stats.max_stack_depth);
+    merged_numa_stats_.local_accesses += metrics.numa_stats.local_accesses;
+    merged_numa_stats_.remote_accesses += metrics.numa_stats.remote_accesses;
+    merged_numa_stats_.remote_dram += metrics.numa_stats.remote_dram;
     worker_metrics_.push_back(metrics);
     std::vector<Sample> samples = w.pmu.TakeSamples();
     merged_samples_.insert(merged_samples_.end(), std::make_move_iterator(samples.begin()),

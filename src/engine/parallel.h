@@ -1,19 +1,28 @@
 // Morsel-driven parallel execution (Umbra-style) on a pool of simulated VCPU workers.
 //
-// Pipelines whose source is a table scan are split into morsels; each morsel is dispatched to
-// the worker whose simulated clock is lowest (greedy earliest-finish scheduling, ties broken by
-// worker id), so the schedule is a deterministic function of the query and the configuration.
+// Pipelines whose source is a table scan are split into morsels and scheduled by one of two
+// policies. The default NUMA-aware work-stealing scheduler partitions the morsels up-front onto
+// per-worker deques by the home node of their rows (the range partition the NumaMap assigns to
+// the table's columns); each worker pops its own deque LIFO (cache-warm end) and, when it runs
+// dry, steals FIFO from the back of the richest deque (ties to the lowest victim id), paying a
+// fixed steal cost and carrying a steal flag into every sample taken during the stolen morsel.
+// The legacy central policy dispatches morsels in table order to the worker whose clock is
+// lowest (greedy earliest-finish, ties to the lowest id); order-sensitive pipelines (bare
+// LIMIT, whose result is "the first N produced") always use it so results stay well-defined.
+// Either way the schedule is a deterministic function of the query and the configuration.
 // Every worker owns a full core model — its own TSC, cache hierarchy, branch predictor, shadow
-// call stack, tag register, and PEBS-like sample buffer — and runs the same compiled machine
-// code over its morsels. Host steps (hash-table creation, buffer allocation, sorting) and
-// pipelines without a scannable source run on worker 0 while the others idle at a barrier.
+// call stack, tag register, and PEBS-like sample buffer — and is pinned to a NUMA node of the
+// run's topology (worker id modulo node count), so cross-node accesses are counted per worker
+// and pay the remote-DRAM penalty. Host steps (hash-table creation, buffer allocation, sorting)
+// and pipelines without a scannable source run on worker 0 while the others idle at a barrier.
 // After the run the per-worker sample streams are merged by TSC into one stream whose samples
 // carry `worker_id`, so every report works unchanged on parallel runs.
 //
-// Because the simulator interleaves workers at morsel granularity and morsels are dispatched in
-// table order, all memory effects are serialized in the same order a single-threaded run
-// produces: results are bit-identical to sequential execution and repeated runs are
-// deterministic. Only the simulated clocks (and therefore profiles and speedups) differ.
+// Because the simulator interleaves workers at morsel granularity and each morsel runs to
+// completion, all memory effects are serialized; results differ from sequential execution only
+// in row order (stealing permutes which morsel appends output first), which every consumer
+// treats as equivalent, and repeated runs are bit-identical. Only the simulated clocks (and
+// therefore profiles and speedups) differ between the policies.
 //
 // The executor itself is exposed as the incremental ParallelRun below: QueryEngine's
 // ExecuteParallel drives one run to completion, while the query service (src/service/)
@@ -22,6 +31,7 @@
 #define DFP_SRC_ENGINE_PARALLEL_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -30,10 +40,17 @@
 #include "src/pmu/pmu.h"
 #include "src/vcpu/cache.h"
 #include "src/vcpu/cpu.h"
+#include "src/vcpu/numa.h"
 
 namespace dfp {
 
 class Database;
+
+// How scan morsels are assigned to workers. See the file comment for the two policies.
+enum class SchedulerPolicy : uint8_t {
+  kCentral,       // Table-order dispatch to the earliest-free worker (locality-blind).
+  kWorkStealing,  // Node-local deques, LIFO own pops, FIFO steals from the richest deque.
+};
 
 struct ParallelConfig {
   uint32_t workers = 4;
@@ -41,11 +58,26 @@ struct ParallelConfig {
   // cardinality estimate and the fixed per-morsel dispatch cost (see ResolveMorselRows);
   // a non-zero value forces that fixed size (Umbra uses adaptive sizes; we size per query).
   uint64_t morsel_rows = 0;
+  SchedulerPolicy scheduler = SchedulerPolicy::kWorkStealing;
+  // NUMA nodes of the simulated topology. 0 (the default) gives every worker its own node —
+  // the most adversarial placement, and the one that makes locality visible at any pool size.
+  // Values above `workers` are clamped so every node has at least one worker.
+  uint32_t numa_nodes = 0;
 };
 
 // Modeled fixed cost of dispatching one morsel (function call, cursor reload, scheduling).
 // Used by the morsel sizing heuristic only; the simulator charges the real call costs.
 inline constexpr uint64_t kMorselDispatchCycles = 600;
+
+// Modeled fixed cost of one successful steal: the CAS on the victim's deque plus the cold
+// cursor handoff. Charged to the thief on top of the morsel's own cycles.
+inline constexpr uint64_t kMorselStealCycles = 150;
+
+// Lower bound of the morsel size clamp, and the floor of endgame splitting: once fewer morsels
+// remain pending than workers, each taken morsel is halved (remainder returned to its deque)
+// until the pieces drop below twice this, so the scan's tail imbalance is bounded by ~one
+// minimum-size morsel instead of one full-size morsel.
+inline constexpr uint64_t kMinMorselRows = 64;
 
 // Picks the morsel size for one scan pipeline: the configured fixed size if non-zero, otherwise
 // large enough that the per-morsel dispatch cost stays ~1% of the estimated morsel work (cheap
@@ -56,13 +88,16 @@ uint64_t ResolveMorselRows(const ParallelConfig& config, const PipelineArtifact&
 // Per-worker execution metrics of the most recent ExecuteParallel().
 struct WorkerMetrics {
   uint32_t worker_id = 0;
+  uint8_t node = 0;          // NUMA node this worker is pinned to.
   uint64_t busy_cycles = 0;  // Cycles spent executing morsels/host steps.
   uint64_t idle_cycles = 0;  // Cycles spent waiting at barriers.
   uint64_t morsels = 0;      // Work items executed (morsels + sequential pipeline runs).
+  uint64_t steals = 0;       // Morsels this worker stole from another worker's deque.
   uint64_t samples = 0;      // PMU samples taken on this worker.
   PmuCounters counters;
   CacheStats cache_stats;
   CpuStats cpu_stats;
+  NumaStats numa_stats;
 };
 
 // Scratch regions a run allocates from. QueryEngine::ExecuteParallel passes the database's
@@ -109,21 +144,33 @@ class ParallelRun {
   const PmuCounters& merged_counters() const { return merged_counters_; }
   const CacheStats& merged_cache_stats() const { return merged_cache_stats_; }
   const CpuStats& merged_cpu_stats() const { return merged_cpu_stats_; }
+  const NumaStats& merged_numa_stats() const { return merged_numa_stats_; }
+  // Topology of this run (valid from construction).
+  const NumaMap& numa_map() const { return numa_; }
   // The per-worker sample streams merged by (tsc, worker id); empty without sampling.
   std::vector<Sample> TakeMergedSamples() { return std::move(merged_samples_); }
 
  private:
   struct Worker;
+  struct Morsel {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
 
   Worker& NextWorker();
   void Barrier();
   template <typename Body>
   Unit RunOn(Worker& w, const Body& body);
+  void BeginScan(const PipelineArtifact& artifact, const PipelineStep& source);
+  // Pops the next morsel for `thief` under work stealing: its own deque LIFO, otherwise the
+  // richest victim FIFO. Returns false when every deque is empty.
+  bool TakeMorsel(uint32_t thief, Morsel* morsel, bool* stolen);
 
   Database& db_;
   CompiledQuery& query_;
   ParallelConfig config_;
   ScratchRegions regions_;
+  NumaMap numa_;
   std::vector<std::unique_ptr<Worker>> workers_;
   VAddr state_ = 0;
   uint32_t kernel_exec_ = 0;
@@ -131,14 +178,19 @@ class ParallelRun {
   // Cursor over the execution schedule.
   size_t step_idx_ = 0;
   bool in_scan_ = false;
+  bool scan_stealing_ = false;  // This scan uses the deques (vs central table-order dispatch).
   uint64_t scan_rows_ = 0;
   uint64_t scan_next_ = 0;
   uint64_t scan_morsel_rows_ = 0;
+  std::vector<std::deque<Morsel>> deques_;  // One per worker; filled at scan entry.
+  uint64_t pending_morsels_ = 0;
+  std::vector<uint32_t> node_rr_;  // Round-robin cursor per node for deque filling.
 
   std::vector<WorkerMetrics> worker_metrics_;
   PmuCounters merged_counters_;
   CacheStats merged_cache_stats_;
   CpuStats merged_cpu_stats_;
+  NumaStats merged_numa_stats_;
   std::vector<Sample> merged_samples_;
   bool finished_ = false;
 };

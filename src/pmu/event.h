@@ -13,6 +13,7 @@ enum class PmuEvent : uint8_t {
   kL2Miss,
   kL3Miss,
   kBranchMiss,
+  kRemoteDram,  // Accesses served by a remote NUMA node's DRAM (OFFCORE remote analogue).
   kEventCount,
 };
 

@@ -55,6 +55,8 @@ const char* PmuEventName(PmuEvent event) {
       return "L3_MISS";
     case PmuEvent::kBranchMiss:
       return "BRANCH_MISS";
+    case PmuEvent::kRemoteDram:
+      return "REMOTE_DRAM";
     case PmuEvent::kEventCount:
       break;
   }

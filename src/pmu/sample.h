@@ -11,18 +11,28 @@ namespace dfp {
 inline constexpr int kNumMachineRegs = 16;
 inline constexpr int kTagRegister = 15;  // Architecturally global register used by Register Tagging.
 
+// `Sample::mem_node` value for accesses outside NUMA-managed memory (or runs without a NUMA
+// topology).
+inline constexpr uint8_t kNoNumaNode = 0xFF;
+
 // One PEBS-style sample. `ip` is a global instruction pointer (code-segment base + offset).
 // `callstack` holds return addresses, innermost caller first, when call-stack sampling is on.
 // `worker_id` identifies the VCPU that took the sample; single-threaded runs use worker 0.
 // `session_id` identifies the query session the VCPU was executing for when the service layer
 // multiplexes concurrent sessions over one worker pool. It is a runtime demultiplexing key and
 // is not serialized: dumped streams are always per-session, so the id would be redundant there.
+// `mem_node`/`numa_remote` describe the NUMA placement of `addr` when addresses are captured on
+// a run with a NUMA topology; `stolen` marks samples taken while the worker executed a morsel
+// stolen from another worker's deque (the locality fields of the Figure-12 machinery).
 struct Sample {
   uint64_t tsc = 0;
   uint64_t ip = 0;
   uint64_t addr = 0;  // Accessed address for memory events, 0 otherwise.
   uint32_t worker_id = 0;
   uint32_t session_id = 0;
+  uint8_t mem_node = kNoNumaNode;  // NUMA node owning `addr`; kNoNumaNode when unmanaged.
+  bool numa_remote = false;        // `addr` lives on a different node than the sampling worker.
+  bool stolen = false;             // Taken while executing a stolen morsel.
   bool has_registers = false;
   std::array<uint64_t, kNumMachineRegs> regs{};
   std::vector<uint64_t> callstack;

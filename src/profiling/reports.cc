@@ -244,6 +244,16 @@ MemoryProfile BuildMemoryProfile(const ProfilingSession& session, const Compiled
     series.points.emplace_back(sample.tsc, sample.addr);
     series.min_addr = std::min(series.min_addr, sample.addr);
     series.max_addr = std::max(series.max_addr, sample.addr);
+    if (sample.mem_node != kNoNumaNode) {
+      if (sample.numa_remote) {
+        ++series.remote_accesses;
+        if (sample.stolen) {
+          ++series.stolen_remote;
+        }
+      } else {
+        ++series.local_accesses;
+      }
+    }
   }
   // Drop operators without memory samples.
   profile.series.erase(std::remove_if(profile.series.begin(), profile.series.end(),
@@ -258,10 +268,18 @@ std::string RenderMemoryProfile(const MemoryProfile& profile) {
   std::string out;
   for (const MemoryProfileSeries& series : profile.series) {
     ScatterPlot plot;
-    plot.title = StrFormat("%s  (%zu samples, %.1f MB span)", series.label.c_str(),
+    const uint64_t located = series.local_accesses + series.remote_accesses;
+    std::string locality;
+    if (located > 0) {
+      locality = StrFormat(", %.0f%% remote",
+                           100.0 * static_cast<double>(series.remote_accesses) /
+                               static_cast<double>(located));
+    }
+    plot.title = StrFormat("%s  (%zu samples, %.1f MB span%s)", series.label.c_str(),
                            series.points.size(),
                            static_cast<double>(series.max_addr - series.min_addr) /
-                               (1024.0 * 1024.0));
+                               (1024.0 * 1024.0),
+                           locality.c_str());
     plot.x_label = "time (ms)";
     plot.y_label = "address offset";
     plot.x_max = CyclesToMs(profile.total_cycles);
@@ -274,6 +292,51 @@ std::string RenderMemoryProfile(const MemoryProfile& profile) {
     out += "\n";
   }
   return out;
+}
+
+std::string RenderMemoryLocality(const MemoryProfile& profile) {
+  TablePrinter printer({"Operator", "Local", "Remote", "Remote %", "Stolen remote"});
+  for (int c = 1; c <= 4; ++c) {
+    printer.SetRightAlign(c, true);
+  }
+  for (const MemoryProfileSeries& series : profile.series) {
+    const uint64_t located = series.local_accesses + series.remote_accesses;
+    printer.AddRow(
+        {series.label,
+         StrFormat("%llu", static_cast<unsigned long long>(series.local_accesses)),
+         StrFormat("%llu", static_cast<unsigned long long>(series.remote_accesses)),
+         located > 0 ? StrFormat("%.1f", 100.0 * static_cast<double>(series.remote_accesses) /
+                                             static_cast<double>(located))
+                     : std::string("-"),
+         StrFormat("%llu", static_cast<unsigned long long>(series.stolen_remote))});
+  }
+  return printer.Render();
+}
+
+ActivityTimeline BuildLocalityTimeline(const ProfilingSession& session, size_t buckets) {
+  DFP_CHECK(buckets > 0);
+  ActivityTimeline timeline;
+  timeline.total_cycles = session.execution_cycles();
+  timeline.bucket_cycles = std::max<uint64_t>(1, timeline.total_cycles / buckets + 1);
+  timeline.series_names = {"local", "remote", "remote (stolen)"};
+  timeline.bucket_samples.assign(timeline.series_names.size(),
+                                 std::vector<double>(buckets, 0.0));
+  for (const ResolvedSample& sample : session.resolved()) {
+    if (sample.mem_node == kNoNumaNode) {
+      continue;  // No node info: single-node run or a pre-v3 stream.
+    }
+    const size_t bucket =
+        std::min(buckets - 1, static_cast<size_t>(sample.tsc / timeline.bucket_cycles));
+    if (!sample.numa_remote) {
+      timeline.bucket_samples[0][bucket] += 1.0;
+    } else {
+      timeline.bucket_samples[1][bucket] += 1.0;
+      if (sample.stolen) {
+        timeline.bucket_samples[2][bucket] += 1.0;
+      }
+    }
+  }
+  return timeline;
 }
 
 std::string RenderTaskTupleCounts(const CompiledQuery& query,

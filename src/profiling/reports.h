@@ -96,6 +96,11 @@ struct MemoryProfileSeries {
   uint64_t min_addr = 0;        // Lowest address touched (series baseline).
   uint64_t max_addr = 0;
   std::vector<std::pair<uint64_t, uint64_t>> points;  // (tsc, addr).
+  // NUMA locality of this operator's sampled accesses (0/0 on single-node runs or streams
+  // without node info). `stolen_remote` isolates the remote traffic caused by work stealing.
+  uint64_t local_accesses = 0;
+  uint64_t remote_accesses = 0;
+  uint64_t stolen_remote = 0;
 };
 
 struct MemoryProfile {
@@ -108,6 +113,16 @@ MemoryProfile BuildMemoryProfile(const ProfilingSession& session, const Compiled
                                  const TimeWindow& window = TimeWindow());
 
 std::string RenderMemoryProfile(const MemoryProfile& profile);
+
+// Per-operator NUMA locality table: sampled local/remote access counts, remote share, and how
+// much of the remote traffic happened inside stolen morsels. The tabular companion to the
+// memory-access scatter plots for the locality drill-down.
+std::string RenderMemoryLocality(const MemoryProfile& profile);
+
+// Activity timeline with one lane each for local accesses, remote accesses, and remote accesses
+// taken inside stolen morsels — makes steal-induced remote spikes visible over time. Counts only
+// samples that carry node information (memory-event sessions on a NUMA-modeled run).
+ActivityTimeline BuildLocalityTimeline(const ProfilingSession& session, size_t buckets);
 
 // --- Machine-code level (the traditional profiler's view, for comparison) ---
 

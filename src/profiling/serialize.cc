@@ -14,6 +14,7 @@ namespace {
 constexpr const char* kDictionaryHeader = "# dfp tagging dictionary v1";
 constexpr const char* kSamplesHeaderV1 = "# dfp samples v1";
 constexpr const char* kSamplesHeaderV2 = "# dfp samples v2";
+constexpr const char* kSamplesHeaderV3 = "# dfp samples v3";
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed profiling meta-data line: '" + line + "'");
@@ -93,18 +94,30 @@ TaggingDictionary ReadDictionary(std::istream& in) {
 }
 
 void WriteSamples(const std::vector<Sample>& samples, std::ostream& out) {
-  // Streams carrying worker ids are v2; pure worker-0 streams keep the v1 header so dumps from
-  // single-threaded runs stay byte-compatible with pre-parallel readers.
+  // The version is chosen by content so older dumps stay byte-identical: streams carrying NUMA
+  // locality or steal flags are v3, streams carrying worker ids are v2, and pure worker-0
+  // streams keep the v1 header so dumps from single-threaded runs stay byte-compatible with
+  // pre-parallel readers.
   bool multi_worker = false;
+  bool locality = false;
   for (const Sample& sample : samples) {
     multi_worker |= sample.worker_id != 0;
+    locality |= sample.mem_node != kNoNumaNode || sample.numa_remote || sample.stolen;
   }
-  out << (multi_worker ? kSamplesHeaderV2 : kSamplesHeaderV1) << "\n";
+  out << (locality ? kSamplesHeaderV3 : multi_worker ? kSamplesHeaderV2 : kSamplesHeaderV1)
+      << "\n";
   for (const Sample& sample : samples) {
     out << "sample " << sample.tsc << " " << sample.ip << " " << sample.addr;
     if (sample.worker_id != 0) {
       // Written only for samples off worker 0, so v2 streams stay close to the v1 layout.
       out << " W " << sample.worker_id;
+    }
+    if (sample.mem_node != kNoNumaNode || sample.numa_remote) {
+      out << " N " << static_cast<uint32_t>(sample.mem_node) << " "
+          << (sample.numa_remote ? 1 : 0);
+    }
+    if (sample.stolen) {
+      out << " T";
     }
     if (sample.has_registers) {
       out << " R";
@@ -125,10 +138,12 @@ void WriteSamples(const std::vector<Sample>& samples, std::ostream& out) {
 std::vector<Sample> ReadSamples(std::istream& in) {
   std::vector<Sample> samples;
   std::string line;
-  if (!std::getline(in, line) || (line != kSamplesHeaderV1 && line != kSamplesHeaderV2)) {
+  if (!std::getline(in, line) ||
+      (line != kSamplesHeaderV1 && line != kSamplesHeaderV2 && line != kSamplesHeaderV3)) {
     throw Error("not a dfp samples file");
   }
-  const bool accept_worker_ids = line == kSamplesHeaderV2;
+  const bool accept_locality = line == kSamplesHeaderV3;
+  const bool accept_worker_ids = line == kSamplesHeaderV2 || accept_locality;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') {
       continue;
@@ -154,6 +169,23 @@ std::vector<Sample> ReadSamples(std::istream& in) {
         if (!(stream >> sample.worker_id)) {
           Malformed(line);
         }
+      } else if (section == "N") {
+        if (!accept_locality) {
+          // Same policy as W-in-v1: locality tokens prove the header lies about the version.
+          throw Error("NUMA token in a pre-v3 sample stream: '" + line + "'");
+        }
+        uint32_t node = 0;
+        uint32_t remote = 0;
+        if (!(stream >> node >> remote) || node > 0xFF || remote > 1) {
+          Malformed(line);
+        }
+        sample.mem_node = static_cast<uint8_t>(node);
+        sample.numa_remote = remote != 0;
+      } else if (section == "T") {
+        if (!accept_locality) {
+          throw Error("steal token in a pre-v3 sample stream: '" + line + "'");
+        }
+        sample.stolen = true;
       } else if (section == "R") {
         sample.has_registers = true;
         for (uint64_t& reg : sample.regs) {

@@ -61,6 +61,9 @@ ResolvedSample ProfilingSession::ResolveOne(const Sample& sample,
   out.ip = sample.ip;
   out.addr = sample.addr;
   out.worker_id = sample.worker_id;
+  out.mem_node = sample.mem_node;
+  out.numa_remote = sample.numa_remote;
+  out.stolen = sample.stolen;
   const CodeSegment* segment = code_map.FindByIp(sample.ip);
   if (segment == nullptr) {
     return out;  // Unattributed.

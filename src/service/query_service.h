@@ -12,6 +12,9 @@
 //    copied into the execution's session — identically attributed profiles).
 //  - Active sessions time-share one worker pool: the scheduler hands each active session one
 //    work unit (a morsel, host step, or sequential pipeline) per round, in admission order.
+//    Each unit comes from the session's own ParallelRun, so morsels drain through the same
+//    NUMA-aware work-stealing deques as standalone runs (DESIGN.md §2c) — the service inherits
+//    locality scheduling and its per-worker NumaStats without any code of its own.
 //  - Every session executes on its own virtual workers against private scratch regions placed
 //    cache-congruent to the engine's shared regions (see kCacheCongruenceBytes), so a session's
 //    sample stream is byte-identical to running the same query alone at the same worker count:

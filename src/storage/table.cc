@@ -65,6 +65,9 @@ Table TableBuilder::Finish() {
     const uint32_t width = ColumnWidth(schema_.columns[c].type);
     // Pad so that generated code may safely load one element past the end.
     VAddr base = mem_->Alloc(region_, (rows + 1) * width, 64);
+    // Column arrays are NUMA-partitionable: a topology range-partitions them so that row r of
+    // every column of the table lands on the same node as scan morsels starting at row r.
+    mem_->MarkPartitioned(base, (rows + 1) * width);
     for (uint64_t r = 0; r < rows; ++r) {
       const int64_t value = columns_[c][r];
       switch (width) {

@@ -71,6 +71,8 @@ void Cpu::Run(size_t stop_depth) {
 
     uint32_t cost = BaseCost(in.op);
     uint64_t sample_addr = 0;
+    uint8_t sample_node = kNoNumaNode;
+    bool sample_remote = false;
     bool sample_due = false;
 
     // Operand fetch helpers. `a` may be an immediate (kConst / kSetTag); `b` may be an immediate
@@ -203,6 +205,7 @@ void Cpu::Run(size_t stop_depth) {
         if (res.hit_level >= 4) {
           sample_due |= pmu_.Tick(PmuEvent::kL3Miss);
         }
+        NumaAccess(addr, res.hit_level, &cost, &sample_node, &sample_remote, &sample_due);
         sample_addr = addr;
         uint64_t value = 0;
         switch (in.op) {
@@ -237,6 +240,7 @@ void Cpu::Run(size_t stop_depth) {
         if (res.hit_level >= 4) {
           sample_due |= pmu_.Tick(PmuEvent::kL3Miss);
         }
+        NumaAccess(addr, res.hit_level, &cost, &sample_node, &sample_remote, &sample_due);
         sample_addr = addr;  // PEBS records store addresses too (cache-miss profiles).
         switch (in.op) {
           case Opcode::kStore1:
@@ -284,7 +288,7 @@ void Cpu::Run(size_t stop_depth) {
           ++stats_.instructions;
           sample_due |= pmu_.Tick(PmuEvent::kInstrRetired);
           if (sample_due) {
-            TakeSample(ip, sample_addr);
+            TakeSample(ip, sample_addr, sample_node, sample_remote);
           }
           uint64_t result =
               callee.host(*this, std::span<const uint64_t>(arg_values, in.args.size()));
@@ -337,12 +341,37 @@ void Cpu::Run(size_t stop_depth) {
     ++stats_.instructions;
     sample_due |= pmu_.Tick(PmuEvent::kInstrRetired);
     if (sample_due) {
-      TakeSample(ip, sample_addr);
+      TakeSample(ip, sample_addr, sample_node, sample_remote);
     }
   }
 }
 
-void Cpu::TakeSample(uint64_t ip, uint64_t addr) {
+void Cpu::NumaAccess(VAddr addr, int hit_level, uint32_t* cost, uint8_t* mem_node, bool* remote,
+                     bool* sample_due) {
+  if (numa_ == nullptr) {
+    return;
+  }
+  const uint8_t node = numa_->NodeOf(addr);
+  if (node == kNoNumaNode) {
+    return;
+  }
+  *mem_node = node;
+  if (node == node_id_) {
+    ++numa_stats_.local_accesses;
+    return;
+  }
+  *remote = true;
+  ++numa_stats_.remote_accesses;
+  // The interconnect only matters when the access actually leaves the socket: cache hits are
+  // served locally regardless of the line's home node, so charge only misses to memory.
+  if (hit_level >= 4) {
+    *cost += numa_->remote_dram_penalty();
+    ++numa_stats_.remote_dram;
+    *sample_due |= pmu_.Tick(PmuEvent::kRemoteDram);
+  }
+}
+
+void Cpu::TakeSample(uint64_t ip, uint64_t addr, uint8_t mem_node, bool remote) {
   const SamplingConfig& config = pmu_.config();
   if (!config.enabled) {
     return;
@@ -352,8 +381,11 @@ void Cpu::TakeSample(uint64_t ip, uint64_t addr) {
   sample.ip = ip;
   sample.worker_id = worker_id_;
   sample.session_id = session_id_;
+  sample.stolen = stolen_work_;
   if (config.capture_address) {
     sample.addr = addr;
+    sample.mem_node = mem_node;
+    sample.numa_remote = remote;
   }
   if (config.capture_registers) {
     sample.has_registers = true;
@@ -407,7 +439,7 @@ void Cpu::HostWork(uint32_t segment_id, uint64_t instrs) {
 void Cpu::HostLoad(uint32_t segment_id, VAddr addr) {
   const CodeSegment& segment = code_map_.segment(segment_id);
   CacheAccessResult res = cache_.Access(addr);
-  cycles_ += res.latency;
+  uint32_t cost = res.latency;
   ++stats_.instructions;
   bool sample_due = pmu_.Tick(PmuEvent::kInstrRetired);
   sample_due |= pmu_.Tick(PmuEvent::kLoads);
@@ -420,9 +452,13 @@ void Cpu::HostLoad(uint32_t segment_id, VAddr addr) {
   if (res.hit_level >= 4) {
     sample_due |= pmu_.Tick(PmuEvent::kL3Miss);
   }
+  uint8_t mem_node = kNoNumaNode;
+  bool remote = false;
+  NumaAccess(addr, res.hit_level, &cost, &mem_node, &remote, &sample_due);
+  cycles_ += cost;
   if (sample_due) {
     const uint64_t ip = segment.base_ip + (host_ip_counter_++ % segment.SizeIps());
-    TakeSample(ip, addr);
+    TakeSample(ip, addr, mem_node, remote);
   }
 }
 

@@ -18,6 +18,7 @@
 #include "src/vcpu/code_map.h"
 #include "src/vcpu/cost_model.h"
 #include "src/vcpu/minstr.h"
+#include "src/vcpu/numa.h"
 #include "src/vcpu/vmem.h"
 
 namespace dfp {
@@ -54,6 +55,19 @@ class Cpu {
   void set_session_id(uint32_t id) { session_id_ = id; }
   uint32_t session_id() const { return session_id_; }
 
+  // Pins this VCPU to `node` of the topology described by `numa` (borrowed; must outlive the
+  // CPU or be cleared). Null disables the NUMA model: flat memory, as on single-node runs.
+  void ConfigureNuma(const NumaMap* numa, uint8_t node) {
+    numa_ = numa;
+    node_id_ = node;
+  }
+  uint8_t node_id() const { return node_id_; }
+  const NumaStats& numa_stats() const { return numa_stats_; }
+
+  // Marks the unit of work currently executing as stolen from another worker's deque; samples
+  // taken while set carry the steal flag, making steal-induced remote traffic visible.
+  void set_stolen_work(bool stolen) { stolen_work_ = stolen; }
+
   // --- Host bridge (used by kernel/syslib host functions) ---
 
   // Models `instrs` instructions of host work attributed to `segment_id`; advances the clock,
@@ -81,7 +95,13 @@ class Cpu {
   static constexpr size_t kMaxStackDepth = 1024;
 
   void Run(size_t stop_depth);
-  void TakeSample(uint64_t ip, uint64_t addr);
+  void TakeSample(uint64_t ip, uint64_t addr, uint8_t mem_node = kNoNumaNode,
+                  bool remote = false);
+  // Resolves the NUMA placement of a data access: counts local/remote traffic, charges the
+  // remote-DRAM penalty when the access missed to memory, and reports the node/remote pair for
+  // sample stamping. `hit_level` is the cache level that served the access.
+  void NumaAccess(VAddr addr, int hit_level, uint32_t* cost, uint8_t* mem_node, bool* remote,
+                  bool* sample_due);
   uint64_t ReadArg(Frame& frame, const MArg& arg, uint32_t* extra_cost);
 
   uint64_t ReadReg(const Frame& frame, uint8_t reg) const {
@@ -105,6 +125,10 @@ class Cpu {
   uint64_t tag_reg_ = 0;
   uint32_t worker_id_ = 0;
   uint32_t session_id_ = 0;
+  const NumaMap* numa_ = nullptr;
+  uint8_t node_id_ = 0;
+  bool stolen_work_ = false;
+  NumaStats numa_stats_;
   uint64_t host_ip_counter_ = 0;
   uint64_t ret_value_ = 0;
   CpuStats stats_;

@@ -1,0 +1,61 @@
+#include "src/vcpu/numa.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace dfp {
+
+void NumaMap::AddPartitioned(VAddr base, uint64_t size) {
+  DFP_CHECK(!sealed_);
+  if (size == 0) {
+    return;
+  }
+  spans_.push_back(Span{base, size, false});
+}
+
+void NumaMap::AddInterleaved(VAddr base, uint64_t size) {
+  DFP_CHECK(!sealed_);
+  if (size == 0) {
+    return;
+  }
+  spans_.push_back(Span{base, size, true});
+}
+
+void NumaMap::AddPartitionedExtents(const VMem& mem) {
+  for (const MemExtent& extent : mem.partitioned_extents()) {
+    AddPartitioned(extent.base, extent.size);
+  }
+}
+
+void NumaMap::Seal() {
+  std::sort(spans_.begin(), spans_.end(),
+            [](const Span& a, const Span& b) { return a.base < b.base; });
+  for (size_t i = 1; i < spans_.size(); ++i) {
+    DFP_CHECK(spans_[i - 1].base + spans_[i - 1].size <= spans_[i].base);
+  }
+  sealed_ = true;
+}
+
+uint8_t NumaMap::NodeOf(VAddr addr) const {
+  DFP_CHECK(sealed_);
+  // Last span whose base is <= addr (spans are sorted and disjoint).
+  auto it = std::upper_bound(spans_.begin(), spans_.end(), addr,
+                             [](VAddr a, const Span& span) { return a < span.base; });
+  if (it == spans_.begin()) {
+    return kNoNumaNode;
+  }
+  const Span& span = *(it - 1);
+  const uint64_t offset = addr - span.base;
+  if (offset >= span.size) {
+    return kNoNumaNode;
+  }
+  if (span.interleaved) {
+    return static_cast<uint8_t>((offset / config_.interleave_bytes) % config_.nodes);
+  }
+  // Range partition: equal contiguous shares, so element i of an N-element array lands on the
+  // same node as morsel rows [i, ...) of an N-row scan.
+  return static_cast<uint8_t>(offset * config_.nodes / span.size);
+}
+
+}  // namespace dfp

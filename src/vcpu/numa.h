@@ -1,0 +1,78 @@
+// NUMA topology model for the simulated machine.
+//
+// The flat VMem arena is overlaid with a node map: table column arrays (registered as
+// partitioned extents by the storage layer) are range-partitioned across the nodes — the
+// morsel-driven first-touch placement of Leis et al. — while shared scratch regions (hash
+// tables, query state, output buffers) are chunk-interleaved, modeling the per-node stripes a
+// real engine allocates round-robin. Every worker VCPU is pinned to one node; an access whose
+// address resolves to another node's memory is *remote* and pays an extra DRAM latency when it
+// misses all caches (on-chip hits are private to the core and never pay the hop).
+//
+// The map is a pure function of the database layout and the topology configuration, so runs
+// stay deterministic and the same query profiles identically at any worker count.
+#ifndef DFP_SRC_VCPU_NUMA_H_
+#define DFP_SRC_VCPU_NUMA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pmu/sample.h"
+#include "src/vcpu/cost_model.h"
+#include "src/vcpu/vmem.h"
+
+namespace dfp {
+
+struct NumaConfig {
+  uint32_t nodes = 1;
+  // Extra DRAM latency of a remote access (the interconnect hop), added on top of
+  // CacheConfig::memory_latency when an access misses every cache level.
+  uint32_t remote_dram_penalty = kRemoteDramPenaltyCycles;
+  // Interleave granularity of shared scratch regions (per-node stripe size).
+  uint64_t interleave_bytes = 64ull * 1024;
+};
+
+// Per-core NUMA traffic counters (the locality analogue of CacheStats).
+struct NumaStats {
+  uint64_t local_accesses = 0;   // Accesses to NUMA-managed memory on the core's own node.
+  uint64_t remote_accesses = 0;  // Accesses to another node's memory (any cache level).
+  uint64_t remote_dram = 0;      // Remote accesses that missed to DRAM and paid the penalty.
+};
+
+// Resolves addresses to node ids for one run's topology. Constructed per ParallelRun from the
+// database's partitioned extents plus the run's scratch regions.
+class NumaMap {
+ public:
+  explicit NumaMap(NumaConfig config) : config_(config) {}
+
+  uint32_t nodes() const { return config_.nodes; }
+  uint32_t remote_dram_penalty() const { return config_.remote_dram_penalty; }
+
+  // Registers [base, base+size) as range-partitioned: node = offset * nodes / size.
+  void AddPartitioned(VAddr base, uint64_t size);
+  // Registers [base, base+size) as chunk-interleaved: node = (offset / chunk) % nodes.
+  void AddInterleaved(VAddr base, uint64_t size);
+  // Convenience: registers every partitioned extent the storage layer marked in `mem`.
+  void AddPartitionedExtents(const VMem& mem);
+
+  // Call after registration, before lookups: sorts the span table for binary search.
+  void Seal();
+
+  // Node owning `addr`, or kNoNumaNode for memory outside any registered span (code, strings,
+  // other sessions' regions): such memory is treated as uniformly reachable and never remote.
+  uint8_t NodeOf(VAddr addr) const;
+
+ private:
+  struct Span {
+    VAddr base = 0;
+    uint64_t size = 0;
+    bool interleaved = false;
+  };
+
+  NumaConfig config_;
+  std::vector<Span> spans_;  // Sorted by base after Seal(); spans never overlap.
+  bool sealed_ = false;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_VCPU_NUMA_H_

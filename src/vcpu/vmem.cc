@@ -35,6 +35,17 @@ void VMem::ResetRegion(uint32_t region_id) {
   region.used = 0;
 }
 
+void VMem::MarkPartitioned(VAddr base, uint64_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  if (!partitioned_.empty()) {
+    const MemExtent& last = partitioned_.back();
+    DFP_CHECK(last.base + last.size <= base);
+  }
+  partitioned_.push_back(MemExtent{base, bytes});
+}
+
 const MemRegion* VMem::FindRegion(VAddr addr) const {
   for (const MemRegion& region : regions_) {
     if (addr >= region.base && addr < region.base + region.size) {

@@ -26,6 +26,13 @@ struct MemRegion {
   uint64_t used = 0;
 };
 
+// One NUMA-partitionable allocation (a table column array): a topology of N nodes divides it
+// into N equal contiguous spans, modeling per-node first-touch placement of base data.
+struct MemExtent {
+  VAddr base = 0;
+  uint64_t size = 0;
+};
+
 class VMem {
  public:
   // `capacity` is the total arena size in bytes; the arena is allocated eagerly so that
@@ -77,9 +84,16 @@ class VMem {
   // Name of the region containing `addr`, or "unknown".
   const MemRegion* FindRegion(VAddr addr) const;
 
+  // Marks [base, base+bytes) as a NUMA-partitionable extent (see MemExtent). Extents must be
+  // registered in increasing address order and must not overlap — both hold naturally for bump
+  // allocations. NumaMap consumes them via partitioned_extents().
+  void MarkPartitioned(VAddr base, uint64_t bytes);
+  const std::vector<MemExtent>& partitioned_extents() const { return partitioned_; }
+
  private:
   std::vector<uint8_t> bytes_;
   std::vector<MemRegion> regions_;
+  std::vector<MemExtent> partitioned_;
   uint64_t next_base_;
 };
 

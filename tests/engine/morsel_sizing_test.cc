@@ -1,0 +1,103 @@
+// Edge cases of the automatic morsel sizing heuristic (ResolveMorselRows): unknown or zero
+// cardinality estimates, tables smaller than one morsel, the tail-balance cap boundary, and the
+// clamps at both ends. The heuristic only reads the source operator's estimate and the compiled
+// pipeline's machine instruction count, so the fixtures are built by hand.
+#include <gtest/gtest.h>
+
+#include "src/engine/parallel.h"
+#include "src/plan/physical.h"
+
+namespace dfp {
+namespace {
+
+struct SizingFixture {
+  PhysicalOp op;
+  PipelineArtifact artifact{IrFunction("sizing_test", 0)};
+
+  SizingFixture(double estimated_rows, uint32_t machine_instrs) {
+    op.estimated_rows = estimated_rows;
+    PipelineStep step;
+    step.role = PipelineStep::Role::kScanSource;
+    step.op = &op;
+    artifact.pipeline.steps.push_back(step);
+    artifact.stats.machine_instrs = machine_instrs;
+  }
+};
+
+TEST(MorselSizing, FixedSizeOverridesHeuristic) {
+  SizingFixture fixture(/*estimated_rows=*/1e6, /*machine_instrs=*/100);
+  ParallelConfig config;
+  config.morsel_rows = 777;
+  EXPECT_EQ(ResolveMorselRows(config, fixture.artifact, 1000000, 4), 777u);
+  // Even outside the auto-sizing clamps: a forced size is taken literally.
+  config.morsel_rows = 7;
+  EXPECT_EQ(ResolveMorselRows(config, fixture.artifact, 1000000, 4), 7u);
+}
+
+TEST(MorselSizing, ZeroEstimateFallsBackToTrueRowCount) {
+  // An optimizer estimate of 0 (unknown) must not collapse the morsel size to the minimum when
+  // the scan itself is large: the true row count takes over.
+  SizingFixture unknown(/*estimated_rows=*/0, /*machine_instrs=*/1200);
+  SizingFixture known(/*estimated_rows=*/100000, /*machine_instrs=*/1200);
+  ParallelConfig config;
+  EXPECT_EQ(ResolveMorselRows(config, unknown.artifact, 100000, 4),
+            ResolveMorselRows(config, known.artifact, 100000, 4));
+}
+
+TEST(MorselSizing, EmptyScanWithUnknownEstimateGivesMinimumMorsel) {
+  // Nothing to size against: both the estimate and the table are empty. The result must still
+  // be a legal morsel size (the lower clamp), not zero or a division artifact.
+  SizingFixture fixture(/*estimated_rows=*/0, /*machine_instrs=*/0);
+  ParallelConfig config;
+  EXPECT_EQ(ResolveMorselRows(config, fixture.artifact, 0, 4), 64u);
+}
+
+TEST(MorselSizing, TableSmallerThanOneMorselClampsToMinimum) {
+  // A 100-row table can never fill the 64-row minimum morsel per worker; the tail-balance cap
+  // would ask for 3-row morsels, but the lower clamp wins — one or two morsels total is fine
+  // for a scan this small.
+  SizingFixture fixture(/*estimated_rows=*/100, /*machine_instrs=*/400);
+  ParallelConfig config;
+  EXPECT_EQ(ResolveMorselRows(config, fixture.artifact, 100, 4), 64u);
+}
+
+TEST(MorselSizing, TailBalanceCapBoundsMorselsPerWorker) {
+  // machine_instrs = 1200 gives 600 estimated cycles/row, so the amortization target is
+  // exactly 100 rows. The cap est/(8*workers) crosses 100 at est = 3200 (4 workers): above the
+  // boundary amortization wins, below it the cap shrinks morsels to keep ~8 per worker.
+  ParallelConfig config;
+  {
+    SizingFixture at_boundary(/*estimated_rows=*/3200, /*machine_instrs=*/1200);
+    EXPECT_EQ(ResolveMorselRows(config, at_boundary.artifact, 3200, 4), 100u);
+  }
+  {
+    SizingFixture below_boundary(/*estimated_rows=*/3168, /*machine_instrs=*/1200);
+    EXPECT_EQ(ResolveMorselRows(config, below_boundary.artifact, 3168, 4), 99u);
+  }
+  {
+    SizingFixture above_boundary(/*estimated_rows=*/100000, /*machine_instrs=*/1200);
+    EXPECT_EQ(ResolveMorselRows(config, above_boundary.artifact, 100000, 4), 1562u);
+  }
+}
+
+TEST(MorselSizing, HugeCheapScanClampsToMaximum) {
+  // A cheap per-row path over a huge estimate asks for multi-million-row morsels; the upper
+  // clamp keeps the schedule responsive.
+  SizingFixture fixture(/*estimated_rows=*/1e8, /*machine_instrs=*/16);
+  ParallelConfig config;
+  EXPECT_EQ(ResolveMorselRows(config, fixture.artifact, 100000000, 4), uint64_t{1} << 16);
+}
+
+TEST(MorselSizing, MoreWorkersShrinkTheCap) {
+  // The tail-balance cap scales with the pool: the same scan gets finer morsels on a larger
+  // pool so every worker still sees several.
+  SizingFixture fixture(/*estimated_rows=*/40000, /*machine_instrs=*/1200);
+  ParallelConfig config;
+  const uint64_t at4 = ResolveMorselRows(config, fixture.artifact, 40000, 4);
+  const uint64_t at16 = ResolveMorselRows(config, fixture.artifact, 40000, 16);
+  EXPECT_GT(at4, at16);
+  EXPECT_GE(at16, 64u);
+}
+
+}  // namespace
+}  // namespace dfp

@@ -137,6 +137,126 @@ TEST(Serialize, RejectsWorkerTokenInV1Stream) {
   EXPECT_EQ(loaded[0].worker_id, 2u);
 }
 
+TEST(Serialize, LocalityRoundTripIsV3) {
+  // Samples carrying NUMA node info or steal flags promote the stream to v3; every per-sample
+  // combination of node/remote/stolen must survive the round trip independently.
+  std::vector<Sample> samples;
+  {
+    Sample local;  // Node info, local access.
+    local.tsc = 10;
+    local.ip = 0x1000001;
+    local.mem_node = 0;
+    samples.push_back(local);
+  }
+  {
+    Sample remote;  // Remote access off worker 3, node 2.
+    remote.tsc = 20;
+    remote.ip = 0x1000002;
+    remote.worker_id = 3;
+    remote.mem_node = 2;
+    remote.numa_remote = true;
+    samples.push_back(remote);
+  }
+  {
+    Sample stolen;  // Stolen morsel, remote access.
+    stolen.tsc = 30;
+    stolen.ip = 0x1000003;
+    stolen.worker_id = 1;
+    stolen.mem_node = 63;
+    stolen.numa_remote = true;
+    stolen.stolen = true;
+    samples.push_back(stolen);
+  }
+  {
+    Sample plain;  // No locality info at all: no N/T tokens on its line.
+    plain.tsc = 40;
+    plain.ip = 0x1000004;
+    samples.push_back(plain);
+  }
+  std::stringstream stream;
+  WriteSamples(samples, stream);
+  EXPECT_NE(stream.str().find("# dfp samples v3"), std::string::npos);
+  EXPECT_NE(stream.str().find("N 2 1"), std::string::npos);
+  EXPECT_NE(stream.str().find(" T"), std::string::npos);
+  std::vector<Sample> loaded = ReadSamples(stream);
+  ASSERT_EQ(loaded.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(loaded[i].worker_id, samples[i].worker_id) << i;
+    EXPECT_EQ(loaded[i].mem_node, samples[i].mem_node) << i;
+    EXPECT_EQ(loaded[i].numa_remote, samples[i].numa_remote) << i;
+    EXPECT_EQ(loaded[i].stolen, samples[i].stolen) << i;
+  }
+}
+
+TEST(Serialize, WorkerStreamWithoutLocalityStaysV2) {
+  // Parallel streams without locality info keep the v2 header, byte-identical to dumps written
+  // before the NUMA fields existed.
+  std::vector<Sample> samples(2);
+  samples[0].tsc = 1;
+  samples[0].ip = 0x1000000;
+  samples[1].tsc = 2;
+  samples[1].ip = 0x1000000;
+  samples[1].worker_id = 5;
+  std::stringstream stream;
+  WriteSamples(samples, stream);
+  EXPECT_NE(stream.str().find("# dfp samples v2"), std::string::npos);
+  EXPECT_EQ(stream.str().find(" N "), std::string::npos);
+  EXPECT_EQ(stream.str().find(" T"), std::string::npos);
+  std::vector<Sample> loaded = ReadSamples(stream);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[1].worker_id, 5u);
+  EXPECT_EQ(loaded[0].mem_node, kNoNumaNode);
+  EXPECT_FALSE(loaded[1].stolen);
+}
+
+TEST(Serialize, V2StreamStillParses) {
+  // Backward compatibility: a stream written by the v2 serializer (W tokens, no locality) must
+  // load under the v3-aware reader with the locality fields at their defaults.
+  std::stringstream stream(
+      "# dfp samples v2\n"
+      "sample 100 16777217 0\n"
+      "sample 200 16777218 48879 W 2\n"
+      "sample 300 16777219 0 W 7 S 2 33554433 33554434\n");
+  std::vector<Sample> loaded = ReadSamples(stream);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[1].worker_id, 2u);
+  EXPECT_EQ(loaded[2].callstack.size(), 2u);
+  for (const Sample& sample : loaded) {
+    EXPECT_EQ(sample.mem_node, kNoNumaNode);
+    EXPECT_FALSE(sample.numa_remote);
+    EXPECT_FALSE(sample.stolen);
+  }
+}
+
+TEST(Serialize, RejectsLocalityTokensInPreV3Streams) {
+  // N/T tokens under a v1 or v2 header prove the header lies about the version: fail cleanly,
+  // exactly like W-in-v1.
+  std::stringstream v2n("# dfp samples v2\nsample 100 16777217 0 N 1 0\n");
+  EXPECT_THROW(ReadSamples(v2n), Error);
+  std::stringstream v2t("# dfp samples v2\nsample 100 16777217 0 T\n");
+  EXPECT_THROW(ReadSamples(v2t), Error);
+  std::stringstream v1n("# dfp samples v1\nsample 100 16777217 0 N 1 0\n");
+  EXPECT_THROW(ReadSamples(v1n), Error);
+  // The same lines under a v3 header are fine, and v3 accepts W too.
+  std::stringstream ok("# dfp samples v3\nsample 100 16777217 0 W 2 N 1 1 T\n");
+  std::vector<Sample> loaded = ReadSamples(ok);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].worker_id, 2u);
+  EXPECT_EQ(loaded[0].mem_node, 1);
+  EXPECT_TRUE(loaded[0].numa_remote);
+  EXPECT_TRUE(loaded[0].stolen);
+}
+
+TEST(Serialize, RejectsMalformedLocalityTokens) {
+  // Node ids are one byte and the remote flag is 0/1; anything else is malformed, not clamped.
+  std::stringstream big_node("# dfp samples v3\nsample 100 16777217 0 N 300 0\n");
+  EXPECT_THROW(ReadSamples(big_node), Error);
+  std::stringstream bad_remote("# dfp samples v3\nsample 100 16777217 0 N 1 2\n");
+  EXPECT_THROW(ReadSamples(bad_remote), Error);
+  std::stringstream truncated("# dfp samples v3\nsample 100 16777217 0 N 1\n");
+  EXPECT_THROW(ReadSamples(truncated), Error);
+}
+
 TEST(Serialize, RejectsMalformedInput) {
   {
     std::stringstream stream("not a header\n");
