@@ -1,17 +1,34 @@
 // Query service experiment: throughput of a warm compiled-plan cache against cold compilation,
-// plus the fleet-level profile the service aggregates while serving.
+// plus the fleet-level profile the service aggregates while serving — and the continuous
+// profiling layer on top of it:
 //
-// A repeating workload of TPC-H-style queries is pushed through the QueryService twice: the
-// first pass compiles every distinct plan (cold), the second hits the cache for all of them
-// (warm). In a compiling engine serving short queries, compilation dominates end-to-end cost,
-// so the warm pass sustains a multiple of the cold pass's throughput — the economic argument
-// for a plan cache. The fleet profile report shows the per-fingerprint aggregation (hit/miss
-// counters, compile-vs-execute split, hottest operators across the whole workload).
+//  - A repeating workload of TPC-H-style queries is pushed through the QueryService twice: the
+//    first pass compiles every distinct plan (cold), the second hits the cache for all of them
+//    (warm). In a compiling engine serving short queries, compilation dominates end-to-end
+//    cost, so the warm pass sustains a multiple of the cold pass's throughput.
+//  - The adaptive sampling governor runs with a 2% overhead budget; after a few convergence
+//    passes the final pass's measured sampling cost (capture + flush cycles the PMU actually
+//    charged) must land within half a point of the budget, and the windowed operator rankings
+//    must agree with the cumulative fleet profile on this steady workload.
+//  - A regression scenario: baseline snapshot, one identical pass (must flag nothing — zero
+//    false positives), then a q6 variant with much wider literals sharing the structural
+//    fingerprint (must flag the shift).
+#include <cmath>
+
 #include "bench/common.h"
 #include "src/service/query_service.h"
+#include "src/sql/binder.h"
 
 namespace dfp {
 namespace {
+
+// q6 with much wider literals: same plan structure (and fingerprint), drastically different
+// selectivity — the injected plan-mix shift.
+constexpr const char* kShiftedQ6 =
+    "select sum(l_extendedprice * l_discount) as revenue "
+    "from lineitem "
+    "where l_shipdate >= date '1992-01-01' and l_shipdate < date '1999-01-01' "
+    "and l_discount between 0.00 and 0.10 and l_quantity < 100";
 
 int Main() {
   PrintHeader("Query service: plan cache and fleet profiling",
@@ -23,6 +40,8 @@ int Main() {
   config.session_hashtables_bytes = 32ull << 20;
   config.session_output_bytes = 16ull << 20;
   config.profiling.period = 5000;
+  config.continuous.governor.enabled = true;
+  config.continuous.governor.overhead_budget = 0.02;
 
   DatabaseConfig db_config;
   db_config.extra_bytes = ServiceArenaBytes(config);
@@ -69,6 +88,97 @@ int Main() {
 
   std::printf("\n%s\n", service.fleet_profile().Render().c_str());
 
+  // --- Adaptive sampling governor: convergence and measured overhead ---
+  std::printf("--- Sampling governor: %.1f%% budget, convergence passes ---\n",
+              100.0 * config.continuous.governor.overhead_budget);
+  for (int pass = 0; pass < 5; ++pass) {
+    run_pass("tune");
+  }
+  // Final measured pass: aggregate share = total charged sampling cycles over total useful
+  // (non-overhead) busy cycles of the pass's tickets.
+  const TicketId final_first = static_cast<TicketId>(service.ticket_count() + 1);
+  run_pass("final");
+  uint64_t final_overhead = 0;
+  uint64_t final_busy = 0;
+  for (TicketId id = final_first; id <= service.ticket_count(); ++id) {
+    final_overhead += service.ticket(id).sampling_overhead.total_cycles();
+    final_busy += service.ticket(id).busy_cycles;
+  }
+  const double measured_share =
+      final_busy > final_overhead
+          ? static_cast<double>(final_overhead) /
+                static_cast<double>(final_busy - final_overhead)
+          : 0;
+  const double budget = config.continuous.governor.overhead_budget;
+  const bool governor_ok = std::abs(measured_share - budget) <= 0.005;
+  std::printf("final pass: overhead %llu cycles over %llu useful -> %.3f%% (budget %.1f%%) %s\n",
+              static_cast<unsigned long long>(final_overhead),
+              static_cast<unsigned long long>(final_busy - final_overhead),
+              100.0 * measured_share, 100.0 * budget, governor_ok ? "[ok]" : "[FAIL]");
+  std::printf("\n%s\n", service.governor().Render().c_str());
+
+  // Windowed vs. cumulative: on a steady workload both views must rank operators identically.
+  bool rankings_agree = true;
+  for (const auto& [fingerprint, plan] : service.fleet_profile().plans()) {
+    OperatorId fleet_top = kNoOperator;
+    uint64_t fleet_samples = 0;
+    for (const auto& [op, cost] : plan.operators) {
+      if (cost.samples > fleet_samples) {
+        fleet_samples = cost.samples;
+        fleet_top = op;
+      }
+    }
+    WindowRollup rollup = service.windows().RollUp(fingerprint);
+    OperatorId window_top = kNoOperator;
+    uint64_t window_samples = 0;
+    for (const auto& [op, stats] : rollup.operators) {
+      if (stats.samples > window_samples) {
+        window_samples = stats.samples;
+        window_top = op;
+      }
+    }
+    if (fleet_samples > 0 && window_samples > 0 && fleet_top != window_top) {
+      rankings_agree = false;
+      std::printf("ranking mismatch on %s: cumulative top op %llu vs windowed %llu\n",
+                  plan.name.c_str(), static_cast<unsigned long long>(fleet_top),
+                  static_cast<unsigned long long>(window_top));
+    }
+  }
+  std::printf("cumulative vs windowed operator rankings: %s\n",
+              rankings_agree ? "agree [ok]" : "[FAIL]");
+
+  std::printf("\n%s\n", service.windows().Render().c_str());
+
+  // --- Regression detection: identical rerun must be quiet, injected shift must fire ---
+  std::printf("--- Regression detection ---\n");
+  service.SnapshotBaseline();
+  run_pass("same");
+  const auto rerun_findings = service.DetectRegressions();
+  const size_t false_positives = rerun_findings.size();
+  std::printf("identical rerun: %zu finding(s) %s\n", false_positives,
+              false_positives == 0 ? "[ok]" : "[FAIL: false positive]");
+  if (false_positives > 0) {
+    std::printf("%s", RenderRegressionReport(rerun_findings).c_str());
+  }
+
+  const TicketId shift_probe = service.Submit(PlanSql(*db, FindQuery("q6").sql), "q6");
+  service.Drain();
+  const uint64_t q6_fingerprint = service.ticket(shift_probe).fingerprint.structure;
+  // Refresh the baseline so the post-watermark aggregate holds only the shifted executions.
+  service.SnapshotBaseline();
+  for (int i = 0; i < 6; ++i) {
+    service.Submit(PlanSql(*db, kShiftedQ6), "q6");
+    service.Drain();
+  }
+  auto findings = service.DetectRegressions();
+  bool shift_flagged = false;
+  for (const auto& finding : findings) {
+    shift_flagged |= finding.fingerprint == q6_fingerprint;
+  }
+  std::printf("injected q6 literal shift: %zu finding(s), q6 %s\n", findings.size(),
+              shift_flagged ? "flagged [ok]" : "[FAIL: not flagged]");
+  std::printf("\n%s\n", RenderRegressionReport(findings).c_str());
+
   if (GlobalBenchOptions().json) {
     JsonWriter json;
     json.BeginObject();
@@ -95,6 +205,38 @@ int Main() {
       json.EndObject();
     }
     json.EndArray();
+    json.Field("governor_budget", budget);
+    json.Field("governor_measured_share", measured_share);
+    json.Field("governor_within_budget", governor_ok);
+    json.BeginArray("governor_plans");
+    for (const auto& [fingerprint, state] : service.governor().plans()) {
+      json.BeginObject();
+      json.Field("fingerprint", FingerprintKey({fingerprint, 0}));
+      json.Field("name", state.name);
+      json.Field("period", state.period);
+      json.Field("observations", state.observations);
+      json.Field("samples", state.samples);
+      json.Field("overhead_share", state.OverheadShare());
+      json.EndObject();
+    }
+    json.EndArray();
+    json.BeginArray("window_rollups");
+    for (const WindowRollup& rollup : service.windows().RollUpAll()) {
+      json.BeginObject();
+      json.Field("fingerprint", FingerprintKey({rollup.fingerprint, 0}));
+      json.Field("name", rollup.name);
+      json.Field("windows", rollup.window_count);
+      json.Field("executions", rollup.executions);
+      json.Field("samples", rollup.samples);
+      json.Field("latency_p50", rollup.latency_p50);
+      json.Field("latency_p95", rollup.latency_p95);
+      json.Field("latency_max", rollup.latency_max);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Field("regression_false_positives", static_cast<uint64_t>(false_positives));
+    json.Field("regressions_fired", static_cast<uint64_t>(findings.size()));
+    json.Field("injected_shift_flagged", shift_flagged);
     json.EndObject();
     json.WriteTo("BENCH_service.json");
   }
@@ -102,8 +244,11 @@ int Main() {
   std::printf(
       "Expected shape: the warm pass serves every query from the plan cache, so its\n"
       "throughput exceeds the cold pass by at least 2x at small scales where compilation\n"
-      "dominates; the gap narrows as data volume grows and execution takes over.\n");
-  return speedup >= 2.0 ? 0 : 1;
+      "dominates; the governor holds measured sampling overhead within half a point of its\n"
+      "budget; the regression detector flags only the injected literal shift.\n");
+  const bool ok = speedup >= 2.0 && governor_ok && rankings_agree && false_positives == 0 &&
+                  shift_flagged;
+  return ok ? 0 : 1;
 }
 
 }  // namespace

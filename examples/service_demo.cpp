@@ -4,7 +4,15 @@
 // attributed profiles), schedules up to two sessions concurrently on the shared worker pool,
 // and aggregates a fleet-level profile across everything it served — the always-on production
 // framing of Section 5.2, extended to a multi-query process.
+//
+// The continuous-profiling layer runs on top: the adaptive sampling governor bounds measured
+// profiling cost to its budget, the windowed fleet profile buckets the same stream by service
+// time, and a baseline snapshot plus an identical rerun demonstrates the regression detector's
+// quietness (any finding on the rerun is a false positive and fails the process — the
+// continuous-smoke CI job runs this demo twice and also diffs the exported window JSON for
+// determinism).
 #include <cstdio>
+#include <fstream>
 
 #include "src/service/query_service.h"
 #include "src/tpch/datagen.h"
@@ -19,6 +27,8 @@ int main() {
   config.session_hashtables_bytes = 32ull << 20;
   config.session_output_bytes = 16ull << 20;
   config.profiling.period = 5000;
+  config.continuous.governor.enabled = true;
+  config.continuous.governor.overhead_budget = 0.02;
 
   DatabaseConfig db_config;
   db_config.extra_bytes = ServiceArenaBytes(config);  // Per-session scratch arenas.
@@ -60,5 +70,36 @@ int main() {
   // contributes to the same plan entry, so the hottest-operator ranking reflects the whole
   // serving period, not a single run.
   std::printf("\n%s\n", service.fleet_profile().Render(/*top_k=*/5).c_str());
-  return 0;
+
+  // Continuous layer: replay the stream a few times so the governor converges on its 2%
+  // budget, then freeze a baseline and replay once more — identical input, so the regression
+  // detector must stay quiet.
+  auto run_stream = [&] {
+    for (const char* name : stream) {
+      service.Submit(BuildQueryPlan(db, FindQuery(name)), name);
+    }
+    service.Drain();
+  };
+  for (int pass = 0; pass < 3; ++pass) {
+    run_stream();
+  }
+  std::printf("%s\n", service.governor().Render().c_str());
+  std::printf("%s\n", service.windows().Render().c_str());
+
+  service.SnapshotBaseline();
+  run_stream();
+  const auto findings = service.DetectRegressions();
+  std::printf("identical rerun after baseline snapshot: %zu regression finding(s)%s\n",
+              findings.size(), findings.empty() ? "" : " [FALSE POSITIVE]");
+  if (!findings.empty()) {
+    std::printf("%s", RenderRegressionReport(findings).c_str());
+  }
+
+  // Deterministic window export: two runs of this demo must produce byte-identical JSON.
+  {
+    std::ofstream out("service_windows.json");
+    service.windows().WriteJson(out);
+  }
+  std::printf("windowed profile written to service_windows.json\n");
+  return findings.empty() ? 0 : 1;
 }

@@ -1,0 +1,133 @@
+#include "src/continuous/governor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace dfp {
+
+double GovernorPlanState::OverheadShare() const {
+  if (busy_cycles <= overhead_cycles) {
+    return 0;
+  }
+  return static_cast<double>(overhead_cycles) /
+         static_cast<double>(busy_cycles - overhead_cycles);
+}
+
+SamplingGovernor::SamplingGovernor(GovernorConfig config) : config_(config) {
+  DFP_CHECK(config_.overhead_budget > 0 && config_.min_period >= 1 &&
+            config_.min_period <= config_.max_period);
+  DFP_CHECK(config_.smoothing > 0 && config_.smoothing <= 1.0);
+}
+
+uint64_t SamplingGovernor::Clamp(uint64_t period) const {
+  return std::clamp(period, config_.min_period, config_.max_period);
+}
+
+uint64_t SamplingGovernor::PeriodFor(uint64_t fingerprint, uint64_t default_period) const {
+  if (!config_.enabled) {
+    return default_period;
+  }
+  auto it = plans_.find(fingerprint);
+  if (it != plans_.end() && it->second.period != 0) {
+    return it->second.period;
+  }
+  return Clamp(default_period);
+}
+
+void SamplingGovernor::Observe(uint64_t fingerprint, const std::string& name,
+                               const SamplingOverhead& overhead, uint64_t busy_cycles,
+                               uint64_t armed_events, uint64_t period_used) {
+  if (!config_.enabled || period_used == 0) {
+    return;
+  }
+  GovernorPlanState& state = plans_[fingerprint];
+  if (state.observations == 0) {
+    state.fingerprint = fingerprint;
+    state.name = name;
+    state.period = Clamp(period_used);
+  }
+  ++state.observations;
+  state.overhead_cycles += overhead.total_cycles();
+  state.busy_cycles += busy_cycles;
+  state.samples += overhead.samples;
+  state.armed_events += armed_events;
+
+  const uint64_t obs_overhead = overhead.total_cycles();
+  const uint64_t obs_base =
+      busy_cycles > obs_overhead ? busy_cycles - obs_overhead : busy_cycles;
+  state.last_share = obs_base == 0 ? 0 : static_cast<double>(obs_overhead) /
+                                             static_cast<double>(obs_base);
+
+  uint64_t target = state.period;
+  const uint64_t cum_base = state.busy_cycles > state.overhead_cycles
+                                ? state.busy_cycles - state.overhead_cycles
+                                : state.busy_cycles;
+  if (state.samples == 0) {
+    // Period too coarse to see anything yet: halve towards the floor so the plan stays profiled.
+    target = Clamp(period_used / 2);
+  } else if (cum_base > 0 && state.armed_events > 0) {
+    // Solved on the fingerprint's running totals: the per-event average sample cost and event
+    // density over all observations, so bursts average out instead of whipsawing the period.
+    // `cum_base` excludes the overhead itself — the budget is relative to useful work.
+    const double cps = static_cast<double>(state.overhead_cycles) /
+                       static_cast<double>(state.samples);
+    const double events_per_obs = static_cast<double>(state.armed_events) /
+                                  static_cast<double>(state.observations);
+    const double base_per_obs = static_cast<double>(cum_base) /
+                                static_cast<double>(state.observations);
+    const double solved = events_per_obs * cps / (config_.overhead_budget * base_per_obs);
+    target = Clamp(static_cast<uint64_t>(solved + 0.5));
+  }
+  const double blended = config_.smoothing * static_cast<double>(target) +
+                         (1.0 - config_.smoothing) * static_cast<double>(state.period);
+  state.period = Clamp(static_cast<uint64_t>(blended + 0.5));
+}
+
+const GovernorPlanState* SamplingGovernor::Find(uint64_t fingerprint) const {
+  auto it = plans_.find(fingerprint);
+  return it == plans_.end() ? nullptr : &it->second;
+}
+
+double SamplingGovernor::OverallShare() const {
+  uint64_t overhead = 0;
+  uint64_t busy = 0;
+  for (const auto& [fingerprint, state] : plans_) {
+    (void)fingerprint;
+    overhead += state.overhead_cycles;
+    busy += state.busy_cycles;
+  }
+  if (busy <= overhead) {
+    return 0;
+  }
+  return static_cast<double>(overhead) / static_cast<double>(busy - overhead);
+}
+
+std::string SamplingGovernor::Render() const {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "=== Sampling governor (budget %.2f%%, period [%llu, %llu]) ===\n",
+                100.0 * config_.overhead_budget,
+                static_cast<unsigned long long>(config_.min_period),
+                static_cast<unsigned long long>(config_.max_period));
+  out << line;
+  for (const auto& [fingerprint, state] : plans_) {
+    std::snprintf(line, sizeof(line),
+                  "%016llx  %-24s period %8llu  obs %4llu  samples %8llu  overhead %.3f%%\n",
+                  static_cast<unsigned long long>(fingerprint), state.name.c_str(),
+                  static_cast<unsigned long long>(state.period),
+                  static_cast<unsigned long long>(state.observations),
+                  static_cast<unsigned long long>(state.samples),
+                  100.0 * state.OverheadShare());
+    out << line;
+  }
+  std::snprintf(line, sizeof(line), "overall overhead %.3f%% of useful cycles\n",
+                100.0 * OverallShare());
+  out << line;
+  return out.str();
+}
+
+}  // namespace dfp

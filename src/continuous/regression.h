@@ -1,0 +1,109 @@
+// Operator-level regression detection over windowed fleet profiles.
+//
+// A baseline is a snapshot of each fingerprint's current window rollup (the per-operator sample
+// mix plus cycles-per-row and remote-DRAM rates) together with a watermark: the newest window
+// index at snapshot time. The detector aggregates every window strictly newer than the
+// watermark — all evidence that arrived since the baseline, uncontaminated by pre-baseline
+// executions — and flags fingerprints whose mix drifted: an operator's share of attributed
+// samples moved beyond a threshold, cycles-per-row grew beyond a ratio, or the remote-DRAM
+// share of sampled loads rose. Findings render as a side-by-side cost-annotated diff
+// ("HashJoin probe 21% -> 38%, +remote") via RenderCostDiff.
+//
+// Because the whole engine is deterministic, re-running an identical workload reproduces the
+// baseline mix exactly — the detector is silent on identical reruns by construction, which the
+// continuous-smoke CI job asserts.
+#ifndef DFP_SRC_CONTINUOUS_REGRESSION_H_
+#define DFP_SRC_CONTINUOUS_REGRESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/continuous/window.h"
+
+namespace dfp {
+
+struct RegressionThresholds {
+  // Operators below this share in both baseline and current are ignored (noise floor).
+  double min_share = 0.05;
+  // Absolute drift in an operator's share of attributed samples that fires a finding.
+  double share_drift = 0.10;
+  // Sampled shares are estimates: at n samples a share is only resolved to a few points. The
+  // drift must additionally exceed `share_noise_z` two-proportion standard errors
+  // (z * sqrt(p(1-p)(1/n_base + 1/n_current)), pooled p) before it counts — otherwise sparse
+  // windows fire on sampling jitter, e.g. when the governor coarsens the period. Exact
+  // counters (cycles/row, remote share) carry no such margin.
+  double share_noise_z = 3.0;
+  // Current cycles-per-row must exceed baseline * ratio to fire.
+  double cycles_per_row_ratio = 1.25;
+  // Absolute rise of REMOTE_DRAM events per sampled load that fires.
+  double remote_share_drift = 0.10;
+  // Post-baseline aggregates with fewer attributed samples than this are skipped entirely
+  // (quantization guard: at N samples the share resolution is 1/N).
+  uint64_t min_samples = 20;
+};
+
+// Frozen per-fingerprint reference mix.
+struct PlanBaseline {
+  uint64_t fingerprint = 0;
+  std::string name;
+  uint64_t samples = 0;
+  uint64_t watermark = 0;  // Newest window index at snapshot time; newer windows are "current".
+  double cycles_per_row = 0;
+  double remote_share = 0;
+  std::map<OperatorId, WindowOperatorStats> operators;  // Sample mix at snapshot time.
+
+  double OperatorShare(OperatorId op) const;
+};
+
+class BaselineStore {
+ public:
+  // Replaces the stored baselines with a snapshot of `profile`'s current rollups. Fingerprints
+  // whose rollup has fewer than `min_samples` attributed samples are not snapshotted.
+  void Snapshot(const WindowedProfile& profile, uint64_t min_samples = 0);
+
+  bool empty() const { return baselines_.empty(); }
+  const std::map<uint64_t, PlanBaseline>& baselines() const { return baselines_; }
+  const PlanBaseline* Find(uint64_t fingerprint) const;
+
+ private:
+  std::map<uint64_t, PlanBaseline> baselines_;
+};
+
+// One operator's movement between baseline and current mix.
+struct OperatorDrift {
+  OperatorId op = kNoOperator;
+  std::string label;
+  double baseline_share = 0;
+  double current_share = 0;
+  bool flagged = false;  // |current - baseline| > share_drift (above the noise floor).
+};
+
+// One fingerprint that drifted beyond the thresholds.
+struct RegressionFinding {
+  uint64_t fingerprint = 0;
+  std::string name;
+  bool share_regressed = false;
+  bool cycles_per_row_regressed = false;
+  bool remote_regressed = false;
+  double baseline_cycles_per_row = 0;
+  double current_cycles_per_row = 0;
+  double baseline_remote_share = 0;
+  double current_remote_share = 0;
+  std::vector<OperatorDrift> drifts;  // Every operator above the noise floor, flagged or not.
+};
+
+// Diffs each fingerprint's post-watermark window aggregate against its `baseline` entry.
+// Fingerprints without a baseline, without post-watermark windows, or with fewer than
+// min_samples attributed post-watermark samples are skipped.
+std::vector<RegressionFinding> DetectRegressions(
+    const BaselineStore& baseline, const WindowedProfile& profile,
+    const RegressionThresholds& thresholds = RegressionThresholds());
+
+// Side-by-side cost-annotated report of all findings (empty-finding list renders a quiet note).
+std::string RenderRegressionReport(const std::vector<RegressionFinding>& findings);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_CONTINUOUS_REGRESSION_H_

@@ -358,6 +358,8 @@ Result ParallelRun::Finish() {
   merged_cache_stats_ = CacheStats();
   merged_cpu_stats_ = CpuStats();
   merged_numa_stats_ = NumaStats();
+  merged_sampling_overhead_ = SamplingOverhead();
+  total_busy_cycles_ = 0;
   worker_metrics_.clear();
   merged_samples_.clear();
   for (uint32_t i = 0; i < config_.workers; ++i) {
@@ -370,6 +372,7 @@ Result ParallelRun::Finish() {
     metrics.morsels = w.work_items;
     metrics.steals = w.steals;
     metrics.samples = w.pmu.samples().size();
+    metrics.sampling_overhead = w.pmu.overhead();
     metrics.counters = w.pmu.counters();
     metrics.cache_stats = w.cpu.cache().stats();
     metrics.cpu_stats = w.cpu.stats();
@@ -388,6 +391,8 @@ Result ParallelRun::Finish() {
     merged_numa_stats_.local_accesses += metrics.numa_stats.local_accesses;
     merged_numa_stats_.remote_accesses += metrics.numa_stats.remote_accesses;
     merged_numa_stats_.remote_dram += metrics.numa_stats.remote_dram;
+    merged_sampling_overhead_ += metrics.sampling_overhead;
+    total_busy_cycles_ += metrics.busy_cycles;
     worker_metrics_.push_back(metrics);
     std::vector<Sample> samples = w.pmu.TakeSamples();
     merged_samples_.insert(merged_samples_.end(), std::make_move_iterator(samples.begin()),
@@ -424,6 +429,7 @@ Result QueryEngine::ExecuteParallel(CompiledQuery& query, const ParallelConfig& 
   last_counters_ = run.merged_counters();
   last_cache_stats_ = run.merged_cache_stats();
   last_cpu_stats_ = run.merged_cpu_stats();
+  last_sampling_overhead_ = run.merged_sampling_overhead();
   last_worker_metrics_ = run.worker_metrics();
   if (session != nullptr) {
     session->RecordExecution(run.TakeMergedSamples(), last_cycles_, last_counters_,

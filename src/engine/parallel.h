@@ -94,6 +94,9 @@ struct WorkerMetrics {
   uint64_t morsels = 0;      // Work items executed (morsels + sequential pipeline runs).
   uint64_t steals = 0;       // Morsels this worker stole from another worker's deque.
   uint64_t samples = 0;      // PMU samples taken on this worker.
+  // Measured cost of this worker's sample buffer (capture + flush cycles actually charged to
+  // its clock) — what the adaptive sampling governor reads.
+  SamplingOverhead sampling_overhead;
   PmuCounters counters;
   CacheStats cache_stats;
   CpuStats cpu_stats;
@@ -145,6 +148,10 @@ class ParallelRun {
   const CacheStats& merged_cache_stats() const { return merged_cache_stats_; }
   const CpuStats& merged_cpu_stats() const { return merged_cpu_stats_; }
   const NumaStats& merged_numa_stats() const { return merged_numa_stats_; }
+  // Measured sampling cost summed over all worker buffers, and the pool's total busy cycles —
+  // the measured-overhead-per-executed-cycle pair the sampling governor regulates on.
+  const SamplingOverhead& merged_sampling_overhead() const { return merged_sampling_overhead_; }
+  uint64_t total_busy_cycles() const { return total_busy_cycles_; }
   // Topology of this run (valid from construction).
   const NumaMap& numa_map() const { return numa_; }
   // The per-worker sample streams merged by (tsc, worker id); empty without sampling.
@@ -191,6 +198,8 @@ class ParallelRun {
   CacheStats merged_cache_stats_;
   CpuStats merged_cpu_stats_;
   NumaStats merged_numa_stats_;
+  SamplingOverhead merged_sampling_overhead_;
+  uint64_t total_busy_cycles_ = 0;
   std::vector<Sample> merged_samples_;
   bool finished_ = false;
 };

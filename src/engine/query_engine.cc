@@ -83,6 +83,7 @@ Result QueryEngine::Execute(CompiledQuery& query) {
   last_counters_ = pmu.counters();
   last_cache_stats_ = cpu.cache().stats();
   last_cpu_stats_ = cpu.stats();
+  last_sampling_overhead_ = pmu.overhead();
   if (session != nullptr) {
     session->RecordExecution(pmu.TakeSamples(), cpu.tsc(), pmu.counters());
   }

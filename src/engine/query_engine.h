@@ -50,6 +50,9 @@ class QueryEngine {
   const CacheStats& last_cache_stats() const { return last_cache_stats_; }
   const CpuStats& last_cpu_stats() const { return last_cpu_stats_; }
   const std::vector<WorkerMetrics>& last_worker_metrics() const { return last_worker_metrics_; }
+  // Measured sampling cost of the most recent execution (capture + flush cycles the PMU
+  // actually charged; summed across workers after ExecuteParallel). Zero without sampling.
+  const SamplingOverhead& last_sampling_overhead() const { return last_sampling_overhead_; }
 
  private:
   Database* db_;
@@ -57,6 +60,7 @@ class QueryEngine {
   PmuCounters last_counters_;
   CacheStats last_cache_stats_;
   CpuStats last_cpu_stats_;
+  SamplingOverhead last_sampling_overhead_;
   std::vector<WorkerMetrics> last_worker_metrics_;
 };
 

@@ -48,6 +48,28 @@ struct PmuCounters {
   uint64_t operator[](PmuEvent event) const { return values[static_cast<int>(event)]; }
 };
 
+// Measured cost of the sampling machinery for one sample buffer, split the way the paper's
+// Section 6.2 decomposes overhead: per-sample capture (PEBS assist + extra fields) versus the
+// kernel buffer flushes. These are the cycles Record() actually charged to the VCPU clock, so
+// a consumer (the adaptive sampling governor, bench_overhead) reads measured — not estimated —
+// cost.
+struct SamplingOverhead {
+  uint64_t capture_cycles = 0;  // Per-sample recording cost, summed over all samples.
+  uint64_t flush_cycles = 0;    // Buffer-full flushes, summed.
+  uint64_t samples = 0;         // Samples recorded into this buffer.
+  uint64_t flushes = 0;         // Buffer flushes that occurred.
+
+  uint64_t total_cycles() const { return capture_cycles + flush_cycles; }
+
+  SamplingOverhead& operator+=(const SamplingOverhead& other) {
+    capture_cycles += other.capture_cycles;
+    flush_cycles += other.flush_cycles;
+    samples += other.samples;
+    flushes += other.flushes;
+    return *this;
+  }
+};
+
 class Pmu {
  public:
   explicit Pmu(PmuCosts costs = PmuCosts()) : costs_(costs) {}
@@ -56,6 +78,7 @@ class Pmu {
     config_ = config;
     armed_counter_ = 0;
     buffered_ = 0;
+    overhead_ = SamplingOverhead();
   }
   const SamplingConfig& config() const { return config_; }
   const PmuCosts& costs() const { return costs_; }
@@ -86,12 +109,17 @@ class Pmu {
   std::vector<Sample> TakeSamples() { return std::move(samples_); }
   const PmuCounters& counters() const { return counters_; }
 
+  // Cycles Record() charged for sampling since the last Configure()/Reset() — the measured
+  // overhead of this buffer.
+  const SamplingOverhead& overhead() const { return overhead_; }
+
   void ResetCounters() { counters_ = PmuCounters(); }
   void Reset() {
     counters_ = PmuCounters();
     samples_.clear();
     armed_counter_ = 0;
     buffered_ = 0;
+    overhead_ = SamplingOverhead();
   }
 
   // Total bytes occupied by the collected samples under the current configuration.
@@ -101,6 +129,7 @@ class Pmu {
   PmuCosts costs_;
   SamplingConfig config_;
   PmuCounters counters_;
+  SamplingOverhead overhead_;
   std::vector<Sample> samples_;
   uint64_t armed_counter_ = 0;
   uint64_t buffered_ = 0;

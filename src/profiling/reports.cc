@@ -419,4 +419,18 @@ std::string RenderAttributionStats(const AttributionStats& stats) {
   return printer.Render();
 }
 
+std::string RenderCostDiff(const std::vector<CostDiffRow>& rows, const std::string& before_name,
+                           const std::string& after_name) {
+  TablePrinter printer({"Operator", before_name, after_name, "Delta", ""});
+  printer.SetRightAlign(1, true);
+  printer.SetRightAlign(2, true);
+  printer.SetRightAlign(3, true);
+  for (const CostDiffRow& row : rows) {
+    const double delta = row.after_share - row.before_share;
+    printer.AddRow({row.label, PercentString(row.before_share), PercentString(row.after_share),
+                    StrFormat("%+.1fpp", 100.0 * delta), row.flagged ? "!" : ""});
+  }
+  return printer.Render();
+}
+
 }  // namespace dfp

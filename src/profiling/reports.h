@@ -137,6 +137,22 @@ std::string RenderMachineListing(const ProfilingSession& session, const Compiled
 
 std::string RenderAttributionStats(const AttributionStats& stats);
 
+// --- Side-by-side cost diff ---
+
+// One operator row of a before/after comparison between two cost-annotated profiles of the
+// same plan (e.g. a regression baseline vs. the current window).
+struct CostDiffRow {
+  std::string label;
+  double before_share = 0;  // Share of attributed samples, [0, 1].
+  double after_share = 0;
+  bool flagged = false;  // Marked with '!' in the rendered table.
+};
+
+// Renders the rows as an aligned side-by-side table with a signed delta column. `before_name`
+// and `after_name` caption the two columns.
+std::string RenderCostDiff(const std::vector<CostDiffRow>& rows, const std::string& before_name,
+                           const std::string& after_name);
+
 // --- EXPLAIN-ANALYZE-style tuple counts ---
 
 // Renders the per-task tuple counters of a query compiled with CodegenOptions::count_tuples,

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/engine/codegen.h"
+#include "src/profiling/reports.h"
 #include "src/util/check.h"
 
 namespace dfp {
@@ -45,6 +46,8 @@ QueryService::QueryService(Database& db, ServiceConfig config)
     : db_(db),
       config_(std::move(config)),
       cache_(config_.code_budget_bytes),
+      windows_(config_.continuous.window),
+      governor_(config_.continuous.governor),
       seen_catalog_version_(db.catalog_version()),
       lane_cycles_(config_.parallel.workers, 0) {
   DFP_CHECK(config_.max_active_sessions >= 1);
@@ -153,7 +156,13 @@ void QueryService::Admit(TicketId id) {
   SamplingConfig sampling;
   const SamplingConfig* sampling_ptr = nullptr;
   if (config_.profile_executions) {
-    ticket.session = std::make_unique<ProfilingSession>(config_.profiling);
+    // The governor (when enabled) overrides the configured period with the fingerprint's tuned
+    // one, so each plan family converges on its own overhead-budgeted sampling rate.
+    ProfilingConfig profiling = config_.profiling;
+    profiling.period =
+        governor_.PeriodFor(ticket.fingerprint.structure, config_.profiling.period);
+    ticket.sampling_period = profiling.period;
+    ticket.session = std::make_unique<ProfilingSession>(profiling);
     // The snapshot taken at compile time makes warm executions resolve exactly like the cold one.
     ticket.session->dictionary() = entry->dictionary;
     sampling = ticket.session->MakeSamplingConfig();
@@ -189,19 +198,39 @@ bool QueryService::StepSession(ActiveSession& session) {
   ticket.worker_metrics = session.run->worker_metrics();
   ticket.completed_at_cycles = ServiceNowCycles();
   ticket.status = TicketStatus::kDone;
+  ticket.sampling_overhead = session.run->merged_sampling_overhead();
+  ticket.busy_cycles = session.run->total_busy_cycles();
+
+  // The per-operator aggregation is built once and shared by the cumulative fleet profile and
+  // the windowed profile, so both views always agree on attribution.
+  OperatorProfile profile;
   if (ticket.session != nullptr) {
     ticket.session->RecordExecution(session.run->TakeMergedSamples(), ticket.execute_cycles,
                                     session.run->merged_counters(), config_.parallel.workers);
     ticket.session->Resolve(db_.code_map());
-    fleet_.RecordExecution(ticket.fingerprint, session.entry->query, *ticket.session,
-                           ticket.execute_cycles);
-  } else {
-    // Unprofiled executions still count toward the fleet's execute-cycle totals.
-    ProfilingSession empty;
-    fleet_.RecordExecution(ticket.fingerprint, session.entry->query, empty,
-                           ticket.execute_cycles);
+    profile = BuildOperatorProfile(*ticket.session, session.entry->query);
+    governor_.Observe(ticket.fingerprint.structure, ticket.name, ticket.sampling_overhead,
+                      ticket.busy_cycles,
+                      session.run->merged_counters()[config_.profiling.event],
+                      ticket.sampling_period);
+  }
+  // Unprofiled executions still count toward the fleet's execute-cycle totals (empty profile).
+  fleet_.RecordExecution(ticket.fingerprint, session.entry->query, profile,
+                         ticket.execute_cycles);
+  if (config_.continuous.windows_enabled) {
+    windows_.Record(ticket.fingerprint.structure, ticket.name, ticket.completed_at_cycles,
+                    profile, session.run->merged_counters(), ticket.execute_cycles,
+                    ticket.result.row_count(), ticket.sampling_period);
   }
   return true;
+}
+
+void QueryService::SnapshotBaseline() {
+  baseline_.Snapshot(windows_, config_.continuous.regression.min_samples);
+}
+
+std::vector<RegressionFinding> QueryService::DetectRegressions() const {
+  return dfp::DetectRegressions(baseline_, windows_, config_.continuous.regression);
 }
 
 void QueryService::Drain() {

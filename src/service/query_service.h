@@ -34,6 +34,9 @@
 #include <string>
 #include <vector>
 
+#include "src/continuous/governor.h"
+#include "src/continuous/regression.h"
+#include "src/continuous/window.h"
 #include "src/engine/database.h"
 #include "src/engine/parallel.h"
 #include "src/engine/result.h"
@@ -50,6 +53,17 @@ namespace dfp {
 // cache level. That makes a session's cache behavior — and therefore its sample stream —
 // identical to a standalone run's.
 inline constexpr uint64_t kCacheCongruenceBytes = 512ull * 1024;
+
+// Configuration of the continuous-profiling layer the service runs on top of the fleet profile.
+// Windows are passive (they only aggregate what the always-on profiling already collects) and
+// default on; the governor actively retunes sampling periods between executions — which changes
+// sample streams — and therefore defaults off (see src/continuous/governor.h).
+struct ContinuousConfig {
+  bool windows_enabled = true;
+  WindowConfig window;
+  GovernorConfig governor;
+  RegressionThresholds regression;
+};
 
 struct ServiceConfig {
   // Execution pool shared (time-sliced) by all active sessions.
@@ -73,6 +87,9 @@ struct ServiceConfig {
   bool profile_executions = true;
   ProfilingConfig profiling;
   CompileCostModel compile_costs;
+  // Continuous-profiling subsystem (src/continuous): windowed fleet profiles, the adaptive
+  // sampling governor, and the regression thresholds DetectRegressions() diffs with.
+  ContinuousConfig continuous;
 };
 
 // Head room a DatabaseConfig needs in `extra_bytes` to host `config`'s session slots.
@@ -99,6 +116,12 @@ struct QueryTicket {
   uint64_t compile_cycles = 0;    // Full compile on a miss, cache lookup cost on a hit.
   uint64_t execute_cycles = 0;    // The session's own simulated wall clock.
   uint64_t completed_at_cycles = 0;  // Service clock (max lane) when the ticket finished.
+  // Continuous-profiling telemetry of this execution: the sampling period the PMU was armed
+  // with (governor-chosen when enabled), the capture/flush cycles the PMU charged, and the
+  // workers' summed busy cycles the overhead is measured against.
+  uint64_t sampling_period = 0;
+  SamplingOverhead sampling_overhead;
+  uint64_t busy_cycles = 0;
   Result result;
   // This execution's profile (resolved), when the service profiles executions.
   std::unique_ptr<ProfilingSession> session;
@@ -133,6 +156,17 @@ class QueryService {
   ServiceProfile& fleet_profile() { return fleet_; }
   const ServiceProfile& fleet_profile() const { return fleet_; }
 
+  // Continuous-profiling views: the windowed fleet profile (empty when windows are disabled)
+  // and the adaptive sampling governor's per-plan state.
+  const WindowedProfile& windows() const { return windows_; }
+  const SamplingGovernor& governor() const { return governor_; }
+
+  // Freezes the current window rollups as the regression baseline (fingerprints with fewer than
+  // the configured min_samples are skipped), and diffs the newest windows against it.
+  void SnapshotBaseline();
+  const BaselineStore& baseline() const { return baseline_; }
+  std::vector<RegressionFinding> DetectRegressions() const;
+
   // Service clock: the busiest lane's cumulative cycles (lanes run concurrently, so this is the
   // simulated elapsed time of everything served so far).
   uint64_t ServiceNowCycles() const;
@@ -151,6 +185,9 @@ class QueryService {
   ServiceConfig config_;
   PlanCache cache_;
   ServiceProfile fleet_;
+  WindowedProfile windows_;
+  SamplingGovernor governor_;
+  BaselineStore baseline_;
   uint64_t seen_catalog_version_;
 
   std::vector<std::unique_ptr<QueryTicket>> tickets_;

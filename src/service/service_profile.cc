@@ -12,7 +12,8 @@
 namespace dfp {
 namespace {
 
-constexpr const char* kProfileHeader = "# dfp service profile v1";
+constexpr const char* kProfileHeaderV1 = "# dfp service profile v1";
+constexpr const char* kProfileHeaderV2 = "# dfp service profile v2";
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed service profile line: '" + line + "'");
@@ -57,6 +58,25 @@ void ServiceProfile::RecordExecution(const PlanFingerprint& fingerprint,
   total_execute_cycles_ += execute_cycles;
 
   OperatorProfile profile = BuildOperatorProfile(session, query);
+  for (const OperatorCost& cost : profile.operators) {
+    FleetOperatorCost& fleet = plan.operators[cost.op];
+    fleet.op = cost.op;
+    if (fleet.label.empty()) {
+      fleet.label = cost.label;
+    }
+    fleet.samples += cost.samples;
+    plan.samples += cost.samples;
+    total_operator_samples_ += cost.samples;
+  }
+}
+
+void ServiceProfile::RecordExecution(const PlanFingerprint& fingerprint,
+                                     const CompiledQuery& query, const OperatorProfile& profile,
+                                     uint64_t execute_cycles) {
+  FleetPlanProfile& plan = PlanFor(fingerprint, query.name);
+  ++plan.executions;
+  plan.execute_cycles += execute_cycles;
+  total_execute_cycles_ += execute_cycles;
   for (const OperatorCost& cost : profile.operators) {
     FleetOperatorCost& fleet = plan.operators[cost.op];
     fleet.op = cost.op;
@@ -156,8 +176,9 @@ std::string ServiceProfile::Render(size_t top_k) const {
   return out.str();
 }
 
-void WriteServiceProfile(const ServiceProfile& profile, std::ostream& out) {
-  out << kProfileHeader << "\n";
+namespace {
+
+void WritePlanLines(const ServiceProfile& profile, std::ostream& out) {
   for (const auto& [fingerprint, plan] : profile.plans()) {
     out << "plan " << HexKey(fingerprint) << " " << plan.executions << " " << plan.cache_hits
         << " " << plan.cache_misses << " " << plan.compile_cycles << " " << plan.execute_cycles
@@ -169,12 +190,44 @@ void WriteServiceProfile(const ServiceProfile& profile, std::ostream& out) {
   }
 }
 
-ServiceProfile ReadServiceProfile(std::istream& in) {
+}  // namespace
+
+void WriteServiceProfile(const ServiceProfile& profile, std::ostream& out) {
+  // Without windows the v1 format carries everything; v1 files stay readable forever.
+  out << kProfileHeaderV1 << "\n";
+  WritePlanLines(profile, out);
+}
+
+void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& windows,
+                         std::ostream& out) {
+  out << kProfileHeaderV2 << "\n";
+  out << "windowcfg " << windows.config().width_cycles << " " << windows.config().ring_windows
+      << "\n";
+  WritePlanLines(profile, out);
+  for (const auto& [fingerprint, series] : windows.plans()) {
+    for (const ProfileWindow& window : series.windows) {
+      out << "window " << HexKey(fingerprint) << " " << window.index << " " << window.executions
+          << " " << window.samples << " " << window.execute_cycles << " " << window.rows << " "
+          << window.loads << " " << window.l1_misses << " " << window.l2_misses << " "
+          << window.l3_misses << " " << window.remote_dram << " " << window.latency_p50 << " "
+          << window.latency_p95 << " " << window.latency_max << "\n";
+      for (const auto& [op, stats] : window.operators) {
+        out << "wop " << HexKey(fingerprint) << " " << window.index << " " << op << " "
+            << stats.samples << " " << stats.sample_cycles << " " << stats.label << "\n";
+      }
+    }
+  }
+}
+
+ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows) {
   ServiceProfile profile;
   std::string line;
-  if (!std::getline(in, line) || line != kProfileHeader) {
+  if (!std::getline(in, line) || (line != kProfileHeaderV1 && line != kProfileHeaderV2)) {
     throw Error("not a dfp service profile file");
   }
+  const bool v2 = line == kProfileHeaderV2;
+  // Window names arrive on plan lines; remember them so the loaded series carry them too.
+  std::map<uint64_t, std::string> plan_names;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') {
       continue;
@@ -182,7 +235,50 @@ ServiceProfile ReadServiceProfile(std::istream& in) {
     std::istringstream stream(line);
     std::string kind;
     stream >> kind;
-    if (kind == "plan") {
+    if ((kind == "windowcfg" || kind == "window" || kind == "wop") && !v2) {
+      Malformed(line);
+    }
+    if (kind == "windowcfg") {
+      WindowConfig config;
+      if (!(stream >> config.width_cycles >> config.ring_windows)) {
+        Malformed(line);
+      }
+      if (windows != nullptr) {
+        windows->set_config(config);
+      }
+    } else if (kind == "window") {
+      std::string key;
+      ProfileWindow window;
+      if (!(stream >> key >> window.index >> window.executions >> window.samples >>
+            window.execute_cycles >> window.rows >> window.loads >> window.l1_misses >>
+            window.l2_misses >> window.l3_misses >> window.remote_dram >> window.latency_p50 >>
+            window.latency_p95 >> window.latency_max)) {
+        Malformed(line);
+      }
+      if (windows != nullptr) {
+        const uint64_t fingerprint = std::stoull(key, nullptr, 16);
+        // LoadWindowOperator folds op lines back in; start the counter from zero.
+        window.samples = 0;
+        windows->LoadWindow(fingerprint, plan_names[fingerprint], std::move(window));
+      }
+    } else if (kind == "wop") {
+      std::string key;
+      uint64_t window_index = 0;
+      uint64_t op = 0;
+      WindowOperatorStats stats;
+      if (!(stream >> key >> window_index >> op >> stats.samples >> stats.sample_cycles)) {
+        Malformed(line);
+      }
+      stats.op = static_cast<OperatorId>(op);
+      std::getline(stream, stats.label);
+      if (!stats.label.empty() && stats.label.front() == ' ') {
+        stats.label.erase(stats.label.begin());
+      }
+      if (windows != nullptr) {
+        windows->LoadWindowOperator(std::stoull(key, nullptr, 16), window_index,
+                                    std::move(stats));
+      }
+    } else if (kind == "plan") {
       std::string key;
       FleetPlanProfile plan;
       if (!(stream >> key >> plan.executions >> plan.cache_hits >> plan.cache_misses >>
@@ -194,6 +290,7 @@ ServiceProfile ReadServiceProfile(std::istream& in) {
       if (!plan.name.empty() && plan.name.front() == ' ') {
         plan.name.erase(plan.name.begin());
       }
+      plan_names[plan.fingerprint] = plan.name;
       // Rebuild the cross-plan totals as we load.
       profile.AddLoadedPlan(std::move(plan));
     } else if (kind == "op") {

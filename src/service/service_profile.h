@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/continuous/window.h"
 #include "src/engine/exec_plan.h"
 #include "src/profiling/session.h"
 #include "src/service/fingerprint.h"
@@ -60,6 +61,11 @@ class ServiceProfile {
   void RecordExecution(const PlanFingerprint& fingerprint, const CompiledQuery& query,
                        const ProfilingSession& session, uint64_t execute_cycles);
 
+  // Same, from a prebuilt per-operator aggregation — callers that also feed a WindowedProfile
+  // build the OperatorProfile once and hand it to both, keeping the two views in agreement.
+  void RecordExecution(const PlanFingerprint& fingerprint, const CompiledQuery& query,
+                       const OperatorProfile& profile, uint64_t execute_cycles);
+
   const std::map<uint64_t, FleetPlanProfile>& plans() const { return plans_; }
   uint64_t total_compile_cycles() const { return total_compile_cycles_; }
   uint64_t total_execute_cycles() const { return total_execute_cycles_; }
@@ -86,14 +92,24 @@ class ServiceProfile {
   uint64_t total_operator_samples_ = 0;
 };
 
-// Line-oriented text format, in the family of WriteDictionary/WriteSamples (§5.2 decoupling):
-//   # dfp service profile v1
+// Line-oriented text format, in the family of WriteDictionary/WriteSamples (§5.2 decoupling).
+// Version 2 embeds the windowed fleet profile next to the cumulative counters:
+//   # dfp service profile v2
+//   windowcfg <width-cycles> <ring-windows>
 //   plan <fingerprint-hex> <executions> <hits> <misses> <compile-cycles> <execute-cycles> <name...>
 //   op <fingerprint-hex> <operator-id> <samples> <label...>
+//   window <fingerprint-hex> <index> <executions> <samples> <execute-cycles> <rows> <loads>
+//          <l1> <l2> <l3> <remote> <lat-p50> <lat-p95> <lat-max>
+//   wop <fingerprint-hex> <window-index> <operator-id> <samples> <sample-cycles> <label...>
+// The v1 header with plan/op lines only is still accepted by ReadServiceProfile.
 void WriteServiceProfile(const ServiceProfile& profile, std::ostream& out);
+void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& windows,
+                         std::ostream& out);
 
-// Inverse of WriteServiceProfile. Throws dfp::Error on malformed input.
-ServiceProfile ReadServiceProfile(std::istream& in);
+// Inverse of WriteServiceProfile; parses both v1 and v2. When `windows` is non-null, v2 window
+// lines are reconstituted into it (it keeps its configured ring bound; the file's windowcfg
+// line restores the writer's configuration first). Throws dfp::Error on malformed input.
+ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows = nullptr);
 
 }  // namespace dfp
 

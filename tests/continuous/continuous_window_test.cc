@@ -1,0 +1,213 @@
+// WindowedProfile: ring bounds, quantiles, roll-up, deterministic JSON, and the v2
+// service-profile round-trip (with v1 backward compatibility).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/continuous/window.h"
+#include "src/service/service_profile.h"
+
+namespace dfp {
+namespace {
+
+OperatorProfile MakeProfile(std::vector<std::tuple<OperatorId, std::string, uint64_t>> ops) {
+  OperatorProfile profile;
+  for (auto& [op, label, samples] : ops) {
+    OperatorCost cost;
+    cost.op = op;
+    cost.label = std::move(label);
+    cost.samples = samples;
+    profile.operator_samples += samples;
+    profile.operators.push_back(std::move(cost));
+  }
+  return profile;
+}
+
+PmuCounters MakeCounters(uint64_t loads, uint64_t l3, uint64_t remote) {
+  PmuCounters counters;
+  counters.values[static_cast<int>(PmuEvent::kLoads)] = loads;
+  counters.values[static_cast<int>(PmuEvent::kL3Miss)] = l3;
+  counters.values[static_cast<int>(PmuEvent::kRemoteDram)] = remote;
+  return counters;
+}
+
+WindowConfig SmallConfig() {
+  WindowConfig config;
+  config.width_cycles = 1000;
+  config.ring_windows = 3;
+  return config;
+}
+
+TEST(WindowedProfile, ExecutionsFoldIntoTheWindowOfTheirCompletionTime) {
+  WindowedProfile windows(SmallConfig());
+  OperatorProfile profile = MakeProfile({{1, "Scan", 10}, {2, "HashJoin", 30}});
+  windows.Record(0xabc, "q", 100, profile, MakeCounters(50, 5, 1), 4000, 20, 311);
+  windows.Record(0xabc, "q", 900, profile, MakeCounters(50, 5, 1), 6000, 20, 311);
+
+  const ProfileWindow* window = windows.LatestWindow(0xabc);
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(window->index, 0u);
+  EXPECT_EQ(window->executions, 2u);
+  EXPECT_EQ(window->samples, 80u);
+  EXPECT_EQ(window->execute_cycles, 10000u);
+  EXPECT_EQ(window->rows, 40u);
+  EXPECT_EQ(window->loads, 100u);
+  EXPECT_EQ(window->l3_misses, 10u);
+  EXPECT_EQ(window->remote_dram, 2u);
+  EXPECT_EQ(window->operators.at(2).samples, 60u);
+  EXPECT_EQ(window->operators.at(2).sample_cycles, 60u * 311u);
+
+  // A later completion opens a new window; the old one stays retained.
+  windows.Record(0xabc, "q", 1500, profile, MakeCounters(50, 5, 1), 5000, 20, 311);
+  EXPECT_EQ(windows.LatestWindow(0xabc)->index, 1u);
+  EXPECT_EQ(windows.plans().at(0xabc).windows.size(), 2u);
+}
+
+TEST(WindowedProfile, RingEvictsOldestBeyondConfiguredDepth) {
+  WindowedProfile windows(SmallConfig());
+  OperatorProfile profile = MakeProfile({{1, "Scan", 1}});
+  for (uint64_t w = 0; w < 5; ++w) {
+    windows.Record(0x1, "q", w * 1000 + 10, profile, PmuCounters(), 100, 1, 100);
+  }
+  const auto& series = windows.plans().at(0x1);
+  ASSERT_EQ(series.windows.size(), 3u);  // ring_windows = 3.
+  EXPECT_EQ(series.windows.front().index, 2u);
+  EXPECT_EQ(series.windows.back().index, 4u);
+}
+
+TEST(WindowedProfile, LatencyQuantilesAreNearestRank) {
+  WindowedProfile windows(SmallConfig());
+  OperatorProfile profile = MakeProfile({{1, "Scan", 1}});
+  // 20 executions with latencies 100, 200, ..., 2000 — all in window 0.
+  for (uint64_t i = 1; i <= 20; ++i) {
+    windows.Record(0x1, "q", 10, profile, PmuCounters(), i * 100, 1, 100);
+  }
+  const ProfileWindow* window = windows.LatestWindow(0x1);
+  ASSERT_NE(window, nullptr);
+  EXPECT_EQ(window->latency_p50, 1000u);
+  EXPECT_EQ(window->latency_p95, 1900u);
+  EXPECT_EQ(window->latency_max, 2000u);
+}
+
+TEST(WindowedProfile, RollUpAggregatesRetainedWindows) {
+  WindowedProfile windows(SmallConfig());
+  OperatorProfile scan_heavy = MakeProfile({{1, "Scan", 90}, {2, "Agg", 10}});
+  OperatorProfile agg_heavy = MakeProfile({{1, "Scan", 10}, {2, "Agg", 90}});
+  windows.Record(0x7, "q", 10, scan_heavy, MakeCounters(10, 1, 0), 1000, 10, 100);
+  windows.Record(0x7, "q", 1010, agg_heavy, MakeCounters(10, 1, 4), 3000, 10, 100);
+
+  WindowRollup rollup = windows.RollUp(0x7);
+  EXPECT_EQ(rollup.window_count, 2u);
+  EXPECT_EQ(rollup.executions, 2u);
+  EXPECT_EQ(rollup.samples, 200u);
+  EXPECT_EQ(rollup.execute_cycles, 4000u);
+  EXPECT_DOUBLE_EQ(rollup.OperatorShare(1), 0.5);
+  EXPECT_DOUBLE_EQ(rollup.OperatorShare(2), 0.5);
+  EXPECT_DOUBLE_EQ(rollup.CyclesPerRow(), 200.0);
+  EXPECT_DOUBLE_EQ(rollup.RemoteDramShare(), 0.2);
+  EXPECT_EQ(rollup.latency_max, 3000u);
+
+  // Unknown fingerprints roll up empty instead of throwing.
+  EXPECT_EQ(windows.RollUp(0xdead).executions, 0u);
+}
+
+TEST(WindowedProfile, JsonExportIsDeterministic) {
+  auto build = [] {
+    WindowedProfile windows(SmallConfig());
+    OperatorProfile profile = MakeProfile({{1, "Scan", 10}, {2, "HashJoin", 5}});
+    windows.Record(0xfeed, "q3", 10, profile, MakeCounters(7, 3, 1), 1234, 5, 311);
+    windows.Record(0xfeed, "q3", 1200, profile, MakeCounters(7, 3, 1), 4321, 5, 311);
+    std::ostringstream out;
+    windows.WriteJson(out);
+    return out.str();
+  };
+  const std::string a = build();
+  const std::string b = build();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"fingerprint\":\"000000000000feed\""), std::string::npos);
+  EXPECT_NE(a.find("\"latency_max\":4321"), std::string::npos);
+  // Integers only: no scientific notation or decimal points from double formatting.
+  EXPECT_EQ(a.find('.'), std::string::npos);
+}
+
+TEST(ServiceProfileV2, WindowsRoundTripThroughTextFormat) {
+  ServiceProfile fleet;
+  FleetPlanProfile plan;
+  plan.fingerprint = 0x42;
+  plan.name = "q6";
+  plan.executions = 3;
+  plan.execute_cycles = 999;
+  fleet.AddLoadedPlan(plan);
+  FleetOperatorCost cost;
+  cost.op = 1;
+  cost.samples = 17;
+  cost.label = "TableScan lineitem";
+  fleet.AddLoadedOperator(0x42, cost);
+
+  WindowedProfile windows(SmallConfig());
+  OperatorProfile profile =
+      MakeProfile({{1, "TableScan lineitem", 12}, {2, "HashAgg", 5}});
+  windows.Record(0x42, "q6", 10, profile, MakeCounters(9, 2, 1), 333, 7, 311);
+  windows.Record(0x42, "q6", 1500, profile, MakeCounters(9, 2, 1), 444, 7, 311);
+
+  std::ostringstream out;
+  WriteServiceProfile(fleet, windows, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# dfp service profile v2"), std::string::npos);
+  EXPECT_NE(text.find("windowcfg 1000 3"), std::string::npos);
+
+  std::istringstream in(text);
+  WindowedProfile loaded;
+  ServiceProfile fleet2 = ReadServiceProfile(in, &loaded);
+  EXPECT_EQ(fleet2.plans().at(0x42).executions, 3u);
+  EXPECT_EQ(fleet2.plans().at(0x42).samples, 17u);
+  EXPECT_EQ(loaded.config().width_cycles, 1000u);
+  EXPECT_EQ(loaded.config().ring_windows, 3u);
+
+  // Loaded windows render and re-serialize identically to the originals.
+  EXPECT_EQ(loaded.Render(), windows.Render());
+  std::ostringstream rewritten;
+  WriteServiceProfile(fleet2, loaded, rewritten);
+  EXPECT_EQ(rewritten.str(), text);
+}
+
+TEST(ServiceProfileV2, V1FormatStillParses) {
+  const std::string v1 =
+      "# dfp service profile v1\n"
+      "plan 0000000000000042 2 1 1 5000 12345 q6\n"
+      "op 0000000000000042 1 17 TableScan lineitem\n";
+  std::istringstream in(v1);
+  WindowedProfile windows;
+  ServiceProfile profile = ReadServiceProfile(in, &windows);
+  EXPECT_EQ(profile.plans().at(0x42).executions, 2u);
+  EXPECT_EQ(profile.plans().at(0x42).operators.at(1).label, "TableScan lineitem");
+  EXPECT_TRUE(windows.empty());
+
+  // The two-argument writer still emits v1, byte-compatible with old readers.
+  std::ostringstream out;
+  WriteServiceProfile(profile, out);
+  EXPECT_EQ(out.str(), v1);
+}
+
+TEST(ServiceProfileV2, WindowLinesInV1FileAreMalformed) {
+  const std::string bad =
+      "# dfp service profile v1\n"
+      "window 0000000000000042 0 1 1 1 1 1 1 1 1 1 1 1 1\n";
+  std::istringstream in(bad);
+  EXPECT_THROW(ReadServiceProfile(in), Error);
+}
+
+TEST(ServiceProfileV2, WopWithoutWindowIsMalformed) {
+  const std::string bad =
+      "# dfp service profile v2\n"
+      "windowcfg 1000 3\n"
+      "plan 0000000000000042 1 0 1 10 10 q\n"
+      "wop 0000000000000042 0 1 5 500 Scan\n";
+  std::istringstream in(bad);
+  WindowedProfile windows;
+  EXPECT_THROW(ReadServiceProfile(in, &windows), Error);
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,130 @@
+// SamplingGovernor: analytic convergence to the overhead budget on steady and bursty loads,
+// clamping, and the zero-sample recovery path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/continuous/governor.h"
+
+namespace dfp {
+namespace {
+
+constexpr uint64_t kCps = 6700;  // PmuCosts::record_base: capture cost per sample.
+
+// One simulated execution: with period `p` armed, `events` armed-event occurrences over
+// `base` useful cycles cost (events / p) samples at kCps cycles each.
+SamplingOverhead Simulate(uint64_t events, uint64_t p, uint64_t* busy, uint64_t base) {
+  SamplingOverhead overhead;
+  overhead.samples = events / p;
+  overhead.capture_cycles = overhead.samples * kCps;
+  *busy = base + overhead.total_cycles();
+  return overhead;
+}
+
+GovernorConfig EnabledConfig() {
+  GovernorConfig config;
+  config.enabled = true;
+  return config;
+}
+
+TEST(SamplingGovernor, DisabledGovernorPassesDefaultPeriodThrough) {
+  SamplingGovernor governor;  // Default config: disabled.
+  EXPECT_FALSE(governor.enabled());
+  EXPECT_EQ(governor.PeriodFor(0x1, 5000), 5000u);
+  SamplingOverhead overhead;
+  governor.Observe(0x1, "q", overhead, 1000, 1000, 5000);
+  EXPECT_TRUE(governor.plans().empty());
+}
+
+TEST(SamplingGovernor, ConvergesToBudgetOnSteadyLoad) {
+  SamplingGovernor governor(EnabledConfig());
+  const uint64_t events = 2'000'000;
+  const uint64_t base = 200'000'000;
+  uint64_t period = governor.PeriodFor(0x1, 5000);
+  for (int round = 0; round < 6; ++round) {
+    uint64_t busy = 0;
+    SamplingOverhead overhead = Simulate(events, period, &busy, base);
+    governor.Observe(0x1, "q6", overhead, busy, events, period);
+    period = governor.PeriodFor(0x1, 5000);
+  }
+  const GovernorPlanState* state = governor.Find(0x1);
+  ASSERT_NE(state, nullptr);
+  // Analytic optimum: events * cps / (budget * base) = 3350.
+  EXPECT_NEAR(static_cast<double>(state->period), 3350.0, 100.0);
+  // The last observed overhead share is within half a point of the 2% budget.
+  EXPECT_NEAR(state->last_share, 0.02, 0.005);
+}
+
+TEST(SamplingGovernor, ConvergesToBudgetOnBurstyLoad) {
+  SamplingGovernor governor(EnabledConfig());
+  const uint64_t base = 200'000'000;
+  uint64_t period = governor.PeriodFor(0x1, 5000);
+  double last_share = 0;
+  for (int round = 0; round < 24; ++round) {
+    // Event density alternates 4x between bursts and quiet phases.
+    const uint64_t events = (round % 2 == 0) ? 4'000'000 : 1'000'000;
+    uint64_t busy = 0;
+    SamplingOverhead overhead = Simulate(events, period, &busy, base);
+    governor.Observe(0x1, "q6", overhead, busy, events, period);
+    period = governor.PeriodFor(0x1, 5000);
+    last_share = governor.Find(0x1)->last_share;
+  }
+  // The EWMA settles between the two phases' optima instead of oscillating to the rails, and
+  // the cumulative overhead share lands within half a point of the budget.
+  const GovernorPlanState* state = governor.Find(0x1);
+  EXPECT_GT(state->period, 1675u);
+  EXPECT_LT(state->period, 6700u);
+  EXPECT_NEAR(state->OverheadShare(), 0.02, 0.005);
+  EXPECT_NEAR(last_share, 0.02, 0.015);
+}
+
+TEST(SamplingGovernor, ClampsSolvedPeriodToConfiguredRange) {
+  GovernorConfig config = EnabledConfig();
+  config.min_period = 1000;
+  config.max_period = 10'000;
+  SamplingGovernor governor(config);
+
+  // Absurdly expensive samples push the solve far above max_period; the EWMA walks the period
+  // up against the ceiling.
+  SamplingOverhead costly;
+  costly.samples = 100;
+  costly.capture_cycles = 100ull * 10'000'000;
+  for (int i = 0; i < 10; ++i) {
+    governor.Observe(0x1, "q", costly, 2'000'000'000, 1'000'000, 5000);
+  }
+  EXPECT_GT(governor.Find(0x1)->period, 9'000u);
+  EXPECT_LE(governor.Find(0x1)->period, 10'000u);
+
+  // Nearly free samples pull it below min_period.
+  SamplingOverhead cheap;
+  cheap.samples = 1000;
+  cheap.capture_cycles = 1000;
+  for (int i = 0; i < 8; ++i) {
+    governor.Observe(0x2, "q", cheap, 2'000'000'000, 1'000'000, 1000);
+  }
+  EXPECT_EQ(governor.Find(0x2)->period, 1000u);
+}
+
+TEST(SamplingGovernor, HalvesPeriodWhenNoSamplesLanded) {
+  SamplingGovernor governor(EnabledConfig());
+  SamplingOverhead none;  // Period longer than the execution: zero samples.
+  governor.Observe(0x1, "q", none, 1'000'000, 400'000, 1'000'000);
+  // Target = 500000, blended with the initial 1000000 at 0.7: 650000.
+  EXPECT_EQ(governor.Find(0x1)->period, 650'000u);
+}
+
+TEST(SamplingGovernor, TracksPerFingerprintStateIndependently) {
+  SamplingGovernor governor(EnabledConfig());
+  uint64_t busy = 0;
+  SamplingOverhead a = Simulate(1'000'000, 5000, &busy, 100'000'000);
+  governor.Observe(0x1, "small", a, busy, 1'000'000, 5000);
+  SamplingOverhead b = Simulate(8'000'000, 5000, &busy, 100'000'000);
+  governor.Observe(0x2, "large", b, busy, 8'000'000, 5000);
+  ASSERT_EQ(governor.plans().size(), 2u);
+  // The denser plan needs a coarser period for the same budget.
+  EXPECT_GT(governor.Find(0x2)->period, governor.Find(0x1)->period);
+  EXPECT_GT(governor.OverallShare(), 0.0);
+}
+
+}  // namespace
+}  // namespace dfp
