@@ -15,6 +15,7 @@
 #include <fstream>
 
 #include "src/service/query_service.h"
+#include "src/sql/binder.h"
 #include "src/tpch/datagen.h"
 #include "src/tpch/queries.h"
 
@@ -29,6 +30,15 @@ int main() {
   config.profiling.period = 5000;
   config.continuous.governor.enabled = true;
   config.continuous.governor.overhead_budget = 0.02;
+  // Push-style alerting: DetectRegressions() invokes this once per finding, so a drifted plan
+  // surfaces as a one-line alert without anyone polling the findings list.
+  int alerts_fired = 0;
+  config.continuous.regression_alert = [&alerts_fired](const RegressionFinding& finding) {
+    ++alerts_fired;
+    std::printf("ALERT: plan %s (%016llx) drifted — cycles/row %.1f -> %.1f\n",
+                finding.name.c_str(), static_cast<unsigned long long>(finding.fingerprint),
+                finding.baseline_cycles_per_row, finding.current_cycles_per_row);
+  };
 
   DatabaseConfig db_config;
   db_config.extra_bytes = ServiceArenaBytes(config);  // Per-session scratch arenas.
@@ -95,11 +105,35 @@ int main() {
     std::printf("%s", RenderRegressionReport(findings).c_str());
   }
 
+  // Injected plan-mix shift: a q6 variant with far wider literals shares q6's structural
+  // fingerprint but does much more work per row. The detector must flag it, and the alert hook
+  // above must have pushed its one-liner.
+  const char* shifted_q6 =
+      "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+      "where l_shipdate >= date '1992-01-01' and l_shipdate < date '1999-01-01' "
+      "and l_discount between 0.00 and 0.10 and l_quantity < 100";
+  const TicketId probe = service.Submit(PlanSql(db, FindQuery("q6").sql), "q6");
+  service.Drain();
+  const uint64_t q6_fingerprint = service.ticket(probe).fingerprint.structure;
+  service.SnapshotBaseline();
+  for (int i = 0; i < 6; ++i) {
+    service.Submit(PlanSql(db, shifted_q6), "q6");
+    service.Drain();
+  }
+  alerts_fired = 0;
+  const auto shift_findings = service.DetectRegressions();
+  bool shift_flagged = false;
+  for (const auto& finding : shift_findings) {
+    shift_flagged |= finding.fingerprint == q6_fingerprint;
+  }
+  std::printf("injected q6 literal shift: %sflagged, %d alert(s) pushed\n",
+              shift_flagged ? "" : "NOT ", alerts_fired);
+
   // Deterministic window export: two runs of this demo must produce byte-identical JSON.
   {
     std::ofstream out("service_windows.json");
     service.windows().WriteJson(out);
   }
   std::printf("windowed profile written to service_windows.json\n");
-  return findings.empty() ? 0 : 1;
+  return (findings.empty() && shift_flagged && alerts_fired >= 1) ? 0 : 1;
 }

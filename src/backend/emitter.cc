@@ -1,6 +1,7 @@
 #include "src/backend/emitter.h"
 
 #include <unordered_map>
+#include <utility>
 
 #include "src/util/check.h"
 
@@ -24,6 +25,7 @@ class Emitter {
     PatchBranches();
     EmittedFunction result;
     result.code = std::move(out_);
+    result.literal_sites = std::move(literal_sites_);
     result.spill_slots = alloc_.spill_slot_count;
     result.num_args = function_.num_args();
     return result;
@@ -38,6 +40,16 @@ class Emitter {
     return out_.back();
   }
 
+  // Records that the most recently emitted instruction carries literal `slot` in `field`.
+  void RecordSite(uint32_t slot, LiteralSite::Field field, uint8_t arg_index = 0) {
+    LiteralSite site;
+    site.slot = slot;
+    site.code_offset = static_cast<uint32_t>(out_.size() - 1);
+    site.field = field;
+    site.arg_index = arg_index;
+    literal_sites_.push_back(site);
+  }
+
   // Materializes an operand into a register: the assigned physical register, or `scratch` after
   // loading a spill slot / an immediate.
   uint8_t UseReg(const Value& value, uint8_t scratch, uint32_t ir_id, bool is_tag = false) {
@@ -47,6 +59,9 @@ class Emitter {
       instr.a_is_imm = true;
       instr.imm = value.imm;
       instr.is_tag = is_tag;
+      if (value.IsParam()) {
+        RecordSite(value.literal_slot, LiteralSite::Field::kImm);
+      }
       return scratch;
     }
     DFP_CHECK(value.IsReg());
@@ -159,6 +174,9 @@ class Emitter {
           instr.dst = dst;
           instr.a_is_imm = true;
           instr.imm = ir.a.imm;
+          if (ir.a.IsParam()) {
+            RecordSite(ir.a.literal_slot, LiteralSite::Field::kImm);
+          }
         } else {
           const uint8_t src = UseReg(ir.a, kScratch0, ir.id);
           MInstr& instr = Emit(Opcode::kMov, ir.id);
@@ -223,6 +241,9 @@ class Emitter {
           instr.b_is_imm = true;
           instr.imm = ir.b.imm;
           out_.push_back(std::move(instr));
+          if (ir.b.IsParam()) {
+            RecordSite(ir.b.literal_slot, LiteralSite::Field::kImm);
+          }
         } else {
           instr.rb = UseReg(ir.b, kScratch1, ir.id);
           out_.push_back(std::move(instr));
@@ -293,6 +314,10 @@ class Emitter {
           if (arg.IsImm()) {
             marg.kind = MArg::Kind::kImm;
             marg.value = static_cast<uint64_t>(arg.imm);
+            if (arg.IsParam()) {
+              pending_arg_sites_.push_back(
+                  {arg.literal_slot, static_cast<uint8_t>(instr.args.size())});
+            }
           } else {
             const VRegLocation& loc = alloc_.loc(arg.vreg);
             DFP_CHECK(loc.allocated);
@@ -310,9 +335,11 @@ class Emitter {
           const uint8_t dst = DstReg(ir.dst);
           instr.dst = dst;
           out_.push_back(std::move(instr));
+          FlushArgSites();
           FinishDst(ir.dst, dst, ir.id);
         } else {
           out_.push_back(std::move(instr));
+          FlushArgSites();
         }
         break;
       }
@@ -327,6 +354,9 @@ class Emitter {
           instr.ra = UseReg(ir.a, kScratch0, ir.id);
         }
         out_.push_back(std::move(instr));
+        if (ir.a.IsParam()) {
+          RecordSite(ir.a.literal_slot, LiteralSite::Field::kImm);
+        }
         break;
       }
       case Opcode::kGetTag: {
@@ -370,6 +400,15 @@ class Emitter {
     }
   }
 
+  // Immediate call arguments are discovered while the MInstr is still being assembled locally;
+  // their sites are recorded once it lands in out_ and has a code offset.
+  void FlushArgSites() {
+    for (const auto& [slot, arg_index] : pending_arg_sites_) {
+      RecordSite(slot, LiteralSite::Field::kArg, arg_index);
+    }
+    pending_arg_sites_.clear();
+  }
+
   struct PendingBranch {
     uint32_t instr;
     uint32_t block;
@@ -381,6 +420,8 @@ class Emitter {
   std::vector<MInstr> out_;
   std::unordered_map<uint32_t, uint32_t> block_offsets_;
   std::vector<PendingBranch> pending_branches_;
+  std::vector<std::pair<uint32_t, uint8_t>> pending_arg_sites_;
+  std::vector<LiteralSite> literal_sites_;
 };
 
 }  // namespace

@@ -15,8 +15,23 @@
 
 namespace dfp {
 
+// One machine-code position holding the current value of a plan literal. The tiering layer's
+// relocation table: patching a cached plan for new literals rewrites exactly these positions
+// (an immediate field, or one argument of a call) inside the otherwise-unchanged segment.
+struct LiteralSite {
+  enum class Field : uint8_t {
+    kImm,  // MInstr::imm (kConst materialization, b_is_imm operand, immediate ret).
+    kArg,  // MInstr::args[arg_index].value (immediate call argument, e.g. a LIKE pattern id).
+  };
+  uint32_t slot = kNoLiteralSlot;  // Plan-literal ordinal (traversal order, see src/tiering/).
+  uint32_t code_offset = 0;        // Index into the emitted code vector.
+  Field field = Field::kImm;
+  uint8_t arg_index = 0;           // Valid when field == kArg.
+};
+
 struct EmittedFunction {
   std::vector<MInstr> code;
+  std::vector<LiteralSite> literal_sites;
   uint16_t spill_slots = 0;
   uint8_t num_args = 0;
 };

@@ -1,8 +1,10 @@
 #include "src/backend/passes.h"
 
 #include <bit>
+#include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "src/backend/liveness.h"
 #include "src/util/check.h"
@@ -147,8 +149,10 @@ int ConstantFoldPass(IrFunction& function, LineageListener* lineage) {
         substitute(arg);
       }
 
-      // Fold the instruction itself when all inputs are immediates.
-      if (IsFoldable(instr) && instr.a.IsImm() && (IsUnary(instr.op) || instr.b.IsImm())) {
+      // Fold the instruction itself when all inputs are immediates. Parameterized immediates
+      // (plan literals) are runtime values subject to patching — never bake them into results.
+      if (IsFoldable(instr) && instr.a.IsImm() && !instr.a.IsParam() &&
+          (IsUnary(instr.op) || (instr.b.IsImm() && !instr.b.IsParam()))) {
         std::optional<uint64_t> folded = EvalPure(instr.op, static_cast<uint64_t>(instr.a.imm),
                                                   instr.b.IsImm()
                                                       ? static_cast<uint64_t>(instr.b.imm)
@@ -162,7 +166,7 @@ int ConstantFoldPass(IrFunction& function, LineageListener* lineage) {
         }
       }
       // Select with a constant condition degenerates to a move.
-      if (instr.op == Opcode::kSelect && instr.a.IsImm()) {
+      if (instr.op == Opcode::kSelect && instr.a.IsImm() && !instr.a.IsParam()) {
         Value chosen = instr.a.imm != 0 ? instr.b : instr.c;
         instr.op = Opcode::kMov;
         instr.a = chosen;
@@ -171,9 +175,10 @@ int ConstantFoldPass(IrFunction& function, LineageListener* lineage) {
         ++changed;
       }
 
-      // Track constant definitions; any other definition invalidates.
+      // Track constant definitions; any other definition invalidates. Parameterized constants
+      // are not propagated: their register is the single patchable definition site.
       if (instr.HasDst()) {
-        if (instr.op == Opcode::kConst) {
+        if (instr.op == Opcode::kConst && !instr.a.IsParam()) {
           constants[instr.dst] = instr.a.imm;
         } else {
           constants.erase(instr.dst);
@@ -193,7 +198,9 @@ int CombineInstrsPass(IrFunction& function, LineageListener* lineage) {
       IrInstr& instr = block.instrs[i];
 
       // Strength reduction and identities on integer operations with immediate second operand.
-      if (instr.b.IsImm() && instr.HasDst()) {
+      // Parameterized immediates are exempt: rewriting `mul x, 8` into `shl x, 3` would change
+      // what a later literal patch of that immediate means.
+      if (instr.b.IsImm() && !instr.b.IsParam() && instr.HasDst()) {
         const int64_t imm = instr.b.imm;
         if (instr.op == Opcode::kMul && imm > 0 && (imm & (imm - 1)) == 0) {
           instr.op = Opcode::kShl;
@@ -227,7 +234,7 @@ int CombineInstrsPass(IrFunction& function, LineageListener* lineage) {
           auto def_it = last_def.find(addr.vreg);
           if (def_it != last_def.end()) {
             const IrInstr& def = block.instrs[def_it->second];
-            if (def.op == Opcode::kAdd && def.a.IsReg() && def.b.IsImm()) {
+            if (def.op == Opcode::kAdd && def.a.IsReg() && def.b.IsImm() && !def.b.IsParam()) {
               // The base register must not have been redefined between def and this use.
               auto base_def = last_def.find(def.a.vreg);
               const bool base_ok =
@@ -260,8 +267,12 @@ int CommonSubexprPass(IrFunction& function, LineageListener* lineage) {
     // Local value numbering. Each definition event gets a fresh value number; expression keys
     // are built over operand value numbers, so stale entries can never match.
     uint64_t next_vn = 1;
-    std::unordered_map<uint32_t, uint64_t> reg_vn;          // vreg -> value number
-    std::unordered_map<uint64_t, uint64_t> imm_vn;          // immediate -> value number
+    std::unordered_map<uint32_t, uint64_t> reg_vn;  // vreg -> value number
+    // Immediates are numbered by (value, literal slot): two parameterized literals that happen
+    // to share a value today must not merge, or a later patch of one slot would leak into the
+    // other's uses. Equal-slot occurrences still share a number (patching rewrites every
+    // recorded site of a slot, so merging them is sound).
+    std::map<std::pair<uint64_t, uint32_t>, uint64_t> imm_vn;
     struct Available {
       uint32_t vreg;
       uint32_t instr_id;
@@ -271,7 +282,8 @@ int CommonSubexprPass(IrFunction& function, LineageListener* lineage) {
 
     auto vn_of = [&](const Value& value) -> uint64_t {
       if (value.IsImm()) {
-        auto [it, inserted] = imm_vn.try_emplace(static_cast<uint64_t>(value.imm), next_vn);
+        auto [it, inserted] = imm_vn.try_emplace(
+            std::make_pair(static_cast<uint64_t>(value.imm), value.literal_slot), next_vn);
         if (inserted) {
           ++next_vn;
         }

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "src/profiling/reports.h"
+#include "src/util/check.h"
 
 namespace dfp {
 
@@ -46,9 +47,32 @@ const PlanBaseline* BaselineStore::Find(uint64_t fingerprint) const {
   return it == baselines_.end() ? nullptr : &it->second;
 }
 
+void BaselineStore::AddLoadedBaseline(PlanBaseline baseline) {
+  baselines_[baseline.fingerprint] = std::move(baseline);
+}
+
+void BaselineStore::AddLoadedBaselineOperator(uint64_t fingerprint, WindowOperatorStats stats) {
+  auto it = baselines_.find(fingerprint);
+  if (it == baselines_.end()) {
+    throw Error("service profile bop line without its baseline line");
+  }
+  it->second.operators[stats.op] = std::move(stats);
+}
+
+RegressionAlertFn DefaultRegressionAlert() {
+  return [](const RegressionFinding& finding) {
+    std::fprintf(stderr, "ALERT regression plan %016llx %s [%s%s%s ]\n",
+                 static_cast<unsigned long long>(finding.fingerprint), finding.name.c_str(),
+                 finding.share_regressed ? " mix" : "",
+                 finding.cycles_per_row_regressed ? " cycles/row" : "",
+                 finding.remote_regressed ? " +remote" : "");
+  };
+}
+
 std::vector<RegressionFinding> DetectRegressions(const BaselineStore& baseline,
                                                  const WindowedProfile& profile,
-                                                 const RegressionThresholds& thresholds) {
+                                                 const RegressionThresholds& thresholds,
+                                                 const RegressionAlertFn& alert) {
   std::vector<RegressionFinding> findings;
   for (const auto& [fingerprint, series] : profile.plans()) {
     (void)series;
@@ -117,6 +141,9 @@ std::vector<RegressionFinding> DetectRegressions(const BaselineStore& baseline,
 
     if (finding.share_regressed || finding.cycles_per_row_regressed ||
         finding.remote_regressed) {
+      if (alert) {
+        alert(finding);
+      }
       findings.push_back(std::move(finding));
     }
   }

@@ -16,6 +16,7 @@
 #define DFP_SRC_CONTINUOUS_REGRESSION_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -67,6 +68,12 @@ class BaselineStore {
   const std::map<uint64_t, PlanBaseline>& baselines() const { return baselines_; }
   const PlanBaseline* Find(uint64_t fingerprint) const;
 
+  // Loading hooks used by ReadServiceProfile (v3): restore one persisted baseline (operator
+  // rows arrive separately, after their baseline line) so a restarted service resumes
+  // regression detection against its pre-restart reference mix.
+  void AddLoadedBaseline(PlanBaseline baseline);
+  void AddLoadedBaselineOperator(uint64_t fingerprint, WindowOperatorStats stats);
+
  private:
   std::map<uint64_t, PlanBaseline> baselines_;
 };
@@ -94,12 +101,22 @@ struct RegressionFinding {
   std::vector<OperatorDrift> drifts;  // Every operator above the noise floor, flagged or not.
 };
 
+// Alerting hook: invoked once per finding, in fingerprint order, as DetectRegressions flags
+// it — the push path that turns the pull-style report into an operational signal.
+using RegressionAlertFn = std::function<void(const RegressionFinding&)>;
+
+// The default hook: one line per finding on stderr,
+//   "ALERT regression plan <fingerprint> <name> [mix cycles/row +remote]".
+RegressionAlertFn DefaultRegressionAlert();
+
 // Diffs each fingerprint's post-watermark window aggregate against its `baseline` entry.
 // Fingerprints without a baseline, without post-watermark windows, or with fewer than
-// min_samples attributed post-watermark samples are skipped.
+// min_samples attributed post-watermark samples are skipped. Each finding is also pushed
+// through `alert` when one is set.
 std::vector<RegressionFinding> DetectRegressions(
     const BaselineStore& baseline, const WindowedProfile& profile,
-    const RegressionThresholds& thresholds = RegressionThresholds());
+    const RegressionThresholds& thresholds = RegressionThresholds(),
+    const RegressionAlertFn& alert = nullptr);
 
 // Side-by-side cost-annotated report of all findings (empty-finding list renders a quiet note).
 std::string RenderRegressionReport(const std::vector<RegressionFinding>& findings);

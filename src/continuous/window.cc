@@ -76,7 +76,7 @@ ProfileWindow& WindowedProfile::WindowFor(PlanWindowSeries& series, uint64_t ind
 void WindowedProfile::Record(uint64_t fingerprint, const std::string& name, uint64_t now_cycles,
                              const OperatorProfile& profile, const PmuCounters& counters,
                              uint64_t execute_cycles, uint64_t result_rows,
-                             uint64_t sampling_period) {
+                             uint64_t sampling_period, PlanTier tier) {
   PlanWindowSeries& series = plans_[fingerprint];
   if (series.name.empty()) {
     series.fingerprint = fingerprint;
@@ -84,6 +84,9 @@ void WindowedProfile::Record(uint64_t fingerprint, const std::string& name, uint
   }
   ProfileWindow& window = WindowFor(series, now_cycles / config_.width_cycles);
   ++window.executions;
+  if (tier == PlanTier::kBaseline) {
+    ++window.baseline_executions;
+  }
   window.execute_cycles += execute_cycles;
   window.rows += result_rows;
   window.loads += counters[PmuEvent::kLoads];
@@ -101,6 +104,9 @@ void WindowedProfile::Record(uint64_t fingerprint, const std::string& name, uint
     stats.samples += cost.samples;
     stats.sample_cycles += cost.samples * sampling_period;
     window.samples += cost.samples;
+    if (tier == PlanTier::kBaseline) {
+      window.baseline_samples += cost.samples;
+    }
   }
 
   // Insert the latency in sorted position and refresh the stored quantiles.
@@ -134,6 +140,8 @@ WindowRollup WindowedProfile::RollUpSince(uint64_t fingerprint, uint64_t min_ind
     ++rollup.window_count;
     rollup.executions += window.executions;
     rollup.samples += window.samples;
+    rollup.baseline_executions += window.baseline_executions;
+    rollup.baseline_samples += window.baseline_samples;
     rollup.execute_cycles += window.execute_cycles;
     rollup.rows += window.rows;
     rollup.loads += window.loads;
@@ -195,7 +203,12 @@ std::string WindowedProfile::Render() const {
       out << "  w" << window.index << "  exec " << window.executions << "  samples "
           << window.samples << "  lat p50/p95/max " << window.latency_p50 << "/"
           << window.latency_p95 << "/" << window.latency_max << "  l3miss " << window.l3_misses
-          << "  remote " << window.remote_dram << "\n";
+          << "  remote " << window.remote_dram;
+      if (window.baseline_executions > 0) {
+        out << "  baseline " << window.baseline_executions << "/" << window.executions
+            << " exec " << window.baseline_samples << " samples";
+      }
+      out << "\n";
       // Operators, hottest first (ties by operator id for a stable report).
       std::vector<const WindowOperatorStats*> ops;
       for (const auto& [op, stats] : window.operators) {
@@ -237,7 +250,10 @@ void WindowedProfile::WriteJson(std::ostream& out) const {
       }
       first_window = false;
       out << "{\"index\":" << window.index << ",\"executions\":" << window.executions
-          << ",\"samples\":" << window.samples << ",\"execute_cycles\":" << window.execute_cycles
+          << ",\"samples\":" << window.samples
+          << ",\"baseline_executions\":" << window.baseline_executions
+          << ",\"baseline_samples\":" << window.baseline_samples
+          << ",\"execute_cycles\":" << window.execute_cycles
           << ",\"rows\":" << window.rows << ",\"loads\":" << window.loads
           << ",\"l1_misses\":" << window.l1_misses << ",\"l2_misses\":" << window.l2_misses
           << ",\"l3_misses\":" << window.l3_misses << ",\"remote_dram\":" << window.remote_dram

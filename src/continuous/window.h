@@ -25,6 +25,7 @@
 
 #include "src/engine/exec_plan.h"
 #include "src/profiling/reports.h"
+#include "src/tiering/tier.h"
 
 namespace dfp {
 
@@ -51,7 +52,12 @@ struct WindowOperatorStats {
 struct ProfileWindow {
   uint64_t index = 0;  // Service TSC / width: [index * width, (index + 1) * width).
   uint64_t executions = 0;
-  uint64_t samples = 0;         // Operator-attributed samples folded into this window.
+  uint64_t samples = 0;  // Operator-attributed samples folded into this window.
+  // Slice of the above that ran at the baseline (cheap-compile) tier; the optimized-tier share
+  // is the difference. These make tier transitions visible in the window history itself: a
+  // promoted fingerprint's rings show baseline counts draining to zero.
+  uint64_t baseline_executions = 0;
+  uint64_t baseline_samples = 0;
   uint64_t execute_cycles = 0;  // Summed per-execution simulated wall clocks.
   uint64_t rows = 0;            // Summed result rows (cycles-per-row denominator).
   // Event counters summed over the executions of this window.
@@ -90,6 +96,8 @@ struct WindowRollup {
   uint64_t window_count = 0;
   uint64_t executions = 0;
   uint64_t samples = 0;
+  uint64_t baseline_executions = 0;
+  uint64_t baseline_samples = 0;
   uint64_t execute_cycles = 0;
   uint64_t rows = 0;
   uint64_t loads = 0;
@@ -119,10 +127,12 @@ class WindowedProfile {
   // `profile` carries the per-operator sample aggregation, `counters` the execution's merged
   // PMU event counts, and `sampling_period` the period the samples were taken at (scales the
   // per-operator cycle estimate). Executions without operator attribution still contribute
-  // latency, counters, and row counts.
+  // latency, counters, and row counts. `tier` is the compilation tier the execution ran at;
+  // the default keeps pre-tiering callers unchanged.
   void Record(uint64_t fingerprint, const std::string& name, uint64_t now_cycles,
               const OperatorProfile& profile, const PmuCounters& counters,
-              uint64_t execute_cycles, uint64_t result_rows, uint64_t sampling_period);
+              uint64_t execute_cycles, uint64_t result_rows, uint64_t sampling_period,
+              PlanTier tier = PlanTier::kOptimized);
 
   bool empty() const { return plans_.empty(); }
   const std::map<uint64_t, PlanWindowSeries>& plans() const { return plans_; }

@@ -349,13 +349,15 @@ class PipelineEmitter {
   PipelineEmitter(Database& db, ProfilingSession* session, Pipeline& pipeline,
                   const std::unordered_map<uint64_t, uint32_t>& state_offsets,
                   const std::unordered_map<TaskId, uint32_t>* counter_offsets,
-                  IrIdAllocator& ids, std::string fn_name, bool parallel)
+                  IrIdAllocator& ids, std::string fn_name, bool parallel,
+                  const PlanLiterals* literals)
       : db_(db),
         session_(session),
         pipeline_(pipeline),
         state_offsets_(state_offsets),
         counter_offsets_(counter_offsets),
         parallel_(parallel),
+        literals_(literals),
         fn_(std::move(fn_name), parallel ? 3 : 1),
         b_(&fn_, &ids) {
     if (session_ != nullptr) {
@@ -505,16 +507,24 @@ class PipelineEmitter {
     return value.value;
   }
 
+  // Literal slot of `expr` when compiling parameterized, kNoLiteralSlot otherwise (a
+  // slot-less Value::Param degrades to a plain immediate).
+  uint32_t LiteralSlot(const Expr& expr) const {
+    return literals_ != nullptr ? literals_->SlotOf(expr) : kNoLiteralSlot;
+  }
+
   SlotVal GenExpr(const Expr& expr, TupleContext& tuple) {
     switch (expr.kind) {
       case ExprKind::kColumnRef:
         return tuple.Get(expr.slot);
-      case ExprKind::kLiteral:
+      case ExprKind::kLiteral: {
+        const uint32_t slot = LiteralSlot(expr);
         if (expr.type == ColumnType::kDouble) {
-          return {Value::Reg(b_.ConstF(std::bit_cast<double>(expr.literal))),
+          return {Value::Reg(b_.ConstF(std::bit_cast<double>(expr.literal), slot)),
                   ColumnType::kDouble};
         }
-        return {Value::Reg(b_.Const(expr.literal)), expr.type};
+        return {Value::Reg(b_.Const(expr.literal, slot)), expr.type};
+      }
       case ExprKind::kUnary: {
         SlotVal input = GenExpr(*expr.left, tuple);
         if (expr.un == UnOp::kNot) {
@@ -534,18 +544,22 @@ class PipelineEmitter {
         SlotVal input = GenExpr(*expr.left, tuple);
         uint32_t pattern = db_.runtime().RegisterPattern(expr.pattern);
         // System-library call: deliberately NOT register-tagged (paper Table 2's
-        // unattributed remainder).
-        uint32_t result =
-            b_.Call(db_.runtime().str_like_fn(), {input.value, Value::Imm(pattern)},
-                    /*has_result=*/true, "like '" + expr.pattern + "'");
+        // unattributed remainder). The pattern reaches the code as a registered id, so the
+        // patchable site is the id-carrying call argument, not the string.
+        uint32_t result = b_.Call(db_.runtime().str_like_fn(),
+                                  {input.value, Value::Param(pattern, LiteralSlot(expr))},
+                                  /*has_result=*/true, "like '" + expr.pattern + "'");
         return {Value::Reg(result), ColumnType::kBool};
       }
       case ExprKind::kInList: {
         SlotVal input = GenExpr(*expr.left, tuple);
         DFP_CHECK(!expr.list.empty());
-        uint32_t acc = b_.CmpEq(input.value, Value::Imm(expr.list[0]));
+        const uint32_t base = LiteralSlot(expr);
+        uint32_t acc = b_.CmpEq(input.value, Value::Param(expr.list[0], base));
         for (size_t i = 1; i < expr.list.size(); ++i) {
-          uint32_t other = b_.CmpEq(input.value, Value::Imm(expr.list[i]));
+          const uint32_t slot =
+              base == kNoLiteralSlot ? kNoLiteralSlot : base + static_cast<uint32_t>(i);
+          uint32_t other = b_.CmpEq(input.value, Value::Param(expr.list[i], slot));
           acc = b_.Binary(Opcode::kOr, Value::Reg(acc), Value::Reg(other));
         }
         return {Value::Reg(acc), ColumnType::kBool};
@@ -1601,6 +1615,7 @@ class PipelineEmitter {
   const std::unordered_map<uint64_t, uint32_t>& state_offsets_;
   const std::unordered_map<TaskId, uint32_t>* counter_offsets_;
   bool parallel_ = false;
+  const PlanLiterals* literals_ = nullptr;
   IrFunction fn_;
   IrBuilder b_;
   Value state_base_;
@@ -1667,7 +1682,7 @@ CompiledQuery CompileQuery(Database& db, PhysicalOpPtr plan, ProfilingSession* s
     std::string fn_name = StrFormat("%s.p%u", query.name.c_str(), pipeline.id);
     PipelineEmitter emitter(db, session, pipeline, state_offsets,
                             counter_offsets.empty() ? nullptr : &counter_offsets, ids, fn_name,
-                            options.parallel);
+                            options.parallel, options.literals);
     emitter.Emit();
     IrFunction ir = emitter.Take();
 
@@ -1687,6 +1702,7 @@ CompiledQuery CompileQuery(Database& db, PhysicalOpPtr plan, ProfilingSession* s
     PipelineArtifact artifact(std::move(ir));
     artifact.pipeline = std::move(pipeline);
     artifact.stats = stats;
+    artifact.literal_sites = std::move(emitted.literal_sites);
     artifact.listing = PrintFunction(artifact.ir);
     artifact.segment =
         db.code_map().AddSegment(SegmentKind::kGenerated, fn_name, std::move(emitted.code));

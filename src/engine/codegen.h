@@ -11,6 +11,7 @@
 #include "src/engine/database.h"
 #include "src/engine/exec_plan.h"
 #include "src/profiling/session.h"
+#include "src/tiering/literals.h"
 
 namespace dfp {
 
@@ -29,6 +30,11 @@ struct CodegenOptions {
   // block instead of being hoisted into registers. Hash-table builds go through the
   // lock-striped insert. Queries compiled this way run via QueryEngine::ExecuteParallel.
   bool parallel = false;
+  // Literal parameterization (src/tiering/): when set (borrowed; must cover the compiled plan
+  // and outlive the call), plan literals lower as slot-tagged immediates, the optimizer leaves
+  // them unfolded, and each PipelineArtifact carries the emitter's relocation table so the
+  // cached code can later be re-bound to new literals by patching.
+  const PlanLiterals* literals = nullptr;
 };
 
 // Compiles `plan` (taking ownership) against `db`. `session` may be null (no profiling).

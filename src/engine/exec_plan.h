@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/backend/compiler.h"
+#include "src/backend/emitter.h"
 #include "src/ir/instr.h"
 #include "src/ir/printer.h"
 #include "src/plan/physical.h"
@@ -89,6 +90,9 @@ struct PipelineArtifact {
   IrFunction ir;  // Optimized VIR, retained for annotated listings (Figure 6b).
   IrListing listing;
   CompileStats stats;
+  // Relocation table for literal-parameterized reuse (filled when compiled with
+  // CodegenOptions::literals): every machine-code position holding a plan literal.
+  std::vector<LiteralSite> literal_sites;
 
   explicit PipelineArtifact(IrFunction ir_function) : ir(std::move(ir_function)) {}
 };

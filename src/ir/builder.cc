@@ -20,20 +20,20 @@ IrInstr& IrBuilder::Append(IrInstr instr) {
   return appended;
 }
 
-uint32_t IrBuilder::Const(int64_t value) {
+uint32_t IrBuilder::Const(int64_t value, uint32_t literal_slot) {
   IrInstr instr;
   instr.op = Opcode::kConst;
   instr.dst = function_->NewReg();
-  instr.a = Value::Imm(value);
+  instr.a = Value::Param(value, literal_slot);
   return Append(std::move(instr)).dst;
 }
 
-uint32_t IrBuilder::ConstF(double value) {
+uint32_t IrBuilder::ConstF(double value, uint32_t literal_slot) {
   IrInstr instr;
   instr.op = Opcode::kConst;
   instr.type = IrType::kF64;
   instr.dst = function_->NewReg();
-  instr.a = Value::ImmF(value);
+  instr.a = Value::Param(std::bit_cast<int64_t>(value), literal_slot);
   return Append(std::move(instr)).dst;
 }
 

@@ -48,8 +48,8 @@ class IrBuilder {
 
   // --- Emission helpers. Value-producing helpers return the destination virtual register. ---
 
-  uint32_t Const(int64_t value);
-  uint32_t ConstF(double value);
+  uint32_t Const(int64_t value, uint32_t literal_slot = kNoLiteralSlot);
+  uint32_t ConstF(double value, uint32_t literal_slot = kNoLiteralSlot);
   uint32_t Unary(Opcode op, Value a, IrType type = IrType::kI64);
   uint32_t Binary(Opcode op, Value a, Value b, IrType type = IrType::kI64);
   uint32_t Crc32(Value seed, Value value);

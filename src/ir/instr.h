@@ -17,12 +17,19 @@ inline constexpr uint32_t kNoVReg = 0xFFFFFFFFu;
 inline constexpr uint32_t kNoBlock = 0xFFFFFFFFu;
 inline constexpr uint32_t kNoIrCallee = 0xFFFFFFFFu;
 
+// Immediates carrying a literal slot are runtime parameters of the plan (filter constants,
+// IN-list members, LIMIT counts, LIKE pattern ids): the optimizer must not fold them into
+// derived constants, and the emitter records every machine-code position they reach so a cached
+// compiled plan can be re-bound to new literals by patching immediates (src/tiering/).
+inline constexpr uint32_t kNoLiteralSlot = 0xFFFFFFFFu;
+
 // An operand: nothing, a virtual register, or an immediate.
 struct Value {
   enum class Kind : uint8_t { kNone, kVReg, kImm };
   Kind kind = Kind::kNone;
   uint32_t vreg = kNoVReg;
   int64_t imm = 0;
+  uint32_t literal_slot = kNoLiteralSlot;  // Plan-literal ordinal; kNoLiteralSlot for plain imms.
 
   static Value None() { return Value(); }
   static Value Reg(uint32_t vreg) {
@@ -37,11 +44,19 @@ struct Value {
     v.imm = imm;
     return v;
   }
+  // A parameterized immediate: behaves like Imm at runtime, but is pinned to literal slot
+  // `slot` so it survives optimization unfolded and is patchable in emitted code.
+  static Value Param(int64_t imm, uint32_t slot) {
+    Value v = Imm(imm);
+    v.literal_slot = slot;
+    return v;
+  }
   static Value ImmF(double value);
 
   bool IsReg() const { return kind == Kind::kVReg; }
   bool IsImm() const { return kind == Kind::kImm; }
   bool IsNone() const { return kind == Kind::kNone; }
+  bool IsParam() const { return IsImm() && literal_slot != kNoLiteralSlot; }
 };
 
 struct IrInstr {

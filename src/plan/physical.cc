@@ -157,6 +157,34 @@ std::vector<PhysicalOp*> PlanOperators(PhysicalOp& root) {
   return out;
 }
 
+PhysicalOpPtr ClonePlan(const PhysicalOp& root) {
+  auto clone = std::make_unique<PhysicalOp>();
+  clone->kind = root.kind;
+  clone->id = root.id;
+  clone->label = root.label;
+  clone->output = root.output;
+  clone->table = root.table;
+  clone->exprs.reserve(root.exprs.size());
+  for (const ExprPtr& expr : root.exprs) {
+    clone->exprs.push_back(expr->Clone());
+  }
+  clone->projecting = root.projecting;
+  clone->build_keys = root.build_keys;
+  clone->probe_keys = root.probe_keys;
+  clone->join_type = root.join_type;
+  clone->build_payload = root.build_payload;
+  clone->group_keys = root.group_keys;
+  clone->sort_items = root.sort_items;
+  clone->limit = root.limit;
+  clone->bound_rows = root.bound_rows;
+  clone->estimated_rows = root.estimated_rows;
+  clone->children.reserve(root.children.size());
+  for (const PhysicalOpPtr& child : root.children) {
+    clone->children.push_back(ClonePlan(*child));
+  }
+  return clone;
+}
+
 namespace {
 
 void RenderNode(const PhysicalOp& op, int depth,

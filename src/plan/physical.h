@@ -94,6 +94,11 @@ uint32_t FinalizePlan(PhysicalOp& root);
 // All operators in pre-order (root first).
 std::vector<PhysicalOp*> PlanOperators(PhysicalOp& root);
 
+// Deep copy of a finalized (or unfinalized) plan: operators, expressions, ids, labels, and the
+// bounds FinalizePlan computed. Table pointers are shared (catalog-owned). Used by the tiered
+// compiler to recompile a cached plan in the background while the cached entry keeps serving.
+PhysicalOpPtr ClonePlan(const PhysicalOp& root);
+
 // Renders the plan as an indented tree, one operator per line, optionally annotating each
 // operator via `annotate(op)` (used for cost-annotated plans, Figure 9b).
 std::string RenderPlanTree(const PhysicalOp& root,

@@ -24,6 +24,9 @@ inline constexpr uint8_t kNoNumaNode = 0xFF;
 // `mem_node`/`numa_remote` describe the NUMA placement of `addr` when addresses are captured on
 // a run with a NUMA topology; `stolen` marks samples taken while the worker executed a morsel
 // stolen from another worker's deque (the locality fields of the Figure-12 machinery).
+// `tier` records the compilation tier of the code the sample hit (PlanTier numeric value;
+// 0 = optimized) so tiered-compilation profiles can attribute cost per tier. The zero default
+// keeps pre-tiering sample streams byte-identical on disk.
 struct Sample {
   uint64_t tsc = 0;
   uint64_t ip = 0;
@@ -31,6 +34,7 @@ struct Sample {
   uint32_t worker_id = 0;
   uint32_t session_id = 0;
   uint8_t mem_node = kNoNumaNode;  // NUMA node owning `addr`; kNoNumaNode when unmanaged.
+  uint8_t tier = 0;                // Compilation tier of the sampled code (PlanTier value).
   bool numa_remote = false;        // `addr` lives on a different node than the sampling worker.
   bool stolen = false;             // Taken while executing a stolen morsel.
   bool has_registers = false;

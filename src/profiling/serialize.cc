@@ -1,6 +1,7 @@
 #include "src/profiling/serialize.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -15,6 +16,7 @@ constexpr const char* kDictionaryHeader = "# dfp tagging dictionary v1";
 constexpr const char* kSamplesHeaderV1 = "# dfp samples v1";
 constexpr const char* kSamplesHeaderV2 = "# dfp samples v2";
 constexpr const char* kSamplesHeaderV3 = "# dfp samples v3";
+constexpr const char* kSamplesHeaderV4 = "# dfp samples v4";
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed profiling meta-data line: '" + line + "'");
@@ -94,19 +96,40 @@ TaggingDictionary ReadDictionary(std::istream& in) {
 }
 
 void WriteSamples(const std::vector<Sample>& samples, std::ostream& out) {
-  // The version is chosen by content so older dumps stay byte-identical: streams carrying NUMA
-  // locality or steal flags are v3, streams carrying worker ids are v2, and pure worker-0
-  // streams keep the v1 header so dumps from single-threaded runs stay byte-compatible with
-  // pre-parallel readers.
+  WriteSamples(samples, {}, out);
+}
+
+void WriteSamples(const std::vector<Sample>& samples,
+                  const std::vector<SampleStreamEvent>& events, std::ostream& out) {
+  // The version is chosen by content so older dumps stay byte-identical: streams carrying tier
+  // attribution or sideband events are v4, streams carrying NUMA locality or steal flags are
+  // v3, streams carrying worker ids are v2, and pure worker-0 streams keep the v1 header so
+  // dumps from single-threaded runs stay byte-compatible with pre-parallel readers.
   bool multi_worker = false;
   bool locality = false;
+  bool tiered = !events.empty();
   for (const Sample& sample : samples) {
     multi_worker |= sample.worker_id != 0;
     locality |= sample.mem_node != kNoNumaNode || sample.numa_remote || sample.stolen;
+    tiered |= sample.tier != 0;
   }
-  out << (locality ? kSamplesHeaderV3 : multi_worker ? kSamplesHeaderV2 : kSamplesHeaderV1)
+  out << (tiered           ? kSamplesHeaderV4
+          : locality       ? kSamplesHeaderV3
+          : multi_worker   ? kSamplesHeaderV2
+                           : kSamplesHeaderV1)
       << "\n";
+  // Events interleave in timestamp order: each precedes the first sample whose tsc passes its
+  // own. `events` must already be ascending by tsc (they are appended as the service clock
+  // advances).
+  size_t next_event = 0;
+  auto flush_events = [&](uint64_t up_to_tsc) {
+    while (next_event < events.size() && events[next_event].tsc <= up_to_tsc) {
+      out << "event " << events[next_event].tsc << " " << events[next_event].text << "\n";
+      ++next_event;
+    }
+  };
   for (const Sample& sample : samples) {
+    flush_events(sample.tsc);
     out << "sample " << sample.tsc << " " << sample.ip << " " << sample.addr;
     if (sample.worker_id != 0) {
       // Written only for samples off worker 0, so v2 streams stay close to the v1 layout.
@@ -118,6 +141,9 @@ void WriteSamples(const std::vector<Sample>& samples, std::ostream& out) {
     }
     if (sample.stolen) {
       out << " T";
+    }
+    if (sample.tier != 0) {
+      out << " G " << static_cast<uint32_t>(sample.tier);
     }
     if (sample.has_registers) {
       out << " R";
@@ -133,16 +159,21 @@ void WriteSamples(const std::vector<Sample>& samples, std::ostream& out) {
     }
     out << "\n";
   }
+  flush_events(UINT64_MAX);
 }
 
-std::vector<Sample> ReadSamples(std::istream& in) {
+std::vector<Sample> ReadSamples(std::istream& in) { return ReadSamples(in, nullptr); }
+
+std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events) {
   std::vector<Sample> samples;
   std::string line;
   if (!std::getline(in, line) ||
-      (line != kSamplesHeaderV1 && line != kSamplesHeaderV2 && line != kSamplesHeaderV3)) {
+      (line != kSamplesHeaderV1 && line != kSamplesHeaderV2 && line != kSamplesHeaderV3 &&
+       line != kSamplesHeaderV4)) {
     throw Error("not a dfp samples file");
   }
-  const bool accept_locality = line == kSamplesHeaderV3;
+  const bool accept_tiers = line == kSamplesHeaderV4;
+  const bool accept_locality = line == kSamplesHeaderV3 || accept_tiers;
   const bool accept_worker_ids = line == kSamplesHeaderV2 || accept_locality;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') {
@@ -151,6 +182,26 @@ std::vector<Sample> ReadSamples(std::istream& in) {
     std::istringstream stream(line);
     std::string kind;
     stream >> kind;
+    if (kind == "event") {
+      if (!accept_tiers) {
+        throw Error("event line in a pre-v4 sample stream: '" + line + "'");
+      }
+      if (events == nullptr) {
+        // The stream has sideband data the caller would silently lose — make it explicit.
+        throw Error("sample stream carries events but the reader has no event sink: '" + line +
+                    "'");
+      }
+      SampleStreamEvent event;
+      if (!(stream >> event.tsc)) {
+        Malformed(line);
+      }
+      std::getline(stream, event.text);
+      if (!event.text.empty() && event.text.front() == ' ') {
+        event.text.erase(event.text.begin());
+      }
+      events->push_back(std::move(event));
+      continue;
+    }
     if (kind != "sample") {
       Malformed(line);
     }
@@ -186,6 +237,15 @@ std::vector<Sample> ReadSamples(std::istream& in) {
           throw Error("steal token in a pre-v3 sample stream: '" + line + "'");
         }
         sample.stolen = true;
+      } else if (section == "G") {
+        if (!accept_tiers) {
+          throw Error("tier token in a pre-v4 sample stream: '" + line + "'");
+        }
+        uint32_t tier = 0;
+        if (!(stream >> tier) || tier > 0xFF) {
+          Malformed(line);
+        }
+        sample.tier = static_cast<uint8_t>(tier);
       } else if (section == "R") {
         sample.has_registers = true;
         for (uint64_t& reg : sample.regs) {

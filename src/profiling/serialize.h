@@ -7,13 +7,23 @@
 #ifndef DFP_SRC_PROFILING_SERIALIZE_H_
 #define DFP_SRC_PROFILING_SERIALIZE_H_
 
+#include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "src/pmu/sample.h"
 #include "src/profiling/tagging_dictionary.h"
 
 namespace dfp {
+
+// One timestamped annotation interleaved with a sample stream — the vehicle for tier-transition
+// events ("tier <fingerprint-hex> baseline optimized decided|swapped"), mirroring perf's
+// sideband records. `text` is a single line without newlines.
+struct SampleStreamEvent {
+  uint64_t tsc = 0;
+  std::string text;
+};
 
 // Line-oriented text format:
 //   # dfp tagging dictionary v1
@@ -24,18 +34,31 @@ void WriteDictionary(const TaggingDictionary& dictionary, std::ostream& out);
 // Inverse of WriteDictionary. Throws dfp::Error on malformed input.
 TaggingDictionary ReadDictionary(std::istream& in);
 
-// perf-script-like sample dump. Streams that carry worker ids (any sample from a worker other
-// than 0) are written with a v2 header; pure single-threaded dumps keep the v1 header and
-// layout, so files produced before the parallel engine read back unchanged:
+// perf-script-like sample dump. The header version is chosen by content so older dumps stay
+// byte-identical: streams carrying tier attribution or events are v4, streams carrying NUMA
+// locality or steal flags are v3, streams carrying worker ids are v2, and pure worker-0
+// streams keep the v1 header, so files produced before each extension read back unchanged:
 //   # dfp samples v1        (single-threaded: no W tokens allowed)
 //   # dfp samples v2        (parallel: W present on samples from workers other than 0)
-//   sample <tsc> <ip> <addr> [W <worker>] [R <16 register values>] [S <depth> <return-ips...>]
+//   # dfp samples v3        (adds N <node> <remote> and T locality tokens)
+//   # dfp samples v4        (adds G <tier> tokens and interleaved `event` lines)
+//   sample <tsc> <ip> <addr> [W <worker>] [N <node> <remote>] [T] [G <tier>]
+//          [R <16 register values>] [S <depth> <return-ips...>]
+//   event <tsc> <text...>
 // A session id is never written: dumped streams are per-session by construction (see
 // src/pmu/sample.h).
 void WriteSamples(const std::vector<Sample>& samples, std::ostream& out);
 
-// Inverse of WriteSamples. Throws dfp::Error on malformed input.
+// Same, with sideband events merged into the stream in timestamp order (an event precedes the
+// first sample with a tsc past its own). Any event forces the v4 header.
+void WriteSamples(const std::vector<Sample>& samples,
+                  const std::vector<SampleStreamEvent>& events, std::ostream& out);
+
+// Inverse of WriteSamples. Throws dfp::Error on malformed input. Events are appended to
+// `events` in stream order when the caller passes a sink, and rejected as malformed when the
+// stream has them but the caller reads without one.
 std::vector<Sample> ReadSamples(std::istream& in);
+std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events);
 
 }  // namespace dfp
 

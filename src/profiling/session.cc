@@ -64,6 +64,7 @@ ResolvedSample ProfilingSession::ResolveOne(const Sample& sample,
   out.mem_node = sample.mem_node;
   out.numa_remote = sample.numa_remote;
   out.stolen = sample.stolen;
+  out.tier = sample.tier;
   const CodeSegment* segment = code_map.FindByIp(sample.ip);
   if (segment == nullptr) {
     return out;  // Unattributed.

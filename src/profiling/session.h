@@ -59,6 +59,7 @@ struct ResolvedSample {
   uint64_t addr = 0;
   uint32_t worker_id = 0;  // VCPU that took the sample (0 on single-threaded runs).
   uint8_t mem_node = kNoNumaNode;  // NUMA home node of `addr` (kNoNumaNode if unmanaged).
+  uint8_t tier = 0;            // Compilation tier of the sampled code (PlanTier value).
   bool numa_remote = false;    // The access crossed to another node's memory.
   bool stolen = false;         // Taken while executing a stolen morsel.
   bool ambiguous = false;      // Multi-owner instruction without tag evidence.

@@ -12,9 +12,15 @@ namespace {
 struct FingerprintBuilder {
   uint64_t structure = 0xdf9de11ce0ull;  // Arbitrary non-zero seeds.
   uint64_t literals = 0x117e7a15ull;
+  uint64_t pinned = 0x9177ed11ull;
 
   void Shape(uint64_t value) { structure = HashCombine(structure, HashKey(value)); }
   void Literal(uint64_t value) { literals = HashCombine(literals, HashKey(value)); }
+  // A literal the artifact's memory layout depends on: hashed into both halves.
+  void PinnedLiteral(uint64_t value) {
+    Literal(value);
+    pinned = HashCombine(pinned, HashKey(value));
+  }
 
   void ShapeString(const std::string& text) {
     Shape(text.size());
@@ -113,7 +119,8 @@ struct FingerprintBuilder {
     // LIMIT counts are tuning constants, not plan shape (a top-10 and a top-100 of the same
     // query are the same prepared statement); presence is shaped via kind above.
     if (op.limit >= 0) {
-      Literal(static_cast<uint64_t>(op.limit));
+      // Pinned: a LIMIT caps bound_rows, which sized the cached artifact's buffers.
+      PinnedLiteral(static_cast<uint64_t>(op.limit));
     }
     Shape(op.exprs.size());
     for (const ExprPtr& expr : op.exprs) {
@@ -134,6 +141,7 @@ PlanFingerprint FingerprintPlan(const PhysicalOp& root, uint64_t catalog_version
   PlanFingerprint fingerprint;
   fingerprint.structure = builder.structure;
   fingerprint.literals = builder.literals;
+  fingerprint.pinned = builder.pinned;
   return fingerprint;
 }
 

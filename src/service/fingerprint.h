@@ -7,10 +7,15 @@
 // share a fingerprint, which is the unit of fleet-level profile aggregation.
 //
 // The literal half hashes exactly the parameterized-out payloads (filter constants, LIKE
-// patterns, IN lists, LIMIT counts) in traversal order. The plan cache keys on both halves:
-// compiled machine code bakes constants in as immediates, so a cached artifact is only reusable
-// for a structurally identical plan with identical constants. True parameter slots (reusing one
-// artifact across literal bindings) would relax the second half and are future work.
+// patterns, IN lists, LIMIT counts) in traversal order. The classic plan cache keys on both
+// halves: compiled machine code bakes constants in as immediates, so an artifact is only
+// exactly reusable with identical constants.
+//
+// The pinned half hashes the subset of literals that the compiled artifact's *memory layout*
+// depends on — today only LIMIT counts, which cap `bound_rows` and thereby size sort buffers
+// and result arenas. The literal-parameterized cache (src/tiering/) keys on
+// (structure, pinned): any free literal can be re-bound by patching immediates, but a plan
+// with a different LIMIT needs a fresh compile.
 #ifndef DFP_SRC_SERVICE_FINGERPRINT_H_
 #define DFP_SRC_SERVICE_FINGERPRINT_H_
 
@@ -24,6 +29,7 @@ namespace dfp {
 struct PlanFingerprint {
   uint64_t structure = 0;  // Plan shape, literals parameterized out, catalog version mixed in.
   uint64_t literals = 0;   // The parameterized-out constant payloads, in traversal order.
+  uint64_t pinned = 0;     // The layout-relevant subset of the literals (LIMIT counts).
 
   bool operator==(const PlanFingerprint& other) const {
     return structure == other.structure && literals == other.literals;

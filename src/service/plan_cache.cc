@@ -2,11 +2,16 @@
 
 namespace dfp {
 
-uint64_t EstimateCompileCycles(const CompiledQuery& query, const CompileCostModel& model) {
-  uint64_t cycles = model.base_cycles;
+uint64_t EstimateCompileCycles(const CompiledQuery& query, const CompileCostModel& model,
+                               PlanTier tier) {
+  const bool baseline = tier == PlanTier::kBaseline;
+  uint64_t cycles = baseline ? model.baseline_base_cycles : model.base_cycles;
+  const uint64_t per_ir = baseline ? model.baseline_per_ir_instr : model.per_ir_instr;
+  const uint64_t per_machine =
+      baseline ? model.baseline_per_machine_instr : model.per_machine_instr;
   for (const PipelineArtifact& artifact : query.pipelines) {
-    cycles += model.per_ir_instr * artifact.stats.ir_instrs;
-    cycles += model.per_machine_instr * artifact.stats.machine_instrs;
+    cycles += per_ir * artifact.stats.ir_instrs;
+    cycles += per_machine * artifact.stats.machine_instrs;
   }
   return cycles;
 }
@@ -31,6 +36,11 @@ CachedPlanPtr PlanCache::Lookup(const PlanFingerprint& fingerprint) {
   ++stats_.hits;
   lru_.splice(lru_.begin(), lru_, it->second.lru_position);
   return it->second.entry;
+}
+
+CachedPlanPtr PlanCache::Peek(const PlanFingerprint& fingerprint) const {
+  auto it = entries_.find(KeyOf(fingerprint));
+  return it == entries_.end() ? nullptr : it->second.entry;
 }
 
 void PlanCache::Insert(CachedPlanPtr entry) {

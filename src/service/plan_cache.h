@@ -24,6 +24,8 @@
 #include "src/engine/exec_plan.h"
 #include "src/profiling/tagging_dictionary.h"
 #include "src/service/fingerprint.h"
+#include "src/tiering/literals.h"
+#include "src/tiering/tier.h"
 #include "src/vcpu/code_map.h"
 
 namespace dfp {
@@ -39,9 +41,17 @@ struct CompileCostModel {
                                          // reality; linearized over our compact VIR).
   uint64_t per_machine_instr = 15'000;   // Instruction selection, regalloc, encoding.
   uint64_t cache_lookup_cycles = 5'000;  // Fingerprint walk + probe, charged on a hit.
+  // Baseline tier (optimization passes disabled — Umbra's "flying start" regime): lowering and
+  // setup still happen, but the pass pipeline, the dominant per-instruction cost, is skipped.
+  uint64_t baseline_base_cycles = 800'000;
+  uint64_t baseline_per_ir_instr = 12'000;
+  uint64_t baseline_per_machine_instr = 6'000;
+  // Re-binding a cached artifact to new literals: one immediate write per relocation site.
+  uint64_t patch_per_site_cycles = 2'000;
 };
 
-uint64_t EstimateCompileCycles(const CompiledQuery& query, const CompileCostModel& model);
+uint64_t EstimateCompileCycles(const CompiledQuery& query, const CompileCostModel& model,
+                               PlanTier tier = PlanTier::kOptimized);
 
 // Simulated bytes of generated machine code registered for `query` (the quantity the cache
 // budget bounds).
@@ -58,6 +68,11 @@ struct CachedPlan {
   uint64_t catalog_version = 0;
   uint64_t code_bytes = 0;
   uint64_t compile_cycles = 0;
+  // Tiering (src/tiering/): the backend tier this entry's code was compiled at, and — in
+  // parameterized mode — the literal bindings its immediates currently hold. `fingerprint`
+  // tracks the bindings: after a patch, `fingerprint.literals` is the served query's hash.
+  PlanTier tier = PlanTier::kOptimized;
+  PlanLiterals literals;
 };
 
 using CachedPlanPtr = std::shared_ptr<CachedPlan>;
@@ -69,15 +84,28 @@ struct PlanCacheStats {
   uint64_t invalidations = 0;
   uint64_t resident_entries = 0;
   uint64_t resident_code_bytes = 0;
+  // Parameterized mode only: hits served by patching immediates (subset of `hits`), and
+  // background optimizing-tier recompilations swapped in by the tier controller.
+  uint64_t patched_hits = 0;
+  uint64_t tier_swaps = 0;
 };
 
 class PlanCache {
  public:
-  explicit PlanCache(uint64_t code_budget_bytes) : code_budget_bytes_(code_budget_bytes) {}
+  // In parameterized mode (tiering enabled) entries key on (structure, pinned): one entry
+  // serves every literal binding of a plan family, and a Lookup hit may require patching
+  // (caller compares `fingerprint.literals`). Otherwise the key is (structure, literals) and
+  // hits are always exact — the historical behavior, bit-for-bit.
+  explicit PlanCache(uint64_t code_budget_bytes, bool parameterized = false)
+      : code_budget_bytes_(code_budget_bytes), parameterized_(parameterized) {}
 
   // Returns the entry for `fingerprint` (bumping it to most-recently-used and counting a hit),
   // or null (counting a miss).
   CachedPlanPtr Lookup(const PlanFingerprint& fingerprint);
+
+  // Same resolution as Lookup but without touching the stats or the LRU order — for admission
+  // checks that may defer (and later re-issue the real Lookup).
+  CachedPlanPtr Peek(const PlanFingerprint& fingerprint) const;
 
   // Inserts a freshly compiled entry as most-recently-used, then evicts least-recently-used
   // entries until the resident code size fits the budget (the newest entry itself is never
@@ -87,22 +115,29 @@ class PlanCache {
   // Drops every entry (catalog/schema change).
   void InvalidateAll();
 
+  // Counts a Lookup hit that was served by patching (parameterized mode).
+  void NotePatchedHit() { ++stats_.patched_hits; }
+  // Counts a background tier swap (Insert with the recompiled entry performs the swap itself).
+  void NoteTierSwap() { ++stats_.tier_swaps; }
+
   const PlanCacheStats& stats() const { return stats_; }
   uint64_t code_budget_bytes() const { return code_budget_bytes_; }
+  bool parameterized() const { return parameterized_; }
 
  private:
-  using Key = std::pair<uint64_t, uint64_t>;  // (structure, literals).
+  using Key = std::pair<uint64_t, uint64_t>;  // (structure, literals) or (structure, pinned).
 
   struct Slot {
     CachedPlanPtr entry;
     std::list<Key>::iterator lru_position;
   };
 
-  static Key KeyOf(const PlanFingerprint& fingerprint) {
-    return {fingerprint.structure, fingerprint.literals};
+  Key KeyOf(const PlanFingerprint& fingerprint) const {
+    return {fingerprint.structure, parameterized_ ? fingerprint.pinned : fingerprint.literals};
   }
 
   uint64_t code_budget_bytes_;
+  bool parameterized_;
   std::map<Key, Slot> entries_;
   std::list<Key> lru_;  // Front = most recently used.
   PlanCacheStats stats_;

@@ -1,10 +1,14 @@
 #include "src/service/query_service.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <utility>
 
 #include "src/engine/codegen.h"
+#include "src/plan/physical.h"
 #include "src/profiling/reports.h"
+#include "src/tiering/patch.h"
 #include "src/util/check.h"
 
 namespace dfp {
@@ -40,17 +44,25 @@ uint32_t CreateCongruentRegion(Database& db, const std::string& name, uint64_t s
   return db.CreateScratchRegion(name, size);
 }
 
+std::string HexKey(uint64_t fingerprint) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx", static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
 }  // namespace
 
 QueryService::QueryService(Database& db, ServiceConfig config)
     : db_(db),
       config_(std::move(config)),
-      cache_(config_.code_budget_bytes),
+      cache_(config_.code_budget_bytes, config_.tiering.enabled),
       windows_(config_.continuous.window),
       governor_(config_.continuous.governor),
+      controller_(config_.tiering),
       seen_catalog_version_(db.catalog_version()),
       lane_cycles_(config_.parallel.workers, 0) {
   DFP_CHECK(config_.max_active_sessions >= 1);
+  LoadState();
   // One region set per session slot, each congruent to the engine's shared regions so a
   // session's cache behavior matches a standalone run on the shared regions exactly.
   const uint64_t ht_base = db_.mem().region(db_.hashtables_region()).base;
@@ -70,18 +82,47 @@ QueryService::QueryService(Database& db, ServiceConfig config)
   }
 }
 
-QueryService::~QueryService() = default;
+QueryService::~QueryService() { SaveState(); }
+
+void QueryService::LoadState() {
+  if (config_.state_path.empty()) {
+    return;
+  }
+  std::ifstream in(config_.state_path);
+  if (!in) {
+    return;  // First start: nothing persisted yet.
+  }
+  uint64_t clock = 0;
+  fleet_ = ReadServiceProfile(in, &windows_, &baseline_, &clock);
+  // Resume the service clock: every lane starts at the persisted high-water mark, so new
+  // executions fold into windows strictly after the persisted ones (the window rings reject
+  // out-of-order indices).
+  std::fill(lane_cycles_.begin(), lane_cycles_.end(), clock);
+}
+
+void QueryService::SaveState() const {
+  if (config_.state_path.empty()) {
+    return;
+  }
+  std::ofstream out(config_.state_path);
+  if (!out) {
+    return;
+  }
+  WriteServiceState(fleet_, windows_, baseline_, ServiceNowCycles(), out);
+}
 
 const QueryTicket& QueryService::ticket(TicketId id) const {
   DFP_CHECK(id >= 1 && id <= tickets_.size());
   return *tickets_[id - 1];
 }
 
-TicketId QueryService::Submit(PhysicalOpPtr plan, std::string name, uint64_t deadline_cycles) {
+TicketId QueryService::Submit(PhysicalOpPtr plan, std::string name, uint64_t deadline_cycles,
+                              uint32_t weight) {
   auto ticket = std::make_unique<QueryTicket>();
   ticket->id = static_cast<TicketId>(tickets_.size() + 1);
   ticket->name = std::move(name);
   ticket->fingerprint = FingerprintPlan(*plan, db_.catalog_version());
+  ticket->weight = std::max<uint32_t>(1, weight);
   ticket->deadline_cycles =
       deadline_cycles != 0 ? deadline_cycles : config_.default_deadline_cycles;
   if (queue_.size() >= config_.queue_depth) {
@@ -101,27 +142,75 @@ void QueryService::ChargeSerialWork(uint64_t cycles) {
   *least += cycles;
 }
 
-void QueryService::Admit(TicketId id) {
+bool QueryService::EntryBusy(const CachedPlanPtr& entry) const {
+  for (const std::unique_ptr<ActiveSession>& session : active_) {
+    if (session->entry == entry) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool QueryService::Admit(TicketId id) {
   QueryTicket& ticket = TicketRef(id);
 
   // Schema changes retire every cached artifact; the new catalog version is already mixed into
   // fingerprints taken after the change, so this only reclaims budget from unreachable entries.
+  // Pending background recompilations of retired entries die with them.
   if (db_.catalog_version() != seen_catalog_version_) {
     cache_.InvalidateAll();
+    recompile_jobs_.clear();
     seen_catalog_version_ = db_.catalog_version();
+  }
+
+  const bool parameterized = config_.tiering.enabled;
+  PlanLiterals incoming;
+  if (parameterized && ticket.pending_plan != nullptr) {
+    incoming = ExtractLiterals(*ticket.pending_plan);
+  }
+
+  // Quiescence check before committing to admission: re-binding a cached entry patches its
+  // machine code in place, so an in-flight session still executing that code must drain first.
+  // The ticket stays at the queue head; the scheduler steps the blockers and retries.
+  if (parameterized) {
+    CachedPlanPtr resident = cache_.Peek(ticket.fingerprint);
+    if (resident != nullptr &&
+        resident->fingerprint.literals != ticket.fingerprint.literals &&
+        EntryBusy(resident)) {
+      return false;
+    }
   }
 
   CachedPlanPtr entry = cache_.Lookup(ticket.fingerprint);
   if (entry != nullptr) {
     ticket.cache_hit = true;
     ticket.compile_cycles = config_.compile_costs.cache_lookup_cycles;
+    if (parameterized) {
+      // Re-bind the cached code to this ticket's literals (zero sites when they already
+      // match). The Tagging Dictionary snapshot is untouched: a patched plan attributes
+      // exactly like the original compile.
+      ticket.patched_sites = PatchCachedPlan(db_, *entry, incoming,
+                                             ticket.fingerprint.literals);
+      if (ticket.patched_sites > 0) {
+        cache_.NotePatchedHit();
+        ticket.compile_cycles +=
+            ticket.patched_sites * config_.compile_costs.patch_per_site_cycles;
+      }
+    }
     ticket.pending_plan.reset();  // The cached artifact replaces the submitted plan.
   } else {
     // Cold path: run the full compile with a profiling session attached, so the Tagging
-    // Dictionary is built once and snapshotted with the artifact.
+    // Dictionary is built once and snapshotted with the artifact. Under tiering, first
+    // compiles run at the cheap baseline tier (no optimization passes) with slot-tagged
+    // literals; the controller promotes hot fingerprints later.
+    const PlanTier tier = parameterized ? PlanTier::kBaseline : PlanTier::kOptimized;
     ProfilingSession compile_session(config_.profiling);
     CodegenOptions options;
     options.parallel = true;
+    options.optimize_ir = tier == PlanTier::kOptimized;
+    if (parameterized) {
+      options.literals = &incoming;
+    }
     entry = std::make_shared<CachedPlan>();
     entry->query = CompileQuery(db_, std::move(ticket.pending_plan),
                                 config_.profile_executions ? &compile_session : nullptr,
@@ -132,10 +221,15 @@ void QueryService::Admit(TicketId id) {
     entry->dictionary = compile_session.dictionary();
     entry->catalog_version = db_.catalog_version();
     entry->code_bytes = CompiledCodeBytes(entry->query, db_.code_map());
-    entry->compile_cycles = EstimateCompileCycles(entry->query, config_.compile_costs);
+    entry->compile_cycles = EstimateCompileCycles(entry->query, config_.compile_costs, tier);
+    entry->tier = tier;
+    // The expr -> slot map points into the plan CompileQuery just took ownership of (it lives
+    // in entry->query.plan), so the bindings stay resolvable for background recompiles.
+    entry->literals = std::move(incoming);
     ticket.compile_cycles = entry->compile_cycles;
     cache_.Insert(entry);
   }
+  ticket.tier = entry->tier;
   ChargeSerialWork(ticket.compile_cycles);
   fleet_.RecordCompile(ticket.fingerprint, ticket.name, ticket.compile_cycles, ticket.cache_hit);
 
@@ -172,6 +266,7 @@ void QueryService::Admit(TicketId id) {
                                                sampling_ptr, id);
   ticket.status = TicketStatus::kRunning;
   active_.push_back(std::move(session));
+  return true;
 }
 
 bool QueryService::StepSession(ActiveSession& session) {
@@ -205,7 +300,15 @@ bool QueryService::StepSession(ActiveSession& session) {
   // the windowed profile, so both views always agree on attribution.
   OperatorProfile profile;
   if (ticket.session != nullptr) {
-    ticket.session->RecordExecution(session.run->TakeMergedSamples(), ticket.execute_cycles,
+    // Stamp every sample with the tier the code that produced it was compiled at, so profiles
+    // can attribute cost per tier even across a mid-stream promotion.
+    std::vector<Sample> samples = session.run->TakeMergedSamples();
+    if (session.entry->tier != PlanTier::kOptimized) {
+      for (Sample& sample : samples) {
+        sample.tier = static_cast<uint8_t>(session.entry->tier);
+      }
+    }
+    ticket.session->RecordExecution(std::move(samples), ticket.execute_cycles,
                                     session.run->merged_counters(), config_.parallel.workers);
     ticket.session->Resolve(db_.code_map());
     profile = BuildOperatorProfile(*ticket.session, session.entry->query);
@@ -220,7 +323,27 @@ bool QueryService::StepSession(ActiveSession& session) {
   if (config_.continuous.windows_enabled) {
     windows_.Record(ticket.fingerprint.structure, ticket.name, ticket.completed_at_cycles,
                     profile, session.run->merged_counters(), ticket.execute_cycles,
-                    ticket.result.row_count(), ticket.sampling_period);
+                    ticket.result.row_count(), ticket.sampling_period, session.entry->tier);
+  }
+  // Tier ladder: feed the controller the windowed evidence for this fingerprint; a promotion
+  // decision enqueues a background recompile at the optimizing tier on the (serial) background
+  // compile lane. The swap happens between steps, in ProcessRecompiles.
+  if (config_.tiering.enabled && session.entry->tier == PlanTier::kBaseline) {
+    const uint64_t opt_cycles =
+        EstimateCompileCycles(session.entry->query, config_.compile_costs, PlanTier::kOptimized);
+    if (controller_.Observe(ticket.fingerprint.structure, ticket.name, windows_,
+                            ticket.execute_cycles, opt_cycles, ticket.completed_at_cycles)) {
+      RecompileJob job;
+      job.source = session.entry;
+      const uint64_t start = std::max(ServiceNowCycles(), recompile_lane_busy_cycles_);
+      job.ready_at_cycles = start + opt_cycles;
+      job.compile_cycles = opt_cycles;
+      recompile_lane_busy_cycles_ = job.ready_at_cycles;
+      recompile_jobs_.push_back(std::move(job));
+      tier_events_.push_back({ticket.completed_at_cycles,
+                              "tier " + HexKey(ticket.fingerprint.structure) +
+                                  " baseline optimized decided"});
+    }
   }
   return true;
 }
@@ -230,28 +353,107 @@ void QueryService::SnapshotBaseline() {
 }
 
 std::vector<RegressionFinding> QueryService::DetectRegressions() const {
-  return dfp::DetectRegressions(baseline_, windows_, config_.continuous.regression);
+  return dfp::DetectRegressions(baseline_, windows_, config_.continuous.regression,
+                                config_.continuous.regression_alert);
+}
+
+void QueryService::ProcessRecompiles(bool final) {
+  // The background compile worker is serial: jobs complete in FIFO order, each ready when the
+  // lane's clock reaches its finish time. During Drain the swap waits for the service clock to
+  // pass that point (the worker runs concurrently with query execution, off the service lanes);
+  // at the final call every queued job completes — the worker outlives the request stream.
+  while (!recompile_jobs_.empty()) {
+    RecompileJob& job = recompile_jobs_.front();
+    const CachedPlanPtr old_entry = job.source;
+    if (old_entry->catalog_version != db_.catalog_version()) {
+      recompile_jobs_.erase(recompile_jobs_.begin());  // Retired by a schema change.
+      continue;
+    }
+    if (!final && job.ready_at_cycles > ServiceNowCycles()) {
+      return;  // Still compiling; later jobs queue behind it.
+    }
+    const uint64_t swapped_at = final ? std::max(ServiceNowCycles(), job.ready_at_cycles)
+                                      : ServiceNowCycles();
+
+    // Recompile the plan family at the optimizing tier from a clone of the cached plan tree.
+    // The clone carries the literals of the ORIGINAL compile (patches rewrite machine code,
+    // never the tree), so after compiling we re-patch the fresh code to the bindings the old
+    // entry currently serves — the swap must be invisible to result values.
+    ProfilingSession compile_session(config_.profiling);
+    CodegenOptions options;
+    options.parallel = true;
+    options.optimize_ir = true;
+    PhysicalOpPtr plan = ClonePlan(*old_entry->query.plan);
+    PlanLiterals literals = ExtractLiterals(*plan);
+    options.literals = &literals;
+    auto entry = std::make_shared<CachedPlan>();
+    entry->query = CompileQuery(db_, std::move(plan),
+                                config_.profile_executions ? &compile_session : nullptr,
+                                old_entry->name, options);
+    entry->query.session = nullptr;
+    entry->fingerprint = old_entry->fingerprint;
+    entry->name = old_entry->name;
+    entry->dictionary = compile_session.dictionary();
+    entry->catalog_version = old_entry->catalog_version;
+    entry->tier = PlanTier::kOptimized;
+    entry->literals = std::move(literals);
+    PatchCachedPlan(db_, *entry, old_entry->literals, old_entry->fingerprint.literals);
+    entry->code_bytes = CompiledCodeBytes(entry->query, db_.code_map());
+    entry->compile_cycles = job.compile_cycles;
+
+    // Atomic swap between steps: Insert replaces the same-key entry. Sessions still holding the
+    // old shared_ptr drain on the old code (its segments stay registered in the code map).
+    cache_.Insert(entry);
+    cache_.NoteTierSwap();
+    controller_.MarkSwapped(entry->fingerprint.structure, swapped_at);
+    tier_events_.push_back({swapped_at, "tier " + HexKey(entry->fingerprint.structure) +
+                                            " baseline optimized swapped"});
+    recompile_jobs_.erase(recompile_jobs_.begin());
+  }
 }
 
 void QueryService::Drain() {
   while (!queue_.empty() || !active_.empty()) {
     while (active_.size() < config_.max_active_sessions && !queue_.empty()) {
-      const TicketId next = queue_.front();
+      if (!Admit(queue_.front())) {
+        break;  // Deferred (patch quiescence): retry after the blocking sessions step.
+      }
       queue_.pop_front();
-      Admit(next);
     }
-    // One unit per active session per round, in admission order: round-robin time-sharing of
-    // the pool. Completed sessions release their slot before the next admission sweep.
-    for (size_t i = 0; i < active_.size();) {
-      if (StepSession(*active_[i])) {
-        free_slots_.push_back(active_[i]->slot);
-        std::sort(free_slots_.begin(), free_slots_.end());
-        active_.erase(active_.begin() + i);
-      } else {
-        ++i;
+    // Weighted fair time-sharing of the pool: per round, a session of weight w takes w unit
+    // steps, spread across the round at virtual times k/w (stable-sorted, so equal-weight
+    // sessions keep admission order). At all-default weights this is exactly one step per
+    // session per round — the historical round-robin schedule, cycle for cycle.
+    struct Turn {
+      size_t index;
+      double vtime;
+    };
+    std::vector<Turn> turns;
+    for (size_t i = 0; i < active_.size(); ++i) {
+      const uint32_t weight = TicketRef(active_[i]->ticket).weight;
+      for (uint32_t k = 1; k <= weight; ++k) {
+        turns.push_back({i, static_cast<double>(k) / weight});
       }
     }
+    std::stable_sort(turns.begin(), turns.end(),
+                     [](const Turn& a, const Turn& b) { return a.vtime < b.vtime; });
+    std::vector<bool> finished(active_.size(), false);
+    for (const Turn& turn : turns) {
+      if (!finished[turn.index]) {
+        finished[turn.index] = StepSession(*active_[turn.index]);
+      }
+    }
+    // Completed sessions release their slot before the next admission sweep.
+    for (size_t i = active_.size(); i-- > 0;) {
+      if (finished[i]) {
+        free_slots_.push_back(active_[i]->slot);
+        active_.erase(active_.begin() + i);
+      }
+    }
+    std::sort(free_slots_.begin(), free_slots_.end());
+    ProcessRecompiles(/*final=*/false);
   }
+  ProcessRecompiles(/*final=*/true);
 }
 
 uint64_t QueryService::ServiceNowCycles() const {

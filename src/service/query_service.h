@@ -10,11 +10,19 @@
 //  - Compilation goes through the PlanCache: a hit reuses the cached artifact (zero new
 //    code-segment bytes, bit-identical results, and — because the cached Tagging Dictionary is
 //    copied into the execution's session — identically attributed profiles).
-//  - Active sessions time-share one worker pool: the scheduler hands each active session one
-//    work unit (a morsel, host step, or sequential pipeline) per round, in admission order.
+//  - Active sessions time-share one worker pool under weighted fair queuing: each scheduler
+//    round hands every active session `weight` work units (a morsel, host step, or sequential
+//    pipeline), interleaved by virtual finish time so a heavy session cannot starve a light
+//    one. At the default weight of 1 this degenerates to exactly the historical round-robin.
 //    Each unit comes from the session's own ParallelRun, so morsels drain through the same
 //    NUMA-aware work-stealing deques as standalone runs (DESIGN.md §2c) — the service inherits
 //    locality scheduling and its per-worker NumaStats without any code of its own.
+//  - With tiering enabled (src/tiering/), the plan cache keys on (structure, pinned) so one
+//    entry serves a whole literal family: warm hits re-bind the cached code by patching
+//    immediates in place. Cold compiles run at the cheap baseline tier; the TierController
+//    watches the window rollups and promotes hot fingerprints by recompiling at the optimizing
+//    tier on a dedicated background lane, atomically swapping the cache entry between scheduler
+//    rounds while in-flight sessions drain on the old code.
 //  - Every session executes on its own virtual workers against private scratch regions placed
 //    cache-congruent to the engine's shared regions (see kCacheCongruenceBytes), so a session's
 //    sample stream is byte-identical to running the same query alone at the same worker count:
@@ -40,10 +48,14 @@
 #include "src/engine/database.h"
 #include "src/engine/parallel.h"
 #include "src/engine/result.h"
+#include "src/profiling/serialize.h"
 #include "src/profiling/session.h"
 #include "src/service/fingerprint.h"
 #include "src/service/plan_cache.h"
 #include "src/service/service_profile.h"
+#include "src/tiering/controller.h"
+#include "src/tiering/literals.h"
+#include "src/tiering/tier.h"
 
 namespace dfp {
 
@@ -63,6 +75,9 @@ struct ContinuousConfig {
   WindowConfig window;
   GovernorConfig governor;
   RegressionThresholds regression;
+  // Pushed one finding at a time as DetectRegressions() flags it (see DefaultRegressionAlert
+  // for the stderr one-liner); null = no push alerting, findings are pull-only.
+  RegressionAlertFn regression_alert;
 };
 
 struct ServiceConfig {
@@ -90,6 +105,15 @@ struct ServiceConfig {
   // Continuous-profiling subsystem (src/continuous): windowed fleet profiles, the adaptive
   // sampling governor, and the regression thresholds DetectRegressions() diffs with.
   ContinuousConfig continuous;
+  // Profile-guided tiered compilation (src/tiering): literal-parameterized plan reuse plus the
+  // baseline-first compile ladder with background promotion. Off by default — the cache then
+  // behaves exactly as before (exact-literal keying, optimizing-tier compiles only).
+  TieringConfig tiering;
+  // When non-empty: continuous-profiling state (fleet profile, window rings, regression
+  // baselines, service clock) is loaded from this file at construction and saved back on
+  // destruction (or SaveState()), so a restarted service resumes its windows and regression
+  // detection where the previous process left off.
+  std::string state_path;
 };
 
 // Head room a DatabaseConfig needs in `extra_bytes` to host `config`'s session slots.
@@ -112,6 +136,9 @@ struct QueryTicket {
   TicketStatus status = TicketStatus::kQueued;
   PlanFingerprint fingerprint;
   bool cache_hit = false;
+  uint32_t weight = 1;           // Weighted-fair-queuing share (units per scheduler round).
+  PlanTier tier = PlanTier::kOptimized;  // Tier of the code this ticket executed.
+  uint64_t patched_sites = 0;    // Immediates rewritten to serve this ticket (parameterized hit).
   uint64_t deadline_cycles = 0;   // 0 = none.
   uint64_t compile_cycles = 0;    // Full compile on a miss, cache lookup cost on a hit.
   uint64_t execute_cycles = 0;    // The session's own simulated wall clock.
@@ -144,7 +171,10 @@ class QueryService {
 
   // Enqueues a query. Returns its ticket id immediately; status is kQueued, or kRejected when
   // the queue is full. `deadline_cycles` overrides the config default (0 = use default).
-  TicketId Submit(PhysicalOpPtr plan, std::string name, uint64_t deadline_cycles = 0);
+  // `weight` is the session's weighted-fair-queuing share: a weight-w session receives w work
+  // units per scheduler round (default 1 = the historical round-robin slice).
+  TicketId Submit(PhysicalOpPtr plan, std::string name, uint64_t deadline_cycles = 0,
+                  uint32_t weight = 1);
 
   // Runs the scheduler until every submitted query has completed (or timed out).
   void Drain();
@@ -167,6 +197,18 @@ class QueryService {
   const BaselineStore& baseline() const { return baseline_; }
   std::vector<RegressionFinding> DetectRegressions() const;
 
+  // Tiering views: the promotion controller (break-even decisions and the transition log), the
+  // tier-transition sample-stream events (WriteSamples sideband format), and the count of
+  // background recompilations still in flight.
+  const TierController& tier_controller() const { return controller_; }
+  const std::vector<SampleStreamEvent>& tier_events() const { return tier_events_; }
+  size_t pending_recompiles() const { return recompile_jobs_.size(); }
+
+  // Writes the continuous-profiling state (fleet profile, window rings, regression baselines,
+  // service clock) to `config.state_path`; no-op when no path is configured. Also invoked by
+  // the destructor, so a service with a state path persists on shutdown by default.
+  void SaveState() const;
+
   // Service clock: the busiest lane's cumulative cycles (lanes run concurrently, so this is the
   // simulated elapsed time of everything served so far).
   uint64_t ServiceNowCycles() const;
@@ -175,11 +217,28 @@ class QueryService {
  private:
   struct ActiveSession;
 
+  // One promotion decision awaiting its background recompilation: the dedicated recompile lane
+  // finishes the optimizing-tier compile at `ready_at_cycles` of the service clock.
+  struct RecompileJob {
+    CachedPlanPtr source;           // The baseline-tier entry being replaced.
+    uint64_t ready_at_cycles = 0;   // Background lane completion time.
+    uint64_t compile_cycles = 0;    // Optimizing-tier estimate charged to the background lane.
+  };
+
   QueryTicket& TicketRef(TicketId id) { return *tickets_[id - 1]; }
-  void Admit(TicketId id);
+  // Admits `id` into a free slot. Returns false (leaving the ticket queued) when admission must
+  // wait: the ticket needs the cached entry re-bound to new literals, but an in-flight session
+  // is still executing that entry's code — it drains first.
+  bool Admit(TicketId id);
   // Advances `session` by one unit; returns true when the ticket completed (done or timed out).
   bool StepSession(ActiveSession& session);
   void ChargeSerialWork(uint64_t cycles);  // Compile/lookup work: to the least-loaded lane.
+  // True while some active session executes `entry`'s code.
+  bool EntryBusy(const CachedPlanPtr& entry) const;
+  // Swaps in finished background recompilations. With `final` set (queue drained), pending
+  // jobs complete at their background-lane finish time even though the service clock stopped.
+  void ProcessRecompiles(bool final);
+  void LoadState();
 
   Database& db_;
   ServiceConfig config_;
@@ -188,6 +247,7 @@ class QueryService {
   WindowedProfile windows_;
   SamplingGovernor governor_;
   BaselineStore baseline_;
+  TierController controller_;
   uint64_t seen_catalog_version_;
 
   std::vector<std::unique_ptr<QueryTicket>> tickets_;
@@ -196,6 +256,9 @@ class QueryService {
   std::vector<ScratchRegions> slots_;
   std::vector<size_t> free_slots_;  // Kept sorted; lowest slot is reused first.
   std::vector<uint64_t> lane_cycles_;
+  std::vector<RecompileJob> recompile_jobs_;  // FIFO; background lane is serial.
+  uint64_t recompile_lane_busy_cycles_ = 0;   // Background lane's busy-until mark.
+  std::vector<SampleStreamEvent> tier_events_;
 };
 
 }  // namespace dfp

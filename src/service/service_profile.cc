@@ -14,6 +14,7 @@ namespace {
 
 constexpr const char* kProfileHeaderV1 = "# dfp service profile v1";
 constexpr const char* kProfileHeaderV2 = "# dfp service profile v2";
+constexpr const char* kProfileHeaderV3 = "# dfp service profile v3";
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed service profile line: '" + line + "'");
@@ -198,19 +199,27 @@ void WriteServiceProfile(const ServiceProfile& profile, std::ostream& out) {
   WritePlanLines(profile, out);
 }
 
-void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& windows,
-                         std::ostream& out) {
-  out << kProfileHeaderV2 << "\n";
-  out << "windowcfg " << windows.config().width_cycles << " " << windows.config().ring_windows
-      << "\n";
-  WritePlanLines(profile, out);
+namespace {
+
+// Deterministic round-trippable double formatting (17 significant digits).
+std::string DoubleKey(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void WriteWindowLines(const WindowedProfile& windows, bool v3, std::ostream& out) {
   for (const auto& [fingerprint, series] : windows.plans()) {
     for (const ProfileWindow& window : series.windows) {
       out << "window " << HexKey(fingerprint) << " " << window.index << " " << window.executions
           << " " << window.samples << " " << window.execute_cycles << " " << window.rows << " "
           << window.loads << " " << window.l1_misses << " " << window.l2_misses << " "
           << window.l3_misses << " " << window.remote_dram << " " << window.latency_p50 << " "
-          << window.latency_p95 << " " << window.latency_max << "\n";
+          << window.latency_p95 << " " << window.latency_max;
+      if (v3) {
+        out << " " << window.baseline_executions << " " << window.baseline_samples;
+      }
+      out << "\n";
       for (const auto& [op, stats] : window.operators) {
         out << "wop " << HexKey(fingerprint) << " " << window.index << " " << op << " "
             << stats.samples << " " << stats.sample_cycles << " " << stats.label << "\n";
@@ -219,13 +228,60 @@ void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& w
   }
 }
 
-ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows) {
+void WriteBaselineLines(const BaselineStore& baselines, std::ostream& out) {
+  for (const auto& [fingerprint, baseline] : baselines.baselines()) {
+    out << "baseline " << HexKey(fingerprint) << " " << baseline.samples << " "
+        << baseline.watermark << " " << DoubleKey(baseline.cycles_per_row) << " "
+        << DoubleKey(baseline.remote_share) << " " << baseline.name << "\n";
+    for (const auto& [op, stats] : baseline.operators) {
+      out << "bop " << HexKey(fingerprint) << " " << op << " " << stats.samples << " "
+          << stats.sample_cycles << " " << stats.label << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& windows,
+                         std::ostream& out) {
+  // Content-driven versioning: only streams that carry tier attribution need the v3 layout;
+  // everything else stays a byte-identical v2 file.
+  bool tiered = false;
+  for (const auto& [fingerprint, series] : windows.plans()) {
+    (void)fingerprint;
+    for (const ProfileWindow& window : series.windows) {
+      tiered |= window.baseline_executions != 0 || window.baseline_samples != 0;
+    }
+  }
+  out << (tiered ? kProfileHeaderV3 : kProfileHeaderV2) << "\n";
+  out << "windowcfg " << windows.config().width_cycles << " " << windows.config().ring_windows
+      << "\n";
+  WritePlanLines(profile, out);
+  WriteWindowLines(windows, tiered, out);
+}
+
+void WriteServiceState(const ServiceProfile& profile, const WindowedProfile& windows,
+                       const BaselineStore& baselines, uint64_t service_clock_cycles,
+                       std::ostream& out) {
+  out << kProfileHeaderV3 << "\n";
+  out << "windowcfg " << windows.config().width_cycles << " " << windows.config().ring_windows
+      << "\n";
+  out << "clock " << service_clock_cycles << "\n";
+  WritePlanLines(profile, out);
+  WriteWindowLines(windows, /*v3=*/true, out);
+  WriteBaselineLines(baselines, out);
+}
+
+ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows,
+                                  BaselineStore* baselines, uint64_t* service_clock_cycles) {
   ServiceProfile profile;
   std::string line;
-  if (!std::getline(in, line) || (line != kProfileHeaderV1 && line != kProfileHeaderV2)) {
+  if (!std::getline(in, line) || (line != kProfileHeaderV1 && line != kProfileHeaderV2 &&
+                                  line != kProfileHeaderV3)) {
     throw Error("not a dfp service profile file");
   }
-  const bool v2 = line == kProfileHeaderV2;
+  const bool v3 = line == kProfileHeaderV3;
+  const bool v2 = line == kProfileHeaderV2 || v3;
   // Window names arrive on plan lines; remember them so the loaded series carry them too.
   std::map<uint64_t, std::string> plan_names;
   while (std::getline(in, line)) {
@@ -238,7 +294,48 @@ ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows) {
     if ((kind == "windowcfg" || kind == "window" || kind == "wop") && !v2) {
       Malformed(line);
     }
-    if (kind == "windowcfg") {
+    if ((kind == "clock" || kind == "baseline" || kind == "bop") && !v3) {
+      Malformed(line);
+    }
+    if (kind == "clock") {
+      uint64_t clock = 0;
+      if (!(stream >> clock)) {
+        Malformed(line);
+      }
+      if (service_clock_cycles != nullptr) {
+        *service_clock_cycles = clock;
+      }
+    } else if (kind == "baseline") {
+      std::string key;
+      PlanBaseline baseline;
+      if (!(stream >> key >> baseline.samples >> baseline.watermark >>
+            baseline.cycles_per_row >> baseline.remote_share)) {
+        Malformed(line);
+      }
+      baseline.fingerprint = std::stoull(key, nullptr, 16);
+      std::getline(stream, baseline.name);
+      if (!baseline.name.empty() && baseline.name.front() == ' ') {
+        baseline.name.erase(baseline.name.begin());
+      }
+      if (baselines != nullptr) {
+        baselines->AddLoadedBaseline(std::move(baseline));
+      }
+    } else if (kind == "bop") {
+      std::string key;
+      uint64_t op = 0;
+      WindowOperatorStats stats;
+      if (!(stream >> key >> op >> stats.samples >> stats.sample_cycles)) {
+        Malformed(line);
+      }
+      stats.op = static_cast<OperatorId>(op);
+      std::getline(stream, stats.label);
+      if (!stats.label.empty() && stats.label.front() == ' ') {
+        stats.label.erase(stats.label.begin());
+      }
+      if (baselines != nullptr) {
+        baselines->AddLoadedBaselineOperator(std::stoull(key, nullptr, 16), std::move(stats));
+      }
+    } else if (kind == "windowcfg") {
       WindowConfig config;
       if (!(stream >> config.width_cycles >> config.ring_windows)) {
         Malformed(line);
@@ -253,6 +350,9 @@ ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows) {
             window.execute_cycles >> window.rows >> window.loads >> window.l1_misses >>
             window.l2_misses >> window.l3_misses >> window.remote_dram >> window.latency_p50 >>
             window.latency_p95 >> window.latency_max)) {
+        Malformed(line);
+      }
+      if (v3 && !(stream >> window.baseline_executions >> window.baseline_samples)) {
         Malformed(line);
       }
       if (windows != nullptr) {

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/continuous/regression.h"
 #include "src/continuous/window.h"
 #include "src/engine/exec_plan.h"
 #include "src/profiling/session.h"
@@ -93,23 +94,41 @@ class ServiceProfile {
 };
 
 // Line-oriented text format, in the family of WriteDictionary/WriteSamples (§5.2 decoupling).
-// Version 2 embeds the windowed fleet profile next to the cumulative counters:
-//   # dfp service profile v2
+// Version 2 embeds the windowed fleet profile next to the cumulative counters; version 3 adds
+// the pieces a restarting service needs to resume where it left off — the service clock, the
+// per-window tier split, and the frozen regression baselines:
+//   # dfp service profile v2|v3
 //   windowcfg <width-cycles> <ring-windows>
+//   clock <service-clock-cycles>                                              (v3)
 //   plan <fingerprint-hex> <executions> <hits> <misses> <compile-cycles> <execute-cycles> <name...>
 //   op <fingerprint-hex> <operator-id> <samples> <label...>
 //   window <fingerprint-hex> <index> <executions> <samples> <execute-cycles> <rows> <loads>
 //          <l1> <l2> <l3> <remote> <lat-p50> <lat-p95> <lat-max>
+//          [<baseline-executions> <baseline-samples>]                         (v3)
 //   wop <fingerprint-hex> <window-index> <operator-id> <samples> <sample-cycles> <label...>
-// The v1 header with plan/op lines only is still accepted by ReadServiceProfile.
+//   baseline <fingerprint-hex> <samples> <watermark> <cycles-per-row> <remote-share> <name...> (v3)
+//   bop <fingerprint-hex> <operator-id> <samples> <sample-cycles> <label...>  (v3)
+// The two-argument writer is content-driven: it emits v3 exactly when some window carries
+// baseline-tier counts, so pre-tiering profiles stay byte-identical v2 files. The v1 header
+// with plan/op lines only is still accepted by ReadServiceProfile.
 void WriteServiceProfile(const ServiceProfile& profile, std::ostream& out);
 void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& windows,
                          std::ostream& out);
 
-// Inverse of WriteServiceProfile; parses both v1 and v2. When `windows` is non-null, v2 window
-// lines are reconstituted into it (it keeps its configured ring bound; the file's windowcfg
-// line restores the writer's configuration first). Throws dfp::Error on malformed input.
-ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows = nullptr);
+// Persistence writer: always v3, embedding the service clock and the regression baselines —
+// everything QueryService saves on shutdown and restores on start.
+void WriteServiceState(const ServiceProfile& profile, const WindowedProfile& windows,
+                       const BaselineStore& baselines, uint64_t service_clock_cycles,
+                       std::ostream& out);
+
+// Inverse of WriteServiceProfile/WriteServiceState; parses v1 through v3. When `windows` is
+// non-null, window lines are reconstituted into it (it keeps its configured ring bound; the
+// file's windowcfg line restores the writer's configuration first). `baselines` and
+// `service_clock_cycles`, when non-null, receive the v3 regression baselines and service
+// clock. Throws dfp::Error on malformed input.
+ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows = nullptr,
+                                  BaselineStore* baselines = nullptr,
+                                  uint64_t* service_clock_cycles = nullptr);
 
 }  // namespace dfp
 

@@ -1,0 +1,69 @@
+// TierController: turns continuous-profiling window rollups into promotion decisions.
+//
+// Every completed execution of a baseline-tier fingerprint is reported here. The controller
+// rolls up the fingerprint's retained windows (src/continuous/window.h) and promotes once the
+// windowed execute cycles cross the break-even threshold derived from the CompileCostModel's
+// optimizing-tier estimate: at that point the plan's recent execution rate has already burned
+// more cycles than the recompile would cost. Promotions are one-shot per fingerprint and are
+// logged as TierTransitions, which feed the tier timeline report and the sample-stream event
+// log.
+#ifndef DFP_SRC_TIERING_CONTROLLER_H_
+#define DFP_SRC_TIERING_CONTROLLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/continuous/window.h"
+#include "src/tiering/tier.h"
+
+namespace dfp {
+
+// One logged tier decision of the controller.
+struct TierTransition {
+  uint64_t fingerprint = 0;
+  std::string name;
+  PlanTier from = PlanTier::kBaseline;
+  PlanTier to = PlanTier::kOptimized;
+  uint64_t decided_at_cycles = 0;  // Service clock when the break-even threshold was crossed.
+  uint64_t swapped_at_cycles = 0;  // Service clock when the recompiled entry went live (0 while
+                                   // the background job is still in flight).
+  uint64_t rollup_cycles = 0;      // Windowed execute cycles that crossed the threshold.
+  uint64_t threshold_cycles = 0;   // break_even_ratio * optimizing compile estimate.
+};
+
+class TierController {
+ public:
+  explicit TierController(TieringConfig config = TieringConfig()) : config_(config) {}
+
+  const TieringConfig& config() const { return config_; }
+
+  // Reports one completed baseline-tier execution of `fingerprint`. Returns true exactly once:
+  // when the windowed cycles first cross the break-even threshold — the caller then enqueues
+  // the background recompilation. `execute_cycles` backs a cumulative fallback for
+  // configurations running without windows.
+  bool Observe(uint64_t fingerprint, const std::string& name, const WindowedProfile& windows,
+               uint64_t execute_cycles, uint64_t optimizing_compile_cycles,
+               uint64_t now_cycles);
+
+  // Marks the pending transition of `fingerprint` as swapped in at `now_cycles`.
+  void MarkSwapped(uint64_t fingerprint, uint64_t now_cycles);
+
+  const std::vector<TierTransition>& transitions() const { return transitions_; }
+
+ private:
+  struct TierState {
+    uint64_t executions = 0;
+    uint64_t cumulative_cycles = 0;
+    bool promoted = false;
+  };
+
+  TieringConfig config_;
+  std::map<uint64_t, TierState> state_;
+  std::vector<TierTransition> transitions_;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_TIERING_CONTROLLER_H_

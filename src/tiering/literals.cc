@@ -1,0 +1,107 @@
+#include "src/tiering/literals.h"
+
+#include "src/ir/instr.h"
+
+namespace dfp {
+namespace {
+
+// Mirrors FingerprintBuilder's traversal (src/service/fingerprint.cc): pre-order over
+// operators, each operator's limit before its expressions, expressions in list order with
+// whens/left/right/else recursion. Any divergence between the two walks silently mis-binds
+// slots, so both files cross-reference each other.
+struct LiteralWalker {
+  PlanLiterals out;
+
+  void AddExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kLiteral: {
+        out.expr_slots.emplace(&expr, static_cast<uint32_t>(out.bindings.size()));
+        LiteralBinding binding;
+        binding.kind = LiteralBinding::Kind::kValue;
+        binding.value = expr.literal;
+        out.bindings.push_back(std::move(binding));
+        break;
+      }
+      case ExprKind::kLike: {
+        out.expr_slots.emplace(&expr, static_cast<uint32_t>(out.bindings.size()));
+        LiteralBinding binding;
+        binding.kind = LiteralBinding::Kind::kPattern;
+        binding.pattern = expr.pattern;
+        out.bindings.push_back(std::move(binding));
+        break;
+      }
+      case ExprKind::kInList: {
+        out.expr_slots.emplace(&expr, static_cast<uint32_t>(out.bindings.size()));
+        for (int64_t candidate : expr.list) {
+          LiteralBinding binding;
+          binding.kind = LiteralBinding::Kind::kValue;
+          binding.value = candidate;
+          out.bindings.push_back(std::move(binding));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    for (const auto& [condition, value] : expr.whens) {
+      AddExpr(*condition);
+      AddExpr(*value);
+    }
+    if (expr.left != nullptr) {
+      AddExpr(*expr.left);
+    }
+    if (expr.right != nullptr) {
+      AddExpr(*expr.right);
+    }
+    if (expr.else_value != nullptr) {
+      AddExpr(*expr.else_value);
+    }
+  }
+
+  void AddOp(const PhysicalOp& op) {
+    if (op.limit >= 0) {
+      LiteralBinding binding;
+      binding.kind = LiteralBinding::Kind::kLimit;
+      binding.value = op.limit;
+      out.bindings.push_back(std::move(binding));
+    }
+    for (const ExprPtr& expr : op.exprs) {
+      AddExpr(*expr);
+    }
+    for (const auto& child : op.children) {
+      AddOp(*child);
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t PlanLiterals::SlotOf(const Expr& expr) const {
+  auto it = expr_slots.find(&expr);
+  return it == expr_slots.end() ? kNoLiteralSlot : it->second;
+}
+
+PlanLiterals ExtractLiterals(const PhysicalOp& root) {
+  LiteralWalker walker;
+  walker.AddOp(root);
+  return std::move(walker.out);
+}
+
+bool PatchCompatible(const PlanLiterals& cached, const PlanLiterals& incoming) {
+  if (cached.bindings.size() != incoming.bindings.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < cached.bindings.size(); ++i) {
+    const LiteralBinding& a = cached.bindings[i];
+    const LiteralBinding& b = incoming.bindings[i];
+    if (a.kind != b.kind) {
+      return false;
+    }
+    if (a.kind == LiteralBinding::Kind::kLimit && a.value != b.value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dfp

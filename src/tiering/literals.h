@@ -1,0 +1,65 @@
+// Plan-literal extraction: the bridge between plan fingerprinting and immediate patching.
+//
+// A structure-hash cache hit with different literals can reuse the cached machine code if every
+// parameterized-out constant is re-bound. This module assigns each literal payload a stable
+// slot number in the exact traversal order FingerprintPlan hashes them (src/service/
+// fingerprint.cc — the two walks must never diverge), records the bindings, and maps each
+// literal-bearing Expr to its first slot so the code generator can tag the lowered immediates
+// (Value::Param) for the emitter's relocation table.
+//
+// LIMIT counts are literals for fingerprinting purposes but are *pinned* here: FinalizePlan
+// sizes sort buffers and result arenas from `bound_rows`, which a LIMIT caps, so patching a
+// limit immediate would leave the cached schedule sized for the wrong row bound. The
+// parameterized cache therefore keys on (structure, pinned) and only patches the free literals.
+#ifndef DFP_SRC_TIERING_LITERALS_H_
+#define DFP_SRC_TIERING_LITERALS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/plan/physical.h"
+
+namespace dfp {
+
+struct LiteralBinding {
+  enum class Kind : uint8_t {
+    kValue,    // Register payload (ints, scaled decimals, dates, bit-cast doubles, IN-list
+               // members): patched by writing the payload into the recorded immediate sites.
+    kPattern,  // LIKE pattern: patched by registering the new pattern with the runtime and
+               // writing the new pattern id into the recorded call-argument sites.
+    kLimit,    // Pinned (see header comment): never patched; equal by cache-key construction.
+  };
+  Kind kind = Kind::kValue;
+  int64_t value = 0;    // kValue payload / kLimit count / kPattern's registered pattern id.
+  std::string pattern;  // kPattern payload.
+
+  bool operator==(const LiteralBinding& other) const {
+    return kind == other.kind && value == other.value && pattern == other.pattern;
+  }
+  bool operator!=(const LiteralBinding& other) const { return !(*this == other); }
+};
+
+struct PlanLiterals {
+  std::vector<LiteralBinding> bindings;  // Indexed by literal slot.
+  // Literal-bearing Expr -> its first slot (kInList members occupy slot .. slot + n - 1).
+  // Valid only while the walked plan is alive; used during code generation of that same plan.
+  std::unordered_map<const Expr*, uint32_t> expr_slots;
+
+  // Slot of `expr`'s payload, or kNoLiteralSlot (from src/ir/instr.h) when the expr carries no
+  // parameterized literal.
+  uint32_t SlotOf(const Expr& expr) const;
+};
+
+// Walks `root` in fingerprint order and collects every literal payload.
+PlanLiterals ExtractLiterals(const PhysicalOp& root);
+
+// True when a plan with `cached` bindings can serve one with `incoming` bindings by patching:
+// identical slot layout and kinds, and every pinned binding identical. (Guaranteed for plans
+// agreeing on (structure, pinned) fingerprint halves; checked defensively anyway.)
+bool PatchCompatible(const PlanLiterals& cached, const PlanLiterals& incoming);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_TIERING_LITERALS_H_

@@ -1,0 +1,31 @@
+// Immediate patching: re-binds a cached compiled plan to a new set of literals in place.
+//
+// The emitter recorded every machine-code position a parameterized literal reaches
+// (PipelineArtifact::literal_sites); patching walks those relocation entries and rewrites the
+// immediates inside the registered code segments. Nothing else changes — instruction count,
+// ir_id debug info, the Tagging Dictionary snapshot, register assignment — so a patched plan's
+// profile attributes exactly like the original compile's and the cache entry contributes zero
+// new code-segment bytes.
+#ifndef DFP_SRC_TIERING_PATCH_H_
+#define DFP_SRC_TIERING_PATCH_H_
+
+#include <cstdint>
+
+#include "src/engine/database.h"
+#include "src/service/plan_cache.h"
+#include "src/tiering/literals.h"
+
+namespace dfp {
+
+// Rewrites `entry`'s code so its literal bindings become `incoming` (which must be
+// PatchCompatible with the entry's current bindings; pinned LIMIT literals are asserted equal,
+// never written). LIKE patterns are registered with `db`'s runtime and their new ids written
+// into the recorded call-argument sites. Updates the entry's bindings and its
+// `fingerprint.literals` to the served query's hash. Returns the number of sites written
+// (0 when the bindings already match, e.g. an exact repeat under parameterized keying).
+uint64_t PatchCachedPlan(Database& db, CachedPlan& entry, const PlanLiterals& incoming,
+                         uint64_t incoming_literals_hash);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_TIERING_PATCH_H_

@@ -1,0 +1,42 @@
+// Tier timeline report: per-fingerprint window history annotated with compilation tiers.
+//
+// Combines the continuous-profiling window rings (which count baseline- vs optimized-tier
+// executions and samples per window) with the TierController's transition log into one
+// human-readable timeline: which tier each window's samples came from, when the break-even
+// threshold was crossed, and when the recompiled entry went live. The companion
+// TierTimelineTotals aggregate backs the bench gate that every attributed sample belongs to a
+// tier.
+#ifndef DFP_SRC_TIERING_REPORT_H_
+#define DFP_SRC_TIERING_REPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/continuous/window.h"
+#include "src/tiering/controller.h"
+
+namespace dfp {
+
+// Sample attribution totals over every retained window of every fingerprint. By construction a
+// window's optimized count is `samples - baseline_samples`, so attributed == samples always
+// holds for windows recorded through WindowedProfile::Record; the totals exist to make that
+// invariant checkable end-to-end from bench and tests.
+struct TierTimelineTotals {
+  uint64_t samples = 0;            // All window-attributed samples.
+  uint64_t baseline_samples = 0;   // Slice recorded at the baseline tier.
+  uint64_t optimized_samples = 0;  // Slice recorded at the optimized tier.
+  uint64_t transitions = 0;        // Logged promotions.
+  uint64_t swapped = 0;            // Promotions whose recompiled entry went live.
+};
+
+TierTimelineTotals SummarizeTierTimeline(const WindowedProfile& windows,
+                                         const TierController& controller);
+
+// Renders the per-fingerprint tier timeline: one line per retained window showing the tier mix
+// of its executions and samples, with promotion decision/swap markers placed at the windows
+// containing their service-clock timestamps.
+std::string RenderTierTimeline(const WindowedProfile& windows, const TierController& controller);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_TIERING_REPORT_H_

@@ -1,0 +1,15 @@
+#include "src/tiering/tier.h"
+
+namespace dfp {
+
+const char* TierName(PlanTier tier) {
+  switch (tier) {
+    case PlanTier::kOptimized:
+      return "optimized";
+    case PlanTier::kBaseline:
+      return "baseline";
+  }
+  return "?";
+}
+
+}  // namespace dfp

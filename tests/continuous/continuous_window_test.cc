@@ -5,6 +5,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/continuous/regression.h"
 #include "src/continuous/window.h"
 #include "src/service/service_profile.h"
 
@@ -170,6 +171,95 @@ TEST(ServiceProfileV2, WindowsRoundTripThroughTextFormat) {
   std::ostringstream rewritten;
   WriteServiceProfile(fleet2, loaded, rewritten);
   EXPECT_EQ(rewritten.str(), text);
+}
+
+
+TEST(WindowedProfile, TierCountsFoldIntoWindowsAndRollups) {
+  WindowedProfile windows(SmallConfig());
+  OperatorProfile profile = MakeProfile({{1, "Scan", 10}});
+  windows.Record(0xabc, "q", 100, profile, MakeCounters(5, 1, 0), 4000, 20, 311,
+                 PlanTier::kBaseline);
+  windows.Record(0xabc, "q", 200, profile, MakeCounters(5, 1, 0), 4000, 20, 311,
+                 PlanTier::kOptimized);
+  windows.Record(0xabc, "q", 1500, profile, MakeCounters(5, 1, 0), 4000, 20, 311,
+                 PlanTier::kBaseline);
+
+  const auto& ring = windows.plans().at(0xabc).windows;
+  ASSERT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring[0].executions, 2u);
+  EXPECT_EQ(ring[0].baseline_executions, 1u);
+  EXPECT_EQ(ring[0].baseline_samples, 10u);
+  EXPECT_EQ(ring[1].baseline_executions, 1u);
+
+  const WindowRollup rollup = windows.RollUp(0xabc);
+  EXPECT_EQ(rollup.executions, 3u);
+  EXPECT_EQ(rollup.baseline_executions, 2u);
+  EXPECT_EQ(rollup.baseline_samples, 20u);
+
+  // Tier counts surface in the rendering and the JSON export.
+  EXPECT_NE(windows.Render().find("baseline 1/2 exec 10 samples"), std::string::npos);
+  std::ostringstream json;
+  windows.WriteJson(json);
+  EXPECT_NE(json.str().find("\"baseline_executions\":1"), std::string::npos);
+}
+
+TEST(WindowedProfile, TierFreeRenderingIsUnchanged) {
+  // Windows recorded without a tier argument must render without any baseline annotation —
+  // the historical output, byte for byte.
+  WindowedProfile windows(SmallConfig());
+  OperatorProfile profile = MakeProfile({{1, "Scan", 10}});
+  windows.Record(0xabc, "q", 100, profile, MakeCounters(5, 1, 0), 4000, 20, 311);
+  EXPECT_EQ(windows.Render().find("baseline"), std::string::npos);
+}
+
+TEST(ServiceProfileV3, StateRoundTripsWithClockTiersAndBaselines) {
+  ServiceProfile fleet;
+  FleetPlanProfile plan;
+  plan.fingerprint = 0x42;
+  plan.name = "q6";
+  plan.executions = 2;
+  plan.execute_cycles = 777;
+  fleet.AddLoadedPlan(plan);
+
+  WindowedProfile windows(SmallConfig());
+  OperatorProfile profile = MakeProfile({{1, "TableScan lineitem", 30}});
+  windows.Record(0x42, "q6", 10, profile, MakeCounters(9, 2, 1), 333, 7, 311,
+                 PlanTier::kBaseline);
+  windows.Record(0x42, "q6", 1500, profile, MakeCounters(9, 2, 1), 444, 7, 311);
+  BaselineStore baselines;
+  baselines.Snapshot(windows);
+
+  std::ostringstream out;
+  WriteServiceState(fleet, windows, baselines, /*service_clock_cycles=*/123456, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# dfp service profile v3"), std::string::npos);
+  EXPECT_NE(text.find("clock 123456"), std::string::npos);
+  EXPECT_NE(text.find("baseline 0000000000000042"), std::string::npos);
+  EXPECT_NE(text.find("bop 0000000000000042"), std::string::npos);
+
+  std::istringstream in(text);
+  WindowedProfile loaded_windows;
+  BaselineStore loaded_baselines;
+  uint64_t clock = 0;
+  ServiceProfile loaded_fleet =
+      ReadServiceProfile(in, &loaded_windows, &loaded_baselines, &clock);
+  EXPECT_EQ(clock, 123456u);
+  ASSERT_NE(loaded_baselines.Find(0x42), nullptr);
+  EXPECT_EQ(loaded_baselines.Find(0x42)->watermark, baselines.Find(0x42)->watermark);
+  EXPECT_EQ(loaded_windows.RollUp(0x42).baseline_executions, 1u);
+
+  std::ostringstream rewritten;
+  WriteServiceState(loaded_fleet, loaded_windows, loaded_baselines, clock, rewritten);
+  EXPECT_EQ(rewritten.str(), text);
+}
+
+TEST(ServiceProfileV3, StateLinesAreRejectedInOlderVersions) {
+  std::istringstream clock_in_v2("# dfp service profile v2\nclock 5\n");
+  EXPECT_THROW(ReadServiceProfile(clock_in_v2), Error);
+  std::istringstream orphan_bop(
+      "# dfp service profile v3\nclock 5\nbop 0000000000000001 1 2 3 scan\n");
+  BaselineStore sink;
+  EXPECT_THROW(ReadServiceProfile(orphan_bop, nullptr, &sink), Error);
 }
 
 TEST(ServiceProfileV2, V1FormatStillParses) {

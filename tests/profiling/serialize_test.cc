@@ -272,6 +272,78 @@ TEST(Serialize, RejectsMalformedInput) {
   }
 }
 
+TEST(Serialize, TierAndEventsRoundTripIsV4) {
+  // Samples carrying a compilation tier — or a stream carrying sideband events — promote the
+  // stream to v4; both must survive the round trip, with events re-interleaved by tsc.
+  std::vector<Sample> samples;
+  {
+    Sample baseline;
+    baseline.tsc = 10;
+    baseline.ip = 0x1000001;
+    baseline.tier = 1;
+    samples.push_back(baseline);
+  }
+  {
+    Sample optimized;  // Tier 0 emits no G token even inside a v4 stream.
+    optimized.tsc = 30;
+    optimized.ip = 0x1000002;
+    samples.push_back(optimized);
+  }
+  std::vector<SampleStreamEvent> events = {{5, "tier 0000000000000001 baseline optimized decided"},
+                                           {20, "tier 0000000000000001 baseline optimized swapped"},
+                                           {99, "trailing event"}};
+
+  std::stringstream stream;
+  WriteSamples(samples, events, stream);
+  const std::string text = stream.str();
+  EXPECT_NE(text.find("# dfp samples v4"), std::string::npos);
+  // Events land before the first sample whose tsc passes them; the trailing one after all.
+  EXPECT_LT(text.find("event 5 "), text.find("sample 10"));
+  EXPECT_GT(text.find("event 20 "), text.find("sample 10"));
+  EXPECT_LT(text.find("event 20 "), text.find("sample 30"));
+  EXPECT_GT(text.find("event 99 "), text.find("sample 30"));
+
+  std::vector<SampleStreamEvent> loaded_events;
+  std::vector<Sample> loaded = ReadSamples(stream, &loaded_events);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].tier, 1);
+  EXPECT_EQ(loaded[1].tier, 0);
+  ASSERT_EQ(loaded_events.size(), 3u);
+  EXPECT_EQ(loaded_events[0].tsc, 5u);
+  EXPECT_EQ(loaded_events[1].text, "tier 0000000000000001 baseline optimized swapped");
+  EXPECT_EQ(loaded_events[2].tsc, 99u);
+}
+
+TEST(Serialize, TierFreeStreamsKeepTheirOldVersions) {
+  // No tier, no events: the two-argument writer must not move old streams to v4.
+  std::vector<Sample> samples;
+  Sample plain;
+  plain.tsc = 100;
+  plain.ip = 0x1000001;
+  samples.push_back(plain);
+  std::stringstream with_events_api;
+  WriteSamples(samples, std::vector<SampleStreamEvent>(), with_events_api);
+  std::stringstream classic;
+  WriteSamples(samples, classic);
+  EXPECT_EQ(with_events_api.str(), classic.str());
+  EXPECT_NE(classic.str().find("# dfp samples v1"), std::string::npos);
+}
+
+TEST(Serialize, RejectsTierAndEventTokensInPreV4Streams) {
+  std::stringstream tier_in_v3("# dfp samples v3\nsample 100 16777217 0 G 1\n");
+  EXPECT_THROW(ReadSamples(tier_in_v3), Error);
+  std::stringstream event_in_v3(
+      "# dfp samples v3\nevent 5 tier promoted\nsample 100 16777217 0\n");
+  EXPECT_THROW(ReadSamples(event_in_v3), Error);
+  // A v4 stream with events needs an event sink: silently dropping sideband data would make
+  // offline post-processing lie about what the service logged.
+  std::stringstream no_sink("# dfp samples v4\nevent 5 tier promoted\nsample 100 16777217 0\n");
+  EXPECT_THROW(ReadSamples(no_sink), Error);
+  // Malformed tier payloads are rejected, not truncated.
+  std::stringstream wide_tier("# dfp samples v4\nsample 100 16777217 0 G 300\n");
+  EXPECT_THROW(ReadSamples(wide_tier), Error);
+}
+
 TEST(Serialize, OfflineResolutionMatchesLiveSession) {
   Database db;
   {

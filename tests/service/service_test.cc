@@ -3,6 +3,7 @@
 // catalog invalidation, and fleet profile aggregation.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -11,6 +12,7 @@
 #include "src/profiling/serialize.h"
 #include "src/service/query_service.h"
 #include "src/service/service_profile.h"
+#include "src/sql/binder.h"
 #include "src/tpch/datagen.h"
 #include "src/tpch/queries.h"
 
@@ -363,6 +365,96 @@ TEST(QueryServiceTest, ServiceProfileRoundTripsThroughText) {
   EXPECT_THROW(ReadServiceProfile(bad_header), Error);
   std::istringstream orphan_op("# dfp service profile v1\nop 0000000000000001 3 5 scan\n");
   EXPECT_THROW(ReadServiceProfile(orphan_op), Error);
+}
+
+TEST(QueryServiceTest, WeightedFairSchedulingLetsHeavySessionsOvertake) {
+  // Two identical queries submitted back to back. Under round-robin the first-submitted one
+  // completes first; giving the second a weight of 4 hands it four work units per scheduler
+  // round, so it overtakes — while the light session still advances every round (starvation
+  // bound: one unit per round, so it finishes by the time the pool drains).
+  ServiceConfig config = TestConfig();
+  auto db = MakeDb(config);
+  QueryService service(*db, config);
+  const TicketId light = service.Submit(Plan(*db, "q1"), "q1-light", 0, /*weight=*/1);
+  const TicketId heavy = service.Submit(Plan(*db, "q1"), "q1-heavy", 0, /*weight=*/4);
+  service.Drain();
+  EXPECT_EQ(service.ticket(light).status, TicketStatus::kDone);
+  EXPECT_EQ(service.ticket(heavy).status, TicketStatus::kDone);
+  EXPECT_LT(service.ticket(heavy).completed_at_cycles,
+            service.ticket(light).completed_at_cycles);
+  // The light session is never starved past the drain: it finishes exactly when the last of
+  // the submitted work does.
+  EXPECT_EQ(service.ticket(light).completed_at_cycles, service.ServiceNowCycles());
+
+  // Scheduling weight redistributes service time but must not distort the sessions' own
+  // measured execution: each run's wall clock matches the round-robin control run.
+  auto control_db = MakeDb(config);
+  QueryService control(*control_db, config);
+  const TicketId first = control.Submit(Plan(*control_db, "q1"), "q1-light");
+  const TicketId second = control.Submit(Plan(*control_db, "q1"), "q1-heavy");
+  control.Drain();
+  EXPECT_LT(control.ticket(first).completed_at_cycles,
+            control.ticket(second).completed_at_cycles);
+  EXPECT_EQ(service.ticket(light).execute_cycles, control.ticket(first).execute_cycles);
+  EXPECT_EQ(service.ticket(heavy).execute_cycles, control.ticket(second).execute_cycles);
+  EXPECT_EQ(service.ticket(heavy).result.rows(), control.ticket(second).result.rows());
+}
+
+TEST(QueryServiceTest, RestartedServiceResumesRegressionDetection) {
+  ServiceConfig config = TestConfig();
+  config.state_path = ::testing::TempDir() + "dfp_service_state_test.profile";
+  std::remove(config.state_path.c_str());
+
+  const char* shifted_q6 =
+      "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+      "where l_shipdate >= date '1992-01-01' and l_shipdate < date '1999-01-01' "
+      "and l_discount between 0.00 and 0.10 and l_quantity < 100";
+
+  uint64_t clock_at_shutdown = 0;
+  uint64_t q6_fingerprint = 0;
+  {
+    // The database is rebuilt identically after the "restart": generation is deterministic, so
+    // fingerprints and profiles line up across processes exactly as they would for one durable
+    // database serving both.
+    auto db = MakeDb(config);
+    QueryService service(*db, config);
+    for (int i = 0; i < 4; ++i) {
+      const TicketId id = service.Submit(PlanSql(*db, FindQuery("q6").sql), "q6");
+      service.Drain();
+      q6_fingerprint = service.ticket(id).fingerprint.structure;
+    }
+    service.SnapshotBaseline();
+    service.SaveState();  // Snapshot the baseline into the persisted state explicitly...
+    clock_at_shutdown = service.ServiceNowCycles();
+  }  // ...and the destructor persists again on shutdown (same content, same clock).
+
+  // Restart: windows, baselines, and the service clock resume where the old process stopped.
+  auto db = MakeDb(config);
+  QueryService restarted(*db, config);
+  EXPECT_EQ(restarted.ServiceNowCycles(), clock_at_shutdown);
+  ASSERT_NE(restarted.baseline().Find(q6_fingerprint), nullptr);
+  EXPECT_GT(restarted.windows().RollUp(q6_fingerprint).executions, 0u);
+
+  // An identical post-restart workload stays quiet against the pre-restart baseline...
+  for (int i = 0; i < 4; ++i) {
+    restarted.Submit(PlanSql(*db, FindQuery("q6").sql), "q6");
+    restarted.Drain();
+  }
+  EXPECT_TRUE(restarted.DetectRegressions().empty());
+
+  // ...and the injected literal shift is flagged against that same pre-restart baseline,
+  // without any post-restart snapshot.
+  for (int i = 0; i < 6; ++i) {
+    restarted.Submit(PlanSql(*db, shifted_q6), "q6");
+    restarted.Drain();
+  }
+  const auto findings = restarted.DetectRegressions();
+  bool flagged = false;
+  for (const auto& finding : findings) {
+    flagged |= finding.fingerprint == q6_fingerprint;
+  }
+  EXPECT_TRUE(flagged);
+  std::remove(config.state_path.c_str());
 }
 
 TEST(QueryServiceTest, DrainIsDeterministic) {
