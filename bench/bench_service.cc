@@ -13,10 +13,19 @@
 //  - A regression scenario: baseline snapshot, one identical pass (must flag nothing — zero
 //    false positives), then a q6 variant with much wider literals sharing the structural
 //    fingerprint (must flag the shift).
+//  - Fleet record/replay: a mixed workload is recorded into a text trace, replayed twice on
+//    fresh services (zero diff both times, byte-identical JSON reports — the replay-smoke CI
+//    gate), then replayed under what-if knobs: 10x session load must degrade through
+//    admission rejections, and a scheduler swap must shift timing without touching results.
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 #include "bench/common.h"
 #include "src/profiling/reports.h"
+#include "src/replay/recorder.h"
+#include "src/replay/replayer.h"
+#include "src/replay/trace.h"
 #include "src/service/query_service.h"
 #include "src/sql/binder.h"
 #include "src/tiering/report.h"
@@ -358,6 +367,119 @@ int Main() {
                           post_swap_optimized && tier_results_identical &&
                           tier_attribution_parity && tier_timeline_complete;
 
+  // --- Fleet record/replay: zero-diff determinism gate and what-if scaling ---
+  std::printf("\n--- Fleet record/replay: zero-diff gate and what-if scaling ---\n");
+  ServiceConfig replay_config = tier_config;
+  replay_config.profiling.period = 311;
+  WorkloadTrace recorded_trace;
+  {
+    // Record a mixed workload (cold compiles, warm hits, a patched q6 literal family, a
+    // background tier promotion) through an attached TraceRecorder. Scoped so the recording
+    // database's arena is released before the replay databases are carved.
+    DatabaseConfig record_db_config;
+    record_db_config.extra_bytes = ServiceArenaBytes(replay_config);
+    auto record_db = std::make_unique<Database>(record_db_config);
+    GenerateTpch(*record_db, options);
+    QueryService recorded(*record_db, replay_config);
+    TraceRecorder recorder;
+    recorded.AttachRecorder(recorder);
+    recorded.Submit(BuildQueryPlan(*record_db, FindQuery("q1")), "q1");
+    recorded.Submit(BuildQueryPlan(*record_db, FindQuery("q3")), "q3");
+    recorded.Drain();
+    recorded.Submit(BuildQueryPlan(*record_db, FindQuery("q1")), "q1");
+    for (double lo : {0.02, 0.03, 0.04, 0.05}) {
+      recorded.Submit(PlanSql(*record_db, Q6Variant(lo, lo + 0.02, 24)), "q6");
+    }
+    recorded.Drain();
+    for (double lo : {0.02, 0.03, 0.04}) {
+      recorded.Submit(PlanSql(*record_db, Q6Variant(lo, lo + 0.02, 24)), "q6");
+    }
+    recorded.Drain();
+    recorder.Finish(recorded);
+    recorded_trace = recorder.trace();
+  }
+  // Replay what a persisted trace file round-trips to, not the in-memory object.
+  const std::string trace_text = EncodeTraceText(recorded_trace);
+  std::istringstream trace_in(trace_text);
+  const WorkloadTrace trace = ReadTrace(trace_in);
+  std::printf("recorded %llu queries (%llu completed), trace text %zu bytes\n",
+              static_cast<unsigned long long>(trace.summary.queries),
+              static_cast<unsigned long long>(trace.summary.completed), trace_text.size());
+
+  // Each replay runs against its own identically generated database: the service compiles
+  // code and carves session regions out of its database, so reusing one would shift every
+  // address (and therefore every sample stream).
+  auto run_replay = [&](const WhatIfKnobs& knobs) {
+    DatabaseConfig replay_db_config;
+    replay_db_config.extra_bytes = ServiceArenaBytes(ReplayServiceConfig(trace, knobs));
+    auto replay_db = std::make_unique<Database>(replay_db_config);
+    GenerateTpch(*replay_db, options);
+    ReplayOptions replay_options;
+    replay_options.knobs = knobs;
+    const ReplayRun run = ReplayTrace(*replay_db, trace, replay_options);
+    ReplayReport report = DiffTraces(trace, run.trace);
+    report.session_multiplier = knobs.session_multiplier;
+    return report;
+  };
+
+  // (a) Determinism gate: two identity replays must both be zero-diff, and their JSON reports
+  // must be byte-identical (the replay-smoke CI job diffs these two files).
+  const ReplayReport replay1 = run_replay({});
+  const ReplayReport replay2 = run_replay({});
+  std::ostringstream replay_json1;
+  std::ostringstream replay_json2;
+  WriteReplayReportJson(replay1, replay_json1);
+  WriteReplayReportJson(replay2, replay_json2);
+  const bool replay_reports_match = replay_json1.str() == replay_json2.str();
+  std::printf("identity replay: %s; repeated replay report %s\n",
+              replay1.identical ? "zero diff [ok]" : "[FAIL: diverged]",
+              replay_reports_match ? "byte-identical [ok]" : "[FAIL: non-deterministic]");
+  if (!replay1.identical) {
+    std::printf("%s", RenderReplayReport(replay1).c_str());
+  }
+
+  // (b) What breaks at 10x sessions? Every recorded query submitted ten times back to back:
+  // the bounded admission queue must shed the surplus (rejections, not crashes or timeouts),
+  // and everything admitted must still finish.
+  WhatIfKnobs tenx;
+  tenx.session_multiplier = 10;
+  const ReplayReport replay_10x = run_replay(tenx);
+  const bool replay_10x_ok =
+      replay_10x.replayed_queries == 10 * replay_10x.recorded_queries &&
+      replay_10x.replayed_rejected > replay_10x.recorded_rejected &&
+      replay_10x.replayed_completed + replay_10x.replayed_rejected +
+              replay_10x.replayed_timed_out ==
+          replay_10x.replayed_queries;
+  std::printf("what-if 10x sessions: %llu queries -> %llu completed, %llu rejected, "
+              "%llu timed out %s\n",
+              static_cast<unsigned long long>(replay_10x.replayed_queries),
+              static_cast<unsigned long long>(replay_10x.replayed_completed),
+              static_cast<unsigned long long>(replay_10x.replayed_rejected),
+              static_cast<unsigned long long>(replay_10x.replayed_timed_out),
+              replay_10x_ok ? "[ok]" : "[FAIL: load not shed through admission control]");
+
+  // (c) Scheduler A/B on recorded traffic: a central run queue changes timing, never results.
+  WhatIfKnobs central;
+  central.scheduler = static_cast<int>(SchedulerPolicy::kCentral);
+  const ReplayReport replay_sched = run_replay(central);
+  const bool replay_sched_ok = replay_sched.results_diverged == 0 &&
+                               replay_sched.replayed_completed == replay_sched.recorded_completed;
+  std::printf("what-if central scheduler: cycles %llu -> %llu, results %s\n",
+              static_cast<unsigned long long>(replay_sched.recorded_cycles),
+              static_cast<unsigned long long>(replay_sched.replayed_cycles),
+              replay_sched_ok ? "identical [ok]" : "[FAIL: results diverged]");
+
+  const bool replay_ok =
+      replay1.identical && replay_reports_match && replay_10x_ok && replay_sched_ok;
+  if (GlobalBenchOptions().json) {
+    std::ofstream replay_out1("BENCH_replay1.json");
+    replay_out1 << replay_json1.str();
+    std::printf("# wrote BENCH_replay1.json\n");
+    std::ofstream replay_out2("BENCH_replay2.json");
+    replay_out2 << replay_json2.str();
+    std::printf("# wrote BENCH_replay2.json\n");
+  }
+
   if (GlobalBenchOptions().json) {
     JsonWriter json;
     json.BeginObject();
@@ -431,6 +553,15 @@ int Main() {
     json.Field("tier_timeline_optimized_samples", timeline.optimized_samples);
     json.Field("tier_transitions", timeline.transitions);
     json.Field("tier_events", static_cast<uint64_t>(tiered.tier_events().size()));
+    json.Field("replay_identical", replay1.identical);
+    json.Field("replay_reports_match", replay_reports_match);
+    json.Field("replay_recorded_queries", replay1.recorded_queries);
+    json.Field("replay_10x_queries", replay_10x.replayed_queries);
+    json.Field("replay_10x_completed", replay_10x.replayed_completed);
+    json.Field("replay_10x_rejected", replay_10x.replayed_rejected);
+    json.Field("replay_10x_timed_out", replay_10x.replayed_timed_out);
+    json.Field("replay_scheduler_results_diverged", replay_sched.results_diverged);
+    json.Field("replay_scheduler_cycles", replay_sched.replayed_cycles);
     json.EndObject();
     json.WriteTo("BENCH_service.json");
   }
@@ -442,9 +573,11 @@ int Main() {
       "budget; the regression detector flags only the injected literal shift; under tiering,\n"
       "literal variants patch into the cached code (zero new bytes, >=2x cheaper than an\n"
       "exact-keyed variant recompile) and the hot fingerprint is promoted in the background\n"
-      "with bit-identical results and a fully tier-attributed timeline.\n");
+      "with bit-identical results and a fully tier-attributed timeline; replaying a recorded\n"
+      "trace on this build reproduces the recording bit for bit, and the 10x what-if sheds\n"
+      "surplus load through admission rejections rather than failures.\n");
   const bool ok = speedup >= 2.0 && governor_ok && rankings_agree && false_positives == 0 &&
-                  shift_flagged && tiering_ok;
+                  shift_flagged && tiering_ok && replay_ok;
   return ok ? 0 : 1;
 }
 

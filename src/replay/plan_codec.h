@@ -1,0 +1,39 @@
+// Text codec for physical plans: the piece of the trace format that makes recorded traffic
+// self-contained.
+//
+// A workload trace (src/replay/trace.h) stores one serialized plan template per structural
+// fingerprint; replaying a query clones the template and re-binds the recorded literals. The
+// codec therefore must reproduce a finalized plan *exactly* — operator ids, bound rows, the
+// optimizer's cardinality estimates (bit-exact doubles), expression trees, labels, table
+// references — so that re-fingerprinting the parsed plan yields the recorded hash. Tables are
+// serialized by catalog name and resolved against the replaying Database; everything else is
+// value-serialized in the line-oriented style of the other dfp text formats.
+#ifndef DFP_SRC_REPLAY_PLAN_CODEC_H_
+#define DFP_SRC_REPLAY_PLAN_CODEC_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/engine/database.h"
+#include "src/plan/physical.h"
+
+namespace dfp {
+
+// Escapes a string into a single whitespace-free token (percent-encoding of '%', whitespace,
+// and control bytes; the empty string encodes as a bare "%"). Inverse of DecodeToken.
+std::string EncodeToken(const std::string& text);
+std::string DecodeToken(const std::string& token);  // Throws dfp::Error on malformed escapes.
+
+// Writes `root` as a self-delimiting block of "op"/"x" lines terminated by "endplan".
+void WritePlan(const PhysicalOp& root, std::ostream& out);
+std::string EncodePlanText(const PhysicalOp& root);
+
+// Inverse of WritePlan: consumes one plan block (through its "endplan" terminator) from `in`,
+// resolving table references against `db`'s catalog. Throws dfp::Error on malformed input,
+// unknown tables, or truncation.
+PhysicalOpPtr ParsePlan(std::istream& in, const Database& db);
+PhysicalOpPtr ParsePlanText(const std::string& text, const Database& db);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_REPLAY_PLAN_CODEC_H_

@@ -1,0 +1,376 @@
+#include "src/replay/replayer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "src/replay/plan_codec.h"
+#include "src/replay/recorder.h"
+#include "src/service/service_profile.h"
+#include "src/tiering/report.h"
+#include "src/util/check.h"
+#include "src/util/str.h"
+
+namespace dfp {
+namespace {
+
+// Clears every operator's cardinality estimate so FinalizePlan re-derives the default from the
+// recomputed row bounds. Plans in this codebase get their estimates exclusively from that
+// default (no builder sets them), so after re-binding literals — which can change a LIMIT and
+// therefore the bounds — this reproduces exactly the estimates a freshly built plan would
+// carry. Skipping it would leave a rebound clone with the template's stale estimates, which
+// feed morsel sizing (ResolveMorselRows) and would silently diverge the execution schedule.
+void ResetEstimates(PhysicalOp& op) {
+  op.estimated_rows = 0;
+  for (auto& child : op.children) {
+    ResetEstimates(*child);
+  }
+}
+
+void AppendJsonString(const std::string& text, std::ostream& out) {
+  out << '"';
+  for (unsigned char c : text) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << static_cast<char>(c);
+    } else if (c < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+      out << buffer;
+    } else {
+      out << static_cast<char>(c);
+    }
+  }
+  out << '"';
+}
+
+bool TiersEqual(const TierTimelineTotals& a, const TierTimelineTotals& b) {
+  return a.samples == b.samples && a.baseline_samples == b.baseline_samples &&
+         a.optimized_samples == b.optimized_samples && a.transitions == b.transitions &&
+         a.swapped == b.swapped;
+}
+
+bool QueryDiverged(const TraceQuery& a, const TraceQuery& b) {
+  return a.name != b.name || a.fingerprint.structure != b.fingerprint.structure ||
+         a.fingerprint.literals != b.fingerprint.literals ||
+         a.fingerprint.pinned != b.fingerprint.pinned || a.arrival_cycles != b.arrival_cycles ||
+         a.weight != b.weight || a.deadline_cycles != b.deadline_cycles ||
+         a.outcome != b.outcome || a.completed != b.completed || a.status != b.status ||
+         a.cache_hit != b.cache_hit || a.tier != b.tier || a.patched_sites != b.patched_sites ||
+         a.compile_cycles != b.compile_cycles || a.execute_cycles != b.execute_cycles ||
+         a.completed_at_cycles != b.completed_at_cycles || a.result_rows != b.result_rows ||
+         a.samples != b.samples || a.stream_hash != b.stream_hash;
+}
+
+}  // namespace
+
+bool WhatIfKnobs::IsIdentity() const {
+  return session_multiplier == 1 && scheduler == -1 && max_active_sessions == 0 &&
+         queue_depth == 0 && workers == 0 && tiering_enabled == -1 && break_even_ratio == 0 &&
+         code_budget_bytes == 0 && governor_enabled == -1 && governor_budget == 0;
+}
+
+ServiceConfig ReplayServiceConfig(const WorkloadTrace& trace, const WhatIfKnobs& knobs) {
+  ServiceConfig config = ApplyKnobs(trace.knobs);
+  if (knobs.scheduler >= 0) {
+    config.parallel.scheduler = static_cast<SchedulerPolicy>(knobs.scheduler);
+  }
+  if (knobs.max_active_sessions != 0) {
+    config.max_active_sessions = knobs.max_active_sessions;
+  }
+  if (knobs.queue_depth != 0) {
+    config.queue_depth = knobs.queue_depth;
+  }
+  if (knobs.workers != 0) {
+    config.parallel.workers = knobs.workers;
+  }
+  if (knobs.tiering_enabled >= 0) {
+    config.tiering.enabled = knobs.tiering_enabled != 0;
+  }
+  if (knobs.break_even_ratio != 0) {
+    config.tiering.break_even_ratio = knobs.break_even_ratio;
+  }
+  if (knobs.code_budget_bytes != 0) {
+    config.code_budget_bytes = knobs.code_budget_bytes;
+  }
+  if (knobs.governor_enabled >= 0) {
+    config.continuous.governor.enabled = knobs.governor_enabled != 0;
+  }
+  if (knobs.governor_budget != 0) {
+    config.continuous.governor.overhead_budget = knobs.governor_budget;
+  }
+  return config;
+}
+
+ReplayRun ReplayTrace(Database& db, const WorkloadTrace& trace, const ReplayOptions& options) {
+  if (db.catalog_version() != trace.catalog_version) {
+    throw Error(StrFormat("replay catalog mismatch: trace recorded at catalog version %llu, "
+                          "database is at %llu",
+                          static_cast<unsigned long long>(trace.catalog_version),
+                          static_cast<unsigned long long>(db.catalog_version())));
+  }
+  const uint32_t multiplier = std::max<uint32_t>(1, options.knobs.session_multiplier);
+
+  // Parse every plan template once; clones are cut per submission.
+  std::map<uint64_t, PhysicalOpPtr> templates;
+  for (const PlanTemplate& entry : trace.templates) {
+    templates.emplace(entry.structure, ParsePlanText(entry.plan_text, db));
+  }
+
+  QueryService service(db, ReplayServiceConfig(trace, options.knobs));
+  TraceRecorder recorder;
+  recorder.set_keep_streams(options.keep_streams);
+  service.AttachRecorder(recorder);
+
+  for (const TraceEvent& event : trace.events) {
+    switch (event.kind) {
+      case TraceEvent::Kind::kQuery: {
+        const TraceQuery& q = trace.query(event.seq);
+        auto it = templates.find(q.fingerprint.structure);
+        if (it == templates.end()) {
+          throw Error("trace query " + std::to_string(q.seq) +
+                      " references a structure with no plan template");
+        }
+        for (uint32_t copy = 0; copy < multiplier; ++copy) {
+          PhysicalOpPtr plan = ClonePlan(*it->second);
+          BindLiterals(*plan, q.literals);
+          ResetEstimates(*plan);
+          FinalizePlan(*plan);
+          const PlanFingerprint rebuilt = FingerprintPlan(*plan, db.catalog_version());
+          if (rebuilt.structure != q.fingerprint.structure ||
+              rebuilt.literals != q.fingerprint.literals ||
+              rebuilt.pinned != q.fingerprint.pinned) {
+            throw Error("replayed plan fingerprint mismatch for trace query " +
+                        std::to_string(q.seq) + " (" + q.name +
+                        "): corrupt trace or incompatible build");
+          }
+          service.Submit(std::move(plan), q.name, q.deadline_cycles, q.weight);
+        }
+        break;
+      }
+      case TraceEvent::Kind::kDone:
+        break;  // Completions happen inside Drain; the recorder logs them afresh.
+      case TraceEvent::Kind::kDrain:
+        service.Drain();
+        break;
+    }
+  }
+  // A well-formed recording ends drained (its last event is the final Drain); only flush when
+  // the trace left submissions pending, so the replayed event schedule stays byte-identical to
+  // the recorded one on the zero-diff path.
+  bool pending = false;
+  for (TicketId id = 1; id <= service.ticket_count(); ++id) {
+    const TicketStatus status = service.ticket(id).status;
+    if (status == TicketStatus::kQueued || status == TicketStatus::kRunning) {
+      pending = true;
+      break;
+    }
+  }
+  if (pending) {
+    service.Drain();
+  }
+
+  recorder.Finish(service);
+  ReplayRun run;
+  run.trace = recorder.trace();
+  std::ostringstream profile;
+  WriteServiceProfile(service.fleet_profile(), service.windows(), profile);
+  run.service_profile_text = profile.str();
+  run.tier_timeline_text = RenderTierTimeline(service.windows(), service.tier_controller());
+  if (options.keep_streams) {
+    run.sample_streams = recorder.streams();
+  }
+  return run;
+}
+
+bool ReplayFingerprintDiff::identical() const {
+  return recorded_executions == replayed_executions &&
+         recorded_execute_cycles == replayed_execute_cycles && recorded_p50 == replayed_p50 &&
+         recorded_p95 == replayed_p95 && recorded_max == replayed_max &&
+         recorded_top_operator == replayed_top_operator &&
+         recorded_top_samples == replayed_top_samples;
+}
+
+ReplayReport DiffTraces(const WorkloadTrace& recorded, const WorkloadTrace& replayed) {
+  ReplayReport report;
+  report.knobs_identical = recorded.knobs == replayed.knobs;
+  const TraceSummary& a = recorded.summary;
+  const TraceSummary& b = replayed.summary;
+  report.recorded_queries = a.queries;
+  report.replayed_queries = b.queries;
+  report.recorded_completed = a.completed;
+  report.replayed_completed = b.completed;
+  report.recorded_rejected = a.rejected;
+  report.replayed_rejected = b.rejected;
+  report.recorded_timed_out = a.timed_out;
+  report.replayed_timed_out = b.timed_out;
+  report.recorded_cycles = a.service_cycles;
+  report.replayed_cycles = b.service_cycles;
+  report.recorded_samples = a.samples;
+  report.replayed_samples = b.samples;
+  report.recorded_cache_hits = a.cache_hits;
+  report.replayed_cache_hits = b.cache_hits;
+  report.recorded_patched_hits = a.patched_hits;
+  report.replayed_patched_hits = b.patched_hits;
+  report.recorded_tier_swaps = a.tier_swaps;
+  report.replayed_tier_swaps = b.tier_swaps;
+  report.streams_identical =
+      a.queries == b.queries && a.stream_hash == b.stream_hash && a.samples == b.samples;
+  if (recorded.queries.size() == replayed.queries.size()) {
+    for (size_t i = 0; i < recorded.queries.size(); ++i) {
+      if (QueryDiverged(recorded.queries[i], replayed.queries[i])) {
+        ++report.queries_diverged;
+        if (recorded.queries[i].result_rows != replayed.queries[i].result_rows) {
+          ++report.results_diverged;
+        }
+      }
+    }
+  } else {
+    report.queries_diverged = std::max(recorded.queries.size(), replayed.queries.size()) -
+                              std::min(recorded.queries.size(), replayed.queries.size());
+  }
+  report.recorded_tiers = a.tiers;
+  report.replayed_tiers = b.tiers;
+  report.tiers_identical = TiersEqual(a.tiers, b.tiers);
+
+  // Merge the two per-fingerprint summary lists (each ascending by structure).
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.fingerprints.size() || j < b.fingerprints.size()) {
+    ReplayFingerprintDiff diff;
+    const bool take_a =
+        j >= b.fingerprints.size() ||
+        (i < a.fingerprints.size() && a.fingerprints[i].structure <= b.fingerprints[j].structure);
+    const bool take_b =
+        i >= a.fingerprints.size() ||
+        (j < b.fingerprints.size() && b.fingerprints[j].structure <= a.fingerprints[i].structure);
+    if (take_a) {
+      const TraceFingerprintSummary& fp = a.fingerprints[i++];
+      diff.structure = fp.structure;
+      diff.name = fp.name;
+      diff.recorded_executions = fp.executions;
+      diff.recorded_execute_cycles = fp.execute_cycles;
+      diff.recorded_p50 = fp.latency_p50;
+      diff.recorded_p95 = fp.latency_p95;
+      diff.recorded_max = fp.latency_max;
+      diff.recorded_top_operator = fp.top_operator;
+      diff.recorded_top_samples = fp.top_operator_samples;
+    }
+    if (take_b) {
+      const TraceFingerprintSummary& fp = b.fingerprints[j++];
+      diff.structure = fp.structure;
+      diff.name = fp.name;
+      diff.replayed_executions = fp.executions;
+      diff.replayed_execute_cycles = fp.execute_cycles;
+      diff.replayed_p50 = fp.latency_p50;
+      diff.replayed_p95 = fp.latency_p95;
+      diff.replayed_max = fp.latency_max;
+      diff.replayed_top_operator = fp.top_operator;
+      diff.replayed_top_samples = fp.top_operator_samples;
+    }
+    report.fingerprints.push_back(std::move(diff));
+  }
+
+  bool fingerprints_identical = a.fingerprints.size() == b.fingerprints.size();
+  for (const ReplayFingerprintDiff& diff : report.fingerprints) {
+    fingerprints_identical = fingerprints_identical && diff.identical();
+  }
+  report.identical = report.knobs_identical && a.queries == b.queries &&
+                     a.completed == b.completed && a.rejected == b.rejected &&
+                     a.timed_out == b.timed_out && a.service_cycles == b.service_cycles &&
+                     a.cache_hits == b.cache_hits && a.cache_misses == b.cache_misses &&
+                     a.patched_hits == b.patched_hits && a.tier_swaps == b.tier_swaps &&
+                     report.streams_identical && report.queries_diverged == 0 &&
+                     report.tiers_identical && fingerprints_identical;
+  return report;
+}
+
+std::string RenderReplayReport(const ReplayReport& report) {
+  std::ostringstream out;
+  out << "replay report: " << (report.identical ? "IDENTICAL" : "DIVERGED")
+      << (report.knobs_identical ? "" : " (what-if knobs active)") << "\n";
+  auto row = [&out](const char* label, uint64_t recorded, uint64_t replayed) {
+    out << StrFormat("  %-16s %12llu -> %12llu%s\n", label,
+                     static_cast<unsigned long long>(recorded),
+                     static_cast<unsigned long long>(replayed),
+                     recorded == replayed ? "" : "  *");
+  };
+  row("queries", report.recorded_queries, report.replayed_queries);
+  row("completed", report.recorded_completed, report.replayed_completed);
+  row("rejected", report.recorded_rejected, report.replayed_rejected);
+  row("timed out", report.recorded_timed_out, report.replayed_timed_out);
+  row("service cycles", report.recorded_cycles, report.replayed_cycles);
+  row("samples", report.recorded_samples, report.replayed_samples);
+  row("cache hits", report.recorded_cache_hits, report.replayed_cache_hits);
+  row("patched hits", report.recorded_patched_hits, report.replayed_patched_hits);
+  row("tier swaps", report.recorded_tier_swaps, report.replayed_tier_swaps);
+  out << "  streams " << (report.streams_identical ? "identical" : "DIVERGED") << ", "
+      << report.queries_diverged << " queries diverged (" << report.results_diverged
+      << " result rows), tier timeline "
+      << (report.tiers_identical ? "identical" : "DIVERGED") << "\n";
+  for (const ReplayFingerprintDiff& fp : report.fingerprints) {
+    out << StrFormat("  fp %016llx %-10s execs %llu->%llu p50 %llu->%llu p95 %llu->%llu top %s",
+                     static_cast<unsigned long long>(fp.structure), fp.name.c_str(),
+                     static_cast<unsigned long long>(fp.recorded_executions),
+                     static_cast<unsigned long long>(fp.replayed_executions),
+                     static_cast<unsigned long long>(fp.recorded_p50),
+                     static_cast<unsigned long long>(fp.replayed_p50),
+                     static_cast<unsigned long long>(fp.recorded_p95),
+                     static_cast<unsigned long long>(fp.replayed_p95),
+                     fp.recorded_top_operator.c_str());
+    if (fp.replayed_top_operator != fp.recorded_top_operator) {
+      out << "->" << fp.replayed_top_operator;
+    }
+    out << (fp.identical() ? "" : "  *") << "\n";
+  }
+  return out.str();
+}
+
+void WriteReplayReportJson(const ReplayReport& report, std::ostream& out) {
+  out << "{\n";
+  out << "  \"identical\": " << (report.identical ? "true" : "false") << ",\n";
+  out << "  \"knobs_identical\": " << (report.knobs_identical ? "true" : "false") << ",\n";
+  out << "  \"session_multiplier\": " << report.session_multiplier << ",\n";
+  auto pair = [&out](const char* key, uint64_t recorded, uint64_t replayed) {
+    out << "  \"" << key << "\": {\"recorded\": " << recorded << ", \"replayed\": " << replayed
+        << "},\n";
+  };
+  pair("queries", report.recorded_queries, report.replayed_queries);
+  pair("completed", report.recorded_completed, report.replayed_completed);
+  pair("rejected", report.recorded_rejected, report.replayed_rejected);
+  pair("timed_out", report.recorded_timed_out, report.replayed_timed_out);
+  pair("service_cycles", report.recorded_cycles, report.replayed_cycles);
+  pair("samples", report.recorded_samples, report.replayed_samples);
+  pair("cache_hits", report.recorded_cache_hits, report.replayed_cache_hits);
+  pair("patched_hits", report.recorded_patched_hits, report.replayed_patched_hits);
+  pair("tier_swaps", report.recorded_tier_swaps, report.replayed_tier_swaps);
+  out << "  \"streams_identical\": " << (report.streams_identical ? "true" : "false") << ",\n";
+  out << "  \"queries_diverged\": " << report.queries_diverged << ",\n";
+  out << "  \"results_diverged\": " << report.results_diverged << ",\n";
+  out << "  \"tiers_identical\": " << (report.tiers_identical ? "true" : "false") << ",\n";
+  out << "  \"fingerprints\": [";
+  for (size_t i = 0; i < report.fingerprints.size(); ++i) {
+    const ReplayFingerprintDiff& fp = report.fingerprints[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"structure\": ";
+    AppendJsonString(StrFormat("%016llx", static_cast<unsigned long long>(fp.structure)), out);
+    out << ", \"name\": ";
+    AppendJsonString(fp.name, out);
+    out << ", \"identical\": " << (fp.identical() ? "true" : "false")
+        << ", \"executions\": [" << fp.recorded_executions << ", " << fp.replayed_executions
+        << "], \"execute_cycles\": [" << fp.recorded_execute_cycles << ", "
+        << fp.replayed_execute_cycles << "], \"p50\": [" << fp.recorded_p50 << ", "
+        << fp.replayed_p50 << "], \"p95\": [" << fp.recorded_p95 << ", " << fp.replayed_p95
+        << "], \"max\": [" << fp.recorded_max << ", " << fp.replayed_max
+        << "], \"top_operator\": [";
+    AppendJsonString(fp.recorded_top_operator, out);
+    out << ", ";
+    AppendJsonString(fp.replayed_top_operator, out);
+    out << "], \"top_samples\": [" << fp.recorded_top_samples << ", " << fp.replayed_top_samples
+        << "]}";
+  }
+  out << (report.fingerprints.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+}
+
+}  // namespace dfp

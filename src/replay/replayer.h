@@ -1,0 +1,149 @@
+// Replayer and what-if harness: the playback half of fleet record/replay.
+//
+// ReplayTrace reconstructs a recorded workload against a fresh QueryService: each recorded
+// submission is rebuilt by cloning its structural fingerprint's plan template, re-binding the
+// recorded literal bindings (src/tiering/literals.h BindLiterals), and re-finalizing — then
+// submitted with the recorded weight and deadline at the recorded Drain() boundaries. The
+// replay itself runs through a TraceRecorder, so it produces a second WorkloadTrace built by
+// the exact code path that produced the first; DiffTraces turns the pair into a ReplayReport.
+//
+// Determinism contract (DESIGN.md §2f): the service is a pure function of (config, submission
+// sequence). Replaying an unmodified build with identity knobs therefore reproduces the
+// recording bit for bit — byte-identical sample streams, identical service profiles, identical
+// tier timelines, an all-zero diff. Any deviation is a real behavior change, which is what the
+// differential replay tests and the replay-smoke CI job detect.
+//
+// What-if knobs answer capacity questions against recorded traffic without touching
+// production: "what breaks at 10x sessions?" is session_multiplier = 10 (admission rejections
+// appear in the report); scheduler policy, tier break-even, cache budget, and governor budget
+// can be overridden the same way.
+#ifndef DFP_SRC_REPLAY_REPLAYER_H_
+#define DFP_SRC_REPLAY_REPLAYER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/replay/trace.h"
+
+namespace dfp {
+
+// Overrides applied on top of a trace's recorded knobs. Zero / -1 = keep the recorded value.
+struct WhatIfKnobs {
+  // Load scaling: submit every recorded query this many times (same plan, same literals,
+  // back to back at its recorded schedule position). Queue overflow then rejects naturally.
+  uint32_t session_multiplier = 1;
+  int scheduler = -1;                // SchedulerPolicy underlying value; -1 = recorded.
+  uint32_t max_active_sessions = 0;  // 0 = recorded.
+  uint32_t queue_depth = 0;          // 0 = recorded.
+  uint32_t workers = 0;              // 0 = recorded.
+  int tiering_enabled = -1;          // -1 = recorded, 0/1 = force off/on.
+  double break_even_ratio = 0;       // 0 = recorded.
+  uint64_t code_budget_bytes = 0;    // 0 = recorded.
+  int governor_enabled = -1;         // -1 = recorded, 0/1 = force off/on.
+  double governor_budget = 0;        // 0 = recorded.
+
+  // True when every field keeps the recorded value — the zero-diff contract applies.
+  bool IsIdentity() const;
+};
+
+// The service configuration a replay will run under: the trace's recorded knobs with `knobs`
+// overrides applied. Exposed so callers can size the Database (extra_bytes must cover
+// ServiceArenaBytes of this config) before calling ReplayTrace.
+ServiceConfig ReplayServiceConfig(const WorkloadTrace& trace, const WhatIfKnobs& knobs = {});
+
+struct ReplayOptions {
+  WhatIfKnobs knobs;
+  // Retain each replayed query's serialized sample stream (byte-identity diffing).
+  bool keep_streams = false;
+};
+
+// One finished replay: the replayed run's own trace (recorded through the same TraceRecorder
+// path), plus the rendered service views the differential tests compare textually.
+struct ReplayRun {
+  WorkloadTrace trace;
+  std::string service_profile_text;  // WriteServiceProfile of the replay service.
+  std::string tier_timeline_text;    // RenderTierTimeline of the replay service.
+  std::vector<std::string> sample_streams;  // Per replayed query; filled when keep_streams.
+};
+
+// Replays `trace` against `db`. Throws dfp::Error when the catalog version does not match the
+// recording, when a plan template is missing or malformed, or when a rebuilt plan's
+// fingerprint disagrees with the recorded one (corrupt or mismatched trace).
+ReplayRun ReplayTrace(Database& db, const WorkloadTrace& trace,
+                      const ReplayOptions& options = {});
+
+// Per-fingerprint recorded-vs-replayed comparison (latency quantiles, execution counts, top
+// operator attribution). A fingerprint appearing on only one side gets zeros on the other.
+struct ReplayFingerprintDiff {
+  uint64_t structure = 0;
+  std::string name;
+  uint64_t recorded_executions = 0;
+  uint64_t replayed_executions = 0;
+  uint64_t recorded_execute_cycles = 0;
+  uint64_t replayed_execute_cycles = 0;
+  uint64_t recorded_p50 = 0;
+  uint64_t replayed_p50 = 0;
+  uint64_t recorded_p95 = 0;
+  uint64_t replayed_p95 = 0;
+  uint64_t recorded_max = 0;
+  uint64_t replayed_max = 0;
+  std::string recorded_top_operator;
+  std::string replayed_top_operator;
+  uint64_t recorded_top_samples = 0;
+  uint64_t replayed_top_samples = 0;
+
+  bool identical() const;
+};
+
+// The recorded-vs-replayed diff. `identical` is the zero-diff gate: every compared quantity —
+// per-query outcomes and metrics, stream hashes, throughput, cache stats, tier timeline, and
+// every fingerprint row — matched exactly.
+struct ReplayReport {
+  bool identical = false;
+  bool knobs_identical = false;  // False for any what-if run, by construction.
+  uint32_t session_multiplier = 1;
+  uint64_t recorded_queries = 0;
+  uint64_t replayed_queries = 0;
+  uint64_t recorded_completed = 0;
+  uint64_t replayed_completed = 0;
+  uint64_t recorded_rejected = 0;
+  uint64_t replayed_rejected = 0;
+  uint64_t recorded_timed_out = 0;
+  uint64_t replayed_timed_out = 0;
+  uint64_t recorded_cycles = 0;   // Service clock after the final drain.
+  uint64_t replayed_cycles = 0;
+  uint64_t recorded_samples = 0;
+  uint64_t replayed_samples = 0;
+  uint64_t recorded_cache_hits = 0;
+  uint64_t replayed_cache_hits = 0;
+  uint64_t recorded_patched_hits = 0;
+  uint64_t replayed_patched_hits = 0;
+  uint64_t recorded_tier_swaps = 0;
+  uint64_t replayed_tier_swaps = 0;
+  // Streams: the chained per-query stream hash matched (vacuously false when query counts
+  // differ — a scaled what-if run compares throughput, not streams).
+  bool streams_identical = false;
+  // Seq-by-seq divergences, counted only when both sides saw the same query count.
+  uint64_t queries_diverged = 0;
+  uint64_t results_diverged = 0;  // Subset of the above: result row counts differed.
+  TierTimelineTotals recorded_tiers;
+  TierTimelineTotals replayed_tiers;
+  bool tiers_identical = false;
+  std::vector<ReplayFingerprintDiff> fingerprints;  // Ascending by structure.
+};
+
+ReplayReport DiffTraces(const WorkloadTrace& recorded, const WorkloadTrace& replayed);
+
+// Human-readable rendering of the report.
+std::string RenderReplayReport(const ReplayReport& report);
+
+// Deterministic JSON (fixed key order; integers, booleans, and escaped strings only) — the
+// replay-smoke CI job diffs two of these byte for byte.
+void WriteReplayReportJson(const ReplayReport& report, std::ostream& out);
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_REPLAY_REPLAYER_H_

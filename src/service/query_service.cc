@@ -8,6 +8,7 @@
 #include "src/engine/codegen.h"
 #include "src/plan/physical.h"
 #include "src/profiling/reports.h"
+#include "src/replay/recorder.h"
 #include "src/tiering/patch.h"
 #include "src/util/check.h"
 
@@ -128,13 +129,27 @@ TicketId QueryService::Submit(PhysicalOpPtr plan, std::string name, uint64_t dea
   if (queue_.size() >= config_.queue_depth) {
     ticket->status = TicketStatus::kRejected;
     tickets_.push_back(std::move(ticket));
+    if (recorder_ != nullptr) {
+      // `plan` is still alive on the rejected path; the recorder captures the submission so a
+      // replay reproduces the same queue pressure (and the same rejection).
+      recorder_->OnSubmit(*tickets_.back(), *plan, ServiceNowCycles());
+    }
     return tickets_.back()->id;
   }
   ticket->pending_plan = std::move(plan);
   ticket->status = TicketStatus::kQueued;
   queue_.push_back(ticket->id);
   tickets_.push_back(std::move(ticket));
+  if (recorder_ != nullptr) {
+    recorder_->OnSubmit(*tickets_.back(), *tickets_.back()->pending_plan, ServiceNowCycles());
+  }
   return tickets_.back()->id;
+}
+
+void QueryService::AttachRecorder(TraceRecorder& recorder) {
+  DFP_CHECK(tickets_.empty());
+  recorder.OnAttach(config_, db_.catalog_version(), ServiceNowCycles());
+  recorder_ = &recorder;
 }
 
 void QueryService::ChargeSerialWork(uint64_t cycles) {
@@ -282,6 +297,9 @@ bool QueryService::StepSession(ActiveSession& session) {
     ticket.execute_cycles = session.run->WallCycles();
     ticket.completed_at_cycles = ServiceNowCycles();
     ticket.session.reset();
+    if (recorder_ != nullptr) {
+      recorder_->OnCompletion(ticket);
+    }
     return true;
   }
   if (!session.run->done()) {
@@ -344,6 +362,9 @@ bool QueryService::StepSession(ActiveSession& session) {
                               "tier " + HexKey(ticket.fingerprint.structure) +
                                   " baseline optimized decided"});
     }
+  }
+  if (recorder_ != nullptr) {
+    recorder_->OnCompletion(ticket);
   }
   return true;
 }
@@ -413,6 +434,9 @@ void QueryService::ProcessRecompiles(bool final) {
 }
 
 void QueryService::Drain() {
+  if (recorder_ != nullptr) {
+    recorder_->OnDrain(static_cast<uint32_t>(tickets_.size()));
+  }
   while (!queue_.empty() || !active_.empty()) {
     while (active_.size() < config_.max_active_sessions && !queue_.empty()) {
       if (!Admit(queue_.front())) {

@@ -59,6 +59,8 @@
 
 namespace dfp {
 
+class TraceRecorder;  // src/replay/recorder.h — capture half of fleet record/replay.
+
 // Private session regions are placed congruent to the engine's shared regions modulo this
 // stride: 512 KiB is one L3 way span (8 MiB / 16 ways) and a multiple of the L1 (4 KiB) and L2
 // (64 KiB) way spans, so an address and its session-region twin map to the same set in every
@@ -209,6 +211,13 @@ class QueryService {
   // the destructor, so a service with a state path persists on shutdown by default.
   void SaveState() const;
 
+  // Attaches a workload-trace recorder (src/replay/): every subsequent Submit, completion, and
+  // Drain boundary is captured. Must be called on a fresh service — before the first Submit and
+  // with a zero service clock — so a replay from sequence start reproduces the recording
+  // exactly; the recorder throws otherwise. The caller owns the recorder and must keep it
+  // alive for the service's lifetime.
+  void AttachRecorder(TraceRecorder& recorder);
+
   // Service clock: the busiest lane's cumulative cycles (lanes run concurrently, so this is the
   // simulated elapsed time of everything served so far).
   uint64_t ServiceNowCycles() const;
@@ -259,6 +268,7 @@ class QueryService {
   std::vector<RecompileJob> recompile_jobs_;  // FIFO; background lane is serial.
   uint64_t recompile_lane_busy_cycles_ = 0;   // Background lane's busy-until mark.
   std::vector<SampleStreamEvent> tier_events_;
+  TraceRecorder* recorder_ = nullptr;  // Not owned; null when not recording.
 };
 
 }  // namespace dfp

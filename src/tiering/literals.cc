@@ -1,6 +1,9 @@
 #include "src/tiering/literals.h"
 
+#include <string>
+
 #include "src/ir/instr.h"
+#include "src/util/check.h"
 
 namespace dfp {
 namespace {
@@ -74,6 +77,67 @@ struct LiteralWalker {
   }
 };
 
+// Mirrors LiteralWalker (and therefore FingerprintBuilder), writing payloads instead of
+// collecting them. Kind checks fire on any trace/plan divergence.
+struct LiteralBinder {
+  const std::vector<LiteralBinding>* bindings = nullptr;
+  size_t next = 0;
+
+  const LiteralBinding& Take(LiteralBinding::Kind kind) {
+    if (next >= bindings->size()) {
+      throw Error("literal bindings exhausted: plan has more literal slots than the trace");
+    }
+    const LiteralBinding& binding = (*bindings)[next++];
+    if (binding.kind != kind) {
+      throw Error("literal binding kind mismatch at slot " + std::to_string(next - 1));
+    }
+    return binding;
+  }
+
+  void BindExpr(Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kLiteral:
+        expr.literal = Take(LiteralBinding::Kind::kValue).value;
+        break;
+      case ExprKind::kLike:
+        expr.pattern = Take(LiteralBinding::Kind::kPattern).pattern;
+        break;
+      case ExprKind::kInList:
+        for (int64_t& candidate : expr.list) {
+          candidate = Take(LiteralBinding::Kind::kValue).value;
+        }
+        break;
+      default:
+        break;
+    }
+    for (auto& [condition, value] : expr.whens) {
+      BindExpr(*condition);
+      BindExpr(*value);
+    }
+    if (expr.left != nullptr) {
+      BindExpr(*expr.left);
+    }
+    if (expr.right != nullptr) {
+      BindExpr(*expr.right);
+    }
+    if (expr.else_value != nullptr) {
+      BindExpr(*expr.else_value);
+    }
+  }
+
+  void BindOp(PhysicalOp& op) {
+    if (op.limit >= 0) {
+      op.limit = Take(LiteralBinding::Kind::kLimit).value;
+    }
+    for (ExprPtr& expr : op.exprs) {
+      BindExpr(*expr);
+    }
+    for (auto& child : op.children) {
+      BindOp(*child);
+    }
+  }
+};
+
 }  // namespace
 
 uint32_t PlanLiterals::SlotOf(const Expr& expr) const {
@@ -102,6 +166,16 @@ bool PatchCompatible(const PlanLiterals& cached, const PlanLiterals& incoming) {
     }
   }
   return true;
+}
+
+void BindLiterals(PhysicalOp& root, const std::vector<LiteralBinding>& bindings) {
+  LiteralBinder binder;
+  binder.bindings = &bindings;
+  binder.BindOp(root);
+  if (binder.next != bindings.size()) {
+    throw Error("literal bindings left over: trace carries " + std::to_string(bindings.size()) +
+                " slots, plan has " + std::to_string(binder.next));
+  }
 }
 
 }  // namespace dfp

@@ -60,6 +60,15 @@ PlanLiterals ExtractLiterals(const PhysicalOp& root);
 // agreeing on (structure, pinned) fingerprint halves; checked defensively anyway.)
 bool PatchCompatible(const PlanLiterals& cached, const PlanLiterals& incoming);
 
+// Rewrites `root`'s literal payloads in place so a subsequent ExtractLiterals(root) yields
+// exactly `bindings`. This is the tree-level counterpart of PatchCachedPlan: the replayer
+// (src/replay/) rebinds a cloned plan template to a recorded query's literals *before*
+// compilation, so — unlike machine-code patching — pinned LIMIT counts are rewritten too
+// (FinalizePlan then re-derives the row bounds they cap). Throws dfp::Error when `bindings`
+// does not match the plan's slot layout (count or kind mismatch), which indicates a corrupt or
+// mismatched trace rather than a programming error.
+void BindLiterals(PhysicalOp& root, const std::vector<LiteralBinding>& bindings);
+
 }  // namespace dfp
 
 #endif  // DFP_SRC_TIERING_LITERALS_H_

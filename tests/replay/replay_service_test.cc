@@ -1,0 +1,262 @@
+// Differential replay tests: recording a mixed warm/cold/tiered workload and replaying it on
+// the same build must reproduce every observation — byte-identical sample streams, identical
+// service-profile text, identical tier timelines, an all-zero ReplayReport. What-if knobs must
+// flag exactly their intended delta, and scaled replays must degrade through admission
+// control, not crashes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/replay/recorder.h"
+#include "src/replay/replayer.h"
+#include "src/replay/trace.h"
+#include "src/service/service_profile.h"
+#include "src/sql/binder.h"
+#include "src/tiering/report.h"
+#include "src/tpch/datagen.h"
+#include "src/tpch/queries.h"
+#include "src/util/check.h"
+
+namespace dfp {
+namespace {
+
+ServiceConfig TestConfig() {
+  ServiceConfig config;
+  config.parallel.workers = 4;
+  config.max_active_sessions = 2;
+  config.session_hashtables_bytes = 32ull << 20;
+  config.session_output_bytes = 16ull << 20;
+  config.session_state_bytes = 512ull * 1024;
+  config.profiling.period = 311;
+  config.tiering.enabled = true;
+  return config;
+}
+
+// Recording and replaying MUST use separate, identically generated databases: the service
+// compiles code and carves session regions out of its database, so replaying into the
+// recording database would shift every address (and therefore every sample stream).
+std::unique_ptr<Database> MakeDb(const ServiceConfig& config) {
+  DatabaseConfig db_config;
+  db_config.extra_bytes = ServiceArenaBytes(config);
+  auto db = std::make_unique<Database>(db_config);
+  TpchOptions options;
+  options.scale = 0.01;
+  GenerateTpch(*db, options);
+  return db;
+}
+
+std::string Q6Variant(double lo, double hi, int quantity) {
+  char buffer[512];
+  std::snprintf(buffer, sizeof(buffer),
+                "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+                "where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01' "
+                "and l_discount between %.2f and %.2f and l_quantity < %d",
+                lo, hi, quantity);
+  return buffer;
+}
+
+struct Recording {
+  WorkloadTrace trace;
+  std::vector<std::string> streams;
+  std::string profile_text;
+  std::string timeline_text;
+};
+
+// Mixed workload: cold distinct structures (q1, q3), a warm exact repeat (q1), and a q6
+// literal family driving parameterized patch hits, baseline-tier compiles, and a background
+// promotion with an atomic swap — every serving mode the replayer must reproduce.
+Recording RecordMixedWorkload(Database& db, const ServiceConfig& config) {
+  QueryService service(db, config);
+  TraceRecorder recorder;
+  recorder.set_keep_streams(true);
+  service.AttachRecorder(recorder);
+
+  service.Submit(BuildQueryPlan(db, FindQuery("q1")), "q1");
+  service.Submit(BuildQueryPlan(db, FindQuery("q3")), "q3");
+  service.Drain();
+
+  service.Submit(BuildQueryPlan(db, FindQuery("q1")), "q1");
+  for (double lo : {0.02, 0.03, 0.04, 0.05}) {
+    service.Submit(PlanSql(db, Q6Variant(lo, lo + 0.02, 24)), "q6");
+  }
+  service.Drain();
+
+  for (double lo : {0.02, 0.03, 0.04}) {
+    service.Submit(PlanSql(db, Q6Variant(lo, lo + 0.02, 24)), "q6");
+  }
+  service.Drain();
+
+  recorder.Finish(service);
+  Recording recording;
+  recording.trace = recorder.trace();
+  recording.streams = recorder.streams();
+  std::ostringstream profile;
+  WriteServiceProfile(service.fleet_profile(), service.windows(), profile);
+  recording.profile_text = profile.str();
+  recording.timeline_text = RenderTierTimeline(service.windows(), service.tier_controller());
+  return recording;
+}
+
+TEST(ReplayServiceTest, ZeroDiffReplayReproducesEveryObservation) {
+  const ServiceConfig config = TestConfig();
+  auto record_db = MakeDb(config);
+  const Recording recording = RecordMixedWorkload(*record_db, config);
+
+  // The workload genuinely mixes serving modes; otherwise the zero-diff claim is hollow.
+  const TraceSummary& summary = recording.trace.summary;
+  EXPECT_EQ(summary.queries, 10u);
+  EXPECT_EQ(summary.completed, 10u);
+  EXPECT_GT(summary.cache_hits, 0u);
+  EXPECT_GT(summary.cache_misses, 0u);
+  EXPECT_GT(summary.patched_hits, 0u);
+  EXPECT_GT(summary.tier_swaps, 0u);
+  EXPECT_GT(summary.samples, 0u);
+
+  // Round-trip through the text format, as a persisted trace would.
+  const std::string text = EncodeTraceText(recording.trace);
+  std::istringstream in(text);
+  const WorkloadTrace parsed = ReadTrace(in);
+  EXPECT_EQ(EncodeTraceText(parsed), text);
+
+  auto replay_db = MakeDb(config);
+  ReplayOptions options;
+  options.keep_streams = true;
+  const ReplayRun run = ReplayTrace(*replay_db, parsed, options);
+
+  const ReplayReport report = DiffTraces(recording.trace, run.trace);
+  EXPECT_TRUE(report.identical) << RenderReplayReport(report);
+  EXPECT_TRUE(report.knobs_identical);
+  EXPECT_TRUE(report.streams_identical);
+  EXPECT_TRUE(report.tiers_identical);
+  EXPECT_EQ(report.queries_diverged, 0u);
+  EXPECT_EQ(report.results_diverged, 0u);
+
+  // Byte-identical sample streams, per query.
+  ASSERT_EQ(run.sample_streams.size(), recording.streams.size());
+  for (size_t i = 0; i < recording.streams.size(); ++i) {
+    EXPECT_FALSE(recording.trace.queries[i].completed && recording.streams[i].empty());
+    EXPECT_EQ(run.sample_streams[i], recording.streams[i]) << "query " << i + 1;
+  }
+  // Identical rendered service views.
+  EXPECT_EQ(run.service_profile_text, recording.profile_text);
+  EXPECT_EQ(run.tier_timeline_text, recording.timeline_text);
+  // The replayed run's own trace re-serializes to the exact recorded text.
+  EXPECT_EQ(EncodeTraceText(run.trace), text);
+}
+
+TEST(ReplayServiceTest, MutatedKnobReplayFlagsIntendedDeltaAndNothingElse) {
+  const ServiceConfig config = TestConfig();
+  auto record_db = MakeDb(config);
+  const Recording recording = RecordMixedWorkload(*record_db, config);
+  ASSERT_GT(recording.trace.summary.tier_swaps, 0u);
+
+  // What-if: disable tiered compilation. The intended delta is the tier ladder disappearing —
+  // no baseline compiles, no swaps, an empty baseline slice in the timeline.
+  auto replay_db = MakeDb(config);
+  ReplayOptions options;
+  options.knobs.tiering_enabled = 0;
+  const ReplayRun run = ReplayTrace(*replay_db, recording.trace, options);
+  const ReplayReport report = DiffTraces(recording.trace, run.trace);
+
+  EXPECT_FALSE(report.identical);
+  EXPECT_FALSE(report.knobs_identical);
+  EXPECT_GT(report.recorded_tier_swaps, 0u);
+  EXPECT_EQ(report.replayed_tier_swaps, 0u);
+  EXPECT_EQ(report.replayed_tiers.baseline_samples, 0u);
+  EXPECT_FALSE(report.tiers_identical);
+
+  // ...and nothing else: same admission outcomes, same completions, same result row counts.
+  EXPECT_EQ(report.replayed_queries, report.recorded_queries);
+  EXPECT_EQ(report.replayed_completed, report.recorded_completed);
+  EXPECT_EQ(report.replayed_rejected, report.recorded_rejected);
+  EXPECT_EQ(report.replayed_timed_out, report.recorded_timed_out);
+  EXPECT_EQ(report.results_diverged, 0u);
+}
+
+TEST(ReplayServiceTest, TenXSessionMultiplierDegradesThroughAdmissionControl) {
+  const ServiceConfig config = TestConfig();
+  auto record_db = MakeDb(config);
+  const Recording recording = RecordMixedWorkload(*record_db, config);
+
+  auto replay_db = MakeDb(config);
+  ReplayOptions options;
+  options.knobs.session_multiplier = 10;
+  const ReplayRun run = ReplayTrace(*replay_db, recording.trace, options);
+  ReplayReport report = DiffTraces(recording.trace, run.trace);
+  report.session_multiplier = options.knobs.session_multiplier;
+
+  EXPECT_FALSE(report.identical);
+  EXPECT_EQ(report.replayed_queries, 10 * report.recorded_queries);
+  // The bounded queue sheds the surplus instead of falling over...
+  EXPECT_GT(report.replayed_rejected, report.recorded_rejected);
+  // ...and everything admitted still finishes.
+  EXPECT_EQ(report.replayed_completed + report.replayed_rejected + report.replayed_timed_out,
+            report.replayed_queries);
+  EXPECT_GT(report.replayed_completed, report.recorded_completed);
+}
+
+TEST(ReplayServiceTest, SchedulerWhatIfKeepsResultsWhileTimingShifts) {
+  const ServiceConfig config = TestConfig();
+  ASSERT_EQ(config.parallel.scheduler, SchedulerPolicy::kWorkStealing);
+  auto record_db = MakeDb(config);
+  const Recording recording = RecordMixedWorkload(*record_db, config);
+
+  auto replay_db = MakeDb(config);
+  ReplayOptions options;
+  options.knobs.scheduler = static_cast<int>(SchedulerPolicy::kCentral);
+  const ReplayRun run = ReplayTrace(*replay_db, recording.trace, options);
+  const ReplayReport report = DiffTraces(recording.trace, run.trace);
+
+  EXPECT_FALSE(report.knobs_identical);
+  EXPECT_EQ(report.replayed_completed, report.recorded_completed);
+  EXPECT_EQ(report.replayed_rejected, report.recorded_rejected);
+  EXPECT_EQ(report.results_diverged, 0u);  // Same values out, whatever the schedule.
+}
+
+TEST(ReplayServiceTest, CatalogVersionMismatchThrows) {
+  const ServiceConfig config = TestConfig();
+  auto record_db = MakeDb(config);
+  const Recording recording = RecordMixedWorkload(*record_db, config);
+
+  auto replay_db = MakeDb(config);
+  WorkloadTrace doctored = recording.trace;
+  doctored.catalog_version += 1;
+  EXPECT_THROW(ReplayTrace(*replay_db, doctored), Error);
+}
+
+TEST(ReplayServiceTest, AttachingRecorderToWarmedServiceThrows) {
+  ServiceConfig config = TestConfig();
+  config.state_path = ::testing::TempDir() + "dfp_replay_attach_test.profile";
+  std::remove(config.state_path.c_str());
+  auto db = MakeDb(config);
+  {
+    QueryService service(*db, config);
+    service.Submit(BuildQueryPlan(*db, FindQuery("q6")), "q6");
+    service.Drain();
+  }  // Destructor persists the service clock.
+
+  // A restarted service resumes a nonzero clock; replay traces must start from zero.
+  auto db2 = MakeDb(config);
+  QueryService warmed(*db2, config);
+  TraceRecorder recorder;
+  EXPECT_THROW(warmed.AttachRecorder(recorder), Error);
+  std::remove(config.state_path.c_str());
+}
+
+TEST(ReplayServiceTest, MissingTemplateThrows) {
+  const ServiceConfig config = TestConfig();
+  auto record_db = MakeDb(config);
+  const Recording recording = RecordMixedWorkload(*record_db, config);
+
+  auto replay_db = MakeDb(config);
+  WorkloadTrace doctored = recording.trace;
+  doctored.templates.clear();
+  EXPECT_THROW(ReplayTrace(*replay_db, doctored), Error);
+}
+
+}  // namespace
+}  // namespace dfp

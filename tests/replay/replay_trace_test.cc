@@ -1,0 +1,338 @@
+// Trace-format unit tests: plan codec round-trips over the whole TPC-H suite, token escaping,
+// serialize->parse->serialize fixed points for seeded random traces, version-token rejection
+// for future versions, and truncated/corrupt-line error paths.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/replay/plan_codec.h"
+#include "src/replay/trace.h"
+#include "src/service/fingerprint.h"
+#include "src/tpch/datagen.h"
+#include "src/tpch/queries.h"
+#include "src/util/check.h"
+
+namespace dfp {
+namespace {
+
+std::unique_ptr<Database> MakeDb() {
+  auto db = std::make_unique<Database>();
+  TpchOptions options;
+  options.scale = 0.01;
+  GenerateTpch(*db, options);
+  return db;
+}
+
+// Deterministic pseudo-random stream for trace fuzzing (no std::random: seeds must reproduce).
+struct Lcg {
+  uint64_t state;
+  explicit Lcg(uint64_t seed) : state(seed) {}
+  uint64_t Next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 11;
+  }
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+};
+
+WorkloadTrace RandomTrace(uint64_t seed) {
+  Lcg rng(seed);
+  WorkloadTrace trace;
+  trace.catalog_version = rng.Below(5);
+  trace.knobs.workers = 1 + static_cast<uint32_t>(rng.Below(8));
+  trace.knobs.scheduler = static_cast<uint8_t>(rng.Below(2));
+  trace.knobs.queue_depth = 1 + static_cast<uint32_t>(rng.Below(32));
+  trace.knobs.tiering_enabled = rng.Below(2) != 0;
+  trace.knobs.break_even_ratio = 0.25 * static_cast<double>(1 + rng.Below(8));
+  trace.knobs.governor_budget = 0.01 * static_cast<double>(1 + rng.Below(5));
+  trace.knobs.compile_costs.base_cycles = rng.Below(1u << 20);
+
+  PlanTemplate tmpl;
+  tmpl.structure = rng.Next();
+  tmpl.name = "tmpl with spaces %";
+  // A syntactically valid single-op plan block (never parsed against a catalog here).
+  tmpl.plan_text = "op 0 1 0 0 0 -1 100 0000000000000000 - % 0 0 0 0 0 0 0\nendplan\n";
+  trace.templates.push_back(tmpl);
+
+  const uint32_t queries = 1 + static_cast<uint32_t>(rng.Below(6));
+  for (uint32_t seq = 1; seq <= queries; ++seq) {
+    TraceQuery q;
+    q.seq = seq;
+    q.name = "q" + std::to_string(rng.Below(22));
+    q.fingerprint.structure = tmpl.structure;
+    q.fingerprint.literals = rng.Next();
+    q.fingerprint.pinned = rng.Next();
+    q.arrival_cycles = rng.Next();
+    q.weight = 1 + static_cast<uint32_t>(rng.Below(4));
+    q.deadline_cycles = rng.Below(2) != 0 ? rng.Next() : 0;
+    // Query 1 is always admitted so every seed's trace carries at least one 'done' line (the
+    // corruption tests rewrite it).
+    q.outcome = (seq > 1 && rng.Below(4) == 0) ? TraceOutcome::kRejected
+                                               : TraceOutcome::kAdmitted;
+    const uint64_t bindings = rng.Below(4);
+    for (uint64_t i = 0; i < bindings; ++i) {
+      LiteralBinding binding;
+      switch (rng.Below(3)) {
+        case 0:
+          binding.kind = LiteralBinding::Kind::kValue;
+          binding.value = static_cast<int64_t>(rng.Next()) - (1ll << 40);
+          break;
+        case 1:
+          binding.kind = LiteralBinding::Kind::kPattern;
+          binding.pattern = "%pat " + std::to_string(rng.Below(100)) + "%";
+          break;
+        default:
+          binding.kind = LiteralBinding::Kind::kLimit;
+          binding.value = static_cast<int64_t>(rng.Below(1000));
+          break;
+      }
+      q.literals.push_back(std::move(binding));
+    }
+    trace.events.push_back({TraceEvent::Kind::kQuery, seq});
+    if (q.outcome == TraceOutcome::kAdmitted) {
+      q.completed = true;
+      q.status = rng.Below(8) == 0 ? 4 : 2;  // kTimedOut : kDone.
+      q.cache_hit = rng.Below(2) != 0;
+      q.tier = static_cast<uint8_t>(rng.Below(2));
+      q.patched_sites = rng.Below(10);
+      q.compile_cycles = rng.Next();
+      q.execute_cycles = rng.Next();
+      q.completed_at_cycles = rng.Next();
+      q.result_rows = rng.Below(10000);
+      q.samples = rng.Below(5000);
+      q.stream_hash = rng.Next();
+    }
+    trace.queries.push_back(std::move(q));
+    if (trace.queries.back().completed) {
+      trace.events.push_back({TraceEvent::Kind::kDone, seq});
+    }
+    if (rng.Below(3) == 0) {
+      trace.events.push_back({TraceEvent::Kind::kDrain, seq});
+    }
+  }
+  trace.events.push_back({TraceEvent::Kind::kDrain, queries});
+
+  TraceSummary& s = trace.summary;
+  s.queries = queries;
+  for (const TraceQuery& q : trace.queries) {
+    if (q.outcome == TraceOutcome::kRejected) {
+      ++s.rejected;
+    } else if (q.status == 4) {
+      ++s.timed_out;
+    } else {
+      ++s.completed;
+    }
+    s.samples += q.samples;
+  }
+  s.service_cycles = rng.Next();
+  s.cache_hits = rng.Below(100);
+  s.cache_misses = rng.Below(100);
+  s.patched_hits = rng.Below(100);
+  s.tier_swaps = rng.Below(10);
+  s.stream_hash = rng.Next();
+  s.tiers.samples = rng.Below(100000);
+  s.tiers.baseline_samples = rng.Below(s.tiers.samples + 1);
+  s.tiers.optimized_samples = s.tiers.samples - s.tiers.baseline_samples;
+  s.tiers.transitions = rng.Below(5);
+  s.tiers.swapped = rng.Below(s.tiers.transitions + 1);
+  TraceFingerprintSummary fp;
+  fp.structure = tmpl.structure;
+  fp.name = "q6";
+  fp.executions = rng.Below(50);
+  fp.execute_cycles = rng.Next();
+  fp.latency_p50 = rng.Next();
+  fp.latency_p95 = rng.Next();
+  fp.latency_max = rng.Next();
+  fp.top_operator = "scan lineitem";
+  fp.top_operator_samples = rng.Below(10000);
+  s.fingerprints.push_back(std::move(fp));
+  return trace;
+}
+
+TEST(PlanCodecTest, TokenRoundTripAndEdgeCases) {
+  const std::vector<std::string> cases = {
+      "",      "plain",          "two words",  "tab\there", "new\nline",
+      "100%",  "%%",             " leading",   "trailing ", std::string(1, '\0'),
+      "\x01\x7f mixed \x1f end", "q6_variant", "%",
+  };
+  for (const std::string& text : cases) {
+    const std::string token = EncodeToken(text);
+    EXPECT_EQ(token.find(' '), std::string::npos) << token;
+    EXPECT_EQ(token.find('\t'), std::string::npos) << token;
+    EXPECT_EQ(token.find('\n'), std::string::npos) << token;
+    EXPECT_EQ(DecodeToken(token), text);
+  }
+  EXPECT_EQ(EncodeToken(""), "%");
+  EXPECT_EQ(DecodeToken("%"), "");
+  EXPECT_THROW(DecodeToken("bad%"), Error);     // Truncated escape.
+  EXPECT_THROW(DecodeToken("bad%2"), Error);    // One hex digit short.
+  EXPECT_THROW(DecodeToken("bad%zz"), Error);   // Non-hex escape.
+}
+
+TEST(PlanCodecTest, EveryTpchPlanRoundTripsWithIdenticalFingerprint) {
+  auto db = MakeDb();
+  for (const QuerySpec& spec : TpchQuerySuite()) {
+    PhysicalOpPtr original = BuildQueryPlan(*db, spec);
+    const PlanFingerprint before = FingerprintPlan(*original, db->catalog_version());
+    const std::string text = EncodePlanText(*original);
+
+    PhysicalOpPtr parsed = ParsePlanText(text, *db);
+    const PlanFingerprint after = FingerprintPlan(*parsed, db->catalog_version());
+    EXPECT_EQ(before.structure, after.structure) << spec.name;
+    EXPECT_EQ(before.literals, after.literals) << spec.name;
+    EXPECT_EQ(before.pinned, after.pinned) << spec.name;
+
+    // Serialization is a fixed point: re-encoding the parsed plan is byte-identical.
+    EXPECT_EQ(EncodePlanText(*parsed), text) << spec.name;
+  }
+}
+
+TEST(PlanCodecTest, MalformedPlansThrow) {
+  auto db = MakeDb();
+  PhysicalOpPtr plan = BuildQueryPlan(*db, FindQuery("q6"));
+  const std::string text = EncodePlanText(*plan);
+
+  // Truncation at every line boundary must throw, never crash or mis-parse.
+  size_t newlines = 0;
+  for (size_t pos = 0; pos < text.size(); ++pos) {
+    if (text[pos] != '\n' || pos + 1 == text.size()) {
+      continue;
+    }
+    ++newlines;
+    EXPECT_THROW(ParsePlanText(text.substr(0, pos + 1), *db), Error) << "line " << newlines;
+  }
+  ASSERT_GT(newlines, 2u);
+
+  EXPECT_THROW(ParsePlanText("nonsense 1 2 3\n", *db), Error);
+  // Unknown table name.
+  std::string bad = text;
+  const size_t at = bad.find("lineitem");
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 8, "notatable");
+  EXPECT_THROW(ParsePlanText(bad, *db), Error);
+  // Out-of-range enum value.
+  EXPECT_THROW(ParsePlanText("op 250 1 0 0 0 -1 0 0000000000000000 - % 0 0 0 0 0 0 0\nendplan\n",
+                             *db),
+               Error);
+  // Trailing tokens on an otherwise valid line.
+  EXPECT_THROW(
+      ParsePlanText("op 0 1 0 0 0 -1 0 0000000000000000 - % 0 0 0 0 0 0 0 junk\nendplan\n", *db),
+      Error);
+  // Missing endplan terminator.
+  EXPECT_THROW(ParsePlanText("op 0 1 0 0 0 -1 0 0000000000000000 - % 0 0 0 0 0 0 0\n", *db),
+               Error);
+}
+
+TEST(TraceFormatTest, SeededRandomTracesReachSerializationFixedPoint) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const WorkloadTrace original = RandomTrace(seed);
+    const std::string text = EncodeTraceText(original);
+
+    std::istringstream in(text);
+    const WorkloadTrace parsed = ReadTrace(in);
+
+    // parse(write(t)) preserves everything write serializes...
+    EXPECT_TRUE(parsed.knobs == original.knobs) << "seed " << seed;
+    ASSERT_EQ(parsed.queries.size(), original.queries.size()) << "seed " << seed;
+    ASSERT_EQ(parsed.events.size(), original.events.size()) << "seed " << seed;
+    for (size_t i = 0; i < parsed.queries.size(); ++i) {
+      EXPECT_EQ(parsed.queries[i].literals, original.queries[i].literals)
+          << "seed " << seed << " query " << i;
+      EXPECT_EQ(parsed.queries[i].stream_hash, original.queries[i].stream_hash);
+      EXPECT_EQ(parsed.queries[i].arrival_cycles, original.queries[i].arrival_cycles);
+    }
+    // ...and write(parse(text)) == text: the canonical form is a fixed point.
+    EXPECT_EQ(EncodeTraceText(parsed), text) << "seed " << seed;
+  }
+}
+
+TEST(TraceFormatTest, FutureVersionsAreRejected) {
+  const WorkloadTrace trace = RandomTrace(7);
+  std::string text = EncodeTraceText(trace);
+  ASSERT_EQ(text.rfind("# dfp trace v1\n", 0), 0u);
+
+  for (const std::string version : {"2", "17", "999"}) {
+    std::string future = "# dfp trace v" + version + text.substr(text.find('\n'));
+    std::istringstream in(future);
+    try {
+      ReadTrace(in);
+      FAIL() << "v" << version << " accepted";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("newer"), std::string::npos) << e.what();
+    }
+  }
+  // Non-trace input is rejected up front.
+  std::istringstream not_a_trace("# dfp samples v4\n");
+  EXPECT_THROW(ReadTrace(not_a_trace), Error);
+  std::istringstream empty("");
+  EXPECT_THROW(ReadTrace(empty), Error);
+}
+
+TEST(TraceFormatTest, TruncationAndCorruptionThrow) {
+  const WorkloadTrace trace = RandomTrace(11);
+  const std::string text = EncodeTraceText(trace);
+
+  // Truncation at every line boundary (dropping the rest of the file) must throw: the 'end'
+  // marker, the summary block, or a mid-stream line will be missing.
+  for (size_t pos = text.find('\n'); pos + 1 < text.size(); pos = text.find('\n', pos + 1)) {
+    std::istringstream in(text.substr(0, pos + 1));
+    EXPECT_THROW(ReadTrace(in), Error);
+  }
+
+  // Corrupt individual lines.
+  auto corrupt = [&text](const std::string& from, const std::string& to) {
+    std::string bad = text;
+    const size_t at = bad.find(from);
+    EXPECT_NE(at, std::string::npos) << from;
+    bad.replace(at, from.size(), to);
+    std::istringstream in(bad);
+    EXPECT_THROW(ReadTrace(in), Error) << from << " -> " << to;
+  };
+  corrupt("catalog ", "catalog notanumber");
+  corrupt("\nknobs ", "\nknobs 4 bogus ");
+  corrupt("\nsummary ", "\nbogus_keyword ");
+  corrupt("\nquery 1 ", "\nquery 99 ");   // Out-of-order seq.
+  corrupt("\ndone 1 ", "\ndone 9999 ");   // Unknown seq reference.
+  corrupt("\nend\n", "\n");               // Missing end marker.
+}
+
+TEST(TraceFormatTest, KnobsRoundTripThroughServiceConfig) {
+  ServiceConfig config;
+  config.parallel.workers = 7;
+  config.parallel.scheduler = SchedulerPolicy::kCentral;
+  config.max_active_sessions = 5;
+  config.queue_depth = 42;
+  config.profiling.period = 917;
+  config.profiling.packed_tags = true;
+  config.continuous.governor.enabled = true;
+  config.continuous.governor.overhead_budget = 0.035;
+  config.tiering.enabled = true;
+  config.tiering.break_even_ratio = 2.5;
+  config.tiering.min_executions = 3;
+  config.compile_costs.patch_per_site_cycles = 1234;
+
+  const TraceKnobs knobs = CaptureKnobs(config);
+  const ServiceConfig rebuilt = ApplyKnobs(knobs);
+  EXPECT_TRUE(CaptureKnobs(rebuilt) == knobs);
+  EXPECT_EQ(rebuilt.parallel.workers, 7u);
+  EXPECT_EQ(rebuilt.parallel.scheduler, SchedulerPolicy::kCentral);
+  EXPECT_EQ(rebuilt.queue_depth, 42u);
+  EXPECT_EQ(rebuilt.profiling.period, 917u);
+  EXPECT_TRUE(rebuilt.profiling.packed_tags);
+  EXPECT_EQ(rebuilt.continuous.governor.overhead_budget, 0.035);
+  EXPECT_EQ(rebuilt.tiering.break_even_ratio, 2.5);
+  EXPECT_EQ(rebuilt.tiering.min_executions, 3u);
+  EXPECT_EQ(rebuilt.compile_costs.patch_per_site_cycles, 1234u);
+}
+
+TEST(TraceFormatTest, Fnv1a64MatchesReferenceVectors) {
+  // Reference values of the 64-bit FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+}  // namespace
+}  // namespace dfp

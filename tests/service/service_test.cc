@@ -457,6 +457,69 @@ TEST(QueryServiceTest, RestartedServiceResumesRegressionDetection) {
   std::remove(config.state_path.c_str());
 }
 
+// Deferred-patch ordering under back-to-back admits of the same structure with alternating
+// literals (the schedule a trace replay drives hardest): a ticket whose admission would patch
+// an entry that an in-flight session is still executing must wait at the queue head until that
+// session drains, then patch and run — and every result must match the same query run alone.
+TEST(QueryServiceTest, DeferredPatchDrainsBlockerThenPatches) {
+  ServiceConfig config = TestConfig();
+  config.tiering.enabled = true;
+
+  auto variant = [](double lo, int quantity) {
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+                  "where l_shipdate >= date '1994-01-01' and l_shipdate < date '1995-01-01' "
+                  "and l_discount between %.2f and %.2f and l_quantity < %d",
+                  lo, lo + 0.02, quantity);
+    return std::string(buffer);
+  };
+
+  // Solo reference results, each variant alone on a fresh service.
+  auto solo = [&config, &variant](double lo, int quantity) {
+    auto db = MakeDb(config);
+    QueryService service(*db, config);
+    const TicketId id = service.Submit(PlanSql(*db, variant(lo, quantity)), "q6");
+    service.Drain();
+    return service.ticket(id).result;
+  };
+  const Result solo_x = solo(0.05, 24);
+  const Result solo_y = solo(0.02, 24);
+
+  // Back-to-back batch: X, Y, X' — same structure, alternating literal bindings, submitted
+  // before any admission so the deferral path (not a warm queue) decides the ordering.
+  auto db = MakeDb(config);
+  QueryService service(*db, config);
+  const TicketId a = service.Submit(PlanSql(*db, variant(0.05, 24)), "q6");
+  const TicketId b = service.Submit(PlanSql(*db, variant(0.02, 24)), "q6");
+  const TicketId c = service.Submit(PlanSql(*db, variant(0.05, 24)), "q6");
+  service.Drain();
+
+  // a compiles cold; b needs the entry re-bound while a is executing it, so its admission
+  // defers until a drains; c defers behind b the same way. Everyone completes.
+  EXPECT_EQ(service.ticket(a).status, TicketStatus::kDone);
+  EXPECT_EQ(service.ticket(b).status, TicketStatus::kDone);
+  EXPECT_EQ(service.ticket(c).status, TicketStatus::kDone);
+  EXPECT_FALSE(service.ticket(a).cache_hit);
+  EXPECT_TRUE(service.ticket(b).cache_hit);
+  EXPECT_TRUE(service.ticket(c).cache_hit);
+  EXPECT_GT(service.ticket(b).patched_sites, 0u);
+  EXPECT_GT(service.ticket(c).patched_sites, 0u);
+  EXPECT_EQ(service.plan_cache().stats().patched_hits, 2u);
+
+  // Drain-then-patch must be invisible to values: each ticket matches its solo run even though
+  // the shared entry was re-bound twice mid-batch.
+  std::string diff;
+  EXPECT_TRUE(Result::Equivalent(service.ticket(a).result, solo_x, true, &diff)) << diff;
+  EXPECT_TRUE(Result::Equivalent(service.ticket(b).result, solo_y, true, &diff)) << diff;
+  EXPECT_TRUE(Result::Equivalent(service.ticket(c).result, solo_x, true, &diff)) << diff;
+
+  // The deferral actually happened: with two free slots and three queued tickets, a lone
+  // admission per sweep is only explained by the quiescence check holding b (then c) back.
+  EXPECT_EQ(service.ticket(b).completed_at_cycles > service.ticket(a).completed_at_cycles, true);
+  EXPECT_EQ(service.ticket(c).completed_at_cycles > service.ticket(b).completed_at_cycles, true);
+}
+
 TEST(QueryServiceTest, DrainIsDeterministic) {
   ServiceConfig config = TestConfig();
   auto run_once = [&config]() {
