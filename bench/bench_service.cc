@@ -22,6 +22,7 @@
 #include <sstream>
 
 #include "bench/common.h"
+#include "src/critpath/report.h"
 #include "src/profiling/reports.h"
 #include "src/replay/recorder.h"
 #include "src/replay/replayer.h"
@@ -186,6 +187,31 @@ int Main() {
               rankings_agree ? "agree [ok]" : "[FAIL]");
 
   std::printf("\n%s\n", service.windows().Render().c_str());
+
+  // --- Critical-path analysis: which pipeline gates each plan's latency, and why ---
+  std::printf("--- Critical-path analysis ---\n");
+  std::printf("%s\n", RenderCriticalPath(service.criticality()).c_str());
+  uint64_t critpath_critical_cycles = 0;
+  uint64_t critpath_wall_cycles = 0;
+  uint64_t critpath_label_counts[kBottleneckLabels] = {};
+  bool critpath_ok = !service.criticality().plans().empty();
+  for (const auto& [fingerprint, plan] : service.criticality().plans()) {
+    (void)fingerprint;
+    critpath_critical_cycles += plan.critical_work_cycles;
+    critpath_wall_cycles += plan.wall_cycles;
+    for (int label = 0; label < kBottleneckLabels; ++label) {
+      critpath_label_counts[label] += plan.label_counts[label];
+    }
+    // Every served plan must carry a critical path and a top pipeline that owns a nonzero
+    // share of it — a zero here means the DAG reconstruction lost the schedule.
+    critpath_ok = critpath_ok && plan.executions > 0 && plan.critical_work_cycles > 0 &&
+                  plan.top_share_pct > 0;
+  }
+  std::printf("critical-path rollup: %zu plans, %llu critical cycles of %llu wall %s\n",
+              service.criticality().plans().size(),
+              static_cast<unsigned long long>(critpath_critical_cycles),
+              static_cast<unsigned long long>(critpath_wall_cycles),
+              critpath_ok ? "[ok]" : "[FAIL: plan without critical-path evidence]");
 
   // --- Regression detection: identical rerun must be quiet, injected shift must fire ---
   std::printf("--- Regression detection ---\n");
@@ -535,6 +561,31 @@ int Main() {
       json.EndObject();
     }
     json.EndArray();
+    json.Field("critpath_plans", static_cast<uint64_t>(service.criticality().plans().size()));
+    json.Field("critpath_critical_cycles", critpath_critical_cycles);
+    json.Field("critpath_wall_cycles", critpath_wall_cycles);
+    json.Field("critpath_complete", critpath_ok);
+    json.BeginArray("critpath_label_counts");
+    for (int label = 0; label < kBottleneckLabels; ++label) {
+      json.BeginObject();
+      json.Field("label", BottleneckName(static_cast<Bottleneck>(label)));
+      json.Field("pipelines", critpath_label_counts[label]);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.BeginArray("critpath_plans_detail");
+    for (const auto& [fingerprint, plan] : service.criticality().plans()) {
+      json.BeginObject();
+      json.Field("name", plan.name);
+      json.Field("fingerprint", FingerprintKey({fingerprint, 0}));
+      json.Field("executions", plan.executions);
+      json.Field("critical_cycles", plan.critical_work_cycles);
+      json.Field("top_pipeline", static_cast<uint64_t>(plan.top_pipeline));
+      json.Field("top_share_pct", plan.top_share_pct);
+      json.Field("bottleneck", BottleneckName(plan.dominant_label()));
+      json.EndObject();
+    }
+    json.EndArray();
     json.Field("regression_false_positives", static_cast<uint64_t>(false_positives));
     json.Field("regressions_fired", static_cast<uint64_t>(findings.size()));
     json.Field("injected_shift_flagged", shift_flagged);
@@ -576,8 +627,8 @@ int Main() {
       "with bit-identical results and a fully tier-attributed timeline; replaying a recorded\n"
       "trace on this build reproduces the recording bit for bit, and the 10x what-if sheds\n"
       "surplus load through admission rejections rather than failures.\n");
-  const bool ok = speedup >= 2.0 && governor_ok && rankings_agree && false_positives == 0 &&
-                  shift_flagged && tiering_ok && replay_ok;
+  const bool ok = speedup >= 2.0 && governor_ok && rankings_agree && critpath_ok &&
+                  false_positives == 0 && shift_flagged && tiering_ok && replay_ok;
   return ok ? 0 : 1;
 }
 

@@ -78,6 +78,11 @@ class JsonWriter {
     out_ += value;
     out_ += '"';
   }
+  // Without this overload a string literal would pick the bool conversion
+  // (built-in pointer->bool beats the user-defined std::string constructor).
+  void Field(const std::string& key, const char* value) {
+    Field(key, std::string(value));
+  }
   void Field(const std::string& key, double value) {
     Key(key);
     out_ += StrFormat("%.6g", value);

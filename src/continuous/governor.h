@@ -35,6 +35,11 @@ struct GovernorConfig {
   uint64_t max_period = 5'000'000;
   // EWMA weight of the newest analytic solve (1.0 = jump straight to it).
   double smoothing = 0.7;
+  // Weight per-pipeline sampling periods by critical-path share (fed via ObserveCriticality):
+  // pipelines on a plan's critical path are sampled at a shorter period, off-path pipelines at
+  // a longer one, concentrating the fixed overhead budget where the latency actually lives.
+  // Takes effect only when the governor itself is enabled.
+  bool criticality_weighting = true;
 };
 
 // Per-fingerprint tuning state, exposed for reports and benchmarks.
@@ -48,6 +53,10 @@ struct GovernorPlanState {
   uint64_t samples = 0;           // Samples recorded, cumulative.
   uint64_t armed_events = 0;      // Occurrences of the armed event, cumulative.
   double last_share = 0;          // Overhead share of the most recent observation.
+  // Last observed per-pipeline critical-path shares (percent, indexed by pipeline id) and the
+  // top share among them, from ObserveCriticality. Empty until criticality is reported.
+  std::vector<uint64_t> pipeline_criticality_pct;
+  uint64_t top_criticality_pct = 0;
 
   // Cumulative overhead share: overhead / (busy - overhead).
   double OverheadShare() const;
@@ -69,6 +78,24 @@ class SamplingGovernor {
   // No-op when disabled.
   void Observe(uint64_t fingerprint, const std::string& name, const SamplingOverhead& overhead,
                uint64_t busy_cycles, uint64_t armed_events, uint64_t period_used);
+
+  // Folds one execution's critical-path analysis (per-pipeline criticality shares in percent,
+  // indexed by pipeline id — src/critpath/). No-op when disabled.
+  void ObserveCriticality(uint64_t fingerprint, const std::string& name,
+                          std::vector<uint64_t> pipeline_share_pct);
+
+  // Per-pipeline periods for the next execution of `fingerprint`, derived from the last
+  // observed criticality. Shares are mean-centered: a pipeline sitting d points above the mean
+  // share samples at base * 100 / (100 + d) — strictly shorter than the base — and one d
+  // points below at the mirrored strictly longer period, so the critical path's owner is
+  // always sampled strictly finer than every off-path pipeline. Because the rate multipliers
+  // (100 + d) / 100 sum to the pipeline count, the redistribution is budget-neutral: the
+  // samples the budget pays for move from the pipelines that merely burn cycles to the ones
+  // that gate latency without raising the total rate the analytic solve in Observe()
+  // regulated. Returns an empty vector (uniform sampling) when disabled, when weighting is
+  // off, or before any criticality was observed.
+  std::vector<uint64_t> PipelinePeriods(uint64_t fingerprint, uint64_t base_period,
+                                        size_t pipelines) const;
 
   const std::map<uint64_t, GovernorPlanState>& plans() const { return plans_; }
   const GovernorPlanState* Find(uint64_t fingerprint) const;

@@ -1,0 +1,84 @@
+#include "src/critpath/classify.h"
+
+#include "src/util/check.h"
+
+namespace dfp {
+namespace {
+
+uint64_t SatSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+}  // namespace
+
+const char* BottleneckName(Bottleneck label) {
+  switch (label) {
+    case Bottleneck::kComputeBound:
+      return "compute-bound";
+    case Bottleneck::kCacheBound:
+      return "cache-bound";
+    case Bottleneck::kRemoteDramBound:
+      return "remote-dram-bound";
+    case Bottleneck::kStealStarved:
+      return "steal-starved";
+    case Bottleneck::kInsufficientData:
+      return "insufficient-data";
+  }
+  return "?";
+}
+
+Bottleneck BottleneckFromName(const std::string& name) {
+  for (int i = 0; i < kBottleneckLabels; ++i) {
+    const Bottleneck label = static_cast<Bottleneck>(i);
+    if (name == BottleneckName(label)) {
+      return label;
+    }
+  }
+  throw Error("unknown bottleneck label: '" + name + "'");
+}
+
+PipelineVerdict ClassifyPipeline(const PipelineCriticality& p,
+                                 const ClassifierThresholds& thresholds) {
+  PipelineVerdict verdict;
+  verdict.pipeline = p.pipeline;
+  verdict.cycles = p.cycles;
+  verdict.stolen_cycles = p.stolen_cycles;
+  // Price the reclaimable stalls with the hierarchy's latencies. Counters are hierarchical (an
+  // L2 miss is also an L1 miss), so the level-hit counts are the differences; saturating
+  // subtraction keeps hand-built or damaged inputs from wrapping. Local-DRAM latency is the
+  // streaming roofline and is left in the compute baseline (header comment).
+  const uint64_t l2_hits = SatSub(p.l1_misses, p.l2_misses);
+  const uint64_t l3_hits = SatSub(p.l2_misses, p.l3_misses);
+  verdict.remote_stall_cycles = p.remote_dram * thresholds.remote_penalty_cycles;
+  verdict.mem_stall_cycles = l2_hits * thresholds.l2_hit_cycles +
+                             l3_hits * thresholds.l3_hit_cycles + verdict.remote_stall_cycles;
+  if (p.tasks == 0 || p.cycles < thresholds.min_cycles) {
+    verdict.label = Bottleneck::kInsufficientData;
+    return verdict;
+  }
+  verdict.mem_stall_pct = 100 * verdict.mem_stall_cycles / p.cycles;
+  verdict.remote_share_pct = verdict.mem_stall_cycles == 0
+                                 ? 0
+                                 : 100 * verdict.remote_stall_cycles / verdict.mem_stall_cycles;
+  verdict.stolen_pct = 100 * p.stolen_cycles / p.cycles;
+  if (verdict.stolen_pct >= thresholds.steal_pct) {
+    verdict.label = Bottleneck::kStealStarved;
+  } else if (verdict.mem_stall_pct >= thresholds.mem_bound_pct) {
+    verdict.label = verdict.remote_share_pct >= thresholds.remote_share_pct
+                        ? Bottleneck::kRemoteDramBound
+                        : Bottleneck::kCacheBound;
+  } else {
+    verdict.label = Bottleneck::kComputeBound;
+  }
+  return verdict;
+}
+
+std::vector<PipelineVerdict> ClassifyPipelines(const TaskDag& dag,
+                                               const ClassifierThresholds& thresholds) {
+  std::vector<PipelineVerdict> verdicts;
+  verdicts.reserve(dag.pipelines.size());
+  for (const PipelineCriticality& p : dag.pipelines) {
+    verdicts.push_back(ClassifyPipeline(p, thresholds));
+  }
+  return verdicts;
+}
+
+}  // namespace dfp

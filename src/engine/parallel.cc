@@ -102,6 +102,11 @@ ParallelRun::ParallelRun(Database& db, CompiledQuery& query, const ParallelConfi
   }
   deques_.resize(config.workers);
   node_rr_.resize(numa_.nodes(), 0);
+  if (sampling != nullptr && sampling->enabled) {
+    sampling_enabled_ = true;
+    base_period_ = sampling->period;
+    pipeline_periods_ = sampling->pipeline_periods;
+  }
   state_ = db.mem().Alloc(regions_.state, std::max<uint64_t>(8, query.state_bytes));
   kernel_exec_ = db.runtime().kernel_exec_segment();
 }
@@ -131,14 +136,38 @@ void ParallelRun::Barrier() {
   }
 }
 
-// Runs `body` on `w`, charging the elapsed cycles to its busy time.
+// Runs `body` on `w` as one task, charging the elapsed cycles to its busy time and recording
+// the task's boundary with PMU counter deltas (see the declaration comment).
 template <typename Body>
-ParallelRun::Unit ParallelRun::RunOn(Worker& w, const Body& body) {
+ParallelRun::Unit ParallelRun::RunOn(Worker& w, TaskBoundary boundary, const Body& body) {
+  if (sampling_enabled_ && !pipeline_periods_.empty()) {
+    // Per-pipeline periods: pipeline tasks use their pipeline's entry (0 = keep the base),
+    // host steps and sorts sample at the base period.
+    uint64_t period = base_period_;
+    if (boundary.pipeline != kNoPipeline && boundary.pipeline < pipeline_periods_.size() &&
+        pipeline_periods_[boundary.pipeline] != 0) {
+      period = pipeline_periods_[boundary.pipeline];
+    }
+    w.pmu.set_period(period);
+  }
+  const PmuCounters before_counters = w.pmu.counters();
   const uint64_t before = w.cpu.tsc();
   body(w);
   const uint64_t elapsed = w.cpu.tsc() - before;
   w.busy_cycles += elapsed;
   ++w.work_items;
+  boundary.start_tsc = before;
+  boundary.end_tsc = w.cpu.tsc();
+  boundary.worker_id = w.cpu.worker_id();
+  const PmuCounters& after = w.pmu.counters();
+  auto delta = [&](PmuEvent e) { return after[e] - before_counters[e]; };
+  boundary.instructions = delta(PmuEvent::kInstrRetired);
+  boundary.loads = delta(PmuEvent::kLoads);
+  boundary.l1_misses = delta(PmuEvent::kL1Miss);
+  boundary.l2_misses = delta(PmuEvent::kL2Miss);
+  boundary.l3_misses = delta(PmuEvent::kL3Miss);
+  boundary.remote_dram = delta(PmuEvent::kRemoteDram);
+  task_boundaries_.push_back(boundary);
   Unit unit;
   unit.worker = w.cpu.worker_id();
   unit.cycles = elapsed;
@@ -236,7 +265,10 @@ ParallelRun::Unit ParallelRun::Step() {
     const ExecStep& step = query_.exec_steps[step_idx_];
     switch (step.kind) {
       case ExecStep::Kind::kCreateHashTable: {
-        Unit unit = RunOn(*workers_[0], [&](Worker& w) {
+        TaskBoundary boundary;
+        boundary.kind = TaskKind::kHostStep;
+        boundary.step = static_cast<uint32_t>(step_idx_);
+        Unit unit = RunOn(*workers_[0], boundary, [&](Worker& w) {
           VAddr table = CreateHashTable(mem, regions_.hashtables, step.ht_capacity,
                                         step.ht_payload_bytes);
           mem.Write<uint64_t>(state_ + step.state_offset0, table);
@@ -248,7 +280,10 @@ ParallelRun::Unit ParallelRun::Step() {
         return unit;
       }
       case ExecStep::Kind::kAllocBuffer: {
-        Unit unit = RunOn(*workers_[0], [&](Worker& w) {
+        TaskBoundary boundary;
+        boundary.kind = TaskKind::kHostStep;
+        boundary.step = static_cast<uint32_t>(step_idx_);
+        Unit unit = RunOn(*workers_[0], boundary, [&](Worker& w) {
           VAddr buffer = mem.Alloc(regions_.output, step.buffer_bytes);
           mem.Write<uint64_t>(state_ + step.state_offset0, buffer);
           mem.Write<uint64_t>(state_ + step.state_offset1, 0);
@@ -263,7 +298,11 @@ ParallelRun::Unit ParallelRun::Step() {
         const PipelineStep& source = artifact.pipeline.steps[0];
         if (source.role != PipelineStep::Role::kScanSource) {
           // Pipelines over intermediate results (group scans, sort scans) run sequentially.
-          Unit unit = RunOn(*workers_[0], [&](Worker& w) {
+          TaskBoundary boundary;
+          boundary.kind = TaskKind::kSequentialPipeline;
+          boundary.step = static_cast<uint32_t>(step_idx_);
+          boundary.pipeline = step.pipeline;
+          Unit unit = RunOn(*workers_[0], boundary, [&](Worker& w) {
             const uint64_t args[] = {state_, 0, 0};
             w.cpu.CallFunction(artifact.function, args);
           });
@@ -283,7 +322,14 @@ ParallelRun::Unit ParallelRun::Step() {
           bool stolen = false;
           Worker& next = NextWorker();
           if (TakeMorsel(next.cpu.worker_id(), &morsel, &stolen)) {
-            return RunOn(next, [&](Worker& w) {
+            TaskBoundary boundary;
+            boundary.kind = TaskKind::kMorsel;
+            boundary.step = static_cast<uint32_t>(step_idx_);
+            boundary.pipeline = step.pipeline;
+            boundary.morsel_begin = morsel.begin;
+            boundary.morsel_end = morsel.end;
+            boundary.stolen = stolen;
+            return RunOn(next, boundary, [&](Worker& w) {
               if (stolen) {
                 ++w.steals;
                 w.cpu.AddCycles(kMorselStealCycles);
@@ -301,7 +347,13 @@ ParallelRun::Unit ParallelRun::Step() {
           const uint64_t begin = scan_next_;
           const uint64_t end = std::min(scan_rows_, begin + scan_morsel_rows_);
           scan_next_ = end;
-          return RunOn(NextWorker(), [&](Worker& w) {
+          TaskBoundary boundary;
+          boundary.kind = TaskKind::kMorsel;
+          boundary.step = static_cast<uint32_t>(step_idx_);
+          boundary.pipeline = step.pipeline;
+          boundary.morsel_begin = begin;
+          boundary.morsel_end = end;
+          return RunOn(NextWorker(), boundary, [&](Worker& w) {
             const uint64_t args[] = {state_, begin, end};
             w.cpu.CallFunction(artifact.function, args);
           });
@@ -313,7 +365,10 @@ ParallelRun::Unit ParallelRun::Step() {
         continue;
       }
       case ExecStep::Kind::kSort: {
-        Unit unit = RunOn(*workers_[0], [&](Worker& w) {
+        TaskBoundary boundary;
+        boundary.kind = TaskKind::kSort;
+        boundary.step = static_cast<uint32_t>(step_idx_);
+        Unit unit = RunOn(*workers_[0], boundary, [&](Worker& w) {
           const uint64_t buffer = mem.Read<uint64_t>(state_ + step.state_offset0);
           const uint64_t rows = mem.Read<uint64_t>(state_ + step.state_offset1);
           const uint64_t args[] = {buffer, rows, step.sort_spec};
@@ -431,6 +486,7 @@ Result QueryEngine::ExecuteParallel(CompiledQuery& query, const ParallelConfig& 
   last_cpu_stats_ = run.merged_cpu_stats();
   last_sampling_overhead_ = run.merged_sampling_overhead();
   last_worker_metrics_ = run.worker_metrics();
+  last_task_boundaries_ = run.TakeTaskBoundaries();
   if (session != nullptr) {
     session->RecordExecution(run.TakeMergedSamples(), last_cycles_, last_counters_,
                              config.workers);

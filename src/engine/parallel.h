@@ -157,6 +157,13 @@ class ParallelRun {
   // The per-worker sample streams merged by (tsc, worker id); empty without sampling.
   std::vector<Sample> TakeMergedSamples() { return std::move(merged_samples_); }
 
+  // Task-boundary records of every work unit executed so far, in execution order, with
+  // per-task PMU counter deltas — the substrate the critical-path subsystem (src/critpath/)
+  // builds its DAG from, and what v5 sample streams serialize as `task` lines. Collected
+  // unconditionally: the records are a byproduct of the schedule, not of sampling.
+  const std::vector<TaskBoundary>& task_boundaries() const { return task_boundaries_; }
+  std::vector<TaskBoundary> TakeTaskBoundaries() { return std::move(task_boundaries_); }
+
  private:
   struct Worker;
   struct Morsel {
@@ -166,8 +173,12 @@ class ParallelRun {
 
   Worker& NextWorker();
   void Barrier();
+  // Runs `body` on `w` as one task: re-arms the worker's sampling period for the task's
+  // pipeline, charges the elapsed cycles to its busy time, and records a TaskBoundary (with
+  // PMU counter deltas) into `task_boundaries_`. `boundary` arrives with kind/step/pipeline/
+  // morsel/stolen prefilled; timestamps, worker id, and counters are filled here.
   template <typename Body>
-  Unit RunOn(Worker& w, const Body& body);
+  Unit RunOn(Worker& w, TaskBoundary boundary, const Body& body);
   void BeginScan(const PipelineArtifact& artifact, const PipelineStep& source);
   // Pops the next morsel for `thief` under work stealing: its own deque LIFO, otherwise the
   // richest victim FIFO. Returns false when every deque is empty.
@@ -201,6 +212,12 @@ class ParallelRun {
   SamplingOverhead merged_sampling_overhead_;
   uint64_t total_busy_cycles_ = 0;
   std::vector<Sample> merged_samples_;
+  std::vector<TaskBoundary> task_boundaries_;
+  // Per-pipeline sampling periods (from SamplingConfig::pipeline_periods) and the uniform
+  // fallback period, applied per task in RunOn.
+  std::vector<uint64_t> pipeline_periods_;
+  uint64_t base_period_ = 0;
+  bool sampling_enabled_ = false;
   bool finished_ = false;
 };
 

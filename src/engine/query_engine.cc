@@ -16,6 +16,7 @@ Result QueryEngine::Execute(CompiledQuery& query) {
   DFP_CHECK(!query.parallel);
   db_->ResetScratch();
   last_worker_metrics_.clear();
+  last_task_boundaries_.clear();
   Pmu pmu(db_->pmu_costs());
   ProfilingSession* session = query.session;
   if (session != nullptr) {

@@ -53,6 +53,9 @@ class QueryEngine {
   // Measured sampling cost of the most recent execution (capture + flush cycles the PMU
   // actually charged; summed across workers after ExecuteParallel). Zero without sampling.
   const SamplingOverhead& last_sampling_overhead() const { return last_sampling_overhead_; }
+  // Task-boundary records of the most recent ExecuteParallel(), in execution order — the input
+  // to the critical-path subsystem (src/critpath/). Empty after Execute().
+  const std::vector<TaskBoundary>& last_task_boundaries() const { return last_task_boundaries_; }
 
  private:
   Database* db_;
@@ -62,6 +65,7 @@ class QueryEngine {
   CpuStats last_cpu_stats_;
   SamplingOverhead last_sampling_overhead_;
   std::vector<WorkerMetrics> last_worker_metrics_;
+  std::vector<TaskBoundary> last_task_boundaries_;
 };
 
 }  // namespace dfp

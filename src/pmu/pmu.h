@@ -25,6 +25,13 @@ struct SamplingConfig {
   bool capture_callstack = false;
   bool capture_address = false;  // Record the accessed address for memory events.
 
+  // Per-pipeline period overrides, indexed by pipeline id; 0 (or an index past the end) falls
+  // back to `period`. Empty means uniform sampling. Filled by the sampling governor when it
+  // weights periods by critical-path share (src/critpath/); ParallelRun re-arms each worker's
+  // PMU with the pipeline's period at morsel dispatch, so samples concentrate on the pipelines
+  // that actually gate latency while the total stays within the overhead budget.
+  std::vector<uint64_t> pipeline_periods;
+
   // Bytes one stored sample occupies under this configuration (reported by the storage
   // experiment; depth is the call-stack depth for stack samples).
   uint64_t SampleBytes(uint64_t callstack_depth = 0) const;
@@ -82,6 +89,16 @@ class Pmu {
   }
   const SamplingConfig& config() const { return config_; }
   const PmuCosts& costs() const { return costs_; }
+
+  // Re-arms the sampling period without disturbing the armed counter or the buffer — the
+  // hardware analogue of rewriting the PEBS reset value between overflows. Used by ParallelRun
+  // to apply per-pipeline periods at morsel dispatch; a carried-over armed counter at or past
+  // the new period simply fires on the next tick, so the switch stays deterministic.
+  void set_period(uint64_t period) {
+    if (period != 0) {
+      config_.period = period;
+    }
+  }
 
   // Counts `n` occurrences of `event`; returns true if the armed event's period elapsed and a
   // sample must be taken now.

@@ -42,6 +42,47 @@ struct Sample {
   std::vector<uint64_t> callstack;
 };
 
+// What one task-boundary record delimits. A "task" is one work unit of the morsel-driven
+// executor: a host step (hash-table creation, buffer allocation), one scan morsel, one
+// sequential (non-scan) pipeline run, or a sort.
+enum class TaskKind : uint8_t {
+  kHostStep = 0,
+  kMorsel = 1,
+  kSequentialPipeline = 2,
+  kSort = 3,
+};
+
+// `TaskBoundary::pipeline` value for tasks that execute no pipeline (host steps, sorts).
+inline constexpr uint32_t kNoPipeline = 0xFFFFFFFF;
+
+// One task-boundary record, emitted by ParallelRun for every work unit it executes. The record
+// carries everything needed to rebuild the run's task DAG *and* classify its pipelines from a
+// recorded stream alone: timestamps and worker id recover the schedule (same-worker chains plus
+// the barrier between consecutive exec steps), `step` recovers the barrier groups, and the
+// per-task PMU counter deltas feed the roofline-style bottleneck classifier without access to
+// the live worker state. Serialized as `task` lines in v5 sample streams (src/profiling/
+// serialize.h) and analyzed by src/critpath/.
+struct TaskBoundary {
+  uint64_t start_tsc = 0;
+  uint64_t end_tsc = 0;
+  uint32_t worker_id = 0;
+  TaskKind kind = TaskKind::kHostStep;
+  uint32_t step = 0;                 // Index into CompiledQuery::exec_steps (barrier group).
+  uint32_t pipeline = kNoPipeline;   // Pipeline id for kMorsel/kSequentialPipeline tasks.
+  uint64_t morsel_begin = 0;         // Row range for kMorsel tasks (after endgame splitting).
+  uint64_t morsel_end = 0;
+  bool stolen = false;               // Morsel was stolen from another worker's deque.
+  // PMU counter deltas over this task (worker counters sampled before/after execution).
+  uint64_t instructions = 0;
+  uint64_t loads = 0;
+  uint64_t l1_misses = 0;
+  uint64_t l2_misses = 0;
+  uint64_t l3_misses = 0;
+  uint64_t remote_dram = 0;
+
+  uint64_t duration() const { return end_tsc - start_tsc; }
+};
+
 }  // namespace dfp
 
 #endif  // DFP_SRC_PMU_SAMPLE_H_

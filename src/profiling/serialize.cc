@@ -13,13 +13,31 @@ namespace dfp {
 namespace {
 
 constexpr const char* kDictionaryHeader = "# dfp tagging dictionary v1";
-constexpr const char* kSamplesHeaderV1 = "# dfp samples v1";
-constexpr const char* kSamplesHeaderV2 = "# dfp samples v2";
-constexpr const char* kSamplesHeaderV3 = "# dfp samples v3";
-constexpr const char* kSamplesHeaderV4 = "# dfp samples v4";
+constexpr const char* kSamplesHeaderPrefix = "# dfp samples v";
+constexpr int kMaxSamplesVersion = 5;
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed profiling meta-data line: '" + line + "'");
+}
+
+// Parses `# dfp samples v<N>` and returns N, throwing for non-sample files and — distinctly —
+// for sample streams written by a newer build than this one.
+int ParseSamplesVersion(const std::string& header) {
+  const std::string prefix = kSamplesHeaderPrefix;
+  if (header.compare(0, prefix.size(), prefix) != 0) {
+    throw Error("not a dfp samples file");
+  }
+  int version = 0;
+  std::istringstream stream(header.substr(prefix.size()));
+  if (!(stream >> version) || !stream.eof() || version < 1) {
+    throw Error("not a dfp samples file");
+  }
+  if (version > kMaxSamplesVersion) {
+    throw Error("sample stream version v" + std::to_string(version) +
+                " is newer than this build (reads up to v" +
+                std::to_string(kMaxSamplesVersion) + "); upgrade to read it");
+  }
+  return version;
 }
 
 }  // namespace
@@ -96,28 +114,47 @@ TaggingDictionary ReadDictionary(std::istream& in) {
 }
 
 void WriteSamples(const std::vector<Sample>& samples, std::ostream& out) {
-  WriteSamples(samples, {}, out);
+  WriteSamples(samples, {}, {}, out);
 }
 
 void WriteSamples(const std::vector<Sample>& samples,
                   const std::vector<SampleStreamEvent>& events, std::ostream& out) {
-  // The version is chosen by content so older dumps stay byte-identical: streams carrying tier
-  // attribution or sideband events are v4, streams carrying NUMA locality or steal flags are
-  // v3, streams carrying worker ids are v2, and pure worker-0 streams keep the v1 header so
-  // dumps from single-threaded runs stay byte-compatible with pre-parallel readers.
+  WriteSamples(samples, events, {}, out);
+}
+
+void WriteSamples(const std::vector<Sample>& samples,
+                  const std::vector<SampleStreamEvent>& events,
+                  const std::vector<TaskBoundary>& tasks, std::ostream& out) {
+  // The version is chosen by content so older dumps stay byte-identical: streams carrying task
+  // boundaries are v5, streams carrying tier attribution or sideband events are v4, streams
+  // carrying NUMA locality or steal flags are v3, streams carrying worker ids are v2, and pure
+  // worker-0 streams keep the v1 header so dumps from single-threaded runs stay byte-compatible
+  // with pre-parallel readers.
   bool multi_worker = false;
   bool locality = false;
   bool tiered = !events.empty();
+  const bool tasked = !tasks.empty();
   for (const Sample& sample : samples) {
     multi_worker |= sample.worker_id != 0;
     locality |= sample.mem_node != kNoNumaNode || sample.numa_remote || sample.stolen;
     tiered |= sample.tier != 0;
   }
-  out << (tiered           ? kSamplesHeaderV4
-          : locality       ? kSamplesHeaderV3
-          : multi_worker   ? kSamplesHeaderV2
-                           : kSamplesHeaderV1)
+  out << kSamplesHeaderPrefix
+      << (tasked         ? 5
+          : tiered       ? 4
+          : locality     ? 3
+          : multi_worker ? 2
+                         : 1)
       << "\n";
+  // Task boundaries come first, in execution order: they describe the schedule the samples were
+  // taken under, and a reader rebuilding the task DAG should not have to scan the whole stream.
+  for (const TaskBoundary& task : tasks) {
+    out << "task " << task.start_tsc << " " << task.end_tsc << " " << task.worker_id << " "
+        << static_cast<uint32_t>(task.kind) << " " << task.step << " " << task.pipeline << " "
+        << task.morsel_begin << " " << task.morsel_end << " " << (task.stolen ? 1 : 0) << " "
+        << task.instructions << " " << task.loads << " " << task.l1_misses << " "
+        << task.l2_misses << " " << task.l3_misses << " " << task.remote_dram << "\n";
+  }
   // Events interleave in timestamp order: each precedes the first sample whose tsc passes its
   // own. `events` must already be ascending by tsc (they are appended as the service clock
   // advances).
@@ -162,19 +199,24 @@ void WriteSamples(const std::vector<Sample>& samples,
   flush_events(UINT64_MAX);
 }
 
-std::vector<Sample> ReadSamples(std::istream& in) { return ReadSamples(in, nullptr); }
+std::vector<Sample> ReadSamples(std::istream& in) { return ReadSamples(in, nullptr, nullptr); }
 
 std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events) {
+  return ReadSamples(in, events, nullptr);
+}
+
+std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events,
+                                std::vector<TaskBoundary>* tasks) {
   std::vector<Sample> samples;
   std::string line;
-  if (!std::getline(in, line) ||
-      (line != kSamplesHeaderV1 && line != kSamplesHeaderV2 && line != kSamplesHeaderV3 &&
-       line != kSamplesHeaderV4)) {
+  if (!std::getline(in, line)) {
     throw Error("not a dfp samples file");
   }
-  const bool accept_tiers = line == kSamplesHeaderV4;
-  const bool accept_locality = line == kSamplesHeaderV3 || accept_tiers;
-  const bool accept_worker_ids = line == kSamplesHeaderV2 || accept_locality;
+  const int version = ParseSamplesVersion(line);
+  const bool accept_tasks = version >= 5;
+  const bool accept_tiers = version >= 4;
+  const bool accept_locality = version >= 3;
+  const bool accept_worker_ids = version >= 2;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') {
       continue;
@@ -182,6 +224,32 @@ std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>
     std::istringstream stream(line);
     std::string kind;
     stream >> kind;
+    if (kind == "task") {
+      if (!accept_tasks) {
+        // Same policy as the other tokens: a task line proves the header lies about the
+        // version, and older readers must reject it rather than guess.
+        throw Error("task-boundary line in a pre-v5 sample stream: '" + line + "'");
+      }
+      if (tasks == nullptr) {
+        throw Error("sample stream carries task boundaries but the reader has no task sink: '" +
+                    line + "'");
+      }
+      TaskBoundary task;
+      uint32_t task_kind = 0;
+      uint32_t stolen = 0;
+      if (!(stream >> task.start_tsc >> task.end_tsc >> task.worker_id >> task_kind >>
+            task.step >> task.pipeline >> task.morsel_begin >> task.morsel_end >> stolen >>
+            task.instructions >> task.loads >> task.l1_misses >> task.l2_misses >>
+            task.l3_misses >> task.remote_dram) ||
+          task_kind > static_cast<uint32_t>(TaskKind::kSort) || stolen > 1 ||
+          task.end_tsc < task.start_tsc) {
+        Malformed(line);
+      }
+      task.kind = static_cast<TaskKind>(task_kind);
+      task.stolen = stolen != 0;
+      tasks->push_back(task);
+      continue;
+    }
     if (kind == "event") {
       if (!accept_tiers) {
         throw Error("event line in a pre-v4 sample stream: '" + line + "'");

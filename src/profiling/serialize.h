@@ -35,18 +35,24 @@ void WriteDictionary(const TaggingDictionary& dictionary, std::ostream& out);
 TaggingDictionary ReadDictionary(std::istream& in);
 
 // perf-script-like sample dump. The header version is chosen by content so older dumps stay
-// byte-identical: streams carrying tier attribution or events are v4, streams carrying NUMA
-// locality or steal flags are v3, streams carrying worker ids are v2, and pure worker-0
-// streams keep the v1 header, so files produced before each extension read back unchanged:
+// byte-identical: streams carrying task boundaries are v5, streams carrying tier attribution
+// or events are v4, streams carrying NUMA locality or steal flags are v3, streams carrying
+// worker ids are v2, and pure worker-0 streams keep the v1 header, so files produced before
+// each extension read back unchanged:
 //   # dfp samples v1        (single-threaded: no W tokens allowed)
 //   # dfp samples v2        (parallel: W present on samples from workers other than 0)
 //   # dfp samples v3        (adds N <node> <remote> and T locality tokens)
 //   # dfp samples v4        (adds G <tier> tokens and interleaved `event` lines)
+//   # dfp samples v5        (adds `task` lines — executor task boundaries, in execution order)
+//   task <start-tsc> <end-tsc> <worker> <kind> <step> <pipeline> <morsel-begin> <morsel-end>
+//        <stolen> <instrs> <loads> <l1-miss> <l2-miss> <l3-miss> <remote-dram>
 //   sample <tsc> <ip> <addr> [W <worker>] [N <node> <remote>] [T] [G <tier>]
 //          [R <16 register values>] [S <depth> <return-ips...>]
 //   event <tsc> <text...>
-// A session id is never written: dumped streams are per-session by construction (see
-// src/pmu/sample.h).
+// Task lines are written as a block right after the header (they are a schedule, not a sample
+// timeline), in the executor's deterministic execution order, which makes the per-query task
+// DAG (src/critpath/) recoverable from a recorded stream alone. A session id is never written:
+// dumped streams are per-session by construction (see src/pmu/sample.h).
 void WriteSamples(const std::vector<Sample>& samples, std::ostream& out);
 
 // Same, with sideband events merged into the stream in timestamp order (an event precedes the
@@ -54,11 +60,20 @@ void WriteSamples(const std::vector<Sample>& samples, std::ostream& out);
 void WriteSamples(const std::vector<Sample>& samples,
                   const std::vector<SampleStreamEvent>& events, std::ostream& out);
 
-// Inverse of WriteSamples. Throws dfp::Error on malformed input. Events are appended to
-// `events` in stream order when the caller passes a sink, and rejected as malformed when the
-// stream has them but the caller reads without one.
+// Same, with executor task boundaries. Any task forces the v5 header.
+void WriteSamples(const std::vector<Sample>& samples,
+                  const std::vector<SampleStreamEvent>& events,
+                  const std::vector<TaskBoundary>& tasks, std::ostream& out);
+
+// Inverse of WriteSamples. Throws dfp::Error on malformed input. Events (and task boundaries)
+// are appended to the caller's sinks in stream order when passed, and rejected as malformed
+// when the stream has them but the caller reads without a sink. A stream whose header names a
+// version newer than this build's (currently v5) is rejected with a clear "newer build" error
+// rather than a generic parse failure.
 std::vector<Sample> ReadSamples(std::istream& in);
 std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events);
+std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events,
+                                std::vector<TaskBoundary>* tasks);
 
 }  // namespace dfp
 

@@ -58,6 +58,10 @@ struct ReplayOptions {
   WhatIfKnobs knobs;
   // Retain each replayed query's serialized sample stream (byte-identity diffing).
   bool keep_streams = false;
+  // Retain each completed query's serialized critical-path analysis (SerializeAnalysis of its
+  // task DAG and pipeline verdicts, src/critpath/) — the replay DAG-identity tests compare
+  // these against the recorded run byte for byte.
+  bool keep_dags = false;
 };
 
 // One finished replay: the replayed run's own trace (recorded through the same TraceRecorder
@@ -67,6 +71,7 @@ struct ReplayRun {
   std::string service_profile_text;  // WriteServiceProfile of the replay service.
   std::string tier_timeline_text;    // RenderTierTimeline of the replay service.
   std::vector<std::string> sample_streams;  // Per replayed query; filled when keep_streams.
+  std::vector<std::string> dag_texts;  // Per completed query, in ticket order; keep_dags.
 };
 
 // Replays `trace` against `db`. Throws dfp::Error when the catalog version does not match the

@@ -275,6 +275,10 @@ bool QueryService::Admit(TicketId id) {
     // The snapshot taken at compile time makes warm executions resolve exactly like the cold one.
     ticket.session->dictionary() = entry->dictionary;
     sampling = ticket.session->MakeSamplingConfig();
+    // Criticality-weighted periods (empty until a critical-path analysis of this fingerprint
+    // exists): on-path pipelines sample finer than the base period, off-path ones coarser.
+    sampling.pipeline_periods = governor_.PipelinePeriods(
+        ticket.fingerprint.structure, profiling.period, entry->query.pipelines.size());
     sampling_ptr = &sampling;
   }
   session->run = std::make_unique<ParallelRun>(db_, entry->query, config_.parallel, regions,
@@ -314,6 +318,31 @@ bool QueryService::StepSession(ActiveSession& session) {
   ticket.sampling_overhead = session.run->merged_sampling_overhead();
   ticket.busy_cycles = session.run->total_busy_cycles();
 
+  // Critical-path analysis of the realized schedule: rebuild the task DAG from the run's
+  // boundary records, classify each pipeline, and fan the result out to every consumer — the
+  // fleet tracker (reports), the governor (per-pipeline periods for the NEXT execution of this
+  // fingerprint), and the service profile (`crit` lines). The tier controller reads the
+  // tracker's cumulative critical work below.
+  ticket.task_boundaries = session.run->TakeTaskBoundaries();
+  ticket.dag = BuildTaskDag(ticket.task_boundaries);
+  ticket.verdicts = ClassifyPipelines(ticket.dag);
+  if (!ticket.dag.nodes.empty()) {
+    critpath_.Observe(ticket.fingerprint.structure, ticket.name, ticket.dag, ticket.verdicts);
+    std::vector<uint64_t> shares;
+    for (const PipelineCriticality& p : ticket.dag.pipelines) {
+      if (p.pipeline >= shares.size()) {
+        shares.resize(p.pipeline + 1, 0);
+      }
+      shares[p.pipeline] = p.share_pct;
+    }
+    governor_.ObserveCriticality(ticket.fingerprint.structure, ticket.name, std::move(shares));
+    const PlanCriticality* crit = critpath_.Find(ticket.fingerprint.structure);
+    if (crit != nullptr) {
+      fleet_.RecordCriticality(ticket.fingerprint, ticket.name, ticket.dag.critical_work_cycles,
+                               crit->top_share_pct, BottleneckName(crit->dominant_label()));
+    }
+  }
+
   // The per-operator aggregation is built once and shared by the cumulative fleet profile and
   // the windowed profile, so both views always agree on attribution.
   OperatorProfile profile;
@@ -350,7 +379,8 @@ bool QueryService::StepSession(ActiveSession& session) {
     const uint64_t opt_cycles =
         EstimateCompileCycles(session.entry->query, config_.compile_costs, PlanTier::kOptimized);
     if (controller_.Observe(ticket.fingerprint.structure, ticket.name, windows_,
-                            ticket.execute_cycles, opt_cycles, ticket.completed_at_cycles)) {
+                            ticket.execute_cycles, opt_cycles, ticket.completed_at_cycles,
+                            critpath_.CriticalWorkCycles(ticket.fingerprint.structure))) {
       RecompileJob job;
       job.source = session.entry;
       const uint64_t start = std::max(ServiceNowCycles(), recompile_lane_busy_cycles_);

@@ -45,6 +45,7 @@
 #include "src/continuous/governor.h"
 #include "src/continuous/regression.h"
 #include "src/continuous/window.h"
+#include "src/critpath/report.h"
 #include "src/engine/database.h"
 #include "src/engine/parallel.h"
 #include "src/engine/result.h"
@@ -155,6 +156,13 @@ struct QueryTicket {
   // This execution's profile (resolved), when the service profiles executions.
   std::unique_ptr<ProfilingSession> session;
   std::vector<WorkerMetrics> worker_metrics;
+  // Task boundaries of this execution (morsels, host steps, sorts) in completion order — the
+  // raw material the critical-path DAG (src/critpath/) is rebuilt from.
+  std::vector<TaskBoundary> task_boundaries;
+  // Critical-path analysis of this execution: the realized task DAG and the per-pipeline
+  // bottleneck verdicts. Empty when the run produced no task boundaries.
+  TaskDag dag;
+  std::vector<PipelineVerdict> verdicts;
 
   // The compiled artifact the ticket executed (owned by the plan cache; kept alive here even
   // across eviction). Null until admission.
@@ -192,6 +200,10 @@ class QueryService {
   // and the adaptive sampling governor's per-plan state.
   const WindowedProfile& windows() const { return windows_; }
   const SamplingGovernor& governor() const { return governor_; }
+
+  // Critical-path view (src/critpath/): per-fingerprint DAG rollups, criticality shares, and
+  // bottleneck verdicts of everything served so far. Render with RenderCriticalPath().
+  const CriticalityTracker& criticality() const { return critpath_; }
 
   // Freezes the current window rollups as the regression baseline (fingerprints with fewer than
   // the configured min_samples are skipped), and diffs the newest windows against it.
@@ -257,6 +269,7 @@ class QueryService {
   SamplingGovernor governor_;
   BaselineStore baseline_;
   TierController controller_;
+  CriticalityTracker critpath_;
   uint64_t seen_catalog_version_;
 
   std::vector<std::unique_ptr<QueryTicket>> tickets_;

@@ -15,6 +15,7 @@ namespace {
 constexpr const char* kProfileHeaderV1 = "# dfp service profile v1";
 constexpr const char* kProfileHeaderV2 = "# dfp service profile v2";
 constexpr const char* kProfileHeaderV3 = "# dfp service profile v3";
+constexpr const char* kProfileHeaderV4 = "# dfp service profile v4";
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed service profile line: '" + line + "'");
@@ -90,6 +91,15 @@ void ServiceProfile::RecordExecution(const PlanFingerprint& fingerprint,
   }
 }
 
+void ServiceProfile::RecordCriticality(const PlanFingerprint& fingerprint,
+                                       const std::string& name, uint64_t critical_work_cycles,
+                                       uint64_t top_share_pct, const std::string& bottleneck) {
+  FleetPlanProfile& plan = PlanFor(fingerprint, name);
+  plan.critical_cycles += critical_work_cycles;
+  plan.top_share_pct = top_share_pct;
+  plan.bottleneck = bottleneck;
+}
+
 std::vector<FleetHotspot> ServiceProfile::TopOperators(size_t k) const {
   struct Row {
     uint64_t fingerprint;
@@ -162,6 +172,10 @@ std::string ServiceProfile::Render(size_t top_k) const {
     out << "  executions " << plan.executions << "  cache " << plan.cache_hits << " hit / "
         << plan.cache_misses << " miss  compile " << plan.compile_cycles << " cyc  execute "
         << plan.execute_cycles << " cyc  samples " << plan.samples << "\n";
+    if (!plan.bottleneck.empty()) {
+      out << "  critical path " << plan.critical_cycles << " cyc  top pipeline "
+          << plan.top_share_pct << "%  " << plan.bottleneck << "\n";
+    }
   }
 
   std::vector<FleetHotspot> hotspots = TopOperators(top_k);
@@ -179,7 +193,17 @@ std::string ServiceProfile::Render(size_t top_k) const {
 
 namespace {
 
-void WritePlanLines(const ServiceProfile& profile, std::ostream& out) {
+bool HasCriticality(const ServiceProfile& profile) {
+  for (const auto& [fingerprint, plan] : profile.plans()) {
+    (void)fingerprint;
+    if (!plan.bottleneck.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void WritePlanLines(const ServiceProfile& profile, bool v4, std::ostream& out) {
   for (const auto& [fingerprint, plan] : profile.plans()) {
     out << "plan " << HexKey(fingerprint) << " " << plan.executions << " " << plan.cache_hits
         << " " << plan.cache_misses << " " << plan.compile_cycles << " " << plan.execute_cycles
@@ -188,15 +212,20 @@ void WritePlanLines(const ServiceProfile& profile, std::ostream& out) {
       out << "op " << HexKey(fingerprint) << " " << op << " " << cost.samples << " " << cost.label
           << "\n";
     }
+    if (v4 && !plan.bottleneck.empty()) {
+      out << "crit " << HexKey(fingerprint) << " " << plan.critical_cycles << " "
+          << plan.top_share_pct << " " << plan.bottleneck << "\n";
+    }
   }
 }
 
 }  // namespace
 
 void WriteServiceProfile(const ServiceProfile& profile, std::ostream& out) {
-  // Without windows the v1 format carries everything; v1 files stay readable forever.
+  // Without windows the v1 format carries everything (criticality rides only on v4 streams,
+  // which need windows anyway); v1 files stay readable forever.
   out << kProfileHeaderV1 << "\n";
-  WritePlanLines(profile, out);
+  WritePlanLines(profile, /*v4=*/false, out);
 }
 
 namespace {
@@ -244,8 +273,9 @@ void WriteBaselineLines(const BaselineStore& baselines, std::ostream& out) {
 
 void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& windows,
                          std::ostream& out) {
-  // Content-driven versioning: only streams that carry tier attribution need the v3 layout;
-  // everything else stays a byte-identical v2 file.
+  // Content-driven versioning: only streams with critical-path rollups need the v4 layout and
+  // only streams that carry tier attribution need v3; everything else stays a byte-identical
+  // v2 file.
   bool tiered = false;
   for (const auto& [fingerprint, series] : windows.plans()) {
     (void)fingerprint;
@@ -253,21 +283,23 @@ void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& w
       tiered |= window.baseline_executions != 0 || window.baseline_samples != 0;
     }
   }
-  out << (tiered ? kProfileHeaderV3 : kProfileHeaderV2) << "\n";
+  const bool crit = HasCriticality(profile);
+  out << (crit ? kProfileHeaderV4 : (tiered ? kProfileHeaderV3 : kProfileHeaderV2)) << "\n";
   out << "windowcfg " << windows.config().width_cycles << " " << windows.config().ring_windows
       << "\n";
-  WritePlanLines(profile, out);
-  WriteWindowLines(windows, tiered, out);
+  WritePlanLines(profile, crit, out);
+  WriteWindowLines(windows, tiered || crit, out);
 }
 
 void WriteServiceState(const ServiceProfile& profile, const WindowedProfile& windows,
                        const BaselineStore& baselines, uint64_t service_clock_cycles,
                        std::ostream& out) {
-  out << kProfileHeaderV3 << "\n";
+  const bool crit = HasCriticality(profile);
+  out << (crit ? kProfileHeaderV4 : kProfileHeaderV3) << "\n";
   out << "windowcfg " << windows.config().width_cycles << " " << windows.config().ring_windows
       << "\n";
   out << "clock " << service_clock_cycles << "\n";
-  WritePlanLines(profile, out);
+  WritePlanLines(profile, crit, out);
   WriteWindowLines(windows, /*v3=*/true, out);
   WriteBaselineLines(baselines, out);
 }
@@ -277,10 +309,11 @@ ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows,
   ServiceProfile profile;
   std::string line;
   if (!std::getline(in, line) || (line != kProfileHeaderV1 && line != kProfileHeaderV2 &&
-                                  line != kProfileHeaderV3)) {
+                                  line != kProfileHeaderV3 && line != kProfileHeaderV4)) {
     throw Error("not a dfp service profile file");
   }
-  const bool v3 = line == kProfileHeaderV3;
+  const bool v4 = line == kProfileHeaderV4;
+  const bool v3 = line == kProfileHeaderV3 || v4;
   const bool v2 = line == kProfileHeaderV2 || v3;
   // Window names arrive on plan lines; remember them so the loaded series carry them too.
   std::map<uint64_t, std::string> plan_names;
@@ -297,7 +330,20 @@ ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows,
     if ((kind == "clock" || kind == "baseline" || kind == "bop") && !v3) {
       Malformed(line);
     }
-    if (kind == "clock") {
+    if (kind == "crit" && !v4) {
+      Malformed(line);
+    }
+    if (kind == "crit") {
+      std::string key;
+      uint64_t critical_cycles = 0;
+      uint64_t top_share = 0;
+      std::string bottleneck;
+      if (!(stream >> key >> critical_cycles >> top_share >> bottleneck)) {
+        Malformed(line);
+      }
+      profile.AddLoadedCriticality(std::stoull(key, nullptr, 16), critical_cycles, top_share,
+                                   bottleneck);
+    } else if (kind == "clock") {
       uint64_t clock = 0;
       if (!(stream >> clock)) {
         Malformed(line);
@@ -417,6 +463,18 @@ void ServiceProfile::AddLoadedPlan(FleetPlanProfile plan) {
   total_compile_cycles_ += plan.compile_cycles;
   total_execute_cycles_ += plan.execute_cycles;
   plans_[plan.fingerprint] = std::move(plan);
+}
+
+void ServiceProfile::AddLoadedCriticality(uint64_t fingerprint, uint64_t critical_cycles,
+                                          uint64_t top_share_pct,
+                                          const std::string& bottleneck) {
+  auto it = plans_.find(fingerprint);
+  if (it == plans_.end()) {
+    throw Error("service profile crit line without a preceding plan line");
+  }
+  it->second.critical_cycles = critical_cycles;
+  it->second.top_share_pct = top_share_pct;
+  it->second.bottleneck = bottleneck;
 }
 
 void ServiceProfile::AddLoadedOperator(uint64_t fingerprint, FleetOperatorCost cost) {

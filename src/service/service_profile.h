@@ -40,6 +40,13 @@ struct FleetPlanProfile {
   uint64_t compile_cycles = 0;  // Cold compilations + warm lookup costs.
   uint64_t execute_cycles = 0;  // Summed per-execution simulated wall clocks.
   uint64_t samples = 0;
+  // Critical-path rollup (src/critpath/): cumulative critical-path work across executions, the
+  // last execution's top per-pipeline criticality share (percent), and the most recent
+  // bottleneck verdict of that top pipeline ("compute-bound", "remote-dram-bound", ...).
+  // `bottleneck` stays empty until a critical-path analysis is recorded.
+  uint64_t critical_cycles = 0;
+  uint64_t top_share_pct = 0;
+  std::string bottleneck;
   std::map<OperatorId, FleetOperatorCost> operators;
 };
 
@@ -67,6 +74,13 @@ class ServiceProfile {
   void RecordExecution(const PlanFingerprint& fingerprint, const CompiledQuery& query,
                        const OperatorProfile& profile, uint64_t execute_cycles);
 
+  // Folds one execution's critical-path analysis into the fingerprint: adds the critical-path
+  // work and overwrites the latest top-pipeline share and bottleneck label (the fleet view
+  // reports the current verdict, not a history).
+  void RecordCriticality(const PlanFingerprint& fingerprint, const std::string& name,
+                         uint64_t critical_work_cycles, uint64_t top_share_pct,
+                         const std::string& bottleneck);
+
   const std::map<uint64_t, FleetPlanProfile>& plans() const { return plans_; }
   uint64_t total_compile_cycles() const { return total_compile_cycles_; }
   uint64_t total_execute_cycles() const { return total_execute_cycles_; }
@@ -83,6 +97,8 @@ class ServiceProfile {
   // entries load (per-plan sample counts derive from the op lines).
   void AddLoadedPlan(FleetPlanProfile plan);
   void AddLoadedOperator(uint64_t fingerprint, FleetOperatorCost cost);
+  void AddLoadedCriticality(uint64_t fingerprint, uint64_t critical_cycles,
+                            uint64_t top_share_pct, const std::string& bottleneck);
 
  private:
   FleetPlanProfile& PlanFor(const PlanFingerprint& fingerprint, const std::string& name);
@@ -96,32 +112,36 @@ class ServiceProfile {
 // Line-oriented text format, in the family of WriteDictionary/WriteSamples (§5.2 decoupling).
 // Version 2 embeds the windowed fleet profile next to the cumulative counters; version 3 adds
 // the pieces a restarting service needs to resume where it left off — the service clock, the
-// per-window tier split, and the frozen regression baselines:
-//   # dfp service profile v2|v3
+// per-window tier split, and the frozen regression baselines; version 4 adds per-plan
+// critical-path rollups:
+//   # dfp service profile v2|v3|v4
 //   windowcfg <width-cycles> <ring-windows>
 //   clock <service-clock-cycles>                                              (v3)
 //   plan <fingerprint-hex> <executions> <hits> <misses> <compile-cycles> <execute-cycles> <name...>
 //   op <fingerprint-hex> <operator-id> <samples> <label...>
+//   crit <fingerprint-hex> <critical-cycles> <top-share-pct> <bottleneck>     (v4)
 //   window <fingerprint-hex> <index> <executions> <samples> <execute-cycles> <rows> <loads>
 //          <l1> <l2> <l3> <remote> <lat-p50> <lat-p95> <lat-max>
 //          [<baseline-executions> <baseline-samples>]                         (v3)
 //   wop <fingerprint-hex> <window-index> <operator-id> <samples> <sample-cycles> <label...>
 //   baseline <fingerprint-hex> <samples> <watermark> <cycles-per-row> <remote-share> <name...> (v3)
 //   bop <fingerprint-hex> <operator-id> <samples> <sample-cycles> <label...>  (v3)
-// The two-argument writer is content-driven: it emits v3 exactly when some window carries
-// baseline-tier counts, so pre-tiering profiles stay byte-identical v2 files. The v1 header
-// with plan/op lines only is still accepted by ReadServiceProfile.
+// The writers are content-driven: the two-argument form emits v4 only when some plan carries a
+// critical-path rollup and v3 only when some window carries baseline-tier counts, so
+// pre-tiering and pre-critpath profiles stay byte-identical v2/v3 files. The v1 header with
+// plan/op lines only is still accepted by ReadServiceProfile.
 void WriteServiceProfile(const ServiceProfile& profile, std::ostream& out);
 void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& windows,
                          std::ostream& out);
 
-// Persistence writer: always v3, embedding the service clock and the regression baselines —
-// everything QueryService saves on shutdown and restores on start.
+// Persistence writer: embeds the service clock and the regression baselines — everything
+// QueryService saves on shutdown and restores on start. Emits v4 when a plan carries a
+// critical-path rollup, v3 otherwise.
 void WriteServiceState(const ServiceProfile& profile, const WindowedProfile& windows,
                        const BaselineStore& baselines, uint64_t service_clock_cycles,
                        std::ostream& out);
 
-// Inverse of WriteServiceProfile/WriteServiceState; parses v1 through v3. When `windows` is
+// Inverse of WriteServiceProfile/WriteServiceState; parses v1 through v4. When `windows` is
 // non-null, window lines are reconstituted into it (it keeps its configured ring bound; the
 // file's windowcfg line restores the writer's configuration first). `baselines` and
 // `service_clock_cycles`, when non-null, receive the v3 regression baselines and service

@@ -6,7 +6,8 @@ namespace dfp {
 
 bool TierController::Observe(uint64_t fingerprint, const std::string& name,
                              const WindowedProfile& windows, uint64_t execute_cycles,
-                             uint64_t optimizing_compile_cycles, uint64_t now_cycles) {
+                             uint64_t optimizing_compile_cycles, uint64_t now_cycles,
+                             uint64_t critical_path_cycles) {
   if (!config_.enabled) {
     return false;
   }
@@ -16,10 +17,16 @@ bool TierController::Observe(uint64_t fingerprint, const std::string& name,
   if (state.promoted || state.executions < config_.min_executions) {
     return false;
   }
-  // Windowed evidence when available (recent-rate semantics; old windows fall off the ring),
-  // cumulative fallback when the service runs without windows.
-  const WindowRollup rollup = windows.RollUp(fingerprint);
-  const uint64_t evidence = std::max(rollup.execute_cycles, state.cumulative_cycles);
+  // Critical-path evidence when the caller supplies it (cycles that gated latency); otherwise
+  // windowed evidence when available (recent-rate semantics; old windows fall off the ring),
+  // with a cumulative fallback when the service runs without windows.
+  uint64_t evidence;
+  if (config_.promote_by_critical_path && critical_path_cycles != 0) {
+    evidence = critical_path_cycles;
+  } else {
+    const WindowRollup rollup = windows.RollUp(fingerprint);
+    evidence = std::max(rollup.execute_cycles, state.cumulative_cycles);
+  }
   const uint64_t threshold = static_cast<uint64_t>(
       config_.break_even_ratio * static_cast<double>(optimizing_compile_cycles));
   if (evidence < threshold) {

@@ -42,10 +42,13 @@ class TierController {
   // Reports one completed baseline-tier execution of `fingerprint`. Returns true exactly once:
   // when the windowed cycles first cross the break-even threshold — the caller then enqueues
   // the background recompilation. `execute_cycles` backs a cumulative fallback for
-  // configurations running without windows.
+  // configurations running without windows. `critical_path_cycles` is the fingerprint's
+  // cumulative critical-path work (src/critpath/); when non-zero and
+  // TieringConfig::promote_by_critical_path is set, it replaces the raw-cycle evidence, so
+  // promotion tracks the cycles that actually gated query latency.
   bool Observe(uint64_t fingerprint, const std::string& name, const WindowedProfile& windows,
                uint64_t execute_cycles, uint64_t optimizing_compile_cycles,
-               uint64_t now_cycles);
+               uint64_t now_cycles, uint64_t critical_path_cycles = 0);
 
   // Marks the pending transition of `fingerprint` as swapped in at `now_cycles`.
   void MarkSwapped(uint64_t fingerprint, uint64_t now_cycles);

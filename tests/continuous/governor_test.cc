@@ -126,5 +126,61 @@ TEST(SamplingGovernor, TracksPerFingerprintStateIndependently) {
   EXPECT_GT(governor.OverallShare(), 0.0);
 }
 
+TEST(SamplingGovernor, CriticalityWeightsPipelinePeriodsStrictly) {
+  // Under a fixed budget, the pipeline that owns the critical path must be sampled at a
+  // STRICTLY shorter period than the base and than every off-path pipeline — the acceptance
+  // bar of the critical-path wiring. Shares mean-center (mean of {62, 0, 7} is 23), so the
+  // redistribution is budget-neutral: below-mean pipelines give up exactly the sampling rate
+  // the above-mean ones gain.
+  SamplingGovernor governor(EnabledConfig());
+  governor.ObserveCriticality(0x1, "q3", {62, 0, 7});
+  const uint64_t base = 5000;
+  const std::vector<uint64_t> periods = governor.PipelinePeriods(0x1, base, 3);
+  ASSERT_EQ(periods.size(), 3u);
+  EXPECT_LT(periods[0], base);   // 39 points above the mean: finest sampling.
+  EXPECT_GT(periods[1], base);   // Off the path, 23 below the mean: relaxed beyond the base.
+  EXPECT_GT(periods[2], base);   // Barely on the path, still below the mean: relaxed too.
+  EXPECT_LT(periods[0], periods[2]);  // Higher share, strictly shorter period.
+  EXPECT_LT(periods[2], periods[1]);  // ... at every rank of the share ordering.
+  EXPECT_EQ(periods[0], base * 100 / 139);  // d = +39.
+  EXPECT_EQ(periods[1], base * 100 / 77);   // d = -23.
+  EXPECT_EQ(governor.Find(0x1)->top_criticality_pct, 62u);
+}
+
+TEST(SamplingGovernor, PipelinePeriodsEmptyWithoutSignalOrWhenDisabled) {
+  // No criticality observed yet: uniform sampling (empty vector).
+  SamplingGovernor fresh(EnabledConfig());
+  EXPECT_TRUE(fresh.PipelinePeriods(0x1, 5000, 4).empty());
+
+  // A degenerate all-zero observation (empty DAG) keeps sampling uniform too.
+  fresh.ObserveCriticality(0x1, "q", {0, 0});
+  EXPECT_TRUE(fresh.PipelinePeriods(0x1, 5000, 2).empty());
+
+  // Weighting off: criticality is tracked but never shapes periods.
+  GovernorConfig unweighted = EnabledConfig();
+  unweighted.criticality_weighting = false;
+  SamplingGovernor governor(unweighted);
+  governor.ObserveCriticality(0x1, "q", {80});
+  EXPECT_TRUE(governor.PipelinePeriods(0x1, 5000, 1).empty());
+
+  // Disabled governor: ObserveCriticality is a no-op.
+  SamplingGovernor disabled;
+  disabled.ObserveCriticality(0x1, "q", {80});
+  EXPECT_TRUE(disabled.plans().empty());
+  EXPECT_TRUE(disabled.PipelinePeriods(0x1, 5000, 1).empty());
+}
+
+TEST(SamplingGovernor, OffPathPeriodRespectsClampCeiling) {
+  GovernorConfig config = EnabledConfig();
+  config.max_period = 5200;
+  SamplingGovernor governor(config);
+  governor.ObserveCriticality(0x1, "q", {90, 0});
+  const std::vector<uint64_t> periods = governor.PipelinePeriods(0x1, 5000, 2);
+  ASSERT_EQ(periods.size(), 2u);
+  EXPECT_EQ(periods[1], 5200u);  // 5000 * 100/55 = 9090, clamped to the ceiling.
+  EXPECT_GT(periods[1], 5000u);  // Still strictly above the base.
+  EXPECT_LT(periods[0], 5000u);  // The critical pipeline is unaffected by the ceiling.
+}
+
 }  // namespace
 }  // namespace dfp

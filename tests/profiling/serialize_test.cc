@@ -344,6 +344,119 @@ TEST(Serialize, RejectsTierAndEventTokensInPreV4Streams) {
   EXPECT_THROW(ReadSamples(wide_tier), Error);
 }
 
+TEST(Serialize, TaskBoundariesRoundTripIsV5) {
+  // Task-boundary records promote the stream to v5 and must survive the round trip field for
+  // field, written as a block right after the header in the order given.
+  std::vector<Sample> samples;
+  Sample plain;
+  plain.tsc = 500;
+  plain.ip = 0x1000001;
+  samples.push_back(plain);
+
+  std::vector<TaskBoundary> tasks;
+  {
+    TaskBoundary host;
+    host.start_tsc = 0;
+    host.end_tsc = 120;
+    host.worker_id = 0;
+    host.kind = TaskKind::kHostStep;
+    host.step = 0;
+    tasks.push_back(host);
+  }
+  {
+    TaskBoundary morsel;
+    morsel.start_tsc = 120;
+    morsel.end_tsc = 900;
+    morsel.worker_id = 3;
+    morsel.kind = TaskKind::kMorsel;
+    morsel.step = 1;
+    morsel.pipeline = 2;
+    morsel.morsel_begin = 4096;
+    morsel.morsel_end = 8192;
+    morsel.stolen = true;
+    morsel.instructions = 7000;
+    morsel.loads = 1500;
+    morsel.l1_misses = 90;
+    morsel.l2_misses = 40;
+    morsel.l3_misses = 12;
+    morsel.remote_dram = 5;
+    tasks.push_back(morsel);
+  }
+
+  std::stringstream stream;
+  WriteSamples(samples, {}, tasks, stream);
+  const std::string text = stream.str();
+  EXPECT_NE(text.find("# dfp samples v5"), std::string::npos);
+  EXPECT_LT(text.find("task 0 120 "), text.find("sample 500"));
+
+  std::vector<SampleStreamEvent> events;
+  std::vector<TaskBoundary> loaded;
+  std::vector<Sample> reread = ReadSamples(stream, &events, &loaded);
+  ASSERT_EQ(reread.size(), 1u);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].kind, TaskKind::kHostStep);
+  EXPECT_EQ(loaded[0].pipeline, kNoPipeline);
+  EXPECT_EQ(loaded[1].start_tsc, 120u);
+  EXPECT_EQ(loaded[1].end_tsc, 900u);
+  EXPECT_EQ(loaded[1].worker_id, 3u);
+  EXPECT_EQ(loaded[1].kind, TaskKind::kMorsel);
+  EXPECT_EQ(loaded[1].step, 1u);
+  EXPECT_EQ(loaded[1].pipeline, 2u);
+  EXPECT_EQ(loaded[1].morsel_begin, 4096u);
+  EXPECT_EQ(loaded[1].morsel_end, 8192u);
+  EXPECT_TRUE(loaded[1].stolen);
+  EXPECT_EQ(loaded[1].instructions, 7000u);
+  EXPECT_EQ(loaded[1].loads, 1500u);
+  EXPECT_EQ(loaded[1].l1_misses, 90u);
+  EXPECT_EQ(loaded[1].l2_misses, 40u);
+  EXPECT_EQ(loaded[1].l3_misses, 12u);
+  EXPECT_EQ(loaded[1].remote_dram, 5u);
+
+  // Task-free streams written through the three-argument API stay byte-identical to the
+  // classic writer — old dumps never silently become v5.
+  std::stringstream with_tasks_api;
+  WriteSamples(samples, {}, std::vector<TaskBoundary>(), with_tasks_api);
+  std::stringstream classic;
+  WriteSamples(samples, classic);
+  EXPECT_EQ(with_tasks_api.str(), classic.str());
+}
+
+TEST(Serialize, RejectsTaskTokensInPreV5StreamsAndNewerVersions) {
+  // A task line in a pre-v5 stream is malformed, not a forward-compatible extension.
+  std::stringstream task_in_v4(
+      "# dfp samples v4\ntask 0 10 0 0 0 4294967295 0 0 0 0 0 0 0 0 0\nsample 100 16777217 0\n");
+  std::vector<SampleStreamEvent> events;
+  std::vector<TaskBoundary> tasks;
+  EXPECT_THROW(ReadSamples(task_in_v4, &events, &tasks), Error);
+
+  // A v5 stream with tasks needs a task sink: dropping the schedule silently would break the
+  // offline DAG reconstruction contract.
+  std::stringstream no_sink(
+      "# dfp samples v5\ntask 0 10 0 0 0 4294967295 0 0 0 0 0 0 0 0 0\nsample 100 16777217 0\n");
+  EXPECT_THROW(ReadSamples(no_sink), Error);
+
+  // Malformed task payloads are rejected: unknown kind, out-of-range stolen flag, end < start.
+  std::stringstream bad_kind(
+      "# dfp samples v5\ntask 0 10 0 9 0 4294967295 0 0 0 0 0 0 0 0 0\n");
+  EXPECT_THROW(ReadSamples(bad_kind, &events, &tasks), Error);
+  std::stringstream bad_stolen(
+      "# dfp samples v5\ntask 0 10 0 1 0 0 0 64 2 0 0 0 0 0 0\n");
+  EXPECT_THROW(ReadSamples(bad_stolen, &events, &tasks), Error);
+  std::stringstream backwards(
+      "# dfp samples v5\ntask 10 5 0 1 0 0 0 64 0 0 0 0 0 0 0\n");
+  EXPECT_THROW(ReadSamples(backwards, &events, &tasks), Error);
+
+  // A stream from a newer build is rejected with a clear upgrade message, not a parse error.
+  std::stringstream v6("# dfp samples v6\nsample 100 16777217 0\n");
+  try {
+    ReadSamples(v6, &events, &tasks);
+    FAIL() << "v6 stream must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("newer than this build"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Serialize, OfflineResolutionMatchesLiveSession) {
   Database db;
   {

@@ -208,6 +208,36 @@ TEST(TierLadderTest, TieredSamplesRoundTripWithEvents) {
   }
 }
 
+TEST(TierControllerTest, CriticalPathEvidencePicksPromotionsByLatency) {
+  TieringConfig tiering;
+  tiering.enabled = true;
+  tiering.min_executions = 1;
+  tiering.break_even_ratio = 1.0;
+  WindowedProfile windows;  // Empty windows: the legacy path falls back to cumulative cycles.
+
+  // A wide-but-slack plan: it burns 10k cycles per execution but only 100 of them ever sit on
+  // a query's critical path. Raw-cycle evidence would promote immediately; critical-path
+  // evidence holds until the path work itself crosses break-even.
+  TierController by_path(tiering);
+  EXPECT_FALSE(by_path.Observe(0x1, "wide", windows, 10'000, 5'000, 1,
+                               /*critical_path_cycles=*/100));
+  EXPECT_TRUE(by_path.Observe(0x1, "wide", windows, 10'000, 5'000, 2,
+                              /*critical_path_cycles=*/6'000));
+  ASSERT_EQ(by_path.transitions().size(), 1u);
+  EXPECT_EQ(by_path.transitions()[0].rollup_cycles, 6'000u);
+
+  // Same inputs with the flag off: raw-cycle evidence promotes on the first observation.
+  tiering.promote_by_critical_path = false;
+  TierController legacy(tiering);
+  EXPECT_TRUE(legacy.Observe(0x1, "wide", windows, 10'000, 5'000, 1, 100));
+
+  // Callers that pass no critical-path evidence keep the raw-cycle behavior even when the
+  // flag is on (zero means "no analysis available", never "free promotion").
+  tiering.promote_by_critical_path = true;
+  TierController no_evidence(tiering);
+  EXPECT_TRUE(no_evidence.Observe(0x1, "wide", windows, 10'000, 5'000, 1));
+}
+
 TEST(TierLadderTest, TieringOffKeepsOptimizedTierAndNoEvents) {
   ServiceConfig config = TieredConfig();
   config.tiering.enabled = false;
