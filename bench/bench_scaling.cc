@@ -6,6 +6,8 @@
 #include <map>
 
 #include "bench/common.h"
+#include "src/critpath/dag.h"
+#include "src/critpath/slack.h"
 #include "src/profiling/reports.h"
 
 namespace dfp {
@@ -233,6 +235,79 @@ int Main() {
       json.EndObject();
     }
     json.EndArray();
+
+    // Slack-directed scheduling vs FIFO deques on the same skewed scan. Two FIFO runs feed the
+    // SlackStore (the second stabilizes the EWMA), then the learned profile orders the third
+    // run's deques so the skew band's zero-slack morsels start first and the cheap tail defers
+    // to thieves. The policy only permutes the schedule: the gate demands an equal-or-better
+    // critical path AND byte-identical results (the sched-smoke CI job additionally double-runs
+    // this section and diffs the JSON, so every number here must be deterministic).
+    std::printf("\n--- Slack-directed scheduling vs FIFO: q6 on date-skewed lineitem ---\n");
+    CompiledQuery sched_query =
+        CompileParallel(skew_engine, *skew_db, spec, nullptr, spec.name + "_slack");
+    ParallelConfig sched_config;
+    sched_config.workers = 4;
+    SlackStore store;
+    constexpr uint64_t kSchedFp = 1;  // Engine-level run: any stable store key works.
+    Result fifo_result;
+    uint64_t fifo_wall = 0;
+    uint64_t fifo_critical = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      fifo_result = skew_engine.ExecuteParallel(sched_query, sched_config);
+      fifo_wall = skew_engine.last_cycles();
+      const TaskDag dag = BuildTaskDag(skew_engine.last_task_boundaries());
+      fifo_critical = dag.critical_work_cycles;
+      store.Observe(kSchedFp, spec.name + "_slack", dag);
+    }
+    const Result slack_result =
+        skew_engine.ExecuteParallel(sched_query, sched_config, store.Find(kSchedFp));
+    const uint64_t slack_wall = skew_engine.last_cycles();
+    const TaskDag slack_dag = BuildTaskDag(skew_engine.last_task_boundaries());
+    const SchedStats sched_stats = skew_engine.last_sched_stats();
+    std::string sched_diff;
+    const bool sched_results_identical =
+        Result::Equivalent(fifo_result, slack_result, true, &sched_diff);
+    const bool sched_critical_ok = slack_dag.critical_work_cycles <= fifo_critical;
+    std::printf("%-8s %14s %14s\n", "policy", "wall cycles", "critical path");
+    std::printf("%-8s %14llu %14llu\n", "fifo", static_cast<unsigned long long>(fifo_wall),
+                static_cast<unsigned long long>(fifo_critical));
+    std::printf("%-8s %14llu %14llu\n", "slack", static_cast<unsigned long long>(slack_wall),
+                static_cast<unsigned long long>(slack_dag.critical_work_cycles));
+    std::printf("slack policy: %llu ordered scan(s), %llu hint hits, %llu deferred, "
+                "%llu slack steals; critical path %.3fx %s, results %s\n",
+                static_cast<unsigned long long>(sched_stats.slack_ordered_scans),
+                static_cast<unsigned long long>(sched_stats.slack_hits),
+                static_cast<unsigned long long>(sched_stats.deferred_morsels),
+                static_cast<unsigned long long>(sched_stats.slack_steals),
+                static_cast<double>(slack_dag.critical_work_cycles) /
+                    static_cast<double>(std::max<uint64_t>(1, fifo_critical)),
+                sched_critical_ok ? "[ok]" : "[FAIL]",
+                sched_results_identical ? "identical [ok]" : "[FAIL: diverged]");
+    json.BeginObject("slack_scheduling");
+    json.Field("query", std::string("q6_skewed"));
+    json.Field("workers", static_cast<uint64_t>(sched_config.workers));
+    json.Field("fifo_wall_cycles", fifo_wall);
+    json.Field("fifo_critical_cycles", fifo_critical);
+    json.Field("slack_wall_cycles", slack_wall);
+    json.Field("slack_critical_cycles", slack_dag.critical_work_cycles);
+    json.Field("slack_ordered_scans", sched_stats.slack_ordered_scans);
+    json.Field("slack_hits", sched_stats.slack_hits);
+    json.Field("deferred_morsels", sched_stats.deferred_morsels);
+    json.Field("slack_steals", sched_stats.slack_steals);
+    json.Field("results_identical", sched_results_identical);
+    json.Field("critical_path_ok", sched_critical_ok);
+    json.EndObject();
+    if (!sched_critical_ok || !sched_results_identical ||
+        sched_stats.slack_ordered_scans == 0) {
+      std::fprintf(stderr,
+                   "FAIL: slack scheduling must engage (%llu ordered scans) with "
+                   "equal-or-better critical path (slack=%llu fifo=%llu) and identical "
+                   "results\n%s",
+                   static_cast<unsigned long long>(sched_stats.slack_ordered_scans),
+                   static_cast<unsigned long long>(slack_dag.critical_work_cycles),
+                   static_cast<unsigned long long>(fifo_critical), sched_diff.c_str());
+      return 1;
+    }
   }
 
   // Drill-down: profile the 4-worker run of q1 and render the merged multi-level reports.

@@ -10,6 +10,68 @@
 #include "src/util/check.h"
 
 namespace dfp {
+namespace {
+
+// Per-fingerprint diff shared by DetectRegressions and JudgeRegression: fills `finding` from
+// `base` vs `current` and returns true when any check fired. `current` must already have
+// enough samples (the callers gate on thresholds.min_samples).
+bool DiffAgainstBaseline(const PlanBaseline& base, const WindowRollup& current,
+                         const RegressionThresholds& thresholds, RegressionFinding* finding) {
+  finding->fingerprint = base.fingerprint;
+  finding->name = base.name;
+  finding->baseline_cycles_per_row = base.cycles_per_row;
+  finding->current_cycles_per_row = current.CyclesPerRow();
+  finding->baseline_remote_share = base.remote_share;
+  finding->current_remote_share = current.RemoteDramShare();
+
+  // Union of operators on either side, in operator-id order.
+  std::set<OperatorId> ops;
+  for (const auto& [op, stats] : base.operators) {
+    (void)stats;
+    ops.insert(op);
+  }
+  for (const auto& [op, stats] : current.operators) {
+    (void)stats;
+    ops.insert(op);
+  }
+  for (OperatorId op : ops) {
+    OperatorDrift drift;
+    drift.op = op;
+    auto base_it = base.operators.find(op);
+    auto cur_it = current.operators.find(op);
+    drift.label = cur_it != current.operators.end() ? cur_it->second.label
+                                                    : base_it->second.label;
+    drift.baseline_share = base.OperatorShare(op);
+    drift.current_share = current.OperatorShare(op);
+    const bool above_floor = drift.baseline_share >= thresholds.min_share ||
+                             drift.current_share >= thresholds.min_share;
+    if (!above_floor) {
+      continue;
+    }
+    const uint64_t base_hits = base_it != base.operators.end() ? base_it->second.samples : 0;
+    const uint64_t cur_hits = cur_it != current.operators.end() ? cur_it->second.samples : 0;
+    const double pooled = static_cast<double>(base_hits + cur_hits) /
+                          static_cast<double>(base.samples + current.samples);
+    const double stderr_drift =
+        std::sqrt(pooled * (1.0 - pooled) *
+                  (1.0 / static_cast<double>(base.samples) +
+                   1.0 / static_cast<double>(current.samples)));
+    drift.flagged = std::abs(drift.current_share - drift.baseline_share) >
+                    thresholds.share_drift + thresholds.share_noise_z * stderr_drift;
+    finding->share_regressed |= drift.flagged;
+    finding->drifts.push_back(std::move(drift));
+  }
+
+  finding->cycles_per_row_regressed =
+      base.cycles_per_row > 0 &&
+      finding->current_cycles_per_row > base.cycles_per_row * thresholds.cycles_per_row_ratio;
+  finding->remote_regressed = finding->current_remote_share - finding->baseline_remote_share >
+                              thresholds.remote_share_drift;
+  return finding->share_regressed || finding->cycles_per_row_regressed ||
+         finding->remote_regressed;
+}
+
+}  // namespace
 
 double PlanBaseline::OperatorShare(OperatorId op) const {
   if (samples == 0) {
@@ -87,60 +149,7 @@ std::vector<RegressionFinding> DetectRegressions(const BaselineStore& baseline,
     }
 
     RegressionFinding finding;
-    finding.fingerprint = fingerprint;
-    finding.name = base->name;
-    finding.baseline_cycles_per_row = base->cycles_per_row;
-    finding.current_cycles_per_row = current.CyclesPerRow();
-    finding.baseline_remote_share = base->remote_share;
-    finding.current_remote_share = current.RemoteDramShare();
-
-    // Union of operators on either side, in operator-id order.
-    std::set<OperatorId> ops;
-    for (const auto& [op, stats] : base->operators) {
-      (void)stats;
-      ops.insert(op);
-    }
-    for (const auto& [op, stats] : current.operators) {
-      (void)stats;
-      ops.insert(op);
-    }
-    for (OperatorId op : ops) {
-      OperatorDrift drift;
-      drift.op = op;
-      auto base_it = base->operators.find(op);
-      auto cur_it = current.operators.find(op);
-      drift.label = cur_it != current.operators.end() ? cur_it->second.label
-                                                      : base_it->second.label;
-      drift.baseline_share = base->OperatorShare(op);
-      drift.current_share = current.OperatorShare(op);
-      const bool above_floor = drift.baseline_share >= thresholds.min_share ||
-                               drift.current_share >= thresholds.min_share;
-      if (!above_floor) {
-        continue;
-      }
-      const uint64_t base_hits = base_it != base->operators.end() ? base_it->second.samples : 0;
-      const uint64_t cur_hits = cur_it != current.operators.end() ? cur_it->second.samples : 0;
-      const double pooled = static_cast<double>(base_hits + cur_hits) /
-                            static_cast<double>(base->samples + current.samples);
-      const double stderr_drift =
-          std::sqrt(pooled * (1.0 - pooled) *
-                    (1.0 / static_cast<double>(base->samples) +
-                     1.0 / static_cast<double>(current.samples)));
-      drift.flagged = std::abs(drift.current_share - drift.baseline_share) >
-                      thresholds.share_drift + thresholds.share_noise_z * stderr_drift;
-      finding.share_regressed |= drift.flagged;
-      finding.drifts.push_back(std::move(drift));
-    }
-
-    finding.cycles_per_row_regressed =
-        base->cycles_per_row > 0 &&
-        finding.current_cycles_per_row >
-            base->cycles_per_row * thresholds.cycles_per_row_ratio;
-    finding.remote_regressed = finding.current_remote_share - finding.baseline_remote_share >
-                               thresholds.remote_share_drift;
-
-    if (finding.share_regressed || finding.cycles_per_row_regressed ||
-        finding.remote_regressed) {
+    if (DiffAgainstBaseline(*base, current, thresholds, &finding)) {
       if (alert) {
         alert(finding);
       }
@@ -148,6 +157,37 @@ std::vector<RegressionFinding> DetectRegressions(const BaselineStore& baseline,
     }
   }
   return findings;
+}
+
+const char* GuardVerdictName(GuardVerdict verdict) {
+  switch (verdict) {
+    case GuardVerdict::kInsufficientEvidence:
+      return "insufficient-evidence";
+    case GuardVerdict::kClean:
+      return "clean";
+    case GuardVerdict::kRegressed:
+      return "regressed";
+  }
+  return "?";
+}
+
+GuardVerdict JudgeRegression(const BaselineStore& baseline, const WindowedProfile& profile,
+                             uint64_t fingerprint, const RegressionThresholds& thresholds,
+                             RegressionFinding* finding) {
+  const PlanBaseline* base = baseline.Find(fingerprint);
+  if (base == nullptr) {
+    return GuardVerdict::kInsufficientEvidence;
+  }
+  const WindowRollup current = profile.RollUpSince(fingerprint, base->watermark + 1);
+  if (current.samples < thresholds.min_samples) {
+    return GuardVerdict::kInsufficientEvidence;
+  }
+  RegressionFinding local;
+  const bool regressed = DiffAgainstBaseline(*base, current, thresholds, &local);
+  if (regressed && finding != nullptr) {
+    *finding = std::move(local);
+  }
+  return regressed ? GuardVerdict::kRegressed : GuardVerdict::kClean;
 }
 
 std::string RenderRegressionReport(const std::vector<RegressionFinding>& findings) {

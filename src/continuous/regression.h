@@ -121,6 +121,26 @@ std::vector<RegressionFinding> DetectRegressions(
 // Side-by-side cost-annotated report of all findings (empty-finding list renders a quiet note).
 std::string RenderRegressionReport(const std::vector<RegressionFinding>& findings);
 
+// Three-way verdict for closed-loop actions (propose -> apply -> re-measure -> keep-or-revert):
+// a guarded optimization keeps waiting on kInsufficientEvidence, keeps the action on kClean,
+// and reverts on kRegressed. Distinct from DetectRegressions' findings list because "no
+// finding" must not be conflated with "not enough post-action windows to judge yet".
+enum class GuardVerdict : uint8_t {
+  kInsufficientEvidence,  // No baseline, or too few post-watermark samples — keep measuring.
+  kClean,                 // Enough evidence, no drift beyond thresholds — keep the action.
+  kRegressed,             // The action made the fingerprint worse — revert it.
+};
+
+const char* GuardVerdictName(GuardVerdict verdict);
+
+// Judges one fingerprint's post-watermark windows against its entry in `baseline` using the
+// same drift checks as DetectRegressions. `finding` (optional) receives the diff when the
+// verdict is kRegressed.
+GuardVerdict JudgeRegression(const BaselineStore& baseline, const WindowedProfile& profile,
+                             uint64_t fingerprint,
+                             const RegressionThresholds& thresholds = RegressionThresholds(),
+                             RegressionFinding* finding = nullptr);
+
 }  // namespace dfp
 
 #endif  // DFP_SRC_CONTINUOUS_REGRESSION_H_

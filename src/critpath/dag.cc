@@ -40,7 +40,13 @@ TaskDag BuildTaskDag(std::vector<TaskBoundary> tasks) {
   if (tasks.empty()) {
     return dag;
   }
-  std::sort(tasks.begin(), tasks.end(), CanonicalLess);
+  // Single-worker runs (and replayed v5 streams) already arrive in canonical order — the
+  // executor appends boundaries in execution order, which for one worker is exactly
+  // (step, start_tsc). Skip the re-sort then: is_sorted is one linear pass and the resulting
+  // DAG is identical either way (asserted by the determinism test).
+  if (!std::is_sorted(tasks.begin(), tasks.end(), CanonicalLess)) {
+    std::sort(tasks.begin(), tasks.end(), CanonicalLess);
+  }
   dag.nodes.reserve(tasks.size());
   for (TaskBoundary& task : tasks) {
     TaskNode node;
@@ -54,6 +60,8 @@ TaskDag BuildTaskDag(std::vector<TaskBoundary> tasks) {
     uint32_t end = 0;
   };
   std::vector<StepRange> steps;
+  steps.reserve(dag.nodes.empty() ? 0 : dag.nodes.back().task.step + 1);
+  dag.critical_path.reserve(dag.nodes.size());
   for (uint32_t i = 0; i < dag.nodes.size(); ++i) {
     if (steps.empty() || dag.nodes[steps.back().begin].task.step != dag.nodes[i].task.step) {
       steps.push_back(StepRange{i, i + 1});

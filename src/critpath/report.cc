@@ -73,7 +73,20 @@ std::string RenderCriticalPath(const CriticalityTracker& tracker) {
                   static_cast<unsigned long long>(plan.critical_work_cycles),
                   static_cast<unsigned long long>(critical_pct));
     out << line;
-    for (uint32_t p = 0; p < plan.pipeline_share_pct.size(); ++p) {
+    // Criticality order: share descending, pipeline id ascending on ties. The id tie-break
+    // matters — equal-share pipelines (common when shares round to the same percent) must
+    // render in one fixed order or double-run diffs of the report flap.
+    std::vector<uint32_t> order(plan.pipeline_share_pct.size());
+    for (uint32_t p = 0; p < order.size(); ++p) {
+      order[p] = p;
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (plan.pipeline_share_pct[a] != plan.pipeline_share_pct[b]) {
+        return plan.pipeline_share_pct[a] > plan.pipeline_share_pct[b];
+      }
+      return a < b;
+    });
+    for (uint32_t p : order) {
       std::snprintf(line, sizeof(line), "  pipeline %2u  share %3llu%%  %s%s\n", p,
                     static_cast<unsigned long long>(plan.pipeline_share_pct[p]),
                     BottleneckName(plan.pipeline_labels[p]),

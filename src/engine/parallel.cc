@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/critpath/slack.h"
 #include "src/engine/query_engine.h"
 #include "src/runtime/hashtable.h"
 #include "src/util/check.h"
@@ -57,6 +58,7 @@ bool OrderSensitive(const PipelineArtifact& artifact) {
   return false;
 }
 
+
 }  // namespace
 
 // One simulated core: its own PMU (sample buffer, counters) and CPU (TSC, caches, predictor,
@@ -77,9 +79,9 @@ struct ParallelRun::Worker {
 
 ParallelRun::ParallelRun(Database& db, CompiledQuery& query, const ParallelConfig& config,
                          ScratchRegions regions, const SamplingConfig* sampling,
-                         uint32_t session_id)
+                         uint32_t session_id, const PlanSlack* slack)
     : db_(db), query_(query), config_(config), regions_(regions),
-      numa_(MakeNumaConfig(config)) {
+      numa_(MakeNumaConfig(config)), slack_(slack) {
   DFP_CHECK(query.parallel);  // Must be compiled with CodegenOptions::parallel.
   DFP_CHECK(config.workers >= 1 && config.workers <= 64);
 
@@ -195,11 +197,17 @@ void ParallelRun::BeginScan(const PipelineArtifact& artifact, const PipelineStep
   scan_morsel_rows_ = ResolveMorselRows(config_, artifact, scan_rows_, config_.workers);
   scan_stealing_ =
       config_.scheduler == SchedulerPolicy::kWorkStealing && !OrderSensitive(artifact);
+  scan_slack_ = nullptr;
   if (!scan_stealing_) {
     return;
   }
   pending_morsels_ = 0;
   const uint32_t nodes = numa_.nodes();
+  // The deal rule is the canonical range partition regardless of any placement override: a
+  // repair moves DATA toward the workers that consume it, it never moves the consumers. If the
+  // deal chased the placement map, any consistently-applied map — including a deliberately bad
+  // one — would realign consumption with the data and measure as local, hiding regressions
+  // from the guard.
   for (uint64_t begin = 0; begin < scan_rows_; begin += scan_morsel_rows_) {
     const uint64_t end = std::min(scan_rows_, begin + scan_morsel_rows_);
     const uint32_t node = static_cast<uint32_t>(begin * nodes / scan_rows_);
@@ -208,6 +216,43 @@ void ParallelRun::BeginScan(const PipelineArtifact& artifact, const PipelineStep
     const uint32_t owner = node + (node_rr_[node]++ % on_node) * nodes;
     deques_[owner].push_back(Morsel{begin, end});
     ++pending_morsels_;
+  }
+  // Slack-directed ordering: sort each deque by expected slack descending, so the back — the
+  // end the owner pops LIFO — holds the least-slack (critical-path) morsels and the front —
+  // the steal end — holds the deferrable high-slack work. Under contention the thieves absorb
+  // exactly the work whose delay the prior runs' DAGs say the barrier can afford. stable_sort
+  // keeps equal-slack morsels in deal order, so the schedule stays deterministic even when the
+  // profile is flat.
+  if (slack_ == nullptr) {
+    return;
+  }
+  const uint32_t pipeline = query_.exec_steps[step_idx_].pipeline;
+  const StepSlack* hint = slack_->FindStep(static_cast<uint32_t>(step_idx_), pipeline);
+  if (hint == nullptr) {
+    return;
+  }
+  scan_slack_ = hint;
+  ++sched_stats_.slack_ordered_scans;
+  for (std::deque<Morsel>& deque : deques_) {
+    if (deque.empty()) {
+      continue;
+    }
+    std::stable_sort(deque.begin(), deque.end(), [&](const Morsel& a, const Morsel& b) {
+      return hint->SlackAt(a.begin) > hint->SlackAt(b.begin);
+    });
+    uint64_t min_slack = UINT64_MAX;
+    for (const Morsel& m : deque) {
+      min_slack = std::min(min_slack, hint->SlackAt(m.begin));
+    }
+    for (const Morsel& m : deque) {
+      const uint64_t s = hint->SlackAt(m.begin);
+      if (s != UINT64_MAX) {
+        ++sched_stats_.slack_hits;
+      }
+      if (min_slack != UINT64_MAX && s > min_slack) {
+        ++sched_stats_.deferred_morsels;
+      }
+    }
   }
 }
 
@@ -223,14 +268,37 @@ bool ParallelRun::TakeMorsel(uint32_t thief, Morsel* morsel, bool* stolen) {
     own.pop_back();
     *stolen = false;
   } else {
-    // Steal from the richest victim (ties to the lowest id) so load drains evenly; take the
-    // front — the morsel the victim would reach last, and the coldest in its caches.
     uint32_t victim = config_.workers;
-    size_t best = 0;
-    for (uint32_t i = 0; i < config_.workers; ++i) {
-      if (deques_[i].size() > best) {
-        best = deques_[i].size();
-        victim = i;
+    if (scan_slack_ != nullptr) {
+      // Slack policy: steal from the victim whose head (steal-end) morsel has the least
+      // expected slack — the most urgent deferred work anywhere in the pool — tie-broken to a
+      // victim on the thief's own node (the stolen rows stay local), then to the lowest id.
+      const uint32_t thief_node = thief % numa_.nodes();
+      uint64_t best_slack = 0;
+      uint32_t best_remote = 0;
+      for (uint32_t i = 0; i < config_.workers; ++i) {
+        if (deques_[i].empty()) {
+          continue;
+        }
+        const uint64_t s = scan_slack_->SlackAt(deques_[i].front().begin);
+        const uint32_t remote = (i % numa_.nodes()) == thief_node ? 0 : 1;
+        if (victim == config_.workers || s < best_slack ||
+            (s == best_slack && remote < best_remote)) {
+          victim = i;
+          best_slack = s;
+          best_remote = remote;
+        }
+      }
+      ++sched_stats_.slack_steals;
+    } else {
+      // Steal from the richest victim (ties to the lowest id) so load drains evenly; take the
+      // front — the morsel the victim would reach last, and the coldest in its caches.
+      size_t best = 0;
+      for (uint32_t i = 0; i < config_.workers; ++i) {
+        if (deques_[i].size() > best) {
+          best = deques_[i].size();
+          victim = i;
+        }
       }
     }
     DFP_CHECK(victim < config_.workers);
@@ -360,6 +428,7 @@ ParallelRun::Unit ParallelRun::Step() {
         }
         // Scan exhausted (or empty): close the pipeline and look for the next unit.
         in_scan_ = false;
+        scan_slack_ = nullptr;
         Barrier();
         ++step_idx_;
         continue;
@@ -462,7 +531,8 @@ Result ParallelRun::Finish() {
   return Result(query_.output_schema, std::move(rows));
 }
 
-Result QueryEngine::ExecuteParallel(CompiledQuery& query, const ParallelConfig& config) {
+Result QueryEngine::ExecuteParallel(CompiledQuery& query, const ParallelConfig& config,
+                                    const PlanSlack* slack) {
   db_->ResetScratch();
   ProfilingSession* session = query.session;
   SamplingConfig sampling;
@@ -474,13 +544,15 @@ Result QueryEngine::ExecuteParallel(CompiledQuery& query, const ParallelConfig& 
   regions.state = db_->state_region();
   regions.output = db_->output_region();
 
-  ParallelRun run(*db_, query, config, regions, session != nullptr ? &sampling : nullptr);
+  ParallelRun run(*db_, query, config, regions, session != nullptr ? &sampling : nullptr,
+                  /*session_id=*/0, slack);
   while (!run.done()) {
     run.Step();
   }
   Result result = run.Finish();
 
   last_cycles_ = run.WallCycles();
+  last_sched_stats_ = run.sched_stats();
   last_counters_ = run.merged_counters();
   last_cache_stats_ = run.merged_cache_stats();
   last_cpu_stats_ = run.merged_cpu_stats();

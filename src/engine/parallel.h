@@ -45,6 +45,8 @@
 namespace dfp {
 
 class Database;
+struct PlanSlack;  // src/critpath/slack.h — expected-slack profile of one fingerprint.
+struct StepSlack;
 
 // How scan morsels are assigned to workers. See the file comment for the two policies.
 enum class SchedulerPolicy : uint8_t {
@@ -85,6 +87,15 @@ inline constexpr uint64_t kMinMorselRows = 64;
 uint64_t ResolveMorselRows(const ParallelConfig& config, const PipelineArtifact& artifact,
                            uint64_t scan_rows, uint32_t workers);
 
+// Counters of the slack-directed scheduling policy (zero when no slack profile is supplied,
+// i.e. under plain FIFO-deal deques). Exposed per run and rolled into bench_service JSON.
+struct SchedStats {
+  uint64_t slack_ordered_scans = 0;  // Scans whose deques were ordered by an expected-slack hint.
+  uint64_t slack_hits = 0;           // Dealt morsels that found a populated hint bucket.
+  uint64_t deferred_morsels = 0;     // Morsels pushed toward the steal end (above-min slack).
+  uint64_t slack_steals = 0;         // Steals whose victim was chosen by least head-morsel slack.
+};
+
 // Per-worker execution metrics of the most recent ExecuteParallel().
 struct WorkerMetrics {
   uint32_t worker_id = 0;
@@ -120,9 +131,14 @@ struct ScratchRegions {
 class ParallelRun {
  public:
   // `sampling` may be null (no PMU sampling). `session_id` is stamped into every sample taken
-  // by this run's workers (see Sample::session_id).
+  // by this run's workers (see Sample::session_id). `slack` may be null (FIFO deques); when
+  // set, it is the fingerprint's expected-slack profile from prior executions and the run
+  // orders its deques and picks steal victims by it — zero-slack (critical-path) morsels run
+  // first, high-slack work is deferred to thieves. The profile only permutes the schedule,
+  // never the morsel set, so results stay byte-identical to the unhinted run.
   ParallelRun(Database& db, CompiledQuery& query, const ParallelConfig& config,
-              ScratchRegions regions, const SamplingConfig* sampling, uint32_t session_id = 0);
+              ScratchRegions regions, const SamplingConfig* sampling, uint32_t session_id = 0,
+              const PlanSlack* slack = nullptr);
   ~ParallelRun();
 
   bool done() const { return step_idx_ >= query_.exec_steps.size(); }
@@ -164,6 +180,9 @@ class ParallelRun {
   const std::vector<TaskBoundary>& task_boundaries() const { return task_boundaries_; }
   std::vector<TaskBoundary> TakeTaskBoundaries() { return std::move(task_boundaries_); }
 
+  // Slack-policy counters of this run (all zero when constructed without a slack profile).
+  const SchedStats& sched_stats() const { return sched_stats_; }
+
  private:
   struct Worker;
   struct Morsel {
@@ -197,6 +216,9 @@ class ParallelRun {
   size_t step_idx_ = 0;
   bool in_scan_ = false;
   bool scan_stealing_ = false;  // This scan uses the deques (vs central table-order dispatch).
+  const PlanSlack* slack_ = nullptr;       // Whole-plan profile (may be null).
+  const StepSlack* scan_slack_ = nullptr;  // Current scan's hint; null = FIFO deal order.
+  SchedStats sched_stats_;
   uint64_t scan_rows_ = 0;
   uint64_t scan_next_ = 0;
   uint64_t scan_morsel_rows_ = 0;

@@ -33,8 +33,11 @@ class QueryEngine {
 
   // Runs a query compiled with CodegenOptions::parallel on a pool of simulated VCPU workers
   // (see src/engine/parallel.h). Results are identical to single-threaded execution; the
-  // session — when attached — receives the merged per-worker sample stream.
-  Result ExecuteParallel(CompiledQuery& query, const ParallelConfig& config = ParallelConfig());
+  // session — when attached — receives the merged per-worker sample stream. `slack` (optional)
+  // is an expected-slack profile from prior executions (src/critpath/slack.h): the run orders
+  // its deques and picks steal victims by it, changing only the schedule, never the results.
+  Result ExecuteParallel(CompiledQuery& query, const ParallelConfig& config = ParallelConfig(),
+                         const PlanSlack* slack = nullptr);
 
   // Convenience: compile and execute in one step.
   Result Run(PhysicalOpPtr plan, ProfilingSession* session = nullptr,
@@ -56,6 +59,8 @@ class QueryEngine {
   // Task-boundary records of the most recent ExecuteParallel(), in execution order — the input
   // to the critical-path subsystem (src/critpath/). Empty after Execute().
   const std::vector<TaskBoundary>& last_task_boundaries() const { return last_task_boundaries_; }
+  // Slack-policy counters of the most recent ExecuteParallel() (all zero without a profile).
+  const SchedStats& last_sched_stats() const { return last_sched_stats_; }
 
  private:
   Database* db_;
@@ -66,6 +71,7 @@ class QueryEngine {
   SamplingOverhead last_sampling_overhead_;
   std::vector<WorkerMetrics> last_worker_metrics_;
   std::vector<TaskBoundary> last_task_boundaries_;
+  SchedStats last_sched_stats_;
 };
 
 }  // namespace dfp

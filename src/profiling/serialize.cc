@@ -14,7 +14,7 @@ namespace {
 
 constexpr const char* kDictionaryHeader = "# dfp tagging dictionary v1";
 constexpr const char* kSamplesHeaderPrefix = "# dfp samples v";
-constexpr int kMaxSamplesVersion = 5;
+constexpr int kMaxSamplesVersion = 6;
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed profiling meta-data line: '" + line + "'");
@@ -125,22 +125,32 @@ void WriteSamples(const std::vector<Sample>& samples,
 void WriteSamples(const std::vector<Sample>& samples,
                   const std::vector<SampleStreamEvent>& events,
                   const std::vector<TaskBoundary>& tasks, std::ostream& out) {
-  // The version is chosen by content so older dumps stay byte-identical: streams carrying task
-  // boundaries are v5, streams carrying tier attribution or sideband events are v4, streams
-  // carrying NUMA locality or steal flags are v3, streams carrying worker ids are v2, and pure
-  // worker-0 streams keep the v1 header so dumps from single-threaded runs stay byte-compatible
-  // with pre-parallel readers.
+  WriteSamples(samples, events, tasks, {}, out);
+}
+
+void WriteSamples(const std::vector<Sample>& samples,
+                  const std::vector<SampleStreamEvent>& events,
+                  const std::vector<TaskBoundary>& tasks,
+                  const std::vector<SampleStreamEvent>& sched, std::ostream& out) {
+  // The version is chosen by content so older dumps stay byte-identical: streams carrying
+  // scheduling-action sideband lines are v6, streams carrying task boundaries are v5, streams
+  // carrying tier attribution or sideband events are v4, streams carrying NUMA locality or
+  // steal flags are v3, streams carrying worker ids are v2, and pure worker-0 streams keep the
+  // v1 header so dumps from single-threaded runs stay byte-compatible with pre-parallel
+  // readers.
   bool multi_worker = false;
   bool locality = false;
   bool tiered = !events.empty();
   const bool tasked = !tasks.empty();
+  const bool scheduled = !sched.empty();
   for (const Sample& sample : samples) {
     multi_worker |= sample.worker_id != 0;
     locality |= sample.mem_node != kNoNumaNode || sample.numa_remote || sample.stolen;
     tiered |= sample.tier != 0;
   }
   out << kSamplesHeaderPrefix
-      << (tasked         ? 5
+      << (scheduled      ? 6
+          : tasked       ? 5
           : tiered       ? 4
           : locality     ? 3
           : multi_worker ? 2
@@ -159,10 +169,17 @@ void WriteSamples(const std::vector<Sample>& samples,
   // own. `events` must already be ascending by tsc (they are appended as the service clock
   // advances).
   size_t next_event = 0;
+  size_t next_sched = 0;
   auto flush_events = [&](uint64_t up_to_tsc) {
+    // Two sideband channels with independent cursors; at equal tsc, `event` lines precede
+    // `sched` lines (fixed order keeps double-run streams byte-identical).
     while (next_event < events.size() && events[next_event].tsc <= up_to_tsc) {
       out << "event " << events[next_event].tsc << " " << events[next_event].text << "\n";
       ++next_event;
+    }
+    while (next_sched < sched.size() && sched[next_sched].tsc <= up_to_tsc) {
+      out << "sched " << sched[next_sched].tsc << " " << sched[next_sched].text << "\n";
+      ++next_sched;
     }
   };
   for (const Sample& sample : samples) {
@@ -207,12 +224,19 @@ std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>
 
 std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events,
                                 std::vector<TaskBoundary>* tasks) {
+  return ReadSamples(in, events, tasks, nullptr);
+}
+
+std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events,
+                                std::vector<TaskBoundary>* tasks,
+                                std::vector<SampleStreamEvent>* sched) {
   std::vector<Sample> samples;
   std::string line;
   if (!std::getline(in, line)) {
     throw Error("not a dfp samples file");
   }
   const int version = ParseSamplesVersion(line);
+  const bool accept_sched = version >= 6;
   const bool accept_tasks = version >= 5;
   const bool accept_tiers = version >= 4;
   const bool accept_locality = version >= 3;
@@ -248,6 +272,25 @@ std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>
       task.kind = static_cast<TaskKind>(task_kind);
       task.stolen = stolen != 0;
       tasks->push_back(task);
+      continue;
+    }
+    if (kind == "sched") {
+      if (!accept_sched) {
+        throw Error("sched line in a pre-v6 sample stream: '" + line + "'");
+      }
+      if (sched == nullptr) {
+        throw Error("sample stream carries sched lines but the reader has no sched sink: '" +
+                    line + "'");
+      }
+      SampleStreamEvent event;
+      if (!(stream >> event.tsc)) {
+        Malformed(line);
+      }
+      std::getline(stream, event.text);
+      if (!event.text.empty() && event.text.front() == ' ') {
+        event.text.erase(event.text.begin());
+      }
+      sched->push_back(std::move(event));
       continue;
     }
     if (kind == "event") {

@@ -44,11 +44,15 @@ TaggingDictionary ReadDictionary(std::istream& in);
 //   # dfp samples v3        (adds N <node> <remote> and T locality tokens)
 //   # dfp samples v4        (adds G <tier> tokens and interleaved `event` lines)
 //   # dfp samples v5        (adds `task` lines — executor task boundaries, in execution order)
+//   # dfp samples v6        (adds interleaved `sched` lines — scheduling-action sideband:
+//                            placement repairs decided/applied/kept/reverted, admission
+//                            rejections by infeasible deadline)
 //   task <start-tsc> <end-tsc> <worker> <kind> <step> <pipeline> <morsel-begin> <morsel-end>
 //        <stolen> <instrs> <loads> <l1-miss> <l2-miss> <l3-miss> <remote-dram>
 //   sample <tsc> <ip> <addr> [W <worker>] [N <node> <remote>] [T] [G <tier>]
 //          [R <16 register values>] [S <depth> <return-ips...>]
 //   event <tsc> <text...>
+//   sched <tsc> <text...>
 // Task lines are written as a block right after the header (they are a schedule, not a sample
 // timeline), in the executor's deterministic execution order, which makes the per-query task
 // DAG (src/critpath/) recoverable from a recorded stream alone. A session id is never written:
@@ -65,15 +69,25 @@ void WriteSamples(const std::vector<Sample>& samples,
                   const std::vector<SampleStreamEvent>& events,
                   const std::vector<TaskBoundary>& tasks, std::ostream& out);
 
-// Inverse of WriteSamples. Throws dfp::Error on malformed input. Events (and task boundaries)
-// are appended to the caller's sinks in stream order when passed, and rejected as malformed
-// when the stream has them but the caller reads without a sink. A stream whose header names a
-// version newer than this build's (currently v5) is rejected with a clear "newer build" error
-// rather than a generic parse failure.
+// Same, with scheduling-action sideband lines (`sched <tsc> <text>`: placement repairs,
+// admission rejections — src/service/). Any sched line forces the v6 header.
+void WriteSamples(const std::vector<Sample>& samples,
+                  const std::vector<SampleStreamEvent>& events,
+                  const std::vector<TaskBoundary>& tasks,
+                  const std::vector<SampleStreamEvent>& sched, std::ostream& out);
+
+// Inverse of WriteSamples. Throws dfp::Error on malformed input. Events (and task boundaries,
+// and sched lines) are appended to the caller's sinks in stream order when passed, and
+// rejected as malformed when the stream has them but the caller reads without a sink. A stream
+// whose header names a version newer than this build's (currently v6) is rejected with a clear
+// "newer build" error rather than a generic parse failure.
 std::vector<Sample> ReadSamples(std::istream& in);
 std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events);
 std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events,
                                 std::vector<TaskBoundary>* tasks);
+std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events,
+                                std::vector<TaskBoundary>* tasks,
+                                std::vector<SampleStreamEvent>* sched);
 
 }  // namespace dfp
 

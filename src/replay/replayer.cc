@@ -69,7 +69,8 @@ bool QueryDiverged(const TraceQuery& a, const TraceQuery& b) {
 bool WhatIfKnobs::IsIdentity() const {
   return session_multiplier == 1 && scheduler == -1 && max_active_sessions == 0 &&
          queue_depth == 0 && workers == 0 && tiering_enabled == -1 && break_even_ratio == 0 &&
-         code_budget_bytes == 0 && governor_enabled == -1 && governor_budget == 0;
+         code_budget_bytes == 0 && governor_enabled == -1 && governor_budget == 0 &&
+         slack_scheduling == -1;
 }
 
 ServiceConfig ReplayServiceConfig(const WorkloadTrace& trace, const WhatIfKnobs& knobs) {
@@ -100,6 +101,9 @@ ServiceConfig ReplayServiceConfig(const WorkloadTrace& trace, const WhatIfKnobs&
   }
   if (knobs.governor_budget != 0) {
     config.continuous.governor.overhead_budget = knobs.governor_budget;
+  }
+  if (knobs.slack_scheduling >= 0) {
+    config.sched.slack_scheduling = knobs.slack_scheduling != 0;
   }
   return config;
 }

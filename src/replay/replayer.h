@@ -44,6 +44,10 @@ struct WhatIfKnobs {
   uint64_t code_budget_bytes = 0;    // 0 = recorded.
   int governor_enabled = -1;         // -1 = recorded, 0/1 = force off/on.
   double governor_budget = 0;        // 0 = recorded.
+  // Slack-directed deque ordering (src/critpath/slack.h): -1 = recorded, 0/1 = force off/on.
+  // The policy only permutes schedules, so a what-if flip changes timing but never results —
+  // bench_service gates on exactly that.
+  int slack_scheduling = -1;
 
   // True when every field keeps the recorded value — the zero-diff contract applies.
   bool IsIdentity() const;

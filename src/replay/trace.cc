@@ -14,7 +14,14 @@ namespace dfp {
 namespace {
 
 constexpr char kTraceHeaderPrefix[] = "# dfp trace v";
-constexpr uint64_t kTraceVersion = 1;
+constexpr uint64_t kMaxTraceVersion = 2;
+
+// True when the knobs carry a non-default profile-feedback scheduling configuration — the
+// content that requires the v2 layout (the optional `sched` line).
+bool HasSchedKnobs(const TraceKnobs& k) {
+  return k.slack_scheduling || k.placement_repair || k.deadline_admission ||
+         k.slack_max_age != 64 || k.repair_pessimize;
+}
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed trace line: '" + line + "'");
@@ -110,7 +117,11 @@ bool TraceKnobs::operator==(const TraceKnobs& other) const {
          DoubleBits(governor_smoothing) == DoubleBits(other.governor_smoothing) &&
          tiering_enabled == other.tiering_enabled &&
          DoubleBits(break_even_ratio) == DoubleBits(other.break_even_ratio) &&
-         min_executions == other.min_executions;
+         min_executions == other.min_executions &&
+         slack_scheduling == other.slack_scheduling &&
+         placement_repair == other.placement_repair &&
+         deadline_admission == other.deadline_admission &&
+         slack_max_age == other.slack_max_age && repair_pessimize == other.repair_pessimize;
 }
 
 TraceKnobs CaptureKnobs(const ServiceConfig& config) {
@@ -146,6 +157,11 @@ TraceKnobs CaptureKnobs(const ServiceConfig& config) {
   knobs.tiering_enabled = config.tiering.enabled;
   knobs.break_even_ratio = config.tiering.break_even_ratio;
   knobs.min_executions = config.tiering.min_executions;
+  knobs.slack_scheduling = config.sched.slack_scheduling;
+  knobs.placement_repair = config.sched.placement_repair;
+  knobs.deadline_admission = config.sched.deadline_admission;
+  knobs.slack_max_age = config.sched.slack_max_age;
+  knobs.repair_pessimize = config.sched.repair_pessimize;
   return knobs;
 }
 
@@ -182,6 +198,11 @@ ServiceConfig ApplyKnobs(const TraceKnobs& knobs) {
   config.tiering.enabled = knobs.tiering_enabled;
   config.tiering.break_even_ratio = knobs.break_even_ratio;
   config.tiering.min_executions = knobs.min_executions;
+  config.sched.slack_scheduling = knobs.slack_scheduling;
+  config.sched.placement_repair = knobs.placement_repair;
+  config.sched.deadline_admission = knobs.deadline_admission;
+  config.sched.slack_max_age = knobs.slack_max_age;
+  config.sched.repair_pessimize = knobs.repair_pessimize;
   return config;
 }
 
@@ -195,7 +216,8 @@ const PlanTemplate* WorkloadTrace::FindTemplate(uint64_t structure) const {
 }
 
 void WriteTrace(const WorkloadTrace& trace, std::ostream& out) {
-  out << kTraceHeaderPrefix << kTraceVersion << "\n";
+  const bool sched = HasSchedKnobs(trace.knobs);
+  out << kTraceHeaderPrefix << (sched ? 2 : 1) << "\n";
   out << "catalog " << trace.catalog_version << "\n";
   out << "start " << trace.start_cycles << "\n";
   const TraceKnobs& k = trace.knobs;
@@ -217,6 +239,11 @@ void WriteTrace(const WorkloadTrace& trace, std::ostream& out) {
   out << "costs " << c.base_cycles << " " << c.per_ir_instr << " " << c.per_machine_instr << " "
       << c.cache_lookup_cycles << " " << c.baseline_base_cycles << " " << c.baseline_per_ir_instr
       << " " << c.baseline_per_machine_instr << " " << c.patch_per_site_cycles << "\n";
+  if (sched) {
+    out << "sched " << (k.slack_scheduling ? 1 : 0) << " " << (k.placement_repair ? 1 : 0) << " "
+        << (k.deadline_admission ? 1 : 0) << " " << k.slack_max_age << " "
+        << (k.repair_pessimize ? 1 : 0) << "\n";
+  }
   for (const PlanTemplate& entry : trace.templates) {
     out << "template " << HexU64(entry.structure) << " " << EncodeToken(entry.name) << "\n";
     out << entry.plan_text;  // Self-delimiting: ends with "endplan\n".
@@ -303,9 +330,9 @@ WorkloadTrace ReadTrace(std::istream& in) {
   } catch (...) {
     Malformed(line);
   }
-  if (version != kTraceVersion) {
+  if (version == 0 || version > kMaxTraceVersion) {
     throw Error("trace version " + std::to_string(version) +
-                " not supported by this build (max " + std::to_string(kTraceVersion) +
+                " not supported by this build (max " + std::to_string(kMaxTraceVersion) +
                 "); written by a newer build?");
   }
 
@@ -391,7 +418,24 @@ WorkloadTrace ReadTrace(std::istream& in) {
     std::istringstream stream(line);
     std::string keyword;
     stream >> keyword;
-    if (keyword == "template") {
+    if (keyword == "sched") {
+      if (version < 2) {
+        Malformed(line);
+      }
+      TraceKnobs& k = trace.knobs;
+      int slack = 0;
+      int repair = 0;
+      int admission = 0;
+      int pessimize = 0;
+      if (!(stream >> slack >> repair >> admission >> k.slack_max_age >> pessimize)) {
+        Malformed(line);
+      }
+      RejectTrailing(stream, line);
+      k.slack_scheduling = slack != 0;
+      k.placement_repair = repair != 0;
+      k.deadline_admission = admission != 0;
+      k.repair_pessimize = pessimize != 0;
+    } else if (keyword == "template") {
       PlanTemplate entry;
       std::string structure_hex;
       std::string name_token;

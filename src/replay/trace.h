@@ -82,6 +82,14 @@ struct TraceKnobs {
   bool tiering_enabled = false;
   double break_even_ratio = 1.0;
   uint64_t min_executions = 2;
+  // Profile-feedback scheduling (trace v2). The `sched` knob line is written only when some
+  // field differs from these defaults, so traces of services that never enabled the loop stay
+  // byte-identical v1 files.
+  bool slack_scheduling = false;
+  bool placement_repair = false;
+  bool deadline_admission = false;
+  uint64_t slack_max_age = 64;
+  bool repair_pessimize = false;
 
   bool operator==(const TraceKnobs& other) const;
 };
@@ -178,11 +186,13 @@ struct WorkloadTrace {
 };
 
 // Line-oriented text format (see DESIGN.md §2f for the grammar):
-//   # dfp trace v1
+//   # dfp trace v1|v2
 //   catalog <version>
 //   start <cycles>
 //   knobs <flattened TraceKnobs fields, doubles as IEEE-754 bit patterns>
 //   costs <nine CompileCostModel fields>
+//   sched <slack-scheduling> <placement-repair> <deadline-admission> <slack-max-age>
+//         <repair-pessimize>                                   (v2; only when non-default)
 //   template <structure-hex> <name-token>
 //   <plan codec block ... endplan>
 //   query <seq> <name-token> <structure-hex> <literals-hex> <pinned-hex> <arrival> <weight>
@@ -194,8 +204,10 @@ struct WorkloadTrace {
 //   tiers <samples> <baseline> <optimized> <transitions> <swapped>
 //   fp <structure-hex> <execs> <cycles> <p50> <p95> <max> <topsamples> <top-token> <name-token>
 //   end
-// Readers reject any version other than v1 ("written by a newer build" — no forward guessing)
-// and throw dfp::Error on truncation or malformed lines.
+// Versioning is content-driven: the writer emits v2 only when the sched knob line is present,
+// so pre-sched traces stay byte-identical v1 files. Readers reject versions above v2 ("written
+// by a newer build" — no forward guessing) and throw dfp::Error on truncation or malformed
+// lines.
 void WriteTrace(const WorkloadTrace& trace, std::ostream& out);
 std::string EncodeTraceText(const WorkloadTrace& trace);
 

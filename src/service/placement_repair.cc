@@ -1,0 +1,127 @@
+#include "src/service/placement_repair.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dfp {
+
+PartitionMap ComputeConsumerPlacement(const TaskDag& dag, uint32_t pipeline, uint32_t nodes,
+                                      bool pessimize) {
+  // The pipeline's morsel row ranges with the node of the worker that consumed each.
+  struct Range {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    uint8_t node = 0;
+  };
+  std::vector<Range> ranges;
+  uint64_t rows = 0;
+  for (const TaskNode& node : dag.nodes) {
+    const TaskBoundary& t = node.task;
+    if (t.kind != TaskKind::kMorsel || t.pipeline != pipeline) {
+      continue;
+    }
+    uint8_t owner = static_cast<uint8_t>(t.worker_id % nodes);
+    if (pessimize) {
+      owner = static_cast<uint8_t>((owner + 1) % nodes);
+    }
+    ranges.push_back(Range{t.morsel_begin, t.morsel_end, owner});
+    rows = std::max(rows, t.morsel_end);
+  }
+  if (ranges.empty() || rows == 0) {
+    return {};
+  }
+  // Morsel ranges partition [0, rows) disjointly (endgame splits included), so sorting by
+  // begin yields a gap-free cover in row order.
+  std::sort(ranges.begin(), ranges.end(),
+            [](const Range& a, const Range& b) { return a.begin < b.begin; });
+  PartitionMap map;
+  for (const Range& r : ranges) {
+    const uint64_t end_frac =
+        r.end >= rows ? kPlacementDenom : r.end * kPlacementDenom / rows;
+    if (!map.empty() && map.back().node == r.node) {
+      map.back().end_frac = end_frac;  // Compress consecutive same-node ranges.
+    } else if (!map.empty() && map.back().end_frac >= end_frac) {
+      continue;  // Sub-resolution range (end rounds to the same fraction): fold away.
+    } else {
+      map.push_back(PartitionSlice{end_frac, r.node});
+    }
+  }
+  map.back().end_frac = kPlacementDenom;
+  return map;
+}
+
+const char* RepairStateName(RepairState state) {
+  switch (state) {
+    case RepairState::kDecided:
+      return "decided";
+    case RepairState::kApplied:
+      return "applied";
+    case RepairState::kKept:
+      return "kept";
+    case RepairState::kReverted:
+      return "reverted";
+  }
+  return "?";
+}
+
+RepairAction& RepairLog::Add(RepairAction action) {
+  actions_.push_back(std::move(action));
+  return actions_.back();
+}
+
+RepairAction* RepairLog::Find(uint64_t fingerprint) {
+  for (RepairAction& action : actions_) {
+    if (action.fingerprint == fingerprint) {
+      return &action;
+    }
+  }
+  return nullptr;
+}
+
+const RepairAction* RepairLog::Find(uint64_t fingerprint) const {
+  return const_cast<RepairLog*>(this)->Find(fingerprint);
+}
+
+uint64_t RepairLog::applied() const {
+  uint64_t count = 0;
+  for (const RepairAction& action : actions_) {
+    if (action.state == RepairState::kApplied || action.state == RepairState::kKept) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t RepairLog::reverted() const {
+  uint64_t count = 0;
+  for (const RepairAction& action : actions_) {
+    if (action.state == RepairState::kReverted) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string RenderRepairTimeline(const RepairLog& log) {
+  std::ostringstream out;
+  out << "=== Placement repairs (" << log.actions().size() << " action(s), "
+      << log.applied() << " in effect, " << log.reverted() << " reverted) ===\n";
+  char line[256];
+  for (const RepairAction& action : log.actions()) {
+    std::snprintf(line, sizeof(line),
+                  "%016llx  %-24s pipeline %2u  table %-12s %zu slice(s)  %s\n",
+                  static_cast<unsigned long long>(action.fingerprint),
+                  action.plan_name.c_str(), action.pipeline, action.table.c_str(),
+                  action.placement.size(), RepairStateName(action.state));
+    out << line;
+    std::snprintf(line, sizeof(line), "  decided @%llu  applied @%llu  resolved @%llu\n",
+                  static_cast<unsigned long long>(action.decided_tsc),
+                  static_cast<unsigned long long>(action.applied_tsc),
+                  static_cast<unsigned long long>(action.resolved_tsc));
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace dfp

@@ -60,6 +60,7 @@ QueryService::QueryService(Database& db, ServiceConfig config)
       windows_(config_.continuous.window),
       governor_(config_.continuous.governor),
       controller_(config_.tiering),
+      slack_(config_.sched.slack_max_age),
       seen_catalog_version_(db.catalog_version()),
       lane_cycles_(config_.parallel.workers, 0) {
   DFP_CHECK(config_.max_active_sessions >= 1);
@@ -94,7 +95,7 @@ void QueryService::LoadState() {
     return;  // First start: nothing persisted yet.
   }
   uint64_t clock = 0;
-  fleet_ = ReadServiceProfile(in, &windows_, &baseline_, &clock);
+  fleet_ = ReadServiceProfile(in, &windows_, &baseline_, &clock, &slack_);
   // Resume the service clock: every lane starts at the persisted high-water mark, so new
   // executions fold into windows strictly after the persisted ones (the window rings reject
   // out-of-order indices).
@@ -109,7 +110,7 @@ void QueryService::SaveState() const {
   if (!out) {
     return;
   }
-  WriteServiceState(fleet_, windows_, baseline_, ServiceNowCycles(), out);
+  WriteServiceState(fleet_, windows_, baseline_, ServiceNowCycles(), out, &slack_);
 }
 
 const QueryTicket& QueryService::ticket(TicketId id) const {
@@ -126,6 +127,30 @@ TicketId QueryService::Submit(PhysicalOpPtr plan, std::string name, uint64_t dea
   ticket->weight = std::max<uint32_t>(1, weight);
   ticket->deadline_cycles =
       deadline_cycles != 0 ? deadline_cycles : config_.default_deadline_cycles;
+  // Slack-aware admission: a deadline below the fingerprint's expected critical-path length
+  // cannot be met even on an idle pool (the path is the lower bound of any schedule), so the
+  // query is bounced at submission instead of burning pool time and timing out mid-run. An
+  // unobserved fingerprint (expected == 0) always passes — the first execution is how the
+  // store learns.
+  if (config_.sched.deadline_admission && ticket->deadline_cycles != 0) {
+    const uint64_t expected =
+        slack_.ExpectedCriticalPathCycles(ticket->fingerprint.structure);
+    if (expected > ticket->deadline_cycles) {
+      ticket->status = TicketStatus::kRejected;
+      ticket->infeasible_deadline = true;
+      ++infeasible_rejections_;
+      sched_events_.push_back(
+          {ServiceNowCycles(), "admission " + HexKey(ticket->fingerprint.structure) +
+                                   " infeasible deadline " +
+                                   std::to_string(ticket->deadline_cycles) + " expected " +
+                                   std::to_string(expected)});
+      tickets_.push_back(std::move(ticket));
+      if (recorder_ != nullptr) {
+        recorder_->OnSubmit(*tickets_.back(), *plan, ServiceNowCycles());
+      }
+      return tickets_.back()->id;
+    }
+  }
   if (queue_.size() >= config_.queue_depth) {
     ticket->status = TicketStatus::kRejected;
     tickets_.push_back(std::move(ticket));
@@ -281,8 +306,12 @@ bool QueryService::Admit(TicketId id) {
         ticket.fingerprint.structure, profiling.period, entry->query.pipelines.size());
     sampling_ptr = &sampling;
   }
+  // Slack-directed scheduling: hand the run this fingerprint's expected-slack profile (null on
+  // the first execution, or when the feature is off — either way the run deals FIFO deques).
+  const PlanSlack* slack_hint =
+      config_.sched.slack_scheduling ? slack_.Find(ticket.fingerprint.structure) : nullptr;
   session->run = std::make_unique<ParallelRun>(db_, entry->query, config_.parallel, regions,
-                                               sampling_ptr, id);
+                                               sampling_ptr, id, slack_hint);
   ticket.status = TicketStatus::kRunning;
   active_.push_back(std::move(session));
   return true;
@@ -372,6 +401,23 @@ bool QueryService::StepSession(ActiveSession& session) {
                     profile, session.run->merged_counters(), ticket.execute_cycles,
                     ticket.result.row_count(), ticket.sampling_period, session.entry->tier);
   }
+  // Profile-feedback scheduling: roll this run's slack-policy counters into the pool-wide
+  // totals, fold the DAG into the expected-slack store (the profile the NEXT execution of this
+  // fingerprint schedules and admits by), and step the guarded placement-repair loop. The store
+  // only learns when a consumer of it is enabled, so a default-config service keeps producing
+  // byte-identical state files.
+  const SchedStats& run_sched = session.run->sched_stats();
+  sched_stats_.slack_ordered_scans += run_sched.slack_ordered_scans;
+  sched_stats_.slack_hits += run_sched.slack_hits;
+  sched_stats_.deferred_morsels += run_sched.deferred_morsels;
+  sched_stats_.slack_steals += run_sched.slack_steals;
+  if (!ticket.dag.nodes.empty() &&
+      (config_.sched.slack_scheduling || config_.sched.deadline_admission)) {
+    slack_.Observe(ticket.fingerprint.structure, ticket.name, ticket.dag);
+  }
+  if (config_.sched.placement_repair && !ticket.dag.nodes.empty()) {
+    StepPlacementRepair(ticket);
+  }
   // Tier ladder: feed the controller the windowed evidence for this fingerprint; a promotion
   // decision enqueues a background recompile at the optimizing tier on the (serial) background
   // compile lane. The swap happens between steps, in ProcessRecompiles.
@@ -397,6 +443,87 @@ bool QueryService::StepSession(ActiveSession& session) {
     recorder_->OnCompletion(ticket);
   }
   return true;
+}
+
+void QueryService::StepPlacementRepair(QueryTicket& ticket) {
+  const uint64_t fp = ticket.fingerprint.structure;
+  RepairAction* open = repairs_.Find(fp);
+  if (open != nullptr) {
+    if (open->state != RepairState::kApplied) {
+      return;  // Kept or reverted: one action per fingerprint, the loop never oscillates.
+    }
+    // Re-measure: judge the windows that arrived after the apply against the pre-apply
+    // snapshot. Insufficient evidence keeps measuring; a clean verdict keeps the map; a
+    // regressed one restores the default placement.
+    const GuardVerdict verdict =
+        JudgeRegression(repair_baseline_, windows_, fp, config_.continuous.regression);
+    if (verdict == GuardVerdict::kInsufficientEvidence) {
+      return;
+    }
+    open->resolved_tsc = ServiceNowCycles();
+    if (verdict == GuardVerdict::kRegressed) {
+      const Table& table = db_.table(open->table);
+      for (size_t c = 0; c < table.schema().columns.size(); ++c) {
+        db_.mem().ClearExtentPlacement(table.column_base(c));
+      }
+      open->state = RepairState::kReverted;
+    } else {
+      open->state = RepairState::kKept;
+    }
+    sched_events_.push_back({open->resolved_tsc, "repair " + HexKey(fp) + " " +
+                                                     open->table + " " +
+                                                     RepairStateName(open->state)});
+    return;
+  }
+  // Trigger: the first remote-DRAM-bound verdict on a pipeline that scans a base table. The
+  // observed DAG names the worker that consumed each morsel, so the repair re-partitions the
+  // table's column extents toward those consumers' nodes.
+  for (const PipelineVerdict& v : ticket.verdicts) {
+    if (v.label != Bottleneck::kRemoteDramBound) {
+      continue;
+    }
+    const CompiledQuery& query = ticket.plan->query;
+    if (v.pipeline >= query.pipelines.size()) {
+      continue;
+    }
+    const Pipeline& pipeline = query.pipelines[v.pipeline].pipeline;
+    if (pipeline.steps.empty() ||
+        pipeline.steps[0].role != PipelineStep::Role::kScanSource ||
+        pipeline.steps[0].op == nullptr || pipeline.steps[0].op->table == nullptr) {
+      continue;  // Sort-scan / group-scan pipelines have no extents to move.
+    }
+    const Table& table = *pipeline.steps[0].op->table;
+    uint32_t nodes = config_.parallel.numa_nodes != 0 ? config_.parallel.numa_nodes
+                                                      : config_.parallel.workers;
+    nodes = std::min(nodes, config_.parallel.workers);
+    PartitionMap map =
+        ComputeConsumerPlacement(ticket.dag, v.pipeline, nodes, config_.sched.repair_pessimize);
+    if (map.empty()) {
+      continue;
+    }
+    RepairAction action;
+    action.fingerprint = fp;
+    action.plan_name = ticket.name;
+    action.table = table.name();
+    action.pipeline = v.pipeline;
+    action.decided_tsc = ServiceNowCycles();
+    sched_events_.push_back({action.decided_tsc, "repair " + HexKey(fp) + " " +
+                                                     action.table + " decided"});
+    for (size_t c = 0; c < table.schema().columns.size(); ++c) {
+      db_.mem().SetExtentPlacement(table.column_base(c), map);
+    }
+    action.placement = std::move(map);
+    action.state = RepairState::kApplied;
+    action.applied_tsc = action.decided_tsc;
+    // The guard's yardstick: everything in the windows up to and including this (pre-repair)
+    // execution. JudgeRegression rolls up strictly after this watermark, so only post-apply
+    // executions are measured against it.
+    repair_baseline_.Snapshot(windows_, config_.continuous.regression.min_samples);
+    sched_events_.push_back({action.applied_tsc, "repair " + HexKey(fp) + " " +
+                                                     action.table + " applied"});
+    repairs_.Add(std::move(action));
+    return;  // At most one new action per completion.
+  }
 }
 
 void QueryService::SnapshotBaseline() {

@@ -46,6 +46,8 @@
 #include "src/continuous/regression.h"
 #include "src/continuous/window.h"
 #include "src/critpath/report.h"
+#include "src/critpath/slack.h"
+#include "src/service/placement_repair.h"
 #include "src/engine/database.h"
 #include "src/engine/parallel.h"
 #include "src/engine/result.h"
@@ -83,6 +85,27 @@ struct ContinuousConfig {
   RegressionAlertFn regression_alert;
 };
 
+// The profile-feedback scheduling loop: expected slack and classifier verdicts act back on
+// the scheduler. Everything defaults OFF — acting on profiles changes schedules between
+// executions, which would silently break workflows relying on byte-identical reruns
+// (warm == cold), exactly the precedent the sampling governor set. Serving layers opt in.
+struct SchedFeedbackConfig {
+  // Order per-worker deques and pick steal victims by the SlackStore's expected slack:
+  // zero-slack (critical-path) morsels run first, high-slack work is deferred to thieves.
+  bool slack_scheduling = false;
+  // Re-partition the column extents of a remote-DRAM-bound scan toward its consumers, guarded
+  // by the regression detector (keep on clean, revert on regressed).
+  bool placement_repair = false;
+  // Reject at submission any deadline below the fingerprint's expected critical-path length —
+  // infeasible even on an idle machine, so queueing it only wastes pool time.
+  bool deadline_admission = false;
+  // SlackStore entries unobserved for this many generations age out (fingerprint churn bound).
+  uint64_t slack_max_age = 64;
+  // Fault injection for tests/benches: rotate every repair placement one node over, so the
+  // "repair" provably regresses and the guard must revert it.
+  bool repair_pessimize = false;
+};
+
 struct ServiceConfig {
   // Execution pool shared (time-sliced) by all active sessions.
   ParallelConfig parallel;
@@ -112,6 +135,9 @@ struct ServiceConfig {
   // baseline-first compile ladder with background promotion. Off by default — the cache then
   // behaves exactly as before (exact-literal keying, optimizing-tier compiles only).
   TieringConfig tiering;
+  // Profile-feedback scheduling (slack-directed deques, guarded placement repair, slack-aware
+  // admission). Off by default — see SchedFeedbackConfig.
+  SchedFeedbackConfig sched;
   // When non-empty: continuous-profiling state (fleet profile, window rings, regression
   // baselines, service clock) is loaded from this file at construction and saved back on
   // destruction (or SaveState()), so a restarted service resumes its windows and regression
@@ -128,7 +154,8 @@ enum class TicketStatus : uint8_t {
   kQueued,    // Waiting for an execution slot.
   kRunning,   // Admitted; morsels in flight.
   kDone,      // Finished; `result` and profile are valid.
-  kRejected,  // Bounced at submission: queue full.
+  kRejected,  // Bounced at submission: queue full, or deadline infeasible (see the ticket's
+              // `infeasible_deadline` flag for which).
   kTimedOut,  // Aborted mid-run: deadline exceeded.
 };
 
@@ -143,6 +170,9 @@ struct QueryTicket {
   PlanTier tier = PlanTier::kOptimized;  // Tier of the code this ticket executed.
   uint64_t patched_sites = 0;    // Immediates rewritten to serve this ticket (parameterized hit).
   uint64_t deadline_cycles = 0;   // 0 = none.
+  // kRejected because the deadline is below the fingerprint's expected critical-path length
+  // (slack-aware admission) — vs. the queue-full rejection, which leaves this false.
+  bool infeasible_deadline = false;
   uint64_t compile_cycles = 0;    // Full compile on a miss, cache lookup cost on a hit.
   uint64_t execute_cycles = 0;    // The session's own simulated wall clock.
   uint64_t completed_at_cycles = 0;  // Service clock (max lane) when the ticket finished.
@@ -218,6 +248,17 @@ class QueryService {
   const std::vector<SampleStreamEvent>& tier_events() const { return tier_events_; }
   size_t pending_recompiles() const { return recompile_jobs_.size(); }
 
+  // Profile-feedback scheduling views: the per-fingerprint expected-slack store (fed from
+  // every completed execution's DAG, persisted in service state), the placement-repair audit
+  // log (render with RenderRepairTimeline), the scheduling-action sideband lines (v6 `sched`
+  // stream lines), the pool-wide slack-policy counters summed over all sessions, and the count
+  // of submissions rejected for an infeasible deadline.
+  const SlackStore& slack() const { return slack_; }
+  const RepairLog& repairs() const { return repairs_; }
+  const std::vector<SampleStreamEvent>& sched_events() const { return sched_events_; }
+  const SchedStats& sched_stats() const { return sched_stats_; }
+  uint64_t infeasible_rejections() const { return infeasible_rejections_; }
+
   // Writes the continuous-profiling state (fleet profile, window rings, regression baselines,
   // service clock) to `config.state_path`; no-op when no path is configured. Also invoked by
   // the destructor, so a service with a state path persists on shutdown by default.
@@ -253,6 +294,10 @@ class QueryService {
   bool Admit(TicketId id);
   // Advances `session` by one unit; returns true when the ticket completed (done or timed out).
   bool StepSession(ActiveSession& session);
+  // Guarded placement-repair loop, stepped at every completion: triggers a re-partition on a
+  // remote-DRAM-bound verdict, and resolves an applied one (keep/revert) once the regression
+  // guard has evidence.
+  void StepPlacementRepair(QueryTicket& ticket);
   void ChargeSerialWork(uint64_t cycles);  // Compile/lookup work: to the least-loaded lane.
   // True while some active session executes `entry`'s code.
   bool EntryBusy(const CachedPlanPtr& entry) const;
@@ -270,6 +315,14 @@ class QueryService {
   BaselineStore baseline_;
   TierController controller_;
   CriticalityTracker critpath_;
+  SlackStore slack_;
+  RepairLog repairs_;
+  // The placement-repair guard measures against its own snapshot, taken the moment an action
+  // is applied — the user-facing baseline_ (SnapshotBaseline/DetectRegressions) must not be
+  // clobbered by the loop's internal bookkeeping.
+  BaselineStore repair_baseline_;
+  SchedStats sched_stats_;
+  uint64_t infeasible_rejections_ = 0;
   uint64_t seen_catalog_version_;
 
   std::vector<std::unique_ptr<QueryTicket>> tickets_;
@@ -281,6 +334,7 @@ class QueryService {
   std::vector<RecompileJob> recompile_jobs_;  // FIFO; background lane is serial.
   uint64_t recompile_lane_busy_cycles_ = 0;   // Background lane's busy-until mark.
   std::vector<SampleStreamEvent> tier_events_;
+  std::vector<SampleStreamEvent> sched_events_;
   TraceRecorder* recorder_ = nullptr;  // Not owned; null when not recording.
 };
 

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "src/critpath/slack.h"
 #include "src/profiling/reports.h"
 #include "src/util/check.h"
 
@@ -16,6 +17,7 @@ constexpr const char* kProfileHeaderV1 = "# dfp service profile v1";
 constexpr const char* kProfileHeaderV2 = "# dfp service profile v2";
 constexpr const char* kProfileHeaderV3 = "# dfp service profile v3";
 constexpr const char* kProfileHeaderV4 = "# dfp service profile v4";
+constexpr const char* kProfileHeaderV5 = "# dfp service profile v5";
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed service profile line: '" + line + "'");
@@ -293,26 +295,47 @@ void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& w
 
 void WriteServiceState(const ServiceProfile& profile, const WindowedProfile& windows,
                        const BaselineStore& baselines, uint64_t service_clock_cycles,
-                       std::ostream& out) {
+                       std::ostream& out, const SlackStore* slack) {
   const bool crit = HasCriticality(profile);
-  out << (crit ? kProfileHeaderV4 : kProfileHeaderV3) << "\n";
+  // A slack store that never observed an execution (generation 0) adds nothing worth a format
+  // bump: the file stays a byte-identical v3/v4 stream.
+  const bool slacked = slack != nullptr && slack->generation() != 0;
+  out << (slacked ? kProfileHeaderV5 : (crit ? kProfileHeaderV4 : kProfileHeaderV3)) << "\n";
   out << "windowcfg " << windows.config().width_cycles << " " << windows.config().ring_windows
       << "\n";
   out << "clock " << service_clock_cycles << "\n";
-  WritePlanLines(profile, crit, out);
+  WritePlanLines(profile, crit || slacked, out);
   WriteWindowLines(windows, /*v3=*/true, out);
   WriteBaselineLines(baselines, out);
+  if (slacked) {
+    out << "slackgen " << slack->generation() << "\n";
+    for (const auto& [fingerprint, plan] : slack->plans()) {
+      out << "slack " << HexKey(fingerprint) << " " << plan.executions << " " << plan.generation
+          << " " << plan.critical_path_cycles << " " << plan.name << "\n";
+      for (const StepSlack& step : plan.steps) {
+        out << "slackstep " << HexKey(fingerprint) << " " << step.step << " " << step.pipeline
+            << " " << step.rows;
+        for (uint64_t bucket : step.bucket_slack) {
+          out << " " << bucket;
+        }
+        out << "\n";
+      }
+    }
+  }
 }
 
 ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows,
-                                  BaselineStore* baselines, uint64_t* service_clock_cycles) {
+                                  BaselineStore* baselines, uint64_t* service_clock_cycles,
+                                  SlackStore* slack) {
   ServiceProfile profile;
   std::string line;
-  if (!std::getline(in, line) || (line != kProfileHeaderV1 && line != kProfileHeaderV2 &&
-                                  line != kProfileHeaderV3 && line != kProfileHeaderV4)) {
+  if (!std::getline(in, line) ||
+      (line != kProfileHeaderV1 && line != kProfileHeaderV2 && line != kProfileHeaderV3 &&
+       line != kProfileHeaderV4 && line != kProfileHeaderV5)) {
     throw Error("not a dfp service profile file");
   }
-  const bool v4 = line == kProfileHeaderV4;
+  const bool v5 = line == kProfileHeaderV5;
+  const bool v4 = line == kProfileHeaderV4 || v5;
   const bool v3 = line == kProfileHeaderV3 || v4;
   const bool v2 = line == kProfileHeaderV2 || v3;
   // Window names arrive on plan lines; remember them so the loaded series carry them too.
@@ -333,7 +356,54 @@ ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows,
     if (kind == "crit" && !v4) {
       Malformed(line);
     }
-    if (kind == "crit") {
+    if ((kind == "slackgen" || kind == "slack" || kind == "slackstep") && !v5) {
+      Malformed(line);
+    }
+    if (kind == "slackgen") {
+      uint64_t generation = 0;
+      if (!(stream >> generation)) {
+        Malformed(line);
+      }
+      if (slack != nullptr) {
+        slack->SetLoadedGeneration(generation);
+      }
+    } else if (kind == "slack") {
+      std::string key;
+      uint64_t executions = 0;
+      uint64_t generation = 0;
+      uint64_t critical = 0;
+      if (!(stream >> key >> executions >> generation >> critical)) {
+        Malformed(line);
+      }
+      std::string name;
+      std::getline(stream, name);
+      if (!name.empty() && name.front() == ' ') {
+        name.erase(name.begin());
+      }
+      if (slack != nullptr) {
+        PlanSlack& plan = slack->LoadPlan(std::stoull(key, nullptr, 16));
+        plan.name = std::move(name);
+        plan.executions = executions;
+        plan.generation = generation;
+        plan.critical_path_cycles = critical;
+      }
+    } else if (kind == "slackstep") {
+      std::string key;
+      StepSlack step;
+      if (!(stream >> key >> step.step >> step.pipeline >> step.rows)) {
+        Malformed(line);
+      }
+      for (uint64_t& bucket : step.bucket_slack) {
+        if (!(stream >> bucket)) {
+          Malformed(line);
+        }
+      }
+      if (slack != nullptr) {
+        // The writer emits steps in their stored (step, pipeline) order, so appending
+        // reconstructs the same sorted vector.
+        slack->LoadPlan(std::stoull(key, nullptr, 16)).steps.push_back(step);
+      }
+    } else if (kind == "crit") {
       std::string key;
       uint64_t critical_cycles = 0;
       uint64_t top_share = 0;

@@ -24,6 +24,8 @@
 
 namespace dfp {
 
+class SlackStore;  // src/critpath/slack.h — expected-slack persistence (profile v5).
+
 struct FleetOperatorCost {
   OperatorId op = kNoOperator;
   std::string label;
@@ -113,8 +115,9 @@ class ServiceProfile {
 // Version 2 embeds the windowed fleet profile next to the cumulative counters; version 3 adds
 // the pieces a restarting service needs to resume where it left off — the service clock, the
 // per-window tier split, and the frozen regression baselines; version 4 adds per-plan
-// critical-path rollups:
-//   # dfp service profile v2|v3|v4
+// critical-path rollups; version 5 adds the expected-slack store the slack-directed scheduler
+// and deadline admission read (src/critpath/slack.h):
+//   # dfp service profile v2|v3|v4|v5
 //   windowcfg <width-cycles> <ring-windows>
 //   clock <service-clock-cycles>                                              (v3)
 //   plan <fingerprint-hex> <executions> <hits> <misses> <compile-cycles> <execute-cycles> <name...>
@@ -126,6 +129,9 @@ class ServiceProfile {
 //   wop <fingerprint-hex> <window-index> <operator-id> <samples> <sample-cycles> <label...>
 //   baseline <fingerprint-hex> <samples> <watermark> <cycles-per-row> <remote-share> <name...> (v3)
 //   bop <fingerprint-hex> <operator-id> <samples> <sample-cycles> <label...>  (v3)
+//   slackgen <store-generation>                                               (v5)
+//   slack <fingerprint-hex> <executions> <generation> <critical-path-cycles> <name...>  (v5)
+//   slackstep <fingerprint-hex> <step> <pipeline> <rows> <b0> ... <b15>       (v5)
 // The writers are content-driven: the two-argument form emits v4 only when some plan carries a
 // critical-path rollup and v3 only when some window carries baseline-tier counts, so
 // pre-tiering and pre-critpath profiles stay byte-identical v2/v3 files. The v1 header with
@@ -135,20 +141,25 @@ void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& w
                          std::ostream& out);
 
 // Persistence writer: embeds the service clock and the regression baselines — everything
-// QueryService saves on shutdown and restores on start. Emits v4 when a plan carries a
-// critical-path rollup, v3 otherwise.
+// QueryService saves on shutdown and restores on start. Emits v5 when `slack` holds observed
+// executions (its generation advanced), v4 when a plan carries a critical-path rollup, v3
+// otherwise — a service that never enabled the scheduling loop keeps writing byte-identical
+// v3/v4 files.
 void WriteServiceState(const ServiceProfile& profile, const WindowedProfile& windows,
                        const BaselineStore& baselines, uint64_t service_clock_cycles,
-                       std::ostream& out);
+                       std::ostream& out, const SlackStore* slack = nullptr);
 
-// Inverse of WriteServiceProfile/WriteServiceState; parses v1 through v4. When `windows` is
+// Inverse of WriteServiceProfile/WriteServiceState; parses v1 through v5. When `windows` is
 // non-null, window lines are reconstituted into it (it keeps its configured ring bound; the
 // file's windowcfg line restores the writer's configuration first). `baselines` and
 // `service_clock_cycles`, when non-null, receive the v3 regression baselines and service
-// clock. Throws dfp::Error on malformed input.
+// clock; `slack`, when non-null, receives the v5 expected-slack store (including its
+// generation clock, so age-out resumes where the writer left off). Throws dfp::Error on
+// malformed input.
 ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows = nullptr,
                                   BaselineStore* baselines = nullptr,
-                                  uint64_t* service_clock_cycles = nullptr);
+                                  uint64_t* service_clock_cycles = nullptr,
+                                  SlackStore* slack = nullptr);
 
 }  // namespace dfp
 

@@ -14,6 +14,17 @@ void NumaMap::AddPartitioned(VAddr base, uint64_t size) {
   spans_.push_back(Span{base, size, false});
 }
 
+void NumaMap::AddPartitionedCustom(VAddr base, uint64_t size, PartitionMap map) {
+  DFP_CHECK(!sealed_);
+  if (size == 0) {
+    return;
+  }
+  DFP_CHECK(!map.empty() && map.back().end_frac == kPlacementDenom);
+  Span span{base, size, false, static_cast<int32_t>(customs_.size())};
+  customs_.push_back(std::move(map));
+  spans_.push_back(span);
+}
+
 void NumaMap::AddInterleaved(VAddr base, uint64_t size) {
   DFP_CHECK(!sealed_);
   if (size == 0) {
@@ -24,7 +35,12 @@ void NumaMap::AddInterleaved(VAddr base, uint64_t size) {
 
 void NumaMap::AddPartitionedExtents(const VMem& mem) {
   for (const MemExtent& extent : mem.partitioned_extents()) {
-    AddPartitioned(extent.base, extent.size);
+    const PartitionMap* placement = mem.ExtentPlacement(extent.base);
+    if (placement != nullptr) {
+      AddPartitionedCustom(extent.base, extent.size, *placement);
+    } else {
+      AddPartitioned(extent.base, extent.size);
+    }
   }
 }
 
@@ -52,6 +68,18 @@ uint8_t NumaMap::NodeOf(VAddr addr) const {
   }
   if (span.interleaved) {
     return static_cast<uint8_t>((offset / config_.interleave_bytes) % config_.nodes);
+  }
+  if (span.custom >= 0) {
+    // Custom range partition: first slice whose end fraction lies past this offset.
+    const PartitionMap& map = customs_[span.custom];
+    const uint64_t frac = offset * kPlacementDenom / span.size;
+    auto slice = std::upper_bound(
+        map.begin(), map.end(), frac,
+        [](uint64_t f, const PartitionSlice& s) { return f < s.end_frac; });
+    if (slice == map.end()) {
+      slice = map.end() - 1;
+    }
+    return static_cast<uint8_t>(slice->node % config_.nodes);
   }
   // Range partition: equal contiguous shares, so element i of an N-element array lands on the
   // same node as morsel rows [i, ...) of an N-row scan.

@@ -49,9 +49,13 @@ class NumaMap {
 
   // Registers [base, base+size) as range-partitioned: node = offset * nodes / size.
   void AddPartitioned(VAddr base, uint64_t size);
+  // Registers [base, base+size) as range-partitioned by a custom fractional map (the
+  // placement-repair action's node ownership): the slice covering offset/size owns the byte.
+  void AddPartitionedCustom(VAddr base, uint64_t size, PartitionMap map);
   // Registers [base, base+size) as chunk-interleaved: node = (offset / chunk) % nodes.
   void AddInterleaved(VAddr base, uint64_t size);
-  // Convenience: registers every partitioned extent the storage layer marked in `mem`.
+  // Convenience: registers every partitioned extent the storage layer marked in `mem`,
+  // honoring any per-extent placement override (VMem::ExtentPlacement).
   void AddPartitionedExtents(const VMem& mem);
 
   // Call after registration, before lookups: sorts the span table for binary search.
@@ -66,10 +70,12 @@ class NumaMap {
     VAddr base = 0;
     uint64_t size = 0;
     bool interleaved = false;
+    int32_t custom = -1;  // Index into customs_, or -1 for the default equal-share split.
   };
 
   NumaConfig config_;
   std::vector<Span> spans_;  // Sorted by base after Seal(); spans never overlap.
+  std::vector<PartitionMap> customs_;
   bool sealed_ = false;
 };
 

@@ -46,6 +46,22 @@ void VMem::MarkPartitioned(VAddr base, uint64_t bytes) {
   partitioned_.push_back(MemExtent{base, bytes});
 }
 
+void VMem::SetExtentPlacement(VAddr base, PartitionMap map) {
+  DFP_CHECK(!map.empty());
+  DFP_CHECK(map.back().end_frac == kPlacementDenom);
+  for (size_t i = 1; i < map.size(); ++i) {
+    DFP_CHECK(map[i - 1].end_frac < map[i].end_frac);
+  }
+  placements_[base] = std::move(map);
+}
+
+void VMem::ClearExtentPlacement(VAddr base) { placements_.erase(base); }
+
+const PartitionMap* VMem::ExtentPlacement(VAddr base) const {
+  auto it = placements_.find(base);
+  return it == placements_.end() ? nullptr : &it->second;
+}
+
 const MemRegion* VMem::FindRegion(VAddr addr) const {
   for (const MemRegion& region : regions_) {
     if (addr >= region.base && addr < region.base + region.size) {

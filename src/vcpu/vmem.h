@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,21 @@ struct MemExtent {
   VAddr base = 0;
   uint64_t size = 0;
 };
+
+// Custom range partition of one extent, expressed in fixed-point fractions of its size so one
+// map applies to every column of a table regardless of element width (offset/size tracks
+// row/rows for any width). Slice i covers byte offsets [end_frac[i-1], end_frac[i]) * size /
+// kPlacementDenom and lives on `node`; slices are ascending and the last end_frac is exactly
+// kPlacementDenom. Placement-repair actions (src/service/placement_repair.h) install these to
+// move column spans toward the NUMA nodes that actually consume them.
+inline constexpr uint64_t kPlacementDenom = 1ull << 16;
+
+struct PartitionSlice {
+  uint64_t end_frac = 0;
+  uint8_t node = 0;
+};
+
+using PartitionMap = std::vector<PartitionSlice>;
 
 class VMem {
  public:
@@ -90,10 +106,21 @@ class VMem {
   void MarkPartitioned(VAddr base, uint64_t bytes);
   const std::vector<MemExtent>& partitioned_extents() const { return partitioned_; }
 
+  // Placement override for the extent starting at `base` (must be a registered extent). While
+  // set, NumaMap::AddPartitionedExtents partitions that extent by the map instead of the
+  // default equal-share split; clearing reverts to the default. Overrides model the guarded
+  // re-partition action: data does not move in the flat arena, only the node ownership map
+  // changes, exactly like a page-migration that leaves virtual addresses intact.
+  void SetExtentPlacement(VAddr base, PartitionMap map);
+  void ClearExtentPlacement(VAddr base);
+  // The override for `base`, or nullptr when the extent uses the default split.
+  const PartitionMap* ExtentPlacement(VAddr base) const;
+
  private:
   std::vector<uint8_t> bytes_;
   std::vector<MemRegion> regions_;
   std::vector<MemExtent> partitioned_;
+  std::map<VAddr, PartitionMap> placements_;
   uint64_t next_base_;
 };
 

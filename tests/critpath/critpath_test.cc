@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "src/critpath/classify.h"
 #include "src/critpath/dag.h"
 #include "src/critpath/report.h"
+#include "src/critpath/slack.h"
 #include "src/engine/query_engine.h"
 #include "src/plan/builder.h"
 #include "src/profiling/serialize.h"
@@ -249,6 +251,97 @@ TEST(CritPath, RealRunAnalysisIsByteDeterministic) {
   const std::string second = analyze();
   EXPECT_FALSE(first.empty());
   EXPECT_EQ(first, second);  // Byte-identical DAG, slack table, verdicts.
+
+  // DAG identity under permutation: BuildTaskDag skips its re-sort when the boundaries
+  // already arrive in canonical (step, start, worker) order, so the fast path must be
+  // behavior-neutral — a shuffled copy of the same boundaries rebuilds the identical DAG.
+  std::vector<TaskBoundary> boundaries = engine.last_task_boundaries();
+  ASSERT_FALSE(boundaries.empty());
+  const TaskDag canonical = BuildTaskDag(boundaries);
+  std::mt19937 rng(20260808u);
+  std::shuffle(boundaries.begin(), boundaries.end(), rng);
+  const TaskDag shuffled = BuildTaskDag(boundaries);
+  EXPECT_EQ(SerializeAnalysis(canonical, ClassifyPipelines(canonical)),
+            SerializeAnalysis(shuffled, ClassifyPipelines(shuffled)));
+}
+
+TEST(CritPath, RenderOrdersEqualSharePipelinesByIdAscending) {
+  // One serial chain: pipeline 3 owns half the critical path; pipelines 0/1/2 land on the
+  // same rounded share. The report orders share descending with ascending pipeline id on
+  // ties — equal-share pipelines are common once shares round to whole percents, and a
+  // flapping order would show up as spurious diffs in double-run report comparisons.
+  std::vector<TaskBoundary> tasks;
+  tasks.push_back(MakeTask(0, 0, 0, 300, 3));
+  tasks.push_back(MakeTask(1, 0, 300, 400, 0));
+  tasks.push_back(MakeTask(2, 0, 400, 500, 1));
+  tasks.push_back(MakeTask(3, 0, 500, 600, 2));
+  const TaskDag dag = BuildTaskDag(tasks);
+  CriticalityTracker tracker;
+  tracker.Observe(1, "tie", dag, ClassifyPipelines(dag));
+  const std::string report = RenderCriticalPath(tracker);
+  const size_t p3 = report.find("pipeline  3");
+  const size_t p0 = report.find("pipeline  0");
+  const size_t p1 = report.find("pipeline  1");
+  const size_t p2 = report.find("pipeline  2");
+  ASSERT_NE(p3, std::string::npos);
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  EXPECT_LT(p3, p0);  // Highest share renders first.
+  EXPECT_LT(p0, p1);  // Equal shares ascend by pipeline id.
+  EXPECT_LT(p1, p2);
+}
+
+TEST(SlackStore, FoldsDagsIntoBucketEwmasAndExpectedCriticalPath) {
+  // The hand-computed DAG from HandComputedSlackAndCriticalPath: step 0 tasks A [0,100) and
+  // B [0,60) with slacks 0 and 40, rows encoded through morsel ranges.
+  std::vector<TaskBoundary> tasks;
+  tasks.push_back(MakeTask(0, 0, 0, 100, 0));
+  tasks.push_back(MakeTask(0, 1, 0, 60, 0));
+  tasks.push_back(MakeTask(1, 0, 100, 180, 1));
+  tasks[0].morsel_begin = 0;
+  tasks[0].morsel_end = 500;
+  tasks[1].morsel_begin = 500;
+  tasks[1].morsel_end = 1000;
+  const TaskDag dag = BuildTaskDag(tasks);
+
+  SlackStore store;
+  EXPECT_EQ(store.ExpectedCriticalPathCycles(7), 0u);  // Unseen: admission must admit.
+  store.Observe(7, "hand", dag);
+  const PlanSlack* plan = store.Find(7);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->executions, 1u);
+  // First fold seeds the EWMA with the raw observation.
+  EXPECT_EQ(plan->critical_path_cycles, dag.critical_work_cycles);
+  EXPECT_EQ(store.ExpectedCriticalPathCycles(7), dag.critical_work_cycles);
+  const StepSlack* step = plan->FindStep(0, 0);
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->rows, 1000u);
+  // A's begin lands in bucket 0 (per-run minimum slack 0), B's begin in bucket 8 (slack 40);
+  // buckets no task began in stay unobserved.
+  EXPECT_EQ(step->SlackAt(0), 0u);
+  EXPECT_EQ(step->SlackAt(500), 40u);
+  EXPECT_EQ(step->SlackAt(999), UINT64_MAX);
+
+  // Second fold: EWMA (3*old + observed) / 4 over the same DAG is a fixed point.
+  store.Observe(7, "hand", dag);
+  EXPECT_EQ(store.Find(7)->executions, 2u);
+  EXPECT_EQ(store.ExpectedCriticalPathCycles(7), dag.critical_work_cycles);
+}
+
+TEST(SlackStore, StalePlansAgeOutAfterMaxAgeGenerations) {
+  std::vector<TaskBoundary> tasks;
+  tasks.push_back(MakeTask(0, 0, 0, 100, 0));
+  const TaskDag dag = BuildTaskDag(tasks);
+  SlackStore store(2);  // Age out after two generations without a fold.
+  store.Observe(1, "stale", dag);
+  store.Observe(2, "hot", dag);
+  store.Observe(2, "hot", dag);
+  EXPECT_NE(store.Find(1), nullptr);  // Exactly max_age generations stale: still alive.
+  store.Observe(2, "hot", dag);
+  EXPECT_EQ(store.Find(1), nullptr);  // One more: aged out.
+  EXPECT_NE(store.Find(2), nullptr);
+  EXPECT_EQ(store.ExpectedCriticalPathCycles(1), 0u);
 }
 
 TEST(CritPath, V5StreamRebuildsTheIdenticalDag) {

@@ -446,11 +446,16 @@ TEST(Serialize, RejectsTaskTokensInPreV5StreamsAndNewerVersions) {
       "# dfp samples v5\ntask 10 5 0 1 0 0 0 64 0 0 0 0 0 0 0\n");
   EXPECT_THROW(ReadSamples(backwards, &events, &tasks), Error);
 
+  // A v6 stream with sched lines needs a sched sink — same contract as tasks above.
+  std::stringstream no_sched_sink(
+      "# dfp samples v6\nsched 100 repair 0 applied\nsample 100 16777217 0\n");
+  EXPECT_THROW(ReadSamples(no_sched_sink, &events, &tasks), Error);
+
   // A stream from a newer build is rejected with a clear upgrade message, not a parse error.
-  std::stringstream v6("# dfp samples v6\nsample 100 16777217 0\n");
+  std::stringstream v7("# dfp samples v7\nsample 100 16777217 0\n");
   try {
-    ReadSamples(v6, &events, &tasks);
-    FAIL() << "v6 stream must be rejected";
+    ReadSamples(v7, &events, &tasks);
+    FAIL() << "v7 stream must be rejected";
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("newer than this build"), std::string::npos)
         << e.what();

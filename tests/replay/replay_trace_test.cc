@@ -253,7 +253,7 @@ TEST(TraceFormatTest, FutureVersionsAreRejected) {
   std::string text = EncodeTraceText(trace);
   ASSERT_EQ(text.rfind("# dfp trace v1\n", 0), 0u);
 
-  for (const std::string version : {"2", "17", "999"}) {
+  for (const std::string version : {"3", "17", "999"}) {
     std::string future = "# dfp trace v" + version + text.substr(text.find('\n'));
     std::istringstream in(future);
     try {
