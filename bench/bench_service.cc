@@ -17,6 +17,13 @@
 //    fresh services (zero diff both times, byte-identical JSON reports — the replay-smoke CI
 //    gate), then replayed under what-if knobs: 10x session load must degrade through
 //    admission rejections, and a scheduler swap must shift timing without touching results.
+//  - Sharded multi-node service (src/shard/): fan-out queries over a 4-shard range-partitioned
+//    catalog must return results identical to the unsharded engine, the coordinator's Merge
+//    operator and CROSS_NODE traffic must show up in the hierarchical fleet aggregate (whose
+//    JSON renders byte-identically across runs — the shard-smoke CI gate), a 1-shard tower
+//    must be byte-identical to a plain QueryService, a catalog-version bump must invalidate
+//    every shard's plan cache in one step, and a shard_count=4 what-if replay of the recorded
+//    trace must complete with zero result divergence.
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -30,6 +37,7 @@
 #include "src/replay/trace.h"
 #include "src/service/placement_repair.h"
 #include "src/service/query_service.h"
+#include "src/shard/coordinator.h"
 #include "src/sql/binder.h"
 #include "src/tiering/report.h"
 #include "src/vcpu/vmem.h"
@@ -651,6 +659,238 @@ int Main() {
   const bool sched_ok =
       sched_slack_ok && sched_admission_ok && sched_results_identical && sched_repair_ok;
 
+  // --- Sharded multi-node service: fan-out fidelity, aggregation tree, degenerate tower ---
+  //
+  // Fixed scale like the sched scenarios: the fan-out/merge identity gates compare against a
+  // reference run over the same dataset, and --smoke must not move either side.
+  std::printf("\n--- Sharded service: fan-out, fleet aggregation tree, 1-shard identity ---\n");
+  TpchOptions shard_options;
+  shard_options.scale = 0.01;
+  ServiceConfig shard_service_config;
+  shard_service_config.parallel.workers = 4;
+  shard_service_config.max_active_sessions = 2;
+  shard_service_config.session_hashtables_bytes = 32ull << 20;
+  shard_service_config.session_output_bytes = 16ull << 20;
+  shard_service_config.profiling.period = 311;
+  ShardServiceConfig shard_config;
+  shard_config.service = shard_service_config;
+  shard_config.merge_sampling = DefaultMergeSampling();
+  constexpr uint32_t kBenchShards = 4;
+  // One DatabaseConfig for every database in this scenario (shards, 1-shard tower, unsharded
+  // reference): the 1-shard byte-identity gate requires identical region layouts, and the
+  // trimmed regions let seven databases coexist. Sized for the 4-shard coordinator (the
+  // staging-ring head room is unused elsewhere — ShardArenaBytes degenerates to
+  // ServiceArenaBytes at 1 shard).
+  DatabaseConfig shard_db_config;
+  shard_db_config.columns_bytes = 64ull << 20;
+  shard_db_config.strings_bytes = 8ull << 20;
+  shard_db_config.hashtables_bytes = 64ull << 20;
+  shard_db_config.output_bytes = 32ull << 20;
+  shard_db_config.extra_bytes = ShardArenaBytes(shard_config, kBenchShards);
+  // Six fan-out plans (they scan the range-partitioned fact tables) plus one routed plan
+  // (q16 touches only replicated tables, so it runs whole on one shard).
+  const std::vector<std::string> shard_workload = {"q6", "q1", "q3", "q14", "q4", "q12", "q16"};
+
+  // Unsharded reference: the same workload through a plain QueryService over the same dataset.
+  auto shard_ref_db = std::make_unique<Database>(shard_db_config);
+  GenerateTpch(*shard_ref_db, shard_options);
+  QueryService shard_ref(*shard_ref_db, shard_service_config);
+  std::vector<TicketId> shard_ref_ids;
+  for (const std::string& name : shard_workload) {
+    shard_ref_ids.push_back(
+        shard_ref.Submit(BuildQueryPlan(*shard_ref_db, FindQuery(name)), name));
+  }
+  shard_ref.Drain();
+  const std::string shard_ref_profile = shard_ref.fleet_profile().Render();
+
+  // One full 4-shard run; called twice, so the fleet-aggregate JSON doubles as the in-process
+  // determinism gate (the shard-smoke CI job diffs it across two bench invocations instead).
+  struct ShardRunOutcome {
+    bool results_ok = true;
+    bool merge_visible = false;
+    bool invalidation_ok = false;
+    uint64_t fanout = 0;
+    uint64_t routed = 0;
+    uint64_t invalidations = 0;
+    uint64_t cross_bytes = 0;
+    uint64_t cross_events = 0;
+    uint64_t merge_samples = 0;
+    uint64_t rollup_cycles = 0;
+    uint32_t levels = 0;
+    uint64_t leaves = 0;
+    uint64_t fleet_plans = 0;
+    std::string fleet_json;
+  };
+  auto run_sharded = [&]() {
+    ShardRunOutcome out;
+    ShardCatalogConfig catalog_config;
+    catalog_config.shards = kBenchShards;
+    catalog_config.db = shard_db_config;
+    catalog_config.tpch = shard_options;
+    ShardCatalog catalog(catalog_config);
+    ShardedService sharded(catalog, shard_config);
+    std::vector<TicketId> ids;
+    for (const std::string& name : shard_workload) {
+      ids.push_back(sharded.Submit(
+          name, [&](Database& sdb) { return BuildQueryPlan(sdb, FindQuery(name)); }));
+    }
+    sharded.Drain();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      std::string diff;
+      if (!Result::Equivalent(sharded.ticket(ids[i]).result,
+                              shard_ref.ticket(shard_ref_ids[i]).result, true, &diff)) {
+        out.results_ok = false;
+        std::printf("shard mismatch on %s: %s\n", shard_workload[i].c_str(), diff.c_str());
+      }
+    }
+    // Coordinated invalidation: registering a table on every shard bumps the shared catalog
+    // version; the next submission must drop every shard's plan cache in one step and the
+    // re-submitted fan-out must recompile (misses) to the same answer.
+    for (uint32_t s = 0; s < catalog.shards(); ++s) {
+      TableBuilder builder = catalog.db(s).CreateTableBuilder(
+          TableSchema{"shard_ddl", {{"x", ColumnType::kInt64}}});
+      catalog.db(s).AddTable(builder.Finish());
+    }
+    uint64_t misses_before = 0;
+    for (uint32_t s = 0; s < catalog.shards(); ++s) {
+      misses_before += sharded.shard(s).plan_cache().stats().misses;
+    }
+    const TicketId ddl_q6 = sharded.Submit(
+        "q6", [&](Database& sdb) { return BuildQueryPlan(sdb, FindQuery("q6")); });
+    sharded.Drain();
+    uint64_t misses_after = 0;
+    for (uint32_t s = 0; s < catalog.shards(); ++s) {
+      misses_after += sharded.shard(s).plan_cache().stats().misses;
+    }
+    std::string ddl_diff;
+    out.invalidation_ok = sharded.coordinated_invalidations() == 1 &&
+                          misses_after > misses_before &&
+                          Result::Equivalent(sharded.ticket(ddl_q6).result,
+                                             shard_ref.ticket(shard_ref_ids[0]).result, true,
+                                             &ddl_diff);
+    const FleetAggregate fleet = sharded.AggregateFleet();
+    for (const auto& [fingerprint, plan] : fleet.plans) {
+      (void)fingerprint;
+      const auto it = plan.operators.find(kMergeOperatorId);
+      out.merge_visible |= it != plan.operators.end() && it->second.samples > 0;
+    }
+    out.fanout = sharded.fanout_queries();
+    out.routed = sharded.routed_queries();
+    out.invalidations = sharded.coordinated_invalidations();
+    out.cross_bytes = sharded.cross_node_bytes();
+    out.cross_events = sharded.coordinator_counters()[PmuEvent::kCrossNode];
+    out.merge_samples = sharded.merge_sample_count();
+    out.rollup_cycles = fleet.rollup_cycles;
+    out.levels = fleet.levels;
+    out.leaves = fleet.leaves;
+    out.fleet_plans = fleet.plans.size();
+    std::ostringstream fleet_json;
+    WriteFleetAggregateJson(fleet, fleet_json);
+    out.fleet_json = fleet_json.str();
+    return out;
+  };
+  const ShardRunOutcome shard_run = run_sharded();
+  const ShardRunOutcome shard_rerun = run_sharded();
+  const bool shard_fleet_match = shard_run.fleet_json == shard_rerun.fleet_json;
+  std::printf("4-shard fan-out: %llu fan-out + %llu routed queries, results %s\n",
+              static_cast<unsigned long long>(shard_run.fanout),
+              static_cast<unsigned long long>(shard_run.routed),
+              shard_run.results_ok ? "identical to unsharded [ok]"
+                                   : "[FAIL: diverged from unsharded]");
+  std::printf("cross-node fabric: %llu bytes staged, %llu CROSS_NODE events, %llu merge "
+              "samples, Merge operator %s\n",
+              static_cast<unsigned long long>(shard_run.cross_bytes),
+              static_cast<unsigned long long>(shard_run.cross_events),
+              static_cast<unsigned long long>(shard_run.merge_samples),
+              shard_run.merge_visible ? "visible in fleet profile [ok]"
+                                      : "[FAIL: invisible]");
+  std::printf("aggregation tree: %llu leaves, %u levels, %llu plans, rollup %llu cycles, "
+              "re-run JSON %s\n",
+              static_cast<unsigned long long>(shard_run.leaves), shard_run.levels,
+              static_cast<unsigned long long>(shard_run.fleet_plans),
+              static_cast<unsigned long long>(shard_run.rollup_cycles),
+              shard_fleet_match ? "byte-identical [ok]" : "[FAIL: non-deterministic]");
+  std::printf("coordinated invalidation: %llu invalidation(s) %s\n",
+              static_cast<unsigned long long>(shard_run.invalidations),
+              shard_run.invalidation_ok ? "[ok]" : "[FAIL]");
+
+  // Degenerate tower: a 1-shard ShardedService must be byte-identical to the plain service —
+  // same dataset bytes, shard_id 0 (pre-v7 streams), same profiles, same results.
+  bool shard_one_identical = false;
+  {
+    ShardCatalogConfig tower_config;
+    tower_config.shards = 1;
+    tower_config.db = shard_db_config;
+    tower_config.tpch = shard_options;
+    ShardCatalog tower_catalog(tower_config);
+    ShardedService tower(tower_catalog, shard_config);
+    std::vector<TicketId> tower_ids;
+    for (const std::string& name : shard_workload) {
+      tower_ids.push_back(tower.Submit(
+          name, [&](Database& sdb) { return BuildQueryPlan(sdb, FindQuery(name)); }));
+    }
+    tower.Drain();
+    bool tower_results = true;
+    for (size_t i = 0; i < tower_ids.size(); ++i) {
+      std::string diff;
+      tower_results = tower_results &&
+                      Result::Equivalent(tower.ticket(tower_ids[i]).result,
+                                         shard_ref.ticket(shard_ref_ids[i]).result, true, &diff);
+    }
+    const FleetAggregate tower_fleet = tower.AggregateFleet();
+    const bool tower_profile_identical =
+        tower.shard(0).fleet_profile().Render() == shard_ref_profile;
+    shard_one_identical = tower_results && tower_profile_identical &&
+                          tower_fleet.leaves == 1 && tower_fleet.levels == 0 &&
+                          tower_fleet.rollup_cycles == 0 && tower.fanout_queries() == 0;
+    std::printf("1-shard tower: results %s, service profile %s (fleet: %llu leaf, %u levels)\n",
+                tower_results ? "identical [ok]" : "[FAIL]",
+                tower_profile_identical ? "byte-identical [ok]" : "[FAIL: drifted]",
+                static_cast<unsigned long long>(tower_fleet.leaves), tower_fleet.levels);
+  }
+
+  // Shard-count what-if: the recorded trace from the replay section, re-executed on a 4-shard
+  // topology. Sharding re-partitions execution (fan-out, merges, different streams) but must
+  // never move a result: the gate is zero result divergence with every query completing.
+  ReplayReport shard_replay;
+  {
+    WhatIfKnobs shard_knobs;
+    shard_knobs.shard_count = kBenchShards;
+    ShardServiceConfig shard_replay_config;
+    shard_replay_config.service = ReplayServiceConfig(trace, shard_knobs);
+    shard_replay_config.merge_sampling = DefaultMergeSampling();
+    ShardCatalogConfig replay_catalog_config;
+    replay_catalog_config.shards = kBenchShards;
+    // Default regions: the shard heaps must reproduce the recording database's region layout
+    // for the recorded literal bindings' packed string references to stay valid.
+    replay_catalog_config.db.extra_bytes =
+        ShardArenaBytes(shard_replay_config, kBenchShards);
+    replay_catalog_config.tpch = options;
+    ShardCatalog replay_catalog(replay_catalog_config);
+    ReplayOptions shard_replay_options;
+    shard_replay_options.knobs = shard_knobs;
+    shard_replay_options.shards = &replay_catalog;
+    const ReplayRun shard_replay_run =
+        ReplayTrace(replay_catalog.db(0), trace, shard_replay_options);
+    shard_replay = DiffTraces(trace, shard_replay_run.trace);
+  }
+  const bool shard_replay_ok = shard_replay.results_diverged == 0 &&
+                               shard_replay.replayed_queries == shard_replay.recorded_queries &&
+                               shard_replay.replayed_completed == shard_replay.recorded_completed;
+  std::printf("what-if shard_count=4 replay: %llu queries, %llu completed, %llu result "
+              "divergence(s) %s\n",
+              static_cast<unsigned long long>(shard_replay.replayed_queries),
+              static_cast<unsigned long long>(shard_replay.replayed_completed),
+              static_cast<unsigned long long>(shard_replay.results_diverged),
+              shard_replay_ok ? "[ok]" : "[FAIL: sharding moved results]");
+
+  const bool shard_ok = shard_run.results_ok && shard_run.merge_visible &&
+                        shard_run.invalidation_ok && shard_fleet_match &&
+                        shard_run.fanout == 7 && shard_run.routed == 1 &&
+                        shard_run.cross_bytes > 0 && shard_run.cross_events > 0 &&
+                        shard_run.merge_samples > 0 && shard_one_identical && shard_replay_ok &&
+                        shard_run.fleet_json == shard_rerun.fleet_json;
+
   if (GlobalBenchOptions().json) {
     JsonWriter json;
     json.BeginObject();
@@ -770,8 +1010,33 @@ int Main() {
     json.Field("sched_repartitions_reverted", sched_repairs_reverted);
     json.Field("sched_results_identical", sched_results_identical);
     json.Field("sched_ok", sched_ok);
+    json.Field("shard_count", static_cast<uint64_t>(kBenchShards));
+    json.Field("shard_fanout_queries", shard_run.fanout);
+    json.Field("shard_routed_queries", shard_run.routed);
+    json.Field("shard_coordinated_invalidations", shard_run.invalidations);
+    json.Field("shard_cross_node_bytes", shard_run.cross_bytes);
+    json.Field("shard_cross_node_events", shard_run.cross_events);
+    json.Field("shard_merge_samples", shard_run.merge_samples);
+    json.Field("shard_fleet_leaves", shard_run.leaves);
+    json.Field("shard_fleet_levels", static_cast<uint64_t>(shard_run.levels));
+    json.Field("shard_fleet_plans", shard_run.fleet_plans);
+    json.Field("shard_rollup_cycles", shard_run.rollup_cycles);
+    json.Field("shard_results_identical", shard_run.results_ok);
+    json.Field("shard_merge_operator_visible", shard_run.merge_visible);
+    json.Field("shard_fleet_rollup_match", shard_fleet_match);
+    json.Field("shard_one_identical", shard_one_identical);
+    json.Field("shard_replay_results_diverged", shard_replay.results_diverged);
+    json.Field("shard_replay_completed", shard_replay.replayed_completed);
+    json.Field("shard_ok", shard_ok);
     json.EndObject();
     json.WriteTo("BENCH_service.json");
+  }
+  if (GlobalBenchOptions().json) {
+    // The shard-smoke CI job runs the bench twice and diffs this file byte for byte: the
+    // hierarchical roll-up must be a pure function of the submission sequence.
+    std::ofstream fleet_out("BENCH_shard_fleet.json");
+    fleet_out << shard_run.fleet_json;
+    std::printf("# wrote BENCH_shard_fleet.json\n");
   }
 
   std::printf(
@@ -785,9 +1050,14 @@ int Main() {
       "trace on this build reproduces the recording bit for bit, and the 10x what-if sheds\n"
       "surplus load through admission rejections rather than failures; the slack feedback\n"
       "loop reorders learned scans and bounces infeasible deadlines without moving a single\n"
-      "result byte, and the misplaced-column scenario resolves as exactly one kept repair.\n");
+      "result byte, and the misplaced-column scenario resolves as exactly one kept repair;\n"
+      "the 4-shard service answers every fan-out query identically to the unsharded engine\n"
+      "with its Merge operator and CROSS_NODE traffic visible in a deterministic fleet\n"
+      "aggregate, the 1-shard tower is byte-identical to the plain service, and the\n"
+      "shard-count what-if replay moves streams and timing but not one result.\n");
   const bool ok = speedup >= 2.0 && governor_ok && rankings_agree && critpath_ok &&
-                  false_positives == 0 && shift_flagged && tiering_ok && replay_ok && sched_ok;
+                  false_positives == 0 && shift_flagged && tiering_ok && replay_ok &&
+                  sched_ok && shard_ok;
   return ok ? 0 : 1;
 }
 

@@ -97,6 +97,7 @@ ParallelRun::ParallelRun(Database& db, CompiledQuery& query, const ParallelConfi
   workers_.reserve(config.workers);
   for (uint32_t i = 0; i < config.workers; ++i) {
     workers_.push_back(std::make_unique<Worker>(db, i, session_id));
+    workers_.back()->cpu.set_shard_id(config.shard_id);
     workers_.back()->cpu.ConfigureNuma(&numa_, static_cast<uint8_t>(i % numa_.nodes()));
     if (sampling != nullptr) {
       workers_.back()->pmu.Configure(*sampling);

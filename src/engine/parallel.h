@@ -65,6 +65,9 @@ struct ParallelConfig {
   // the most adversarial placement, and the one that makes locality visible at any pool size.
   // Values above `workers` are clamped so every node has at least one worker.
   uint32_t numa_nodes = 0;
+  // Service shard this pool belongs to (1-based; 0 = unsharded). Stamped into every sample the
+  // pool's workers take so fan-out attribution survives the coordinator's merge (stream v7).
+  uint32_t shard_id = 0;
 };
 
 // Modeled fixed cost of dispatching one morsel (function call, cursor reload, scheduling).

@@ -14,6 +14,7 @@ enum class PmuEvent : uint8_t {
   kL3Miss,
   kBranchMiss,
   kRemoteDram,  // Accesses served by a remote NUMA node's DRAM (OFFCORE remote analogue).
+  kCrossNode,   // Accesses served by another machine node's memory (shard interconnect).
   kEventCount,
 };
 

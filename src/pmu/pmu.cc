@@ -62,6 +62,8 @@ const char* PmuEventName(PmuEvent event) {
       return "BRANCH_MISS";
     case PmuEvent::kRemoteDram:
       return "REMOTE_DRAM";
+    case PmuEvent::kCrossNode:
+      return "CROSS_NODE";
     case PmuEvent::kEventCount:
       break;
   }

@@ -27,15 +27,22 @@ inline constexpr uint8_t kNoNumaNode = 0xFF;
 // `tier` records the compilation tier of the code the sample hit (PlanTier numeric value;
 // 0 = optimized) so tiered-compilation profiles can attribute cost per tier. The zero default
 // keeps pre-tiering sample streams byte-identical on disk.
+// `shard_id` identifies the service shard whose worker pool took the sample (1-based; 0 =
+// unsharded service or single-shard run) so fan-out attribution survives the coordinator's
+// merge. `cross_node` marks accesses served by another *machine node's* memory — the shard
+// interconnect hop, a distinct and costlier tier than cross-socket `numa_remote`. Both default
+// to the pre-sharding values, keeping v1–v6 streams byte-identical on disk.
 struct Sample {
   uint64_t tsc = 0;
   uint64_t ip = 0;
   uint64_t addr = 0;  // Accessed address for memory events, 0 otherwise.
   uint32_t worker_id = 0;
   uint32_t session_id = 0;
+  uint32_t shard_id = 0;           // Service shard owning the sampling worker (1-based; 0 = none).
   uint8_t mem_node = kNoNumaNode;  // NUMA node owning `addr`; kNoNumaNode when unmanaged.
   uint8_t tier = 0;                // Compilation tier of the sampled code (PlanTier value).
   bool numa_remote = false;        // `addr` lives on a different node than the sampling worker.
+  bool cross_node = false;         // `addr` lives on a different machine node (shard hop).
   bool stolen = false;             // Taken while executing a stolen morsel.
   bool has_registers = false;
   std::array<uint64_t, kNumMachineRegs> regs{};

@@ -14,7 +14,7 @@ namespace {
 
 constexpr const char* kDictionaryHeader = "# dfp tagging dictionary v1";
 constexpr const char* kSamplesHeaderPrefix = "# dfp samples v";
-constexpr int kMaxSamplesVersion = 6;
+constexpr int kMaxSamplesVersion = 7;
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed profiling meta-data line: '" + line + "'");
@@ -133,23 +133,26 @@ void WriteSamples(const std::vector<Sample>& samples,
                   const std::vector<TaskBoundary>& tasks,
                   const std::vector<SampleStreamEvent>& sched, std::ostream& out) {
   // The version is chosen by content so older dumps stay byte-identical: streams carrying
-  // scheduling-action sideband lines are v6, streams carrying task boundaries are v5, streams
-  // carrying tier attribution or sideband events are v4, streams carrying NUMA locality or
-  // steal flags are v3, streams carrying worker ids are v2, and pure worker-0 streams keep the
-  // v1 header so dumps from single-threaded runs stay byte-compatible with pre-parallel
-  // readers.
+  // shard attribution or cross-node locality are v7, streams carrying scheduling-action
+  // sideband lines are v6, streams carrying task boundaries are v5, streams carrying tier
+  // attribution or sideband events are v4, streams carrying NUMA locality or steal flags are
+  // v3, streams carrying worker ids are v2, and pure worker-0 streams keep the v1 header so
+  // dumps from single-threaded runs stay byte-compatible with pre-parallel readers.
   bool multi_worker = false;
   bool locality = false;
   bool tiered = !events.empty();
+  bool sharded = false;
   const bool tasked = !tasks.empty();
   const bool scheduled = !sched.empty();
   for (const Sample& sample : samples) {
     multi_worker |= sample.worker_id != 0;
     locality |= sample.mem_node != kNoNumaNode || sample.numa_remote || sample.stolen;
     tiered |= sample.tier != 0;
+    sharded |= sample.shard_id != 0 || sample.cross_node;
   }
   out << kSamplesHeaderPrefix
-      << (scheduled      ? 6
+      << (sharded        ? 7
+          : scheduled    ? 6
           : tasked       ? 5
           : tiered       ? 4
           : locality     ? 3
@@ -189,7 +192,11 @@ void WriteSamples(const std::vector<Sample>& samples,
       // Written only for samples off worker 0, so v2 streams stay close to the v1 layout.
       out << " W " << sample.worker_id;
     }
-    if (sample.mem_node != kNoNumaNode || sample.numa_remote) {
+    if (sample.cross_node) {
+      // Cross-machine access: `mem_node` holds the owning machine node, not a socket, so the
+      // X token replaces the N token rather than accompanying it.
+      out << " X " << static_cast<uint32_t>(sample.mem_node);
+    } else if (sample.mem_node != kNoNumaNode || sample.numa_remote) {
       out << " N " << static_cast<uint32_t>(sample.mem_node) << " "
           << (sample.numa_remote ? 1 : 0);
     }
@@ -198,6 +205,9 @@ void WriteSamples(const std::vector<Sample>& samples,
     }
     if (sample.tier != 0) {
       out << " G " << static_cast<uint32_t>(sample.tier);
+    }
+    if (sample.shard_id != 0) {
+      out << " D " << sample.shard_id;
     }
     if (sample.has_registers) {
       out << " R";
@@ -236,6 +246,7 @@ std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>
     throw Error("not a dfp samples file");
   }
   const int version = ParseSamplesVersion(line);
+  const bool accept_shards = version >= 7;
   const bool accept_sched = version >= 6;
   const bool accept_tasks = version >= 5;
   const bool accept_tiers = version >= 4;
@@ -357,6 +368,23 @@ std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>
           Malformed(line);
         }
         sample.tier = static_cast<uint8_t>(tier);
+      } else if (section == "D") {
+        if (!accept_shards) {
+          throw Error("shard token in a pre-v7 sample stream: '" + line + "'");
+        }
+        if (!(stream >> sample.shard_id) || sample.shard_id == 0) {
+          Malformed(line);
+        }
+      } else if (section == "X") {
+        if (!accept_shards) {
+          throw Error("cross-node token in a pre-v7 sample stream: '" + line + "'");
+        }
+        uint32_t machine = 0;
+        if (!(stream >> machine) || machine > 0xFF) {
+          Malformed(line);
+        }
+        sample.mem_node = static_cast<uint8_t>(machine);
+        sample.cross_node = true;
       } else if (section == "R") {
         sample.has_registers = true;
         for (uint64_t& reg : sample.regs) {

@@ -47,10 +47,13 @@ TaggingDictionary ReadDictionary(std::istream& in);
 //   # dfp samples v6        (adds interleaved `sched` lines — scheduling-action sideband:
 //                            placement repairs decided/applied/kept/reverted, admission
 //                            rejections by infeasible deadline)
+//   # dfp samples v7        (adds D <shard> shard-attribution tokens and X <machine-node>
+//                            cross-node locality tokens; X replaces N — for a cross-machine
+//                            access the recorded node is the owning machine, not a socket)
 //   task <start-tsc> <end-tsc> <worker> <kind> <step> <pipeline> <morsel-begin> <morsel-end>
 //        <stolen> <instrs> <loads> <l1-miss> <l2-miss> <l3-miss> <remote-dram>
-//   sample <tsc> <ip> <addr> [W <worker>] [N <node> <remote>] [T] [G <tier>]
-//          [R <16 register values>] [S <depth> <return-ips...>]
+//   sample <tsc> <ip> <addr> [W <worker>] [N <node> <remote> | X <machine-node>] [T] [G <tier>]
+//          [D <shard>] [R <16 register values>] [S <depth> <return-ips...>]
 //   event <tsc> <text...>
 //   sched <tsc> <text...>
 // Task lines are written as a block right after the header (they are a schedule, not a sample
@@ -79,7 +82,7 @@ void WriteSamples(const std::vector<Sample>& samples,
 // Inverse of WriteSamples. Throws dfp::Error on malformed input. Events (and task boundaries,
 // and sched lines) are appended to the caller's sinks in stream order when passed, and
 // rejected as malformed when the stream has them but the caller reads without a sink. A stream
-// whose header names a version newer than this build's (currently v6) is rejected with a clear
+// whose header names a version newer than this build's (currently v7) is rejected with a clear
 // "newer build" error rather than a generic parse failure.
 std::vector<Sample> ReadSamples(std::istream& in);
 std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events);

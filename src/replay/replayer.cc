@@ -10,6 +10,7 @@
 #include "src/replay/plan_codec.h"
 #include "src/replay/recorder.h"
 #include "src/service/service_profile.h"
+#include "src/shard/coordinator.h"
 #include "src/tiering/report.h"
 #include "src/util/check.h"
 #include "src/util/str.h"
@@ -64,13 +65,143 @@ bool QueryDiverged(const TraceQuery& a, const TraceQuery& b) {
          a.samples != b.samples || a.stream_hash != b.stream_hash;
 }
 
+// Shard-count what-if: the recorded traffic re-runs against an N-shard ShardedService. The
+// coordinator owns the sub-tickets (one per shard for fan-out queries), so there is no single
+// TraceRecorder to capture the run; the replayed trace is assembled by hand — the submission
+// half copied from the recording, the completion half observed from coordinator tickets.
+// Streams and samples are deliberately left zero (a sharded run's streams are v7 and cannot
+// match the recording byte-wise anyway); the gate for this what-if is results_diverged == 0.
+ReplayRun ReplayTraceSharded(ShardCatalog& catalog, const WorkloadTrace& trace,
+                             const ReplayOptions& options) {
+  if (catalog.shards() != options.knobs.shard_count) {
+    throw Error("shard-count what-if: ShardCatalog size does not match knobs.shard_count");
+  }
+  if (catalog.catalog_version() != trace.catalog_version) {
+    throw Error(StrFormat("replay catalog mismatch: trace recorded at catalog version %llu, "
+                          "shard catalog is at %llu",
+                          static_cast<unsigned long long>(trace.catalog_version),
+                          static_cast<unsigned long long>(catalog.catalog_version())));
+  }
+  const uint32_t multiplier = std::max<uint32_t>(1, options.knobs.session_multiplier);
+
+  // Parse every plan template once per shard, template-major: every shard heap interns the
+  // same literal strings in the same order, preserving the cross-shard reference alignment
+  // (src/shard/partition.h).
+  std::map<uint64_t, std::vector<PhysicalOpPtr>> templates;
+  for (const PlanTemplate& entry : trace.templates) {
+    std::vector<PhysicalOpPtr>& per_shard = templates[entry.structure];
+    for (uint32_t s = 0; s < catalog.shards(); ++s) {
+      per_shard.push_back(ParsePlanText(entry.plan_text, catalog.db(s)));
+    }
+  }
+
+  ShardServiceConfig config;
+  config.service = ReplayServiceConfig(trace, options.knobs);
+  config.service.state_path.clear();
+  config.merge_sampling = DefaultMergeSampling();
+  ShardedService service(catalog, config);
+
+  std::vector<uint32_t> submitted_seq;  // Recorded seq of each coordinator ticket, in order.
+  for (const TraceEvent& event : trace.events) {
+    switch (event.kind) {
+      case TraceEvent::Kind::kQuery: {
+        const TraceQuery& q = trace.query(event.seq);
+        auto it = templates.find(q.fingerprint.structure);
+        if (it == templates.end()) {
+          throw Error("trace query " + std::to_string(q.seq) +
+                      " references a structure with no plan template");
+        }
+        for (uint32_t copy = 0; copy < multiplier; ++copy) {
+          std::vector<PhysicalOpPtr> plans;
+          plans.reserve(catalog.shards());
+          for (uint32_t s = 0; s < catalog.shards(); ++s) {
+            PhysicalOpPtr plan = ClonePlan(*it->second[s]);
+            BindLiterals(*plan, q.literals);
+            ResetEstimates(*plan);
+            FinalizePlan(*plan);
+            plans.push_back(std::move(plan));
+          }
+          const PlanFingerprint rebuilt = FingerprintPlan(*plans[0], catalog.catalog_version());
+          if (rebuilt.structure != q.fingerprint.structure ||
+              rebuilt.literals != q.fingerprint.literals ||
+              rebuilt.pinned != q.fingerprint.pinned) {
+            throw Error("replayed plan fingerprint mismatch for trace query " +
+                        std::to_string(q.seq) + " (" + q.name +
+                        "): corrupt trace or incompatible build");
+          }
+          service.SubmitPlans(q.name, std::move(plans), q.deadline_cycles, q.weight);
+          submitted_seq.push_back(q.seq);
+        }
+        break;
+      }
+      case TraceEvent::Kind::kDone:
+        break;
+      case TraceEvent::Kind::kDrain:
+        service.Drain();
+        break;
+    }
+  }
+  service.Drain();  // Idempotent; resolves anything a truncated trace left pending.
+
+  ReplayRun run;
+  run.trace.catalog_version = trace.catalog_version;
+  run.trace.start_cycles = 0;
+  run.trace.knobs = CaptureKnobs(config.service);
+  for (TicketId id = 1; id <= service.ticket_count(); ++id) {
+    const ShardTicket& ticket = service.ticket(id);
+    const TraceQuery& recorded = trace.query(submitted_seq[id - 1]);
+    TraceQuery replayed;
+    replayed.seq = id;
+    replayed.name = recorded.name;
+    replayed.fingerprint = recorded.fingerprint;
+    replayed.arrival_cycles = recorded.arrival_cycles;
+    replayed.weight = recorded.weight;
+    replayed.deadline_cycles = recorded.deadline_cycles;
+    replayed.outcome = ticket.status == TicketStatus::kRejected ? TraceOutcome::kRejected
+                                                                : TraceOutcome::kAdmitted;
+    replayed.literals = recorded.literals;
+    replayed.completed =
+        ticket.status == TicketStatus::kDone || ticket.status == TicketStatus::kTimedOut;
+    replayed.status = static_cast<uint8_t>(ticket.status);
+    replayed.compile_cycles = ticket.compile_cycles;
+    replayed.execute_cycles = ticket.execute_cycles;
+    if (ticket.status == TicketStatus::kDone) {
+      replayed.result_rows = ticket.result.row_count();
+    }
+    run.trace.queries.push_back(std::move(replayed));
+    run.trace.events.push_back({TraceEvent::Kind::kQuery, id});
+  }
+  run.trace.events.push_back(
+      {TraceEvent::Kind::kDrain, static_cast<uint32_t>(service.ticket_count())});
+
+  TraceSummary& summary = run.trace.summary;
+  summary.queries = service.ticket_count();
+  uint64_t service_cycles = 0;
+  for (uint32_t s = 0; s < service.shards(); ++s) {
+    service_cycles = std::max(service_cycles, service.shard(s).ServiceNowCycles());
+  }
+  summary.service_cycles = service_cycles;
+  for (const TraceQuery& q : run.trace.queries) {
+    if (q.completed && q.status == static_cast<uint8_t>(TicketStatus::kDone)) {
+      ++summary.completed;
+    } else if (q.outcome == TraceOutcome::kRejected) {
+      ++summary.rejected;
+    } else if (q.status == static_cast<uint8_t>(TicketStatus::kTimedOut)) {
+      ++summary.timed_out;
+    }
+  }
+
+  run.service_profile_text = RenderFleetAggregate(service.AggregateFleet());
+  return run;
+}
+
 }  // namespace
 
 bool WhatIfKnobs::IsIdentity() const {
   return session_multiplier == 1 && scheduler == -1 && max_active_sessions == 0 &&
          queue_depth == 0 && workers == 0 && tiering_enabled == -1 && break_even_ratio == 0 &&
          code_budget_bytes == 0 && governor_enabled == -1 && governor_budget == 0 &&
-         slack_scheduling == -1;
+         slack_scheduling == -1 && shard_count == 0;
 }
 
 ServiceConfig ReplayServiceConfig(const WorkloadTrace& trace, const WhatIfKnobs& knobs) {
@@ -109,6 +240,12 @@ ServiceConfig ReplayServiceConfig(const WorkloadTrace& trace, const WhatIfKnobs&
 }
 
 ReplayRun ReplayTrace(Database& db, const WorkloadTrace& trace, const ReplayOptions& options) {
+  if (options.knobs.shard_count > 0) {
+    if (options.shards == nullptr) {
+      throw Error("shard-count what-if requires ReplayOptions::shards");
+    }
+    return ReplayTraceSharded(*options.shards, trace, options);
+  }
   if (db.catalog_version() != trace.catalog_version) {
     throw Error(StrFormat("replay catalog mismatch: trace recorded at catalog version %llu, "
                           "database is at %llu",

@@ -30,6 +30,8 @@
 
 namespace dfp {
 
+class ShardCatalog;  // src/shard/partition.h — shard-count what-if replays.
+
 // Overrides applied on top of a trace's recorded knobs. Zero / -1 = keep the recorded value.
 struct WhatIfKnobs {
   // Load scaling: submit every recorded query this many times (same plan, same literals,
@@ -48,6 +50,11 @@ struct WhatIfKnobs {
   // The policy only permutes schedules, so a what-if flip changes timing but never results —
   // bench_service gates on exactly that.
   int slack_scheduling = -1;
+  // Replay the recorded traffic against an N-shard ShardedService (src/shard/) instead of a
+  // single QueryService: 0 = recorded topology (unsharded). Requires ReplayOptions::shards to
+  // supply a matching ShardCatalog. Sharding re-partitions execution but never results, so a
+  // shard-count what-if gates on results_diverged == 0 even though timing and streams change.
+  uint32_t shard_count = 0;
 
   // True when every field keeps the recorded value — the zero-diff contract applies.
   bool IsIdentity() const;
@@ -66,6 +73,11 @@ struct ReplayOptions {
   // task DAG and pipeline verdicts, src/critpath/) — the replay DAG-identity tests compare
   // these against the recorded run byte for byte.
   bool keep_dags = false;
+  // Shard catalog for a shard-count what-if (knobs.shard_count > 0): must hold exactly
+  // knobs.shard_count shards of the SAME dataset and DatabaseConfig the trace was recorded
+  // against (the replayed literal bindings carry packed string references, valid on the shard
+  // heaps through the intern-replay invariant of src/shard/partition.h). Borrowed, not owned.
+  ShardCatalog* shards = nullptr;
 };
 
 // One finished replay: the replayed run's own trace (recorded through the same TraceRecorder

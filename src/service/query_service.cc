@@ -191,6 +191,16 @@ bool QueryService::EntryBusy(const CachedPlanPtr& entry) const {
   return false;
 }
 
+bool QueryService::InvalidateCache() {
+  if (db_.catalog_version() == seen_catalog_version_) {
+    return false;
+  }
+  cache_.InvalidateAll();
+  recompile_jobs_.clear();
+  seen_catalog_version_ = db_.catalog_version();
+  return true;
+}
+
 bool QueryService::Admit(TicketId id) {
   QueryTicket& ticket = TicketRef(id);
 

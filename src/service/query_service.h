@@ -259,6 +259,12 @@ class QueryService {
   const SchedStats& sched_stats() const { return sched_stats_; }
   uint64_t infeasible_rejections() const { return infeasible_rejections_; }
 
+  // Coordinated cache invalidation (sharded service, src/shard/): drops every cached plan and
+  // pending background recompilation now, exactly as the catalog-version check in Admit()
+  // would on the next admission. Returns true when the catalog version had moved since the
+  // last admission (i.e. the call actually invalidated), false for a no-op.
+  bool InvalidateCache();
+
   // Writes the continuous-profiling state (fleet profile, window rings, regression baselines,
   // service clock) to `config.state_path`; no-op when no path is configured. Also invoked by
   // the destructor, so a service with a state path persists on shutdown by default.

@@ -1,0 +1,161 @@
+#include "src/shard/decompose.h"
+
+#include <string>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace dfp {
+namespace {
+
+// The plan spine above the fan-out GroupBy: the sink, the lifted stages (top-down), and the
+// GroupBy itself. Shared shape validation for BuildPartialPlan and BuildMergeRecipe.
+struct FanoutSpine {
+  const PhysicalOp* sink = nullptr;
+  std::vector<const PhysicalOp*> stages_top_down;  // kLimit / kSort / kMap between sink and gb.
+  const PhysicalOp* group_by = nullptr;
+};
+
+FanoutSpine WalkSpine(const PhysicalOp& root) {
+  if (root.kind != OpKind::kResultSink) {
+    throw Error("fan-out decomposition: plan root is not a ResultSink");
+  }
+  FanoutSpine spine;
+  spine.sink = &root;
+  const PhysicalOp* node = root.child(0);
+  while (node->kind == OpKind::kLimit || node->kind == OpKind::kSort ||
+         node->kind == OpKind::kMap) {
+    spine.stages_top_down.push_back(node);
+    node = node->child(0);
+  }
+  if (node->kind != OpKind::kGroupBy) {
+    throw Error(std::string("fan-out decomposition: unsupported spine operator ") +
+                OpKindName(node->kind) + " (expected GroupBy under the sink stages)");
+  }
+  spine.group_by = node;
+  return spine;
+}
+
+ColumnType AggInputType(const Expr& agg) {
+  return agg.left != nullptr ? agg.left->type : ColumnType::kInt64;
+}
+
+// Type of the kSum partial accumulating `in_type` inputs: mirrors the interpreter's AggState —
+// doubles accumulate in sum_double, everything else (int64, scaled decimal) in sum_int.
+ColumnType SumPartialType(ColumnType in_type) {
+  if (in_type == ColumnType::kDouble) {
+    return ColumnType::kDouble;
+  }
+  return in_type == ColumnType::kDecimal ? ColumnType::kDecimal : ColumnType::kInt64;
+}
+
+}  // namespace
+
+bool PlanTouchesPartitionedTable(const PhysicalOp& root) {
+  if (root.kind == OpKind::kTableScan && root.table != nullptr) {
+    const std::string& name = root.table->schema().name;
+    if (name == "orders" || name == "lineitem") {
+      return true;
+    }
+  }
+  for (const PhysicalOpPtr& child : root.children) {
+    if (PlanTouchesPartitionedTable(*child)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+PhysicalOpPtr BuildPartialPlan(const PhysicalOp& root) {
+  const FanoutSpine spine = WalkSpine(root);
+  PhysicalOpPtr partial_gb = ClonePlan(*spine.group_by);
+
+  std::vector<ExprPtr> partial_aggs;
+  std::vector<OutputColumn> partial_cols;
+  partial_aggs.reserve(partial_gb->exprs.size() + 1);
+  size_t agg_index = 0;
+  for (ExprPtr& agg : partial_gb->exprs) {
+    DFP_CHECK(agg->kind == ExprKind::kAggregate);
+    const std::string base = "p" + std::to_string(agg_index++);
+    if (agg->agg == AggOp::kAvg) {
+      // AVG is not directly mergeable; ship SUM and COUNT(*) and divide at the coordinator
+      // with the engine's exact finalization arithmetic.
+      const ColumnType in_type = AggInputType(*agg);
+      ExprPtr sum = MakeAggregate(AggOp::kSum, agg->left->Clone());
+      sum->type = SumPartialType(in_type);
+      partial_cols.push_back({base + "_sum", sum->type});
+      partial_aggs.push_back(std::move(sum));
+      ExprPtr count = MakeAggregate(AggOp::kCountStar, nullptr);
+      partial_cols.push_back({base + "_count", ColumnType::kInt64});
+      partial_aggs.push_back(std::move(count));
+    } else {
+      // SUM/COUNT/MIN/MAX partials are the aggregate itself, combined at the coordinator by
+      // sum (or min/max) over the per-shard values.
+      partial_cols.push_back({base, agg->type});
+      partial_aggs.push_back(std::move(agg));
+    }
+  }
+  partial_gb->exprs = std::move(partial_aggs);
+
+  std::vector<OutputColumn> output;
+  const size_t keys = partial_gb->group_keys.size();
+  output.reserve(keys + partial_cols.size());
+  for (size_t k = 0; k < keys; ++k) {
+    output.push_back(spine.group_by->output[k]);
+  }
+  for (OutputColumn& col : partial_cols) {
+    output.push_back(std::move(col));
+  }
+  partial_gb->output = output;
+  partial_gb->label = "GroupBy partial";
+
+  auto sink = std::make_unique<PhysicalOp>();
+  sink->kind = OpKind::kResultSink;
+  sink->label = "ResultSink";
+  sink->output = std::move(output);
+  sink->children.push_back(std::move(partial_gb));
+  FinalizePlan(*sink);
+  return sink;
+}
+
+MergeRecipe BuildMergeRecipe(const PhysicalOp& root) {
+  const FanoutSpine spine = WalkSpine(root);
+  MergeRecipe recipe;
+  recipe.group_keys = spine.group_by->group_keys.size();
+  recipe.merged_output = spine.group_by->output;
+  recipe.final_output = spine.sink->output;
+
+  int col = static_cast<int>(recipe.group_keys);
+  for (const ExprPtr& agg : spine.group_by->exprs) {
+    DFP_CHECK(agg->kind == ExprKind::kAggregate);
+    MergeAggSpec spec;
+    spec.op = agg->agg;
+    spec.in_type = AggInputType(*agg);
+    spec.out_type = agg->type;
+    spec.partial_col = col;
+    spec.partial_cols = agg->agg == AggOp::kAvg ? 2 : 1;
+    col += spec.partial_cols;
+    recipe.aggs.push_back(spec);
+  }
+
+  // Lift the post-aggregation stages as childless clones, bottom-up (execution order).
+  for (auto it = spine.stages_top_down.rbegin(); it != spine.stages_top_down.rend(); ++it) {
+    const PhysicalOp& stage = **it;
+    auto clone = std::make_unique<PhysicalOp>();
+    clone->kind = stage.kind;
+    clone->id = stage.id;
+    clone->label = stage.label;
+    clone->output = stage.output;
+    clone->projecting = stage.projecting;
+    clone->sort_items = stage.sort_items;
+    clone->limit = stage.limit;
+    clone->exprs.reserve(stage.exprs.size());
+    for (const ExprPtr& expr : stage.exprs) {
+      clone->exprs.push_back(expr->Clone());
+    }
+    recipe.stages.push_back(std::move(clone));
+  }
+  return recipe;
+}
+
+}  // namespace dfp

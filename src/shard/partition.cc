@@ -1,0 +1,103 @@
+#include "src/shard/partition.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace dfp {
+namespace {
+
+// Datagen's AddTable order — the copy must reproduce it so every shard database ends at the
+// same catalog version with the same table registration sequence as an unsharded database.
+constexpr const char* kTableOrder[] = {"region",   "nation", "supplier", "customer",
+                                       "part",     "partsupp", "orders",  "lineitem"};
+
+}  // namespace
+
+ShardCatalog::ShardCatalog(ShardCatalogConfig config) : config_(std::move(config)) {
+  DFP_CHECK(config_.shards >= 1);
+  dbs_.reserve(config_.shards);
+  for (uint32_t s = 0; s < config_.shards; ++s) {
+    dbs_.push_back(std::make_unique<Database>(config_.db));
+  }
+
+  if (config_.shards == 1) {
+    // Degenerate case: generate straight into the single shard. Byte-identical to an unsharded
+    // Database of the same configuration — no reference copy, no heap replay.
+    counts_ = GenerateTpch(*dbs_[0], config_.tpch);
+    order_lo_ = {0, counts_.orders};
+    return;
+  }
+
+  // Reference dataset, generated once and sliced; scoped so its arena is released after the
+  // copy (only the shard databases survive construction).
+  auto reference = std::make_unique<Database>(config_.db);
+  counts_ = GenerateTpch(*reference, config_.tpch);
+
+  // Replay the reference heap's intern sequence into every shard heap. Bump allocation over an
+  // identically configured arena reproduces each packed reference bit for bit, so the raw cell
+  // payloads copied below — and any plan literal bound later in the same order on every shard —
+  // stay valid everywhere.
+  const std::vector<std::string> intern_order = reference->strings().InternOrder();
+  for (auto& db : dbs_) {
+    for (const std::string& text : intern_order) {
+      db->strings().Intern(text);
+    }
+  }
+
+  order_lo_.resize(config_.shards + 1);
+  for (uint32_t s = 0; s <= config_.shards; ++s) {
+    order_lo_[s] = counts_.orders * s / config_.shards;
+  }
+
+  for (const char* name : kTableOrder) {
+    CopyTable(*reference, name);
+  }
+}
+
+uint32_t ShardCatalog::OwnerOfOrderKey(int64_t okey) const {
+  // o_orderkey at reference row r is r + 1; shard s owns rows [order_lo_[s], order_lo_[s+1]).
+  const uint64_t row = static_cast<uint64_t>(std::clamp<int64_t>(
+      okey - 1, 0, static_cast<int64_t>(counts_.orders > 0 ? counts_.orders - 1 : 0)));
+  const auto it = std::upper_bound(order_lo_.begin(), order_lo_.end(), row);
+  return static_cast<uint32_t>(it - order_lo_.begin()) - 1;
+}
+
+void ShardCatalog::CopyTable(Database& reference, const std::string& name) {
+  const Table& table = reference.table(name);
+  const size_t columns = table.schema().columns.size();
+  const bool partitioned = IsPartitionedTable(name);
+  const int okey_column = partitioned ? table.schema().FindColumn(
+                                            name == "orders" ? "o_orderkey" : "l_orderkey")
+                                      : -1;
+  std::vector<TableBuilder> builders;
+  builders.reserve(config_.shards);
+  for (auto& db : dbs_) {
+    builders.push_back(db->CreateTableBuilder(table.schema()));
+  }
+  for (uint64_t r = 0; r < table.row_count(); ++r) {
+    if (partitioned) {
+      // Route the row to its owner; both fact tables are clustered ascending on the order key,
+      // so each shard receives a contiguous slice in reference row order.
+      const int64_t okey =
+          table.Get(reference.mem(), static_cast<size_t>(okey_column), r);
+      TableBuilder& builder = builders[OwnerOfOrderKey(okey)];
+      builder.BeginRow();
+      for (size_t c = 0; c < columns; ++c) {
+        builder.SetI64(c, table.Get(reference.mem(), c, r));
+      }
+    } else {
+      for (TableBuilder& builder : builders) {
+        builder.BeginRow();
+        for (size_t c = 0; c < columns; ++c) {
+          builder.SetI64(c, table.Get(reference.mem(), c, r));
+        }
+      }
+    }
+  }
+  for (uint32_t s = 0; s < config_.shards; ++s) {
+    dbs_[s]->AddTable(builders[s].Finish());
+  }
+}
+
+}  // namespace dfp

@@ -1,0 +1,88 @@
+// Range-partitioned TPC-H shard catalogs: the storage half of the sharded query service.
+//
+// A ShardCatalog owns N per-shard Databases holding one horizontal slice of the TPC-H dataset
+// each. The fact tables (orders, lineitem) are range-partitioned by order key into N contiguous
+// slices; every other table is replicated to every shard, so joins against dimensions stay
+// shard-local and the orders-lineitem join is co-partitioned (both sides of an order key land on
+// the same shard). Because the generator emits orders clustered ascending on o_orderkey (and
+// lineitem per order), the concatenation of the shard slices in shard order reproduces the
+// unsharded row order exactly — which is what makes fan-out results bit-identical to the
+// unsharded engine (see src/shard/merge.h).
+//
+// String-heap replication: every shard database replays the reference heap's intern sequence
+// (StringHeap::InternOrder) before any table is copied. Heap addresses are bump-allocated, so
+// an identically configured arena reproduces every packed string reference bit for bit — plan
+// literals, recorded trace bindings, and result cells are therefore valid in (and identical
+// across) every shard database, and the coordinator can compare or merge rows from different
+// shards without translation.
+//
+// A 1-shard catalog takes none of these detours: the dataset is generated straight into the
+// single shard database, which is therefore byte-identical to an unsharded Database of the same
+// configuration — the degenerate case the bench's byte-identity gate pins down.
+#ifndef DFP_SRC_SHARD_PARTITION_H_
+#define DFP_SRC_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/tpch/datagen.h"
+
+namespace dfp {
+
+struct ShardCatalogConfig {
+  // Number of shards (>= 1). 1 degenerates to an unsharded database.
+  uint32_t shards = 1;
+  // Per-shard database configuration — identical for every shard, and deliberately also the
+  // configuration the reference dataset is generated under, so replayed string heaps and the
+  // region layout match across shards (packed string references are absolute addresses).
+  DatabaseConfig db;
+  // Dataset generated into the reference database and sliced across the shards.
+  TpchOptions tpch;
+};
+
+class ShardCatalog {
+ public:
+  explicit ShardCatalog(ShardCatalogConfig config);
+
+  uint32_t shards() const { return config_.shards; }
+  Database& db(uint32_t shard) { return *dbs_[shard]; }
+  const Database& db(uint32_t shard) const { return *dbs_[shard]; }
+
+  // Catalog version common to every shard database (they add the same tables in the same
+  // order), and therefore the version plan fingerprints are computed against on every shard.
+  uint64_t catalog_version() const { return dbs_[0]->catalog_version(); }
+
+  const TpchRowCounts& counts() const { return counts_; }
+
+  // True for the range-partitioned fact tables; false for replicated tables.
+  static bool IsPartitionedTable(const std::string& name) {
+    return name == "orders" || name == "lineitem";
+  }
+
+  // Shard owning order key `okey` (1-based keys; clamped into the valid range).
+  uint32_t OwnerOfOrderKey(int64_t okey) const;
+
+  // Orders rows resident on `shard` (the slice [lo, hi) of the reference table).
+  uint64_t order_rows(uint32_t shard) const {
+    return order_lo_[shard + 1] - order_lo_[shard];
+  }
+
+ private:
+  // Copies `rows` of the reference table `name` into every shard it belongs on, cell payloads
+  // verbatim (valid because the shard heaps replayed the reference intern sequence).
+  void CopyTable(Database& reference, const std::string& name);
+
+  ShardCatalogConfig config_;
+  TpchRowCounts counts_;
+  std::vector<std::unique_ptr<Database>> dbs_;
+  // Slice boundaries of the orders table: shard s owns rows [order_lo_[s], order_lo_[s+1]),
+  // i.e. order keys (order_lo_[s], order_lo_[s+1]] — o_orderkey at row r is r + 1.
+  std::vector<uint64_t> order_lo_;
+};
+
+}  // namespace dfp
+
+#endif  // DFP_SRC_SHARD_PARTITION_H_

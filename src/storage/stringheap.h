@@ -10,6 +10,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "src/vcpu/vmem.h"
 
@@ -36,6 +37,12 @@ class StringHeap {
   }
 
   size_t interned_count() const { return interned_.size(); }
+
+  // Every interned string in heap-address (= first-intern) order. Replaying this sequence into
+  // a fresh heap over an identically configured arena reproduces every packed reference bit for
+  // bit — the property shard catalogs rely on to share plan templates and literal bindings with
+  // the unsharded database (src/shard/partition.h).
+  std::vector<std::string> InternOrder() const;
 
  private:
   VMem* mem_;

@@ -29,6 +29,12 @@ inline constexpr double CyclesToNs(uint64_t cycles) {
 // delta of a two-socket Skylake-SP (~90ns local, ~140ns remote at 4.2 GHz ≈ 130 cycles).
 inline constexpr uint32_t kRemoteDramPenaltyCycles = 130;
 
+// Extra latency of a memory access served by another *machine node* (a different shard's
+// memory, one network/fabric hop away). Deliberately well above the cross-socket penalty:
+// roughly a cache-coherent fabric round trip (~165ns at 4.2 GHz ≈ 690 cycles) minus the local
+// DRAM latency already charged by the cache model.
+inline constexpr uint32_t kCrossNodePenaltyCycles = 560;
+
 // Base cost of an instruction, excluding memory latency (added from the cache model) and branch
 // misprediction penalties (added from the branch predictor).
 inline constexpr uint32_t BaseCost(Opcode op) {

@@ -73,6 +73,7 @@ void Cpu::Run(size_t stop_depth) {
     uint64_t sample_addr = 0;
     uint8_t sample_node = kNoNumaNode;
     bool sample_remote = false;
+    bool sample_cross = false;
     bool sample_due = false;
 
     // Operand fetch helpers. `a` may be an immediate (kConst / kSetTag); `b` may be an immediate
@@ -205,7 +206,8 @@ void Cpu::Run(size_t stop_depth) {
         if (res.hit_level >= 4) {
           sample_due |= pmu_.Tick(PmuEvent::kL3Miss);
         }
-        NumaAccess(addr, res.hit_level, &cost, &sample_node, &sample_remote, &sample_due);
+        NumaAccess(addr, res.hit_level, &cost, &sample_node, &sample_remote, &sample_cross,
+                   &sample_due);
         sample_addr = addr;
         uint64_t value = 0;
         switch (in.op) {
@@ -240,7 +242,8 @@ void Cpu::Run(size_t stop_depth) {
         if (res.hit_level >= 4) {
           sample_due |= pmu_.Tick(PmuEvent::kL3Miss);
         }
-        NumaAccess(addr, res.hit_level, &cost, &sample_node, &sample_remote, &sample_due);
+        NumaAccess(addr, res.hit_level, &cost, &sample_node, &sample_remote, &sample_cross,
+                   &sample_due);
         sample_addr = addr;  // PEBS records store addresses too (cache-miss profiles).
         switch (in.op) {
           case Opcode::kStore1:
@@ -288,7 +291,7 @@ void Cpu::Run(size_t stop_depth) {
           ++stats_.instructions;
           sample_due |= pmu_.Tick(PmuEvent::kInstrRetired);
           if (sample_due) {
-            TakeSample(ip, sample_addr, sample_node, sample_remote);
+            TakeSample(ip, sample_addr, sample_node, sample_remote, sample_cross);
           }
           uint64_t result =
               callee.host(*this, std::span<const uint64_t>(arg_values, in.args.size()));
@@ -341,14 +344,28 @@ void Cpu::Run(size_t stop_depth) {
     ++stats_.instructions;
     sample_due |= pmu_.Tick(PmuEvent::kInstrRetired);
     if (sample_due) {
-      TakeSample(ip, sample_addr, sample_node, sample_remote);
+      TakeSample(ip, sample_addr, sample_node, sample_remote, sample_cross);
     }
   }
 }
 
 void Cpu::NumaAccess(VAddr addr, int hit_level, uint32_t* cost, uint8_t* mem_node, bool* remote,
-                     bool* sample_due) {
+                     bool* cross, bool* sample_due) {
   if (numa_ == nullptr) {
+    return;
+  }
+  const uint8_t machine = numa_->MachineNodeOf(addr);
+  if (machine != kLocalMachineNode) {
+    // Memory homed on another machine node: a shard-fabric hop, costlier than any cross-socket
+    // path. The sample reports the owning machine node in `mem_node` with the cross flag set.
+    *mem_node = machine;
+    *cross = true;
+    ++numa_stats_.cross_node_accesses;
+    if (hit_level >= 4) {
+      *cost += numa_->cross_node_penalty();
+      ++numa_stats_.cross_node_dram;
+      *sample_due |= pmu_.Tick(PmuEvent::kCrossNode);
+    }
     return;
   }
   const uint8_t node = numa_->NodeOf(addr);
@@ -371,7 +388,7 @@ void Cpu::NumaAccess(VAddr addr, int hit_level, uint32_t* cost, uint8_t* mem_nod
   }
 }
 
-void Cpu::TakeSample(uint64_t ip, uint64_t addr, uint8_t mem_node, bool remote) {
+void Cpu::TakeSample(uint64_t ip, uint64_t addr, uint8_t mem_node, bool remote, bool cross) {
   const SamplingConfig& config = pmu_.config();
   if (!config.enabled) {
     return;
@@ -381,11 +398,13 @@ void Cpu::TakeSample(uint64_t ip, uint64_t addr, uint8_t mem_node, bool remote) 
   sample.ip = ip;
   sample.worker_id = worker_id_;
   sample.session_id = session_id_;
+  sample.shard_id = shard_id_;
   sample.stolen = stolen_work_;
   if (config.capture_address) {
     sample.addr = addr;
     sample.mem_node = mem_node;
     sample.numa_remote = remote;
+    sample.cross_node = cross;
   }
   if (config.capture_registers) {
     sample.has_registers = true;
@@ -454,11 +473,12 @@ void Cpu::HostLoad(uint32_t segment_id, VAddr addr) {
   }
   uint8_t mem_node = kNoNumaNode;
   bool remote = false;
-  NumaAccess(addr, res.hit_level, &cost, &mem_node, &remote, &sample_due);
+  bool cross = false;
+  NumaAccess(addr, res.hit_level, &cost, &mem_node, &remote, &cross, &sample_due);
   cycles_ += cost;
   if (sample_due) {
     const uint64_t ip = segment.base_ip + (host_ip_counter_++ % segment.SizeIps());
-    TakeSample(ip, addr, mem_node, remote);
+    TakeSample(ip, addr, mem_node, remote, cross);
   }
 }
 

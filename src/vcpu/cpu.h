@@ -55,6 +55,11 @@ class Cpu {
   void set_session_id(uint32_t id) { session_id_ = id; }
   uint32_t session_id() const { return session_id_; }
 
+  // Service shard this VCPU belongs to (1-based; 0 = unsharded). Stamped into every sample so
+  // fan-out attribution survives the coordinator's fleet roll-up (sample stream v7).
+  void set_shard_id(uint32_t id) { shard_id_ = id; }
+  uint32_t shard_id() const { return shard_id_; }
+
   // Pins this VCPU to `node` of the topology described by `numa` (borrowed; must outlive the
   // CPU or be cleared). Null disables the NUMA model: flat memory, as on single-node runs.
   void ConfigureNuma(const NumaMap* numa, uint8_t node) {
@@ -96,12 +101,14 @@ class Cpu {
 
   void Run(size_t stop_depth);
   void TakeSample(uint64_t ip, uint64_t addr, uint8_t mem_node = kNoNumaNode,
-                  bool remote = false);
+                  bool remote = false, bool cross = false);
   // Resolves the NUMA placement of a data access: counts local/remote traffic, charges the
-  // remote-DRAM penalty when the access missed to memory, and reports the node/remote pair for
-  // sample stamping. `hit_level` is the cache level that served the access.
+  // remote-DRAM penalty when the access missed to memory, and reports the node/remote/cross
+  // triple for sample stamping. `hit_level` is the cache level that served the access. Memory
+  // homed on another *machine node* (cross-node span) pays the fabric penalty instead and
+  // ticks CROSS_NODE.
   void NumaAccess(VAddr addr, int hit_level, uint32_t* cost, uint8_t* mem_node, bool* remote,
-                  bool* sample_due);
+                  bool* cross, bool* sample_due);
   uint64_t ReadArg(Frame& frame, const MArg& arg, uint32_t* extra_cost);
 
   uint64_t ReadReg(const Frame& frame, uint8_t reg) const {
@@ -125,6 +132,7 @@ class Cpu {
   uint64_t tag_reg_ = 0;
   uint32_t worker_id_ = 0;
   uint32_t session_id_ = 0;
+  uint32_t shard_id_ = 0;
   const NumaMap* numa_ = nullptr;
   uint8_t node_id_ = 0;
   bool stolen_work_ = false;

@@ -44,6 +44,16 @@ void NumaMap::AddPartitionedExtents(const VMem& mem) {
   }
 }
 
+void NumaMap::AddCrossNode(VAddr base, uint64_t size, uint8_t machine_node) {
+  DFP_CHECK(!sealed_);
+  DFP_CHECK(machine_node != kLocalMachineNode);
+  if (size == 0) {
+    return;
+  }
+  Span span{base, size, false, -1, machine_node};
+  spans_.push_back(span);
+}
+
 void NumaMap::Seal() {
   std::sort(spans_.begin(), spans_.end(),
             [](const Span& a, const Span& b) { return a.base < b.base; });
@@ -66,6 +76,11 @@ uint8_t NumaMap::NodeOf(VAddr addr) const {
   if (offset >= span.size) {
     return kNoNumaNode;
   }
+  if (span.machine != kLocalMachineNode) {
+    // Another machine node's memory: socket-level placement does not apply; the cross-node
+    // path (MachineNodeOf) owns the attribution.
+    return kNoNumaNode;
+  }
   if (span.interleaved) {
     return static_cast<uint8_t>((offset / config_.interleave_bytes) % config_.nodes);
   }
@@ -84,6 +99,20 @@ uint8_t NumaMap::NodeOf(VAddr addr) const {
   // Range partition: equal contiguous shares, so element i of an N-element array lands on the
   // same node as morsel rows [i, ...) of an N-row scan.
   return static_cast<uint8_t>(offset * config_.nodes / span.size);
+}
+
+uint8_t NumaMap::MachineNodeOf(VAddr addr) const {
+  DFP_CHECK(sealed_);
+  auto it = std::upper_bound(spans_.begin(), spans_.end(), addr,
+                             [](VAddr a, const Span& span) { return a < span.base; });
+  if (it == spans_.begin()) {
+    return kLocalMachineNode;
+  }
+  const Span& span = *(it - 1);
+  if (addr - span.base >= span.size) {
+    return kLocalMachineNode;
+  }
+  return span.machine;
 }
 
 }  // namespace dfp

@@ -22,11 +22,18 @@
 
 namespace dfp {
 
+// `Sample::mem_node`-style sentinel for addresses outside any cross-node span: the memory is
+// local to the machine node the accessing core runs on.
+inline constexpr uint8_t kLocalMachineNode = 0xFF;
+
 struct NumaConfig {
   uint32_t nodes = 1;
   // Extra DRAM latency of a remote access (the interconnect hop), added on top of
   // CacheConfig::memory_latency when an access misses every cache level.
   uint32_t remote_dram_penalty = kRemoteDramPenaltyCycles;
+  // Extra latency of an access served by another *machine node's* memory (the shard fabric
+  // hop), charged instead of — not on top of — the cross-socket penalty on a full miss.
+  uint32_t cross_node_penalty = kCrossNodePenaltyCycles;
   // Interleave granularity of shared scratch regions (per-node stripe size).
   uint64_t interleave_bytes = 64ull * 1024;
 };
@@ -36,6 +43,8 @@ struct NumaStats {
   uint64_t local_accesses = 0;   // Accesses to NUMA-managed memory on the core's own node.
   uint64_t remote_accesses = 0;  // Accesses to another node's memory (any cache level).
   uint64_t remote_dram = 0;      // Remote accesses that missed to DRAM and paid the penalty.
+  uint64_t cross_node_accesses = 0;  // Accesses to another machine node's memory (any level).
+  uint64_t cross_node_dram = 0;      // Cross-machine accesses that missed and paid the fabric hop.
 };
 
 // Resolves addresses to node ids for one run's topology. Constructed per ParallelRun from the
@@ -46,6 +55,7 @@ class NumaMap {
 
   uint32_t nodes() const { return config_.nodes; }
   uint32_t remote_dram_penalty() const { return config_.remote_dram_penalty; }
+  uint32_t cross_node_penalty() const { return config_.cross_node_penalty; }
 
   // Registers [base, base+size) as range-partitioned: node = offset * nodes / size.
   void AddPartitioned(VAddr base, uint64_t size);
@@ -58,6 +68,12 @@ class NumaMap {
   // honoring any per-extent placement override (VMem::ExtentPlacement).
   void AddPartitionedExtents(const VMem& mem);
 
+  // Registers [base, base+size) as memory homed on machine node `machine_node` of a multi-node
+  // (sharded) topology: staging buffers holding another shard's results. Accesses pay the
+  // cross-node fabric penalty on a full miss and tick the CROSS_NODE event instead of the
+  // cross-socket path.
+  void AddCrossNode(VAddr base, uint64_t size, uint8_t machine_node);
+
   // Call after registration, before lookups: sorts the span table for binary search.
   void Seal();
 
@@ -65,12 +81,17 @@ class NumaMap {
   // other sessions' regions): such memory is treated as uniformly reachable and never remote.
   uint8_t NodeOf(VAddr addr) const;
 
+  // Machine node whose memory serves `addr`, or kLocalMachineNode for everything not registered
+  // via AddCrossNode (all of the accessing node's own memory).
+  uint8_t MachineNodeOf(VAddr addr) const;
+
  private:
   struct Span {
     VAddr base = 0;
     uint64_t size = 0;
     bool interleaved = false;
     int32_t custom = -1;  // Index into customs_, or -1 for the default equal-share split.
+    uint8_t machine = kLocalMachineNode;  // Owning machine node for cross-node spans.
   };
 
   NumaConfig config_;

@@ -452,10 +452,10 @@ TEST(Serialize, RejectsTaskTokensInPreV5StreamsAndNewerVersions) {
   EXPECT_THROW(ReadSamples(no_sched_sink, &events, &tasks), Error);
 
   // A stream from a newer build is rejected with a clear upgrade message, not a parse error.
-  std::stringstream v7("# dfp samples v7\nsample 100 16777217 0\n");
+  std::stringstream v8("# dfp samples v8\nsample 100 16777217 0\n");
   try {
-    ReadSamples(v7, &events, &tasks);
-    FAIL() << "v7 stream must be rejected";
+    ReadSamples(v8, &events, &tasks);
+    FAIL() << "v8 stream must be rejected";
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("newer than this build"), std::string::npos)
         << e.what();

@@ -1,0 +1,125 @@
+// Range-partitioned shard catalogs: slices must reassemble to the reference dataset, the
+// orders/lineitem split must be co-partitioned by order key, replicated tables must be
+// cell-identical on every shard (including packed string references, via intern-sequence
+// replay), and a 1-shard catalog must be indistinguishable from a plain database.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/shard/partition.h"
+#include "src/tpch/datagen.h"
+
+namespace dfp {
+namespace {
+
+DatabaseConfig SmallDbConfig() {
+  DatabaseConfig config;
+  config.columns_bytes = 64ull << 20;
+  config.strings_bytes = 8ull << 20;
+  config.hashtables_bytes = 16ull << 20;
+  config.output_bytes = 16ull << 20;
+  return config;
+}
+
+ShardCatalogConfig SmallCatalog(uint32_t shards) {
+  ShardCatalogConfig config;
+  config.shards = shards;
+  config.db = SmallDbConfig();
+  config.tpch.scale = 0.01;
+  return config;
+}
+
+int64_t Cell(const Database& db, const std::string& table, const std::string& column,
+             uint64_t row) {
+  const Table& t = db.table(table);
+  const int slot = t.schema().FindColumn(column);
+  EXPECT_GE(slot, 0) << table << "." << column;
+  return t.Get(const_cast<Database&>(db).mem(), static_cast<size_t>(slot), row);
+}
+
+TEST(ShardCatalog, SlicesReassembleToTheReferenceDataset) {
+  ShardCatalog catalog(SmallCatalog(3));
+  const TpchRowCounts& counts = catalog.counts();
+
+  uint64_t orders = 0;
+  uint64_t lineitem = 0;
+  for (uint32_t s = 0; s < catalog.shards(); ++s) {
+    orders += catalog.db(s).table("orders").row_count();
+    lineitem += catalog.db(s).table("lineitem").row_count();
+    EXPECT_EQ(catalog.db(s).table("orders").row_count(), catalog.order_rows(s));
+    // Replicated tables carry the full row count everywhere.
+    EXPECT_EQ(catalog.db(s).table("customer").row_count(), counts.customer);
+    EXPECT_EQ(catalog.db(s).table("part").row_count(), counts.part);
+    EXPECT_EQ(catalog.db(s).table("nation").row_count(),
+              catalog.db(0).table("nation").row_count());
+  }
+  EXPECT_EQ(orders, counts.orders);
+  EXPECT_EQ(lineitem, counts.lineitem);
+  EXPECT_GT(catalog.order_rows(0), 0u);
+  EXPECT_GT(catalog.order_rows(2), 0u);
+}
+
+TEST(ShardCatalog, OrderKeyOwnershipIsCoPartitioned) {
+  ShardCatalog catalog(SmallCatalog(3));
+  EXPECT_EQ(catalog.OwnerOfOrderKey(1), 0u);
+  EXPECT_EQ(catalog.OwnerOfOrderKey(static_cast<int64_t>(catalog.counts().orders)), 2u);
+  // Out-of-range keys clamp instead of crashing.
+  EXPECT_EQ(catalog.OwnerOfOrderKey(-5), 0u);
+  EXPECT_EQ(catalog.OwnerOfOrderKey(1 << 30), 2u);
+
+  for (uint32_t s = 0; s < catalog.shards(); ++s) {
+    const Table& orders = catalog.db(s).table("orders");
+    const Table& lineitem = catalog.db(s).table("lineitem");
+    // Every order key resident on shard s — in both fact tables — must be owned by shard s.
+    for (uint64_t r = 0; r < orders.row_count(); r += 97) {
+      EXPECT_EQ(catalog.OwnerOfOrderKey(Cell(catalog.db(s), "orders", "o_orderkey", r)), s);
+    }
+    for (uint64_t r = 0; r < lineitem.row_count(); r += 997) {
+      EXPECT_EQ(catalog.OwnerOfOrderKey(Cell(catalog.db(s), "lineitem", "l_orderkey", r)), s);
+    }
+  }
+
+  EXPECT_TRUE(ShardCatalog::IsPartitionedTable("orders"));
+  EXPECT_TRUE(ShardCatalog::IsPartitionedTable("lineitem"));
+  EXPECT_FALSE(ShardCatalog::IsPartitionedTable("customer"));
+}
+
+TEST(ShardCatalog, ReplicatedStringCellsShareBitsAcrossShards) {
+  ShardCatalog catalog(SmallCatalog(2));
+  // The intern-sequence replay makes packed string references absolute-address-identical
+  // across shard heaps, so string cells compare bit for bit and resolve to the same text.
+  for (uint64_t r = 0; r < catalog.db(0).table("nation").row_count(); ++r) {
+    const int64_t a = Cell(catalog.db(0), "nation", "n_name", r);
+    const int64_t b = Cell(catalog.db(1), "nation", "n_name", r);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(catalog.db(0).strings().Get(static_cast<uint64_t>(a)),
+              catalog.db(1).strings().Get(static_cast<uint64_t>(b)));
+  }
+  // Partitioned rows keep reference cell bytes too: shard 1's first order is the row right
+  // after shard 0's slice, with its o_orderkey = rows-on-shard-0 + 1.
+  EXPECT_EQ(Cell(catalog.db(1), "orders", "o_orderkey", 0),
+            static_cast<int64_t>(catalog.order_rows(0)) + 1);
+}
+
+TEST(ShardCatalog, OneShardCatalogMatchesPlainDatabase) {
+  ShardCatalog catalog(SmallCatalog(1));
+  auto plain = std::make_unique<Database>(SmallDbConfig());
+  TpchOptions options;
+  options.scale = 0.01;
+  const TpchRowCounts counts = GenerateTpch(*plain, options);
+
+  EXPECT_EQ(catalog.counts().orders, counts.orders);
+  EXPECT_EQ(catalog.counts().lineitem, counts.lineitem);
+  EXPECT_EQ(catalog.catalog_version(), plain->catalog_version());
+  EXPECT_EQ(catalog.order_rows(0), counts.orders);
+  for (uint64_t r = 0; r < counts.orders; r += 501) {
+    EXPECT_EQ(Cell(catalog.db(0), "orders", "o_totalprice", r),
+              Cell(*plain, "orders", "o_totalprice", r));
+    EXPECT_EQ(Cell(catalog.db(0), "orders", "o_orderpriority", r),
+              Cell(*plain, "orders", "o_orderpriority", r));
+  }
+}
+
+}  // namespace
+}  // namespace dfp

@@ -1,0 +1,304 @@
+// ShardedService: fan-out results must be identical to the unsharded engine, routed queries
+// must stay whole on one shard, the coordinator's Merge operator and CROSS_NODE traffic must
+// be observable, catalog-version bumps must invalidate every shard's plan cache in one step,
+// the 1-shard tower must be byte-identical to a plain QueryService, and a shard_count what-if
+// replay of a recorded trace must never move a result.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/engine/result.h"
+#include "src/replay/recorder.h"
+#include "src/replay/replayer.h"
+#include "src/replay/trace.h"
+#include "src/shard/coordinator.h"
+#include "src/sql/binder.h"
+#include "src/tpch/datagen.h"
+#include "src/tpch/queries.h"
+#include "src/util/check.h"
+
+namespace dfp {
+namespace {
+
+constexpr double kScale = 0.01;
+
+ServiceConfig TestServiceConfig() {
+  ServiceConfig config;
+  config.parallel.workers = 2;
+  config.max_active_sessions = 2;
+  config.session_hashtables_bytes = 32ull << 20;
+  config.session_output_bytes = 16ull << 20;
+  config.profiling.period = 311;
+  return config;
+}
+
+ShardServiceConfig TestShardConfig() {
+  ShardServiceConfig config;
+  config.service = TestServiceConfig();
+  config.merge_sampling = DefaultMergeSampling();
+  return config;
+}
+
+DatabaseConfig TestDbConfig(uint32_t shards) {
+  DatabaseConfig config;
+  config.columns_bytes = 64ull << 20;
+  config.strings_bytes = 8ull << 20;
+  config.hashtables_bytes = 16ull << 20;
+  config.output_bytes = 16ull << 20;
+  config.extra_bytes = ShardArenaBytes(TestShardConfig(), shards);
+  return config;
+}
+
+ShardCatalog MakeCatalog(uint32_t shards) {
+  ShardCatalogConfig config;
+  config.shards = shards;
+  config.db = TestDbConfig(shards);
+  config.tpch.scale = kScale;
+  return ShardCatalog(config);
+}
+
+ShardedService::PlanBuilder Builder(const std::string& name) {
+  return [name](Database& db) { return BuildQueryPlan(db, FindQuery(name)); };
+}
+
+// The fan-out slice of the suite: ungrouped aggregation (q6), grouped AVG + full-key sort
+// (q1), a co-partitioned join with CASE sums (q12), post-aggregation arithmetic (q14), and a
+// co-partitioned semi join (q4).
+const std::vector<std::string>& FanoutWorkload() {
+  static const std::vector<std::string> workload = {"q6", "q1", "q12", "q14", "q4"};
+  return workload;
+}
+
+TEST(ShardedService, FanoutResultsMatchUnshardedEngine) {
+  ShardCatalog catalog = MakeCatalog(2);
+  ShardedService sharded(catalog, TestShardConfig());
+
+  auto plain_db = std::make_unique<Database>(TestDbConfig(2));
+  TpchOptions options;
+  options.scale = kScale;
+  GenerateTpch(*plain_db, options);
+  QueryService plain(*plain_db, TestServiceConfig());
+
+  std::vector<TicketId> sharded_ids;
+  std::vector<TicketId> plain_ids;
+  for (const std::string& name : FanoutWorkload()) {
+    sharded_ids.push_back(sharded.Submit(name, Builder(name)));
+    plain_ids.push_back(plain.Submit(BuildQueryPlan(*plain_db, FindQuery(name)), name));
+  }
+  sharded.Drain();
+  plain.Drain();
+
+  for (size_t i = 0; i < sharded_ids.size(); ++i) {
+    const ShardTicket& ticket = sharded.ticket(sharded_ids[i]);
+    EXPECT_EQ(ticket.status, TicketStatus::kDone) << FanoutWorkload()[i];
+    EXPECT_TRUE(ticket.fanout) << FanoutWorkload()[i];
+    std::string diff;
+    EXPECT_TRUE(Result::Equivalent(ticket.result, plain.ticket(plain_ids[i]).result, true,
+                                   &diff))
+        << FanoutWorkload()[i] << ": " << diff;
+    // The stitched timing must include the coordinator merge on top of the slowest shard.
+    EXPECT_GT(ticket.merge_cycles, 0u) << FanoutWorkload()[i];
+    EXPECT_GE(ticket.execute_cycles, ticket.merge_cycles);
+    EXPECT_GE(ticket.critical_cycles, ticket.merge_cycles);
+  }
+  EXPECT_EQ(sharded.fanout_queries(), FanoutWorkload().size());
+  EXPECT_EQ(sharded.routed_queries(), 0u);
+
+  // Fan-out staged remote partials across the shard fabric: visible as CROSS_NODE PMU events
+  // and cross-node NUMA traffic on the coordinator, and as bytes in the ticket accounting.
+  EXPECT_GT(sharded.cross_node_bytes(), 0u);
+  EXPECT_GT(sharded.coordinator_counters()[PmuEvent::kCrossNode], 0u);
+  EXPECT_GT(sharded.coordinator_numa_stats().cross_node_accesses, 0u);
+
+  // The Merge operator is part of the fleet profile's operator breakdown.
+  const FleetAggregate fleet = sharded.AggregateFleet();
+  EXPECT_EQ(fleet.leaves, 3u);  // Two shards + the coordinator leaf.
+  bool merge_listed = false;
+  for (const auto& [fingerprint, plan] : fleet.plans) {
+    (void)fingerprint;
+    merge_listed |= plan.operators.count(kMergeOperatorId) != 0;
+  }
+  EXPECT_TRUE(merge_listed);
+}
+
+TEST(ShardedService, RoutedQueriesStayWholeOnOneShard) {
+  ShardCatalog catalog = MakeCatalog(2);
+  ShardedService sharded(catalog, TestShardConfig());
+
+  auto plain_db = std::make_unique<Database>(TestDbConfig(2));
+  TpchOptions options;
+  options.scale = kScale;
+  GenerateTpch(*plain_db, options);
+  QueryService plain(*plain_db, TestServiceConfig());
+
+  // q16 touches only replicated tables (part, partsupp): no fan-out, no merge, no staging.
+  const TicketId sharded_id = sharded.Submit("q16", Builder("q16"));
+  const TicketId plain_id = plain.Submit(BuildQueryPlan(*plain_db, FindQuery("q16")), "q16");
+  sharded.Drain();
+  plain.Drain();
+
+  const ShardTicket& ticket = sharded.ticket(sharded_id);
+  EXPECT_FALSE(ticket.fanout);
+  EXPECT_EQ(ticket.shard_tickets.size(), 1u);
+  EXPECT_EQ(ticket.merge_cycles, 0u);
+  EXPECT_EQ(sharded.routed_queries(), 1u);
+  EXPECT_EQ(sharded.fanout_queries(), 0u);
+  EXPECT_EQ(sharded.cross_node_bytes(), 0u);
+  std::string diff;
+  EXPECT_TRUE(Result::Equivalent(ticket.result, plain.ticket(plain_id).result, true, &diff))
+      << diff;
+
+  // Repeats of the family land on the same shard's plan cache.
+  sharded.Submit("q16", Builder("q16"));
+  sharded.Drain();
+  const QueryService& owner = sharded.shard(ticket.owner_shard);
+  EXPECT_GE(owner.plan_cache().stats().hits, 1u);
+}
+
+TEST(ShardedService, CoordinatedInvalidationDropsEveryShardCache) {
+  ShardCatalog catalog = MakeCatalog(2);
+  ShardedService sharded(catalog, TestShardConfig());
+  sharded.Submit("q6", Builder("q6"));
+  sharded.Drain();
+  EXPECT_EQ(sharded.coordinated_invalidations(), 0u);
+
+  // Warm repeat: both shards hit their caches.
+  sharded.Submit("q6", Builder("q6"));
+  sharded.Drain();
+  EXPECT_GE(sharded.shard(0).plan_cache().stats().hits, 1u);
+  EXPECT_GE(sharded.shard(1).plan_cache().stats().hits, 1u);
+
+  // DDL on every shard bumps the shared catalog version; the next submission must run the
+  // coordinated invalidation and recompile on every shard.
+  for (uint32_t s = 0; s < catalog.shards(); ++s) {
+    TableBuilder builder = catalog.db(s).CreateTableBuilder(
+        TableSchema{"ddl_probe", {{"x", ColumnType::kInt64}}});
+    catalog.db(s).AddTable(builder.Finish());
+  }
+  const uint64_t misses_before =
+      sharded.shard(0).plan_cache().stats().misses + sharded.shard(1).plan_cache().stats().misses;
+  const TicketId after_ddl = sharded.Submit("q6", Builder("q6"));
+  sharded.Drain();
+  EXPECT_EQ(sharded.coordinated_invalidations(), 1u);
+  EXPECT_EQ(sharded.ticket(after_ddl).status, TicketStatus::kDone);
+  const uint64_t misses_after =
+      sharded.shard(0).plan_cache().stats().misses + sharded.shard(1).plan_cache().stats().misses;
+  EXPECT_EQ(misses_after, misses_before + 2);  // One recompile per shard.
+}
+
+TEST(ShardedService, OneShardTowerIsByteIdenticalToPlainService) {
+  ShardCatalog catalog = MakeCatalog(1);
+  ShardedService tower(catalog, TestShardConfig());
+
+  auto plain_db = std::make_unique<Database>(TestDbConfig(1));
+  TpchOptions options;
+  options.scale = kScale;
+  GenerateTpch(*plain_db, options);
+  QueryService plain(*plain_db, TestServiceConfig());
+
+  const std::vector<std::string> workload = {"q6", "q1", "q16", "q6"};
+  std::vector<TicketId> tower_ids;
+  std::vector<TicketId> plain_ids;
+  for (const std::string& name : workload) {
+    tower_ids.push_back(tower.Submit(name, Builder(name)));
+    plain_ids.push_back(plain.Submit(BuildQueryPlan(*plain_db, FindQuery(name)), name));
+  }
+  tower.Drain();
+  plain.Drain();
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    std::string diff;
+    EXPECT_TRUE(Result::Equivalent(tower.ticket(tower_ids[i]).result,
+                                   plain.ticket(plain_ids[i]).result, true, &diff))
+        << workload[i] << ": " << diff;
+    EXPECT_FALSE(tower.ticket(tower_ids[i]).fanout);
+  }
+  // The degenerate tower has no merger and no cross-node machinery; its single shard behaves
+  // byte-identically to the plain service (same profiles, same clocks, same streams).
+  EXPECT_EQ(tower.fanout_queries(), 0u);
+  EXPECT_EQ(tower.cross_node_bytes(), 0u);
+  EXPECT_EQ(tower.merge_sample_count(), 0u);
+  EXPECT_EQ(tower.shard(0).fleet_profile().Render(), plain.fleet_profile().Render());
+  EXPECT_EQ(tower.shard(0).ServiceNowCycles(), plain.ServiceNowCycles());
+
+  const FleetAggregate fleet = tower.AggregateFleet();
+  EXPECT_EQ(fleet.leaves, 1u);
+  EXPECT_EQ(fleet.levels, 0u);
+  EXPECT_EQ(fleet.rollup_cycles, 0u);
+}
+
+TEST(ShardedService, FleetAggregateIsDeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    ShardCatalog catalog = MakeCatalog(2);
+    ShardedService sharded(catalog, TestShardConfig());
+    for (const std::string& name : FanoutWorkload()) {
+      sharded.Submit(name, Builder(name));
+    }
+    sharded.Drain();
+    std::ostringstream json;
+    WriteFleetAggregateJson(sharded.AggregateFleet(), json);
+    return json.str();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ShardReplay, ShardCountWhatIfNeverMovesResults) {
+  // Record a mixed fan-out workload (literal variants included) on a plain service.
+  const ServiceConfig record_config = TestServiceConfig();
+  DatabaseConfig record_db_config = TestDbConfig(1);
+  record_db_config.extra_bytes = ServiceArenaBytes(record_config);
+  auto record_db = std::make_unique<Database>(record_db_config);
+  TpchOptions options;
+  options.scale = kScale;
+  GenerateTpch(*record_db, options);
+  WorkloadTrace trace;
+  {
+    QueryService recorded(*record_db, record_config);
+    TraceRecorder recorder;
+    recorded.AttachRecorder(recorder);
+    recorded.Submit(BuildQueryPlan(*record_db, FindQuery("q1")), "q1");
+    recorded.Submit(BuildQueryPlan(*record_db, FindQuery("q6")), "q6");
+    recorded.Drain();
+    recorded.Submit(BuildQueryPlan(*record_db, FindQuery("q12")), "q12");
+    recorded.Submit(BuildQueryPlan(*record_db, FindQuery("q16")), "q16");
+    recorded.Drain();
+    recorder.Finish(recorded);
+    trace = recorder.trace();
+  }
+
+  WhatIfKnobs knobs;
+  knobs.shard_count = 2;
+  EXPECT_FALSE(knobs.IsIdentity());
+
+  // The shard catalog is mandatory for a shard-count what-if.
+  {
+    auto bare_db = std::make_unique<Database>(TestDbConfig(1));
+    GenerateTpch(*bare_db, options);
+    ReplayOptions missing;
+    missing.knobs = knobs;
+    EXPECT_THROW(ReplayTrace(*bare_db, trace, missing), Error);
+  }
+
+  ShardCatalog catalog = MakeCatalog(2);
+  ReplayOptions replay_options;
+  replay_options.knobs = knobs;
+  replay_options.shards = &catalog;
+  const ReplayRun run = ReplayTrace(catalog.db(0), trace, replay_options);
+  const ReplayReport report = DiffTraces(trace, run.trace);
+
+  // Sharding re-partitions execution (fan-out + merge, different streams and timing) but must
+  // not move a single result: zero result divergence, every recorded query completed.
+  EXPECT_EQ(report.results_diverged, 0u);
+  EXPECT_EQ(report.replayed_queries, report.recorded_queries);
+  EXPECT_EQ(report.replayed_completed, report.recorded_completed);
+  // Note knobs_identical stays true: each shard runs the RECORDED service configuration —
+  // shard_count changes topology, not knobs.
+  EXPECT_TRUE(report.knobs_identical);
+  EXPECT_FALSE(run.service_profile_text.empty());
+}
+
+}  // namespace
+}  // namespace dfp
