@@ -24,6 +24,12 @@
 //    must be byte-identical to a plain QueryService, a catalog-version bump must invalidate
 //    every shard's plan cache in one step, and a shard_count=4 what-if replay of the recorded
 //    trace must complete with zero result divergence.
+//  - Closed-loop re-optimization (src/reopt/): a join spine with a 40x cardinality misestimate
+//    is served repeatedly with the feedback loop on; measured cardinalities must trigger
+//    exactly one re-plan (divergence >= 400%), the guard must keep the reordered plan and its
+//    measured execute cycles must beat a reopt-off control on identical results, an injected
+//    pessimizing rewrite must be reverted, and a double run must emit byte-identical reopt
+//    JSON (the reopt-smoke CI gate).
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -31,7 +37,10 @@
 #include "bench/common.h"
 #include "src/critpath/report.h"
 #include "src/engine/result.h"
+#include "src/plan/builder.h"
 #include "src/profiling/reports.h"
+#include "src/reopt/cardstore.h"
+#include "src/reopt/controller.h"
 #include "src/replay/recorder.h"
 #include "src/replay/replayer.h"
 #include "src/replay/trace.h"
@@ -891,6 +900,158 @@ int Main() {
                         shard_run.merge_samples > 0 && shard_one_identical && shard_replay_ok &&
                         shard_run.fleet_json == shard_rerun.fleet_json;
 
+  // --- Closed-loop re-optimization (src/reopt/): measured cardinalities drive the planner, ---
+  // --- guarded by the regression detector. -------------------------------------------------
+  std::printf("\nClosed-loop re-optimization (profile-guided re-planning)\n");
+
+  // The misestimated join spine: supplier (estimate = its row count) sits below the part
+  // filter, whose finalized estimate is the full part table even though the bound passes only
+  // ~1/40th of it — a 40x divergence the tuple counters must surface.
+  const int64_t part_bound = std::max<int64_t>(1, static_cast<int64_t>(counts.part) / 40);
+  auto spine_plan = [part_bound](Database& sdb, bool part_first) {
+    PlanBuilder supplier = PlanBuilder::Scan(sdb.table("supplier"));
+    PlanBuilder part = PlanBuilder::Scan(sdb.table("part"));
+    part.FilterBy(MakeBinary(BinOp::kLt, part.Col("p_partkey"),
+                             MakeLiteral(ColumnType::kInt64, part_bound)));
+    PlanBuilder plan = PlanBuilder::Scan(sdb.table("lineitem"));
+    if (part_first) {
+      plan.JoinWith(std::move(part), {"l_partkey"}, {"p_partkey"}, {"p_retailprice"});
+      plan.JoinWith(std::move(supplier), {"l_suppkey"}, {"s_suppkey"}, {"s_acctbal"});
+    } else {
+      plan.JoinWith(std::move(supplier), {"l_suppkey"}, {"s_suppkey"}, {"s_acctbal"});
+      plan.JoinWith(std::move(part), {"l_partkey"}, {"p_partkey"}, {"p_retailprice"});
+    }
+    return plan.Build();
+  };
+  auto make_reopt_config = [](bool enabled, bool pessimize) {
+    ServiceConfig rc;
+    rc.parallel.workers = 4;
+    rc.max_active_sessions = 2;
+    rc.session_hashtables_bytes = 32ull << 20;
+    rc.session_output_bytes = 16ull << 20;
+    rc.session_state_bytes = 512ull * 1024;
+    rc.profiling.period = 311;
+    rc.tiering.enabled = true;  // The candidate swap rides the tiered cache's machinery.
+    rc.reopt.enabled = enabled;
+    rc.reopt.pessimize = pessimize;
+    rc.continuous.window.width_cycles = 1'000'000;
+    return rc;
+  };
+  constexpr int kReoptRuns = 14;
+  struct ReoptOutcome {
+    uint64_t actions = 0;
+    uint64_t kept = 0;
+    uint64_t reverted = 0;
+    uint64_t divergence_pct = 0;
+    bool reordered = false;
+    uint64_t final_execute = 0;
+    Result first_result;
+    Result final_result;
+    std::string json;  // Deterministic artifact: the double-run gate diffs it byte for byte.
+  };
+  auto run_reopt_loop = [&](bool enabled, bool pessimize, bool part_first) {
+    const ServiceConfig rc = make_reopt_config(enabled, pessimize);
+    DatabaseConfig rdb_config;
+    rdb_config.extra_bytes = ServiceArenaBytes(rc);
+    auto rdb = std::make_unique<Database>(rdb_config);
+    GenerateTpch(*rdb, options);
+    QueryService rservice(*rdb, rc);
+
+    ReoptOutcome out;
+    TicketId first = 0;
+    TicketId last = 0;
+    for (int i = 0; i < kReoptRuns; ++i) {
+      last = rservice.Submit(spine_plan(*rdb, part_first), "q_reopt_spine");
+      rservice.Drain();
+      if (i == 0) {
+        first = last;
+      }
+    }
+    out.actions = rservice.reopts().actions().size();
+    out.kept = rservice.reopts().kept();
+    out.reverted = rservice.reopts().reverted();
+    if (!rservice.reopts().actions().empty()) {
+      out.divergence_pct = rservice.reopts().actions().front().divergence_pct;
+      out.reordered = rservice.reopts().actions().front().reordered;
+    }
+    out.final_execute = rservice.ticket(last).execute_cycles;
+    out.first_result = rservice.ticket(first).result;
+    out.final_result = rservice.ticket(last).result;
+    std::ostringstream json;
+    json << "{\"reopt_actions\": " << out.actions << ", \"reopt_kept\": " << out.kept
+         << ", \"reopt_reverted\": " << out.reverted
+         << ", \"reopt_divergence_pct\": " << out.divergence_pct
+         << ", \"reopt_final_execute_cycles\": " << out.final_execute
+         << ", \"reopt_timeline_hash\": \""
+         << FingerprintKey({Fnv1a64(RenderReoptTimeline(rservice.reopts())), 0})
+         << "\", \"reopt_cardstore_hash\": \""
+         << FingerprintKey({Fnv1a64(RenderCardStore(rservice.cards())), 0}) << "\"}";
+    out.json = json.str();
+    return out;
+  };
+
+  // Gate 1+2: the injected misestimate (supplier below part-filter, contradicted by the tuple
+  // counters) must trigger a re-plan whose kept candidate beats the reopt-off control — both
+  // end promoted to the same tier, so the residual gap is purely the measured join order.
+  const ReoptOutcome reopt_run = run_reopt_loop(true, false, false);
+  const ReoptOutcome reopt_control = run_reopt_loop(false, false, false);
+  const bool reopt_triggered = reopt_run.actions == 1 && reopt_run.reordered &&
+                               reopt_run.divergence_pct >= 400 && reopt_run.kept == 1 &&
+                               reopt_run.reverted == 0 && reopt_control.actions == 0;
+  std::string reopt_diff;
+  // Work stealing appends output in morsel-completion order, which differs across physical
+  // plans, so results compare as multisets.
+  const bool reopt_results_identical =
+      Result::Equivalent(reopt_run.first_result, reopt_run.final_result, false, &reopt_diff) &&
+      Result::Equivalent(reopt_control.final_result, reopt_run.final_result, false,
+                         &reopt_diff);
+  const double reopt_speedup = reopt_run.final_execute > 0
+                                   ? static_cast<double>(reopt_control.final_execute) /
+                                         static_cast<double>(reopt_run.final_execute)
+                                   : 0.0;
+  const bool reopt_improved =
+      reopt_run.final_execute < reopt_control.final_execute && reopt_results_identical;
+  std::printf("misestimate trigger: %llu action(s), divergence %llu%%, reordered %s %s\n",
+              static_cast<unsigned long long>(reopt_run.actions),
+              static_cast<unsigned long long>(reopt_run.divergence_pct),
+              reopt_run.reordered ? "yes" : "no",
+              reopt_triggered ? "[ok]" : "[FAIL: no re-plan]");
+  std::printf("kept plan: execute %llu vs control %llu cycles (%.2fx), results %s %s\n",
+              static_cast<unsigned long long>(reopt_run.final_execute),
+              static_cast<unsigned long long>(reopt_control.final_execute), reopt_speedup,
+              reopt_results_identical ? "identical" : "DIVERGED",
+              reopt_improved ? "[ok]" : "[FAIL: no measured win]");
+
+  // Gate 3: fault injection — the pessimize knob rewrites the already-optimal spine to the
+  // worst measured order; the guard must catch the regression and revert the swap.
+  const ReoptOutcome reopt_bad = run_reopt_loop(true, true, true);
+  std::string reopt_bad_diff;
+  const bool reopt_revert_ok =
+      reopt_bad.actions == 1 && reopt_bad.kept == 0 && reopt_bad.reverted == 1 &&
+      Result::Equivalent(reopt_bad.first_result, reopt_bad.final_result, false,
+                         &reopt_bad_diff);
+  std::printf("injected pessimizing rewrite: %llu reverted, %llu kept %s\n",
+              static_cast<unsigned long long>(reopt_bad.reverted),
+              static_cast<unsigned long long>(reopt_bad.kept),
+              reopt_revert_ok ? "[ok]" : "[FAIL: guard did not revert]");
+
+  // Gate 4: the whole closed loop is deterministic — an identical second run produces a
+  // byte-identical reopt artifact (the reopt-smoke CI job diffs the JSON across two whole
+  // bench invocations).
+  const ReoptOutcome reopt_rerun = run_reopt_loop(true, false, false);
+  const bool reopt_deterministic = reopt_run.json == reopt_rerun.json;
+  std::printf("double run: reopt JSON %s\n",
+              reopt_deterministic ? "byte-identical [ok]" : "[FAIL: non-deterministic]");
+
+  const bool reopt_ok =
+      reopt_triggered && reopt_improved && reopt_revert_ok && reopt_deterministic;
+
+  if (GlobalBenchOptions().json) {
+    std::ofstream reopt_out("BENCH_reopt.json");
+    reopt_out << reopt_run.json << "\n";
+    std::printf("# wrote BENCH_reopt.json\n");
+  }
+
   if (GlobalBenchOptions().json) {
     JsonWriter json;
     json.BeginObject();
@@ -1028,6 +1189,16 @@ int Main() {
     json.Field("shard_replay_results_diverged", shard_replay.results_diverged);
     json.Field("shard_replay_completed", shard_replay.replayed_completed);
     json.Field("shard_ok", shard_ok);
+    json.Field("reopt_actions", reopt_run.actions);
+    json.Field("reopt_kept", reopt_run.kept);
+    json.Field("reopt_reverted_injected", reopt_bad.reverted);
+    json.Field("reopt_divergence_pct", reopt_run.divergence_pct);
+    json.Field("reopt_final_execute_cycles", reopt_run.final_execute);
+    json.Field("reopt_control_execute_cycles", reopt_control.final_execute);
+    json.Field("reopt_speedup", reopt_speedup);
+    json.Field("reopt_results_identical", reopt_results_identical);
+    json.Field("reopt_deterministic", reopt_deterministic);
+    json.Field("reopt_ok", reopt_ok);
     json.EndObject();
     json.WriteTo("BENCH_service.json");
   }
@@ -1054,10 +1225,13 @@ int Main() {
       "the 4-shard service answers every fan-out query identically to the unsharded engine\n"
       "with its Merge operator and CROSS_NODE traffic visible in a deterministic fleet\n"
       "aggregate, the 1-shard tower is byte-identical to the plain service, and the\n"
-      "shard-count what-if replay moves streams and timing but not one result.\n");
+      "shard-count what-if replay moves streams and timing but not one result; the closed\n"
+      "reopt loop re-plans the misestimated spine once, the guard keeps the faster join\n"
+      "order and reverts an injected pessimizing rewrite, and the loop replays to the\n"
+      "same bytes.\n");
   const bool ok = speedup >= 2.0 && governor_ok && rankings_agree && critpath_ok &&
                   false_positives == 0 && shift_flagged && tiering_ok && replay_ok &&
-                  sched_ok && shard_ok;
+                  sched_ok && shard_ok && reopt_ok;
   return ok ? 0 : 1;
 }
 

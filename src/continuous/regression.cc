@@ -123,18 +123,23 @@ void BaselineStore::AddLoadedBaselineOperator(uint64_t fingerprint, WindowOperat
 
 RegressionAlertFn DefaultRegressionAlert() {
   return [](const RegressionFinding& finding) {
-    std::fprintf(stderr, "ALERT regression plan %016llx %s [%s%s%s ]\n",
+    std::string shard;
+    if (finding.shard_id != 0) {
+      shard = " shard " + std::to_string(finding.shard_id);
+    }
+    std::fprintf(stderr, "ALERT regression plan %016llx %s [%s%s%s ]%s\n",
                  static_cast<unsigned long long>(finding.fingerprint), finding.name.c_str(),
                  finding.share_regressed ? " mix" : "",
                  finding.cycles_per_row_regressed ? " cycles/row" : "",
-                 finding.remote_regressed ? " +remote" : "");
+                 finding.remote_regressed ? " +remote" : "", shard.c_str());
   };
 }
 
 std::vector<RegressionFinding> DetectRegressions(const BaselineStore& baseline,
                                                  const WindowedProfile& profile,
                                                  const RegressionThresholds& thresholds,
-                                                 const RegressionAlertFn& alert) {
+                                                 const RegressionAlertFn& alert,
+                                                 uint32_t shard_id) {
   std::vector<RegressionFinding> findings;
   for (const auto& [fingerprint, series] : profile.plans()) {
     (void)series;
@@ -149,6 +154,7 @@ std::vector<RegressionFinding> DetectRegressions(const BaselineStore& baseline,
     }
 
     RegressionFinding finding;
+    finding.shard_id = shard_id;
     if (DiffAgainstBaseline(*base, current, thresholds, &finding)) {
       if (alert) {
         alert(finding);

@@ -91,6 +91,10 @@ struct OperatorDrift {
 struct RegressionFinding {
   uint64_t fingerprint = 0;
   std::string name;
+  // Service shard whose profile produced the finding (1-based; 0 = unsharded). Stamped before
+  // the alert hook fires, so fleet-wide alert sinks can tell WHERE a plan regressed without
+  // re-deriving it from which shard's detector they subscribed to.
+  uint32_t shard_id = 0;
   bool share_regressed = false;
   bool cycles_per_row_regressed = false;
   bool remote_regressed = false;
@@ -106,17 +110,18 @@ struct RegressionFinding {
 using RegressionAlertFn = std::function<void(const RegressionFinding&)>;
 
 // The default hook: one line per finding on stderr,
-//   "ALERT regression plan <fingerprint> <name> [mix cycles/row +remote]".
+//   "ALERT regression plan <fingerprint> <name> [mix cycles/row +remote] [shard N]"
+// (the shard suffix appears only for findings from a sharded service, shard_id != 0).
 RegressionAlertFn DefaultRegressionAlert();
 
 // Diffs each fingerprint's post-watermark window aggregate against its `baseline` entry.
 // Fingerprints without a baseline, without post-watermark windows, or with fewer than
-// min_samples attributed post-watermark samples are skipped. Each finding is also pushed
-// through `alert` when one is set.
+// min_samples attributed post-watermark samples are skipped. Each finding is stamped with
+// `shard_id` and then pushed through `alert` when one is set.
 std::vector<RegressionFinding> DetectRegressions(
     const BaselineStore& baseline, const WindowedProfile& profile,
     const RegressionThresholds& thresholds = RegressionThresholds(),
-    const RegressionAlertFn& alert = nullptr);
+    const RegressionAlertFn& alert = nullptr, uint32_t shard_id = 0);
 
 // Side-by-side cost-annotated report of all findings (empty-finding list renders a quiet note).
 std::string RenderRegressionReport(const std::vector<RegressionFinding>& findings);

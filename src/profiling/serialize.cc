@@ -14,7 +14,7 @@ namespace {
 
 constexpr const char* kDictionaryHeader = "# dfp tagging dictionary v1";
 constexpr const char* kSamplesHeaderPrefix = "# dfp samples v";
-constexpr int kMaxSamplesVersion = 7;
+constexpr int kMaxSamplesVersion = 8;
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed profiling meta-data line: '" + line + "'");
@@ -132,18 +132,28 @@ void WriteSamples(const std::vector<Sample>& samples,
                   const std::vector<SampleStreamEvent>& events,
                   const std::vector<TaskBoundary>& tasks,
                   const std::vector<SampleStreamEvent>& sched, std::ostream& out) {
+  WriteSamples(samples, events, tasks, sched, {}, out);
+}
+
+void WriteSamples(const std::vector<Sample>& samples,
+                  const std::vector<SampleStreamEvent>& events,
+                  const std::vector<TaskBoundary>& tasks,
+                  const std::vector<SampleStreamEvent>& sched,
+                  const std::vector<SampleStreamEvent>& reopt, std::ostream& out) {
   // The version is chosen by content so older dumps stay byte-identical: streams carrying
-  // shard attribution or cross-node locality are v7, streams carrying scheduling-action
-  // sideband lines are v6, streams carrying task boundaries are v5, streams carrying tier
-  // attribution or sideband events are v4, streams carrying NUMA locality or steal flags are
-  // v3, streams carrying worker ids are v2, and pure worker-0 streams keep the v1 header so
-  // dumps from single-threaded runs stay byte-compatible with pre-parallel readers.
+  // re-optimization sideband lines are v8, streams carrying shard attribution or cross-node
+  // locality are v7, streams carrying scheduling-action sideband lines are v6, streams
+  // carrying task boundaries are v5, streams carrying tier attribution or sideband events are
+  // v4, streams carrying NUMA locality or steal flags are v3, streams carrying worker ids are
+  // v2, and pure worker-0 streams keep the v1 header so dumps from single-threaded runs stay
+  // byte-compatible with pre-parallel readers.
   bool multi_worker = false;
   bool locality = false;
   bool tiered = !events.empty();
   bool sharded = false;
   const bool tasked = !tasks.empty();
   const bool scheduled = !sched.empty();
+  const bool reopted = !reopt.empty();
   for (const Sample& sample : samples) {
     multi_worker |= sample.worker_id != 0;
     locality |= sample.mem_node != kNoNumaNode || sample.numa_remote || sample.stolen;
@@ -151,7 +161,8 @@ void WriteSamples(const std::vector<Sample>& samples,
     sharded |= sample.shard_id != 0 || sample.cross_node;
   }
   out << kSamplesHeaderPrefix
-      << (sharded        ? 7
+      << (reopted        ? 8
+          : sharded      ? 7
           : scheduled    ? 6
           : tasked       ? 5
           : tiered       ? 4
@@ -173,9 +184,11 @@ void WriteSamples(const std::vector<Sample>& samples,
   // advances).
   size_t next_event = 0;
   size_t next_sched = 0;
+  size_t next_reopt = 0;
   auto flush_events = [&](uint64_t up_to_tsc) {
-    // Two sideband channels with independent cursors; at equal tsc, `event` lines precede
-    // `sched` lines (fixed order keeps double-run streams byte-identical).
+    // Three sideband channels with independent cursors; at equal tsc, `event` lines precede
+    // `sched` lines precede `reopt` lines (fixed order keeps double-run streams
+    // byte-identical).
     while (next_event < events.size() && events[next_event].tsc <= up_to_tsc) {
       out << "event " << events[next_event].tsc << " " << events[next_event].text << "\n";
       ++next_event;
@@ -183,6 +196,10 @@ void WriteSamples(const std::vector<Sample>& samples,
     while (next_sched < sched.size() && sched[next_sched].tsc <= up_to_tsc) {
       out << "sched " << sched[next_sched].tsc << " " << sched[next_sched].text << "\n";
       ++next_sched;
+    }
+    while (next_reopt < reopt.size() && reopt[next_reopt].tsc <= up_to_tsc) {
+      out << "reopt " << reopt[next_reopt].tsc << " " << reopt[next_reopt].text << "\n";
+      ++next_reopt;
     }
   };
   for (const Sample& sample : samples) {
@@ -240,12 +257,20 @@ std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>
 std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events,
                                 std::vector<TaskBoundary>* tasks,
                                 std::vector<SampleStreamEvent>* sched) {
+  return ReadSamples(in, events, tasks, sched, nullptr);
+}
+
+std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events,
+                                std::vector<TaskBoundary>* tasks,
+                                std::vector<SampleStreamEvent>* sched,
+                                std::vector<SampleStreamEvent>* reopt) {
   std::vector<Sample> samples;
   std::string line;
   if (!std::getline(in, line)) {
     throw Error("not a dfp samples file");
   }
   const int version = ParseSamplesVersion(line);
+  const bool accept_reopt = version >= 8;
   const bool accept_shards = version >= 7;
   const bool accept_sched = version >= 6;
   const bool accept_tasks = version >= 5;
@@ -283,6 +308,25 @@ std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>
       task.kind = static_cast<TaskKind>(task_kind);
       task.stolen = stolen != 0;
       tasks->push_back(task);
+      continue;
+    }
+    if (kind == "reopt") {
+      if (!accept_reopt) {
+        throw Error("reopt line in a pre-v8 sample stream: '" + line + "'");
+      }
+      if (reopt == nullptr) {
+        throw Error("sample stream carries reopt lines but the reader has no reopt sink: '" +
+                    line + "'");
+      }
+      SampleStreamEvent event;
+      if (!(stream >> event.tsc)) {
+        Malformed(line);
+      }
+      std::getline(stream, event.text);
+      if (!event.text.empty() && event.text.front() == ' ') {
+        event.text.erase(event.text.begin());
+      }
+      reopt->push_back(std::move(event));
       continue;
     }
     if (kind == "sched") {

@@ -50,12 +50,16 @@ TaggingDictionary ReadDictionary(std::istream& in);
 //   # dfp samples v7        (adds D <shard> shard-attribution tokens and X <machine-node>
 //                            cross-node locality tokens; X replaces N — for a cross-machine
 //                            access the recorded node is the owning machine, not a socket)
+//   # dfp samples v8        (adds interleaved `reopt` lines — re-optimization sideband:
+//                            candidates decided/applied/kept/reverted by the guarded
+//                            closed loop, src/reopt/)
 //   task <start-tsc> <end-tsc> <worker> <kind> <step> <pipeline> <morsel-begin> <morsel-end>
 //        <stolen> <instrs> <loads> <l1-miss> <l2-miss> <l3-miss> <remote-dram>
 //   sample <tsc> <ip> <addr> [W <worker>] [N <node> <remote> | X <machine-node>] [T] [G <tier>]
 //          [D <shard>] [R <16 register values>] [S <depth> <return-ips...>]
 //   event <tsc> <text...>
 //   sched <tsc> <text...>
+//   reopt <tsc> <text...>
 // Task lines are written as a block right after the header (they are a schedule, not a sample
 // timeline), in the executor's deterministic execution order, which makes the per-query task
 // DAG (src/critpath/) recoverable from a recorded stream alone. A session id is never written:
@@ -79,10 +83,18 @@ void WriteSamples(const std::vector<Sample>& samples,
                   const std::vector<TaskBoundary>& tasks,
                   const std::vector<SampleStreamEvent>& sched, std::ostream& out);
 
+// Same, with re-optimization sideband lines (`reopt <tsc> <text>`: candidates decided,
+// applied, kept, reverted — src/reopt/). Any reopt line forces the v8 header.
+void WriteSamples(const std::vector<Sample>& samples,
+                  const std::vector<SampleStreamEvent>& events,
+                  const std::vector<TaskBoundary>& tasks,
+                  const std::vector<SampleStreamEvent>& sched,
+                  const std::vector<SampleStreamEvent>& reopt, std::ostream& out);
+
 // Inverse of WriteSamples. Throws dfp::Error on malformed input. Events (and task boundaries,
-// and sched lines) are appended to the caller's sinks in stream order when passed, and
+// and sched/reopt lines) are appended to the caller's sinks in stream order when passed, and
 // rejected as malformed when the stream has them but the caller reads without a sink. A stream
-// whose header names a version newer than this build's (currently v7) is rejected with a clear
+// whose header names a version newer than this build's (currently v8) is rejected with a clear
 // "newer build" error rather than a generic parse failure.
 std::vector<Sample> ReadSamples(std::istream& in);
 std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events);
@@ -91,6 +103,10 @@ std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>
 std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events,
                                 std::vector<TaskBoundary>* tasks,
                                 std::vector<SampleStreamEvent>* sched);
+std::vector<Sample> ReadSamples(std::istream& in, std::vector<SampleStreamEvent>* events,
+                                std::vector<TaskBoundary>* tasks,
+                                std::vector<SampleStreamEvent>* sched,
+                                std::vector<SampleStreamEvent>* reopt);
 
 }  // namespace dfp
 

@@ -18,14 +18,19 @@
 namespace dfp {
 namespace {
 
-// Clears every operator's cardinality estimate so FinalizePlan re-derives the default from the
-// recomputed row bounds. Plans in this codebase get their estimates exclusively from that
-// default (no builder sets them), so after re-binding literals — which can change a LIMIT and
-// therefore the bounds — this reproduces exactly the estimates a freshly built plan would
-// carry. Skipping it would leave a rebound clone with the template's stale estimates, which
-// feed morsel sizing (ResolveMorselRows) and would silently diverge the execution schedule.
+// Clears every default-derived cardinality estimate so FinalizePlan re-derives it from the
+// recomputed row bounds: after re-binding literals — which can change a LIMIT and therefore
+// the bounds — this reproduces exactly the estimates a freshly built plan would carry.
+// Estimates that differ from the operator's bound were set by hand (the SQL binder's join
+// ordering, a test's scenario) and were serialized bit-exactly by the plan codec; those must
+// survive, because re-finalizing resets only zeroes (FinalizePlan fills estimated_rows only
+// when it is 0) and morsel sizing (ResolveMorselRows) reads the estimate the recording ran
+// with. Zeroing unconditionally would silently diverge the execution schedule of any template
+// whose recorded plan carried non-default estimates.
 void ResetEstimates(PhysicalOp& op) {
-  op.estimated_rows = 0;
+  if (op.estimated_rows == static_cast<double>(op.bound_rows)) {
+    op.estimated_rows = 0;
+  }
   for (auto& child : op.children) {
     ResetEstimates(*child);
   }
@@ -201,7 +206,7 @@ bool WhatIfKnobs::IsIdentity() const {
   return session_multiplier == 1 && scheduler == -1 && max_active_sessions == 0 &&
          queue_depth == 0 && workers == 0 && tiering_enabled == -1 && break_even_ratio == 0 &&
          code_budget_bytes == 0 && governor_enabled == -1 && governor_budget == 0 &&
-         slack_scheduling == -1 && shard_count == 0;
+         slack_scheduling == -1 && reopt == -1 && shard_count == 0;
 }
 
 ServiceConfig ReplayServiceConfig(const WorkloadTrace& trace, const WhatIfKnobs& knobs) {
@@ -235,6 +240,14 @@ ServiceConfig ReplayServiceConfig(const WorkloadTrace& trace, const WhatIfKnobs&
   }
   if (knobs.slack_scheduling >= 0) {
     config.sched.slack_scheduling = knobs.slack_scheduling != 0;
+  }
+  if (knobs.reopt >= 0) {
+    config.reopt.enabled = knobs.reopt != 0;
+    if (config.reopt.enabled) {
+      // Reopt candidates install through the parameterized cache; forcing the loop on against
+      // a trace recorded without tiering forces tiering on too.
+      config.tiering.enabled = true;
+    }
   }
   return config;
 }

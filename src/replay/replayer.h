@@ -50,6 +50,10 @@ struct WhatIfKnobs {
   // The policy only permutes schedules, so a what-if flip changes timing but never results —
   // bench_service gates on exactly that.
   int slack_scheduling = -1;
+  // Closed-loop re-optimization (src/reopt/): -1 = recorded, 0/1 = force off/on. A reopt
+  // what-if changes compiled code, plan shapes, and timing, but a rewritten plan computes the
+  // same relation — the gate is results_diverged == 0, like the shard-count what-if.
+  int reopt = -1;
   // Replay the recorded traffic against an N-shard ShardedService (src/shard/) instead of a
   // single QueryService: 0 = recorded topology (unsharded). Requires ReplayOptions::shards to
   // supply a matching ShardCatalog. Sharding re-partitions execution but never results, so a

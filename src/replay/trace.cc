@@ -14,13 +14,35 @@ namespace dfp {
 namespace {
 
 constexpr char kTraceHeaderPrefix[] = "# dfp trace v";
-constexpr uint64_t kMaxTraceVersion = 2;
+constexpr uint64_t kMaxTraceVersion = 3;
 
 // True when the knobs carry a non-default profile-feedback scheduling configuration — the
 // content that requires the v2 layout (the optional `sched` line).
 bool HasSchedKnobs(const TraceKnobs& k) {
   return k.slack_scheduling || k.placement_repair || k.deadline_admission ||
          k.slack_max_age != 64 || k.repair_pessimize;
+}
+
+uint64_t DoubleBits(double value);
+
+// Same, for the closed-loop re-optimization configuration (the v3 `reopt` line).
+bool HasReoptKnobs(const TraceKnobs& k) {
+  const TraceKnobs defaults;
+  return k.reopt_enabled || k.reopt_divergence_pct != defaults.reopt_divergence_pct ||
+         k.reopt_min_executions != defaults.reopt_min_executions ||
+         k.reopt_semi_join_reduction ||
+         k.reopt_semi_join_blowup_pct != defaults.reopt_semi_join_blowup_pct ||
+         k.reopt_pessimize ||
+         DoubleBits(k.reopt_guard.min_share) != DoubleBits(defaults.reopt_guard.min_share) ||
+         DoubleBits(k.reopt_guard.share_drift) !=
+             DoubleBits(defaults.reopt_guard.share_drift) ||
+         DoubleBits(k.reopt_guard.share_noise_z) !=
+             DoubleBits(defaults.reopt_guard.share_noise_z) ||
+         DoubleBits(k.reopt_guard.cycles_per_row_ratio) !=
+             DoubleBits(defaults.reopt_guard.cycles_per_row_ratio) ||
+         DoubleBits(k.reopt_guard.remote_share_drift) !=
+             DoubleBits(defaults.reopt_guard.remote_share_drift) ||
+         k.reopt_guard.min_samples != defaults.reopt_guard.min_samples;
 }
 
 [[noreturn]] void Malformed(const std::string& line) {
@@ -121,7 +143,21 @@ bool TraceKnobs::operator==(const TraceKnobs& other) const {
          slack_scheduling == other.slack_scheduling &&
          placement_repair == other.placement_repair &&
          deadline_admission == other.deadline_admission &&
-         slack_max_age == other.slack_max_age && repair_pessimize == other.repair_pessimize;
+         slack_max_age == other.slack_max_age && repair_pessimize == other.repair_pessimize &&
+         reopt_enabled == other.reopt_enabled &&
+         reopt_divergence_pct == other.reopt_divergence_pct &&
+         reopt_min_executions == other.reopt_min_executions &&
+         reopt_semi_join_reduction == other.reopt_semi_join_reduction &&
+         reopt_semi_join_blowup_pct == other.reopt_semi_join_blowup_pct &&
+         reopt_pessimize == other.reopt_pessimize &&
+         DoubleBits(reopt_guard.min_share) == DoubleBits(other.reopt_guard.min_share) &&
+         DoubleBits(reopt_guard.share_drift) == DoubleBits(other.reopt_guard.share_drift) &&
+         DoubleBits(reopt_guard.share_noise_z) == DoubleBits(other.reopt_guard.share_noise_z) &&
+         DoubleBits(reopt_guard.cycles_per_row_ratio) ==
+             DoubleBits(other.reopt_guard.cycles_per_row_ratio) &&
+         DoubleBits(reopt_guard.remote_share_drift) ==
+             DoubleBits(other.reopt_guard.remote_share_drift) &&
+         reopt_guard.min_samples == other.reopt_guard.min_samples;
 }
 
 TraceKnobs CaptureKnobs(const ServiceConfig& config) {
@@ -162,6 +198,13 @@ TraceKnobs CaptureKnobs(const ServiceConfig& config) {
   knobs.deadline_admission = config.sched.deadline_admission;
   knobs.slack_max_age = config.sched.slack_max_age;
   knobs.repair_pessimize = config.sched.repair_pessimize;
+  knobs.reopt_enabled = config.reopt.enabled;
+  knobs.reopt_divergence_pct = config.reopt.divergence_pct;
+  knobs.reopt_min_executions = config.reopt.min_executions;
+  knobs.reopt_semi_join_reduction = config.reopt.semi_join_reduction;
+  knobs.reopt_semi_join_blowup_pct = config.reopt.semi_join_blowup_pct;
+  knobs.reopt_pessimize = config.reopt.pessimize;
+  knobs.reopt_guard = config.reopt.guard;
   return knobs;
 }
 
@@ -203,6 +246,13 @@ ServiceConfig ApplyKnobs(const TraceKnobs& knobs) {
   config.sched.deadline_admission = knobs.deadline_admission;
   config.sched.slack_max_age = knobs.slack_max_age;
   config.sched.repair_pessimize = knobs.repair_pessimize;
+  config.reopt.enabled = knobs.reopt_enabled;
+  config.reopt.divergence_pct = knobs.reopt_divergence_pct;
+  config.reopt.min_executions = knobs.reopt_min_executions;
+  config.reopt.semi_join_reduction = knobs.reopt_semi_join_reduction;
+  config.reopt.semi_join_blowup_pct = knobs.reopt_semi_join_blowup_pct;
+  config.reopt.pessimize = knobs.reopt_pessimize;
+  config.reopt.guard = knobs.reopt_guard;
   return config;
 }
 
@@ -217,7 +267,8 @@ const PlanTemplate* WorkloadTrace::FindTemplate(uint64_t structure) const {
 
 void WriteTrace(const WorkloadTrace& trace, std::ostream& out) {
   const bool sched = HasSchedKnobs(trace.knobs);
-  out << kTraceHeaderPrefix << (sched ? 2 : 1) << "\n";
+  const bool reopt = HasReoptKnobs(trace.knobs);
+  out << kTraceHeaderPrefix << (reopt ? 3 : sched ? 2 : 1) << "\n";
   out << "catalog " << trace.catalog_version << "\n";
   out << "start " << trace.start_cycles << "\n";
   const TraceKnobs& k = trace.knobs;
@@ -243,6 +294,17 @@ void WriteTrace(const WorkloadTrace& trace, std::ostream& out) {
     out << "sched " << (k.slack_scheduling ? 1 : 0) << " " << (k.placement_repair ? 1 : 0) << " "
         << (k.deadline_admission ? 1 : 0) << " " << k.slack_max_age << " "
         << (k.repair_pessimize ? 1 : 0) << "\n";
+  }
+  if (reopt) {
+    out << "reopt " << (k.reopt_enabled ? 1 : 0) << " " << k.reopt_divergence_pct << " "
+        << k.reopt_min_executions << " " << (k.reopt_semi_join_reduction ? 1 : 0) << " "
+        << k.reopt_semi_join_blowup_pct << " " << (k.reopt_pessimize ? 1 : 0) << " "
+        << HexU64(DoubleBits(k.reopt_guard.min_share)) << " "
+        << HexU64(DoubleBits(k.reopt_guard.share_drift)) << " "
+        << HexU64(DoubleBits(k.reopt_guard.share_noise_z)) << " "
+        << HexU64(DoubleBits(k.reopt_guard.cycles_per_row_ratio)) << " "
+        << HexU64(DoubleBits(k.reopt_guard.remote_share_drift)) << " "
+        << k.reopt_guard.min_samples << "\n";
   }
   for (const PlanTemplate& entry : trace.templates) {
     out << "template " << HexU64(entry.structure) << " " << EncodeToken(entry.name) << "\n";
@@ -435,6 +497,34 @@ WorkloadTrace ReadTrace(std::istream& in) {
       k.placement_repair = repair != 0;
       k.deadline_admission = admission != 0;
       k.repair_pessimize = pessimize != 0;
+    } else if (keyword == "reopt") {
+      if (version < 3) {
+        Malformed(line);
+      }
+      TraceKnobs& k = trace.knobs;
+      int enabled = 0;
+      int semi_join = 0;
+      int pessimize = 0;
+      std::string min_share_hex;
+      std::string share_drift_hex;
+      std::string noise_z_hex;
+      std::string ratio_hex;
+      std::string remote_hex;
+      if (!(stream >> enabled >> k.reopt_divergence_pct >> k.reopt_min_executions >>
+            semi_join >> k.reopt_semi_join_blowup_pct >> pessimize >> min_share_hex >>
+            share_drift_hex >> noise_z_hex >> ratio_hex >> remote_hex >>
+            k.reopt_guard.min_samples)) {
+        Malformed(line);
+      }
+      RejectTrailing(stream, line);
+      k.reopt_enabled = enabled != 0;
+      k.reopt_semi_join_reduction = semi_join != 0;
+      k.reopt_pessimize = pessimize != 0;
+      k.reopt_guard.min_share = BitsToDouble(ParseHexU64(min_share_hex, line));
+      k.reopt_guard.share_drift = BitsToDouble(ParseHexU64(share_drift_hex, line));
+      k.reopt_guard.share_noise_z = BitsToDouble(ParseHexU64(noise_z_hex, line));
+      k.reopt_guard.cycles_per_row_ratio = BitsToDouble(ParseHexU64(ratio_hex, line));
+      k.reopt_guard.remote_share_drift = BitsToDouble(ParseHexU64(remote_hex, line));
     } else if (keyword == "template") {
       PlanTemplate entry;
       std::string structure_hex;

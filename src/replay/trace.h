@@ -90,6 +90,16 @@ struct TraceKnobs {
   bool deadline_admission = false;
   uint64_t slack_max_age = 64;
   bool repair_pessimize = false;
+  // Closed-loop re-optimization (trace v3), captured in full — including the guard thresholds,
+  // since a replayed keep/revert verdict must judge by the recorded bar. The `reopt` knob line
+  // is written only when some field differs from these defaults.
+  bool reopt_enabled = false;
+  uint64_t reopt_divergence_pct = 400;
+  uint64_t reopt_min_executions = 3;
+  bool reopt_semi_join_reduction = false;
+  uint64_t reopt_semi_join_blowup_pct = 300;
+  bool reopt_pessimize = false;
+  RegressionThresholds reopt_guard = ReoptGuardThresholds();
 
   bool operator==(const TraceKnobs& other) const;
 };
@@ -186,13 +196,16 @@ struct WorkloadTrace {
 };
 
 // Line-oriented text format (see DESIGN.md §2f for the grammar):
-//   # dfp trace v1|v2
+//   # dfp trace v1|v2|v3
 //   catalog <version>
 //   start <cycles>
 //   knobs <flattened TraceKnobs fields, doubles as IEEE-754 bit patterns>
 //   costs <nine CompileCostModel fields>
 //   sched <slack-scheduling> <placement-repair> <deadline-admission> <slack-max-age>
 //         <repair-pessimize>                                   (v2; only when non-default)
+//   reopt <enabled> <divergence-pct> <min-executions> <semi-join> <blowup-pct> <pessimize>
+//         <five guard doubles as IEEE-754 bit patterns> <guard-min-samples>
+//                                                              (v3; only when non-default)
 //   template <structure-hex> <name-token>
 //   <plan codec block ... endplan>
 //   query <seq> <name-token> <structure-hex> <literals-hex> <pinned-hex> <arrival> <weight>
@@ -204,10 +217,10 @@ struct WorkloadTrace {
 //   tiers <samples> <baseline> <optimized> <transitions> <swapped>
 //   fp <structure-hex> <execs> <cycles> <p50> <p95> <max> <topsamples> <top-token> <name-token>
 //   end
-// Versioning is content-driven: the writer emits v2 only when the sched knob line is present,
-// so pre-sched traces stay byte-identical v1 files. Readers reject versions above v2 ("written
-// by a newer build" — no forward guessing) and throw dfp::Error on truncation or malformed
-// lines.
+// Versioning is content-driven: the writer emits v3 only when the reopt knob line is present
+// and v2 only when the sched knob line is, so older traces stay byte-identical v1/v2 files.
+// Readers reject versions above v3 ("written by a newer build" — no forward guessing) and
+// throw dfp::Error on truncation or malformed lines.
 void WriteTrace(const WorkloadTrace& trace, std::ostream& out);
 std::string EncodeTraceText(const WorkloadTrace& trace);
 

@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/engine/exec_plan.h"
 #include "src/profiling/tagging_dictionary.h"
@@ -73,6 +74,11 @@ struct CachedPlan {
   // tracks the bindings: after a patch, `fingerprint.literals` is the served query's hash.
   PlanTier tier = PlanTier::kOptimized;
   PlanLiterals literals;
+  // Re-optimization (src/reopt/): a rewritten candidate extracts its literals in rewritten
+  // plan order, but incoming submissions of the family still bind in the original plan's
+  // order. This maps the entry's literal slot j to the submission slot it reads (possibly
+  // duplicating one, e.g. a semi-join reduction's cloned keys). Empty = identity.
+  std::vector<uint32_t> literal_permutation;
 };
 
 using CachedPlanPtr = std::shared_ptr<CachedPlan>;

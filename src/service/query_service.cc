@@ -64,6 +64,9 @@ QueryService::QueryService(Database& db, ServiceConfig config)
       seen_catalog_version_(db.catalog_version()),
       lane_cycles_(config_.parallel.workers, 0) {
   DFP_CHECK(config_.max_active_sessions >= 1);
+  // Re-optimization installs candidates through the parameterized cache's atomic swap and
+  // re-binds their immediates; without tiering there is no patchable entry to swap.
+  DFP_CHECK(!config_.reopt.enabled || config_.tiering.enabled);
   LoadState();
   // One region set per session slot, each congruent to the engine's shared regions so a
   // session's cache behavior matches a standalone run on the shared regions exactly.
@@ -95,7 +98,7 @@ void QueryService::LoadState() {
     return;  // First start: nothing persisted yet.
   }
   uint64_t clock = 0;
-  fleet_ = ReadServiceProfile(in, &windows_, &baseline_, &clock, &slack_);
+  fleet_ = ReadServiceProfile(in, &windows_, &baseline_, &clock, &slack_, &cards_, &reopts_);
   // Resume the service clock: every lane starts at the persisted high-water mark, so new
   // executions fold into windows strictly after the persisted ones (the window rings reject
   // out-of-order indices).
@@ -110,7 +113,8 @@ void QueryService::SaveState() const {
   if (!out) {
     return;
   }
-  WriteServiceState(fleet_, windows_, baseline_, ServiceNowCycles(), out, &slack_);
+  WriteServiceState(fleet_, windows_, baseline_, ServiceNowCycles(), out, &slack_, &cards_,
+                    &reopts_);
 }
 
 const QueryTicket& QueryService::ticket(TicketId id) const {
@@ -239,7 +243,19 @@ bool QueryService::Admit(TicketId id) {
       // Re-bind the cached code to this ticket's literals (zero sites when they already
       // match). The Tagging Dictionary snapshot is untouched: a patched plan attributes
       // exactly like the original compile.
-      ticket.patched_sites = PatchCachedPlan(db_, *entry, incoming,
+      const PlanLiterals* bind = &incoming;
+      PlanLiterals permuted;
+      if (!entry->literal_permutation.empty()) {
+        // A re-optimized entry reads its literals in rewritten-plan order (see
+        // CachedPlan::literal_permutation); route each submission slot to the sites it feeds.
+        permuted.bindings.reserve(entry->literal_permutation.size());
+        for (uint32_t slot : entry->literal_permutation) {
+          DFP_CHECK(slot < incoming.bindings.size());
+          permuted.bindings.push_back(incoming.bindings[slot]);
+        }
+        bind = &permuted;
+      }
+      ticket.patched_sites = PatchCachedPlan(db_, *entry, *bind,
                                              ticket.fingerprint.literals);
       if (ticket.patched_sites > 0) {
         cache_.NotePatchedHit();
@@ -258,6 +274,10 @@ bool QueryService::Admit(TicketId id) {
     CodegenOptions options;
     options.parallel = true;
     options.optimize_ir = tier == PlanTier::kOptimized;
+    // Re-optimization needs exact per-operator row counts: compile with tuple counters. The
+    // counters live in the session state block, so the flag changes generated code — that is
+    // part of the reopt opt-in, like the governor's period retuning.
+    options.count_tuples = config_.reopt.enabled;
     if (parameterized) {
       options.literals = &incoming;
     }
@@ -449,10 +469,113 @@ bool QueryService::StepSession(ActiveSession& session) {
                                   " baseline optimized decided"});
     }
   }
+  // Closed-loop re-optimization: fold this execution's exact tuple counts into the cardinality
+  // store (the counters ran inside the generated code, so the counts are the ground truth the
+  // estimates tried to predict), then step the guarded re-plan loop — trigger a candidate,
+  // or keep/revert an applied one.
+  if (config_.reopt.enabled) {
+    const CardinalityMap observed = ObservedCardinalities(session.entry->query);
+    if (!observed.empty()) {
+      cards_.Observe(ticket.fingerprint.structure, ticket.name, observed,
+                     EstimatedCardinalities(*session.entry->query.plan));
+    }
+    StepReopt(ticket, session.entry);
+  }
   if (recorder_ != nullptr) {
     recorder_->OnCompletion(ticket);
   }
   return true;
+}
+
+void QueryService::StepReopt(QueryTicket& ticket, const CachedPlanPtr& entry) {
+  const uint64_t fp = ticket.fingerprint.structure;
+  ReoptAction* open = reopts_.Find(fp);
+  if (open != nullptr) {
+    if (open->state != ReoptState::kApplied) {
+      // kDecided: candidate still compiling on the lane. kKept/kReverted: one action per
+      // fingerprint — the loop never oscillates.
+      return;
+    }
+    if (open->previous == nullptr) {
+      // Loaded from a persisted profile: the swap did not survive the restart (a cold cache
+      // re-admits the original plan), so the honest resolution is a revert.
+      open->state = ReoptState::kReverted;
+      open->resolved_tsc = ServiceNowCycles();
+      reopt_events_.push_back({open->resolved_tsc, "reopt " + HexKey(fp) + " reverted"});
+      return;
+    }
+    // Re-measure: judge the windows that arrived after the swap against the pre-swap snapshot.
+    const GuardVerdict verdict = JudgeRegression(reopt_baseline_, windows_, fp,
+                                                 config_.reopt.guard);
+    if (verdict == GuardVerdict::kInsufficientEvidence) {
+      return;
+    }
+    open->resolved_tsc = ServiceNowCycles();
+    if (verdict == GuardVerdict::kRegressed) {
+      // Revert = re-insert the replaced entry: its machine code never left the code map, so
+      // this is the same atomic pointer swap the apply used, in the other direction.
+      cache_.Insert(open->previous);
+      open->state = ReoptState::kReverted;
+    } else {
+      open->state = ReoptState::kKept;
+    }
+    open->previous.reset();
+    reopt_events_.push_back(
+        {open->resolved_tsc, "reopt " + HexKey(fp) + " " + ReoptStateName(open->state)});
+    return;
+  }
+
+  // Trigger: enough executions to trust the EWMAs, worst divergence past the threshold, and no
+  // recompile of this family already on the lane (re-plan from the swapped result instead).
+  const PlanCards* cards = cards_.Find(fp);
+  if (cards == nullptr || cards->executions < config_.reopt.min_executions) {
+    return;
+  }
+  const uint64_t divergence = cards_.MaxDivergencePct(fp);
+  if (divergence < config_.reopt.divergence_pct) {
+    return;
+  }
+  for (const RecompileJob& job : recompile_jobs_) {
+    if (job.source->fingerprint.structure == fp) {
+      return;
+    }
+  }
+  CardinalityMap observed;
+  for (const auto& [op, card] : cards->operators) {
+    observed[op] = std::max<uint64_t>(card.observed_rows, 1);
+  }
+  ReoptRewriteOptions rewrite_options;
+  rewrite_options.pessimize = config_.reopt.pessimize;
+  rewrite_options.semi_join_reduction = config_.reopt.semi_join_reduction;
+  rewrite_options.semi_join_blowup_pct = config_.reopt.semi_join_blowup_pct;
+  ReoptRewrite rewrite = ReoptimizePlan(*entry->query.plan, observed, rewrite_options);
+  if (!rewrite.changed) {
+    return;
+  }
+  RecompileJob job;
+  job.source = entry;
+  job.candidate_plan = std::move(rewrite.plan);
+  job.literal_permutation = ReoptLiteralPermutation(*entry->query.plan, observed,
+                                                   rewrite_options);
+  job.compile_cycles = EstimateCompileCycles(entry->query, config_.compile_costs, entry->tier);
+  const uint64_t start = std::max(ServiceNowCycles(), recompile_lane_busy_cycles_);
+  job.ready_at_cycles = start + job.compile_cycles;
+  recompile_lane_busy_cycles_ = job.ready_at_cycles;
+  recompile_jobs_.push_back(std::move(job));
+
+  ReoptAction action;
+  action.fingerprint = fp;
+  action.plan_name = ticket.name;
+  action.description = rewrite.description;
+  action.divergence_pct = divergence;
+  action.reordered = rewrite.reordered;
+  action.semi_join = rewrite.semi_join;
+  action.decided_tsc = ServiceNowCycles();
+  action.previous = entry;
+  reopt_events_.push_back({action.decided_tsc, "reopt " + HexKey(fp) + " decided divergence " +
+                                                   std::to_string(divergence) + "% " +
+                                                   rewrite.description});
+  reopts_.Add(std::move(action));
 }
 
 void QueryService::StepPlacementRepair(QueryTicket& ticket) {
@@ -542,7 +665,8 @@ void QueryService::SnapshotBaseline() {
 
 std::vector<RegressionFinding> QueryService::DetectRegressions() const {
   return dfp::DetectRegressions(baseline_, windows_, config_.continuous.regression,
-                                config_.continuous.regression_alert);
+                                config_.continuous.regression_alert,
+                                config_.parallel.shard_id);
 }
 
 void QueryService::ProcessRecompiles(bool final) {
@@ -557,21 +681,44 @@ void QueryService::ProcessRecompiles(bool final) {
       recompile_jobs_.erase(recompile_jobs_.begin());  // Retired by a schema change.
       continue;
     }
+    const bool reopt_job = job.candidate_plan != nullptr;
+    // The source must still be the resident entry: a reopt swap or a promotion may have
+    // replaced it while this job sat on the lane, and compiling from the replaced artifact
+    // would clobber the newer code. A dead reopt job resolves its pending action as reverted —
+    // the candidate never ran.
+    if (cache_.Peek(old_entry->fingerprint) != old_entry) {
+      if (reopt_job) {
+        ReoptAction* action = reopts_.Find(old_entry->fingerprint.structure);
+        if (action != nullptr && action->state == ReoptState::kDecided) {
+          action->state = ReoptState::kReverted;
+          action->resolved_tsc = ServiceNowCycles();
+          action->previous.reset();
+          reopt_events_.push_back({action->resolved_tsc,
+                                   "reopt " + HexKey(action->fingerprint) + " reverted"});
+        }
+      }
+      recompile_jobs_.erase(recompile_jobs_.begin());
+      continue;
+    }
     if (!final && job.ready_at_cycles > ServiceNowCycles()) {
       return;  // Still compiling; later jobs queue behind it.
     }
     const uint64_t swapped_at = final ? std::max(ServiceNowCycles(), job.ready_at_cycles)
                                       : ServiceNowCycles();
 
-    // Recompile the plan family at the optimizing tier from a clone of the cached plan tree.
-    // The clone carries the literals of the ORIGINAL compile (patches rewrite machine code,
-    // never the tree), so after compiling we re-patch the fresh code to the bindings the old
-    // entry currently serves — the swap must be invisible to result values.
+    // Tier promotions recompile the cached plan tree at the optimizing tier; reopt jobs compile
+    // the rewritten candidate at the tier the entry already earned, so the guard's post-swap
+    // comparison isolates the plan change from tier effects. Either way the compiled tree
+    // carries the literals of its ORIGINAL compile (patches rewrite machine code, never the
+    // tree), so after compiling we re-patch the fresh code to the bindings the old entry
+    // currently serves — the swap must be invisible to result values.
     ProfilingSession compile_session(config_.profiling);
     CodegenOptions options;
     options.parallel = true;
-    options.optimize_ir = true;
-    PhysicalOpPtr plan = ClonePlan(*old_entry->query.plan);
+    options.optimize_ir = reopt_job ? old_entry->tier == PlanTier::kOptimized : true;
+    options.count_tuples = config_.reopt.enabled;
+    PhysicalOpPtr plan =
+        reopt_job ? std::move(job.candidate_plan) : ClonePlan(*old_entry->query.plan);
     PlanLiterals literals = ExtractLiterals(*plan);
     options.literals = &literals;
     auto entry = std::make_shared<CachedPlan>();
@@ -583,19 +730,47 @@ void QueryService::ProcessRecompiles(bool final) {
     entry->name = old_entry->name;
     entry->dictionary = compile_session.dictionary();
     entry->catalog_version = old_entry->catalog_version;
-    entry->tier = PlanTier::kOptimized;
+    entry->tier = reopt_job ? old_entry->tier : PlanTier::kOptimized;
     entry->literals = std::move(literals);
-    PatchCachedPlan(db_, *entry, old_entry->literals, old_entry->fingerprint.literals);
+    entry->literal_permutation =
+        reopt_job ? std::move(job.literal_permutation) : old_entry->literal_permutation;
+    // The served bindings in the new code's slot order. A fresh reopt candidate extracts in
+    // rewritten order, so the old entry's (submission-ordered) bindings route through the
+    // permutation; a promotion recompiles the resident tree, whose extraction order — rewritten
+    // or not — matches the old entry's slots one-to-one.
+    PlanLiterals served;
+    if (reopt_job && !entry->literal_permutation.empty()) {
+      served.bindings.reserve(entry->literal_permutation.size());
+      for (uint32_t slot : entry->literal_permutation) {
+        DFP_CHECK(slot < old_entry->literals.bindings.size());
+        served.bindings.push_back(old_entry->literals.bindings[slot]);
+      }
+    } else {
+      served.bindings = old_entry->literals.bindings;
+    }
+    PatchCachedPlan(db_, *entry, served, old_entry->fingerprint.literals);
     entry->code_bytes = CompiledCodeBytes(entry->query, db_.code_map());
     entry->compile_cycles = job.compile_cycles;
 
     // Atomic swap between steps: Insert replaces the same-key entry. Sessions still holding the
     // old shared_ptr drain on the old code (its segments stay registered in the code map).
     cache_.Insert(entry);
-    cache_.NoteTierSwap();
-    controller_.MarkSwapped(entry->fingerprint.structure, swapped_at);
-    tier_events_.push_back({swapped_at, "tier " + HexKey(entry->fingerprint.structure) +
-                                            " baseline optimized swapped"});
+    if (reopt_job) {
+      ReoptAction* action = reopts_.Find(entry->fingerprint.structure);
+      DFP_CHECK(action != nullptr && action->state == ReoptState::kDecided);
+      action->state = ReoptState::kApplied;
+      action->applied_tsc = swapped_at;
+      // The guard's yardstick: everything in the windows up to the swap. JudgeRegression rolls
+      // up strictly after this watermark, so only candidate executions are measured against it.
+      reopt_baseline_.Snapshot(windows_, config_.reopt.guard.min_samples);
+      reopt_events_.push_back(
+          {swapped_at, "reopt " + HexKey(entry->fingerprint.structure) + " applied"});
+    } else {
+      cache_.NoteTierSwap();
+      controller_.MarkSwapped(entry->fingerprint.structure, swapped_at);
+      tier_events_.push_back({swapped_at, "tier " + HexKey(entry->fingerprint.structure) +
+                                              " baseline optimized swapped"});
+    }
     recompile_jobs_.erase(recompile_jobs_.begin());
   }
 }

@@ -53,6 +53,8 @@
 #include "src/engine/result.h"
 #include "src/profiling/serialize.h"
 #include "src/profiling/session.h"
+#include "src/reopt/cardstore.h"
+#include "src/reopt/controller.h"
 #include "src/service/fingerprint.h"
 #include "src/service/plan_cache.h"
 #include "src/service/service_profile.h"
@@ -138,6 +140,10 @@ struct ServiceConfig {
   // Profile-feedback scheduling (slack-directed deques, guarded placement repair, slack-aware
   // admission). Off by default — see SchedFeedbackConfig.
   SchedFeedbackConfig sched;
+  // Closed-loop profile-guided re-optimization (src/reopt): measured cardinalities re-drive
+  // physical planning, guarded by the regression detector. Off by default; requires tiering
+  // (candidates install through the parameterized cache's atomic swap).
+  ReoptConfig reopt;
   // When non-empty: continuous-profiling state (fleet profile, window rings, regression
   // baselines, service clock) is loaded from this file at construction and saved back on
   // destruction (or SaveState()), so a restarted service resumes its windows and regression
@@ -259,6 +265,13 @@ class QueryService {
   const SchedStats& sched_stats() const { return sched_stats_; }
   uint64_t infeasible_rejections() const { return infeasible_rejections_; }
 
+  // Re-optimization views (src/reopt/): the per-fingerprint measured-cardinality store
+  // (render with RenderCardStore), the re-plan audit log (render with RenderReoptTimeline),
+  // and the decided/applied/kept/reverted sideband lines (v8 `reopt` stream lines).
+  const CardStore& cards() const { return cards_; }
+  const ReoptLog& reopts() const { return reopts_; }
+  const std::vector<SampleStreamEvent>& reopt_events() const { return reopt_events_; }
+
   // Coordinated cache invalidation (sharded service, src/shard/): drops every cached plan and
   // pending background recompilation now, exactly as the catalog-version check in Admit()
   // would on the next admission. Returns true when the catalog version had moved since the
@@ -285,12 +298,18 @@ class QueryService {
  private:
   struct ActiveSession;
 
-  // One promotion decision awaiting its background recompilation: the dedicated recompile lane
-  // finishes the optimizing-tier compile at `ready_at_cycles` of the service clock.
+  // One decision awaiting its background recompilation — a tier promotion, or (with
+  // `candidate_plan` set) a re-optimization candidate. The dedicated recompile lane finishes
+  // the compile at `ready_at_cycles` of the service clock.
   struct RecompileJob {
-    CachedPlanPtr source;           // The baseline-tier entry being replaced.
+    CachedPlanPtr source;           // The entry being replaced.
     uint64_t ready_at_cycles = 0;   // Background lane completion time.
-    uint64_t compile_cycles = 0;    // Optimizing-tier estimate charged to the background lane.
+    uint64_t compile_cycles = 0;    // Compile estimate charged to the background lane.
+    // Re-optimization candidate (src/reopt): the rewritten plan to compile at `source`'s tier
+    // and its literal-order mapping (see CachedPlan::literal_permutation). Null for a tier
+    // promotion.
+    PhysicalOpPtr candidate_plan;
+    std::vector<uint32_t> literal_permutation;
   };
 
   QueryTicket& TicketRef(TicketId id) { return *tickets_[id - 1]; }
@@ -304,6 +323,10 @@ class QueryService {
   // remote-DRAM-bound verdict, and resolves an applied one (keep/revert) once the regression
   // guard has evidence.
   void StepPlacementRepair(QueryTicket& ticket);
+  // Guarded re-optimization loop, stepped at every completion: triggers a re-plan when the
+  // fingerprint's measured cardinalities diverged past the threshold, and resolves an applied
+  // swap (keep/revert) once the regression guard has evidence.
+  void StepReopt(QueryTicket& ticket, const CachedPlanPtr& entry);
   void ChargeSerialWork(uint64_t cycles);  // Compile/lookup work: to the least-loaded lane.
   // True while some active session executes `entry`'s code.
   bool EntryBusy(const CachedPlanPtr& entry) const;
@@ -327,6 +350,10 @@ class QueryService {
   // is applied — the user-facing baseline_ (SnapshotBaseline/DetectRegressions) must not be
   // clobbered by the loop's internal bookkeeping.
   BaselineStore repair_baseline_;
+  CardStore cards_;
+  ReoptLog reopts_;
+  // Like repair_baseline_: the reopt guard's private pre-swap snapshot.
+  BaselineStore reopt_baseline_;
   SchedStats sched_stats_;
   uint64_t infeasible_rejections_ = 0;
   uint64_t seen_catalog_version_;
@@ -341,6 +368,7 @@ class QueryService {
   uint64_t recompile_lane_busy_cycles_ = 0;   // Background lane's busy-until mark.
   std::vector<SampleStreamEvent> tier_events_;
   std::vector<SampleStreamEvent> sched_events_;
+  std::vector<SampleStreamEvent> reopt_events_;
   TraceRecorder* recorder_ = nullptr;  // Not owned; null when not recording.
 };
 

@@ -8,6 +8,8 @@
 
 #include "src/critpath/slack.h"
 #include "src/profiling/reports.h"
+#include "src/reopt/cardstore.h"
+#include "src/reopt/controller.h"
 #include "src/util/check.h"
 
 namespace dfp {
@@ -18,6 +20,7 @@ constexpr const char* kProfileHeaderV2 = "# dfp service profile v2";
 constexpr const char* kProfileHeaderV3 = "# dfp service profile v3";
 constexpr const char* kProfileHeaderV4 = "# dfp service profile v4";
 constexpr const char* kProfileHeaderV5 = "# dfp service profile v5";
+constexpr const char* kProfileHeaderV6 = "# dfp service profile v6";
 
 [[noreturn]] void Malformed(const std::string& line) {
   throw Error("malformed service profile line: '" + line + "'");
@@ -295,16 +298,23 @@ void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& w
 
 void WriteServiceState(const ServiceProfile& profile, const WindowedProfile& windows,
                        const BaselineStore& baselines, uint64_t service_clock_cycles,
-                       std::ostream& out, const SlackStore* slack) {
+                       std::ostream& out, const SlackStore* slack, const CardStore* cards,
+                       const ReoptLog* reopts) {
   const bool crit = HasCriticality(profile);
   // A slack store that never observed an execution (generation 0) adds nothing worth a format
-  // bump: the file stays a byte-identical v3/v4 stream.
+  // bump: the file stays a byte-identical v3/v4 stream. Same for an empty cardinality store
+  // and an empty re-optimization log.
   const bool slacked = slack != nullptr && slack->generation() != 0;
-  out << (slacked ? kProfileHeaderV5 : (crit ? kProfileHeaderV4 : kProfileHeaderV3)) << "\n";
+  const bool carded = cards != nullptr && cards->generation() != 0;
+  const bool reopted = reopts != nullptr && !reopts->actions().empty();
+  out << (carded || reopted
+              ? kProfileHeaderV6
+              : (slacked ? kProfileHeaderV5 : (crit ? kProfileHeaderV4 : kProfileHeaderV3)))
+      << "\n";
   out << "windowcfg " << windows.config().width_cycles << " " << windows.config().ring_windows
       << "\n";
   out << "clock " << service_clock_cycles << "\n";
-  WritePlanLines(profile, crit || slacked, out);
+  WritePlanLines(profile, crit || slacked || carded || reopted, out);
   WriteWindowLines(windows, /*v3=*/true, out);
   WriteBaselineLines(baselines, out);
   if (slacked) {
@@ -322,19 +332,40 @@ void WriteServiceState(const ServiceProfile& profile, const WindowedProfile& win
       }
     }
   }
+  if (carded) {
+    out << "cardgen " << cards->generation() << "\n";
+    for (const auto& [fingerprint, plan] : cards->plans()) {
+      out << "cardplan " << HexKey(fingerprint) << " " << plan.executions << " "
+          << plan.generation << " " << plan.name << "\n";
+      for (const auto& [op, entry] : plan.operators) {
+        out << "card " << HexKey(fingerprint) << " " << op << " " << entry.observed_rows << " "
+            << entry.estimated_rows << " " << entry.executions << " " << entry.generation
+            << "\n";
+      }
+    }
+  }
+  if (reopted) {
+    for (const ReoptAction& action : reopts->actions()) {
+      out << "reopt " << HexKey(action.fingerprint) << " " << ReoptStateName(action.state)
+          << " " << action.decided_tsc << " " << action.applied_tsc << " "
+          << action.resolved_tsc << " " << action.divergence_pct << " " << action.reordered
+          << " " << action.semi_join << " " << action.plan_name << "\n";
+    }
+  }
 }
 
 ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows,
                                   BaselineStore* baselines, uint64_t* service_clock_cycles,
-                                  SlackStore* slack) {
+                                  SlackStore* slack, CardStore* cards, ReoptLog* reopts) {
   ServiceProfile profile;
   std::string line;
   if (!std::getline(in, line) ||
       (line != kProfileHeaderV1 && line != kProfileHeaderV2 && line != kProfileHeaderV3 &&
-       line != kProfileHeaderV4 && line != kProfileHeaderV5)) {
+       line != kProfileHeaderV4 && line != kProfileHeaderV5 && line != kProfileHeaderV6)) {
     throw Error("not a dfp service profile file");
   }
-  const bool v5 = line == kProfileHeaderV5;
+  const bool v6 = line == kProfileHeaderV6;
+  const bool v5 = line == kProfileHeaderV5 || v6;
   const bool v4 = line == kProfileHeaderV4 || v5;
   const bool v3 = line == kProfileHeaderV3 || v4;
   const bool v2 = line == kProfileHeaderV2 || v3;
@@ -359,7 +390,69 @@ ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows,
     if ((kind == "slackgen" || kind == "slack" || kind == "slackstep") && !v5) {
       Malformed(line);
     }
-    if (kind == "slackgen") {
+    if ((kind == "cardgen" || kind == "cardplan" || kind == "card" || kind == "reopt") && !v6) {
+      Malformed(line);
+    }
+    if (kind == "cardgen") {
+      uint64_t generation = 0;
+      if (!(stream >> generation)) {
+        Malformed(line);
+      }
+      if (cards != nullptr) {
+        cards->SetLoadedGeneration(generation);
+      }
+    } else if (kind == "cardplan") {
+      std::string key;
+      uint64_t executions = 0;
+      uint64_t generation = 0;
+      if (!(stream >> key >> executions >> generation)) {
+        Malformed(line);
+      }
+      std::string name;
+      std::getline(stream, name);
+      if (!name.empty() && name.front() == ' ') {
+        name.erase(name.begin());
+      }
+      if (cards != nullptr) {
+        PlanCards& plan = cards->LoadPlan(std::stoull(key, nullptr, 16));
+        plan.name = std::move(name);
+        plan.executions = executions;
+        plan.generation = generation;
+      }
+    } else if (kind == "card") {
+      std::string key;
+      uint64_t op = 0;
+      CardEntry entry;
+      if (!(stream >> key >> op >> entry.observed_rows >> entry.estimated_rows >>
+            entry.executions >> entry.generation)) {
+        Malformed(line);
+      }
+      if (cards != nullptr) {
+        cards->LoadPlan(std::stoull(key, nullptr, 16))
+            .operators[static_cast<OperatorId>(op)] = entry;
+      }
+    } else if (kind == "reopt") {
+      std::string key;
+      std::string state;
+      ReoptAction action;
+      uint64_t reordered = 0;
+      uint64_t semi_join = 0;
+      if (!(stream >> key >> state >> action.decided_tsc >> action.applied_tsc >>
+            action.resolved_tsc >> action.divergence_pct >> reordered >> semi_join) ||
+          !ReoptStateFromName(state, &action.state)) {
+        Malformed(line);
+      }
+      action.fingerprint = std::stoull(key, nullptr, 16);
+      action.reordered = reordered != 0;
+      action.semi_join = semi_join != 0;
+      std::getline(stream, action.plan_name);
+      if (!action.plan_name.empty() && action.plan_name.front() == ' ') {
+        action.plan_name.erase(action.plan_name.begin());
+      }
+      if (reopts != nullptr) {
+        reopts->Add(std::move(action));
+      }
+    } else if (kind == "slackgen") {
       uint64_t generation = 0;
       if (!(stream >> generation)) {
         Malformed(line);

@@ -25,6 +25,8 @@
 namespace dfp {
 
 class SlackStore;  // src/critpath/slack.h — expected-slack persistence (profile v5).
+class CardStore;   // src/reopt/cardstore.h — measured-cardinality persistence (profile v6).
+class ReoptLog;    // src/reopt/controller.h — re-optimization audit trail (profile v6).
 
 struct FleetOperatorCost {
   OperatorId op = kNoOperator;
@@ -116,8 +118,10 @@ class ServiceProfile {
 // the pieces a restarting service needs to resume where it left off — the service clock, the
 // per-window tier split, and the frozen regression baselines; version 4 adds per-plan
 // critical-path rollups; version 5 adds the expected-slack store the slack-directed scheduler
-// and deadline admission read (src/critpath/slack.h):
-//   # dfp service profile v2|v3|v4|v5
+// and deadline admission read (src/critpath/slack.h); version 6 adds the measured-cardinality
+// store and the re-optimization audit trail (src/reopt/), so a restarted service resumes the
+// closed loop from its pre-restart measurements:
+//   # dfp service profile v2|v3|v4|v5|v6
 //   windowcfg <width-cycles> <ring-windows>
 //   clock <service-clock-cycles>                                              (v3)
 //   plan <fingerprint-hex> <executions> <hits> <misses> <compile-cycles> <execute-cycles> <name...>
@@ -132,6 +136,12 @@ class ServiceProfile {
 //   slackgen <store-generation>                                               (v5)
 //   slack <fingerprint-hex> <executions> <generation> <critical-path-cycles> <name...>  (v5)
 //   slackstep <fingerprint-hex> <step> <pipeline> <rows> <b0> ... <b15>       (v5)
+//   cardgen <store-generation>                                                (v6)
+//   cardplan <fingerprint-hex> <executions> <generation> <name...>            (v6)
+//   card <fingerprint-hex> <operator-id> <observed-rows> <estimated-rows> <executions>
+//        <generation>                                                         (v6)
+//   reopt <fingerprint-hex> <state> <decided-tsc> <applied-tsc> <resolved-tsc>
+//         <divergence-pct> <reordered> <semi-join> <name...>                  (v6)
 // The writers are content-driven: the two-argument form emits v4 only when some plan carries a
 // critical-path rollup and v3 only when some window carries baseline-tier counts, so
 // pre-tiering and pre-critpath profiles stay byte-identical v2/v3 files. The v1 header with
@@ -141,25 +151,29 @@ void WriteServiceProfile(const ServiceProfile& profile, const WindowedProfile& w
                          std::ostream& out);
 
 // Persistence writer: embeds the service clock and the regression baselines — everything
-// QueryService saves on shutdown and restores on start. Emits v5 when `slack` holds observed
-// executions (its generation advanced), v4 when a plan carries a critical-path rollup, v3
-// otherwise — a service that never enabled the scheduling loop keeps writing byte-identical
-// v3/v4 files.
+// QueryService saves on shutdown and restores on start. Emits v6 when `cards` holds
+// observations or `reopts` holds actions, v5 when `slack` holds observed executions (its
+// generation advanced), v4 when a plan carries a critical-path rollup, v3 otherwise — a
+// service that never enabled the closed loops keeps writing byte-identical v3/v4 files.
 void WriteServiceState(const ServiceProfile& profile, const WindowedProfile& windows,
                        const BaselineStore& baselines, uint64_t service_clock_cycles,
-                       std::ostream& out, const SlackStore* slack = nullptr);
+                       std::ostream& out, const SlackStore* slack = nullptr,
+                       const CardStore* cards = nullptr, const ReoptLog* reopts = nullptr);
 
-// Inverse of WriteServiceProfile/WriteServiceState; parses v1 through v5. When `windows` is
+// Inverse of WriteServiceProfile/WriteServiceState; parses v1 through v6. When `windows` is
 // non-null, window lines are reconstituted into it (it keeps its configured ring bound; the
 // file's windowcfg line restores the writer's configuration first). `baselines` and
 // `service_clock_cycles`, when non-null, receive the v3 regression baselines and service
 // clock; `slack`, when non-null, receives the v5 expected-slack store (including its
-// generation clock, so age-out resumes where the writer left off). Throws dfp::Error on
-// malformed input.
+// generation clock, so age-out resumes where the writer left off); `cards` and `reopts`, when
+// non-null, receive the v6 cardinality store and re-optimization audit trail (loaded actions
+// carry no replaced entry — the cache is cold — so an applied action resolves as reverted at
+// its next completion). Throws dfp::Error on malformed input.
 ServiceProfile ReadServiceProfile(std::istream& in, WindowedProfile* windows = nullptr,
                                   BaselineStore* baselines = nullptr,
                                   uint64_t* service_clock_cycles = nullptr,
-                                  SlackStore* slack = nullptr);
+                                  SlackStore* slack = nullptr, CardStore* cards = nullptr,
+                                  ReoptLog* reopts = nullptr);
 
 }  // namespace dfp
 

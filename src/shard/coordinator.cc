@@ -207,6 +207,23 @@ FleetAggregate ShardedService::AggregateFleet() const {
   return AggregateShards(std::move(leaves), config_.rollup_cost_per_entry);
 }
 
+void ShardedService::SnapshotBaselines() {
+  for (const auto& shard : shards_) {
+    shard->SnapshotBaseline();
+  }
+}
+
+std::vector<RegressionFinding> ShardedService::DetectRegressions() const {
+  std::vector<RegressionFinding> findings;
+  for (const auto& shard : shards_) {
+    std::vector<RegressionFinding> local = shard->DetectRegressions();
+    for (RegressionFinding& finding : local) {
+      findings.push_back(std::move(finding));
+    }
+  }
+  return findings;
+}
+
 const PmuCounters& ShardedService::coordinator_counters() const {
   static const PmuCounters kZero{};
   return merger_ != nullptr ? merger_->counters() : kZero;

@@ -123,6 +123,12 @@ class ShardedService {
   // Aggregation-tree root over all shard leaves plus the coordinator's Merge-operator leaf.
   FleetAggregate AggregateFleet() const;
 
+  // Fleet-wide regression sweep: snapshots every shard's baseline / diffs every shard's
+  // windows in shard order. Findings carry the owning shard's 1-based shard_id (0 in the
+  // 1-shard degenerate case), so a fleet alert sink can name the regressed node.
+  void SnapshotBaselines();
+  std::vector<RegressionFinding> DetectRegressions() const;
+
   // Coordinator telemetry.
   uint64_t fanout_queries() const { return fanout_queries_; }
   uint64_t routed_queries() const { return routed_queries_; }

@@ -101,6 +101,29 @@ TEST(RegressionDetector, FiresOnCyclesPerRowAndRemoteShare) {
   EXPECT_NE(report.find("+remote"), std::string::npos);
 }
 
+TEST(RegressionDetector, FindingsCarryTheShardIdIntoTheAlertHook) {
+  WindowedProfile windows(SmallConfig());
+  OperatorProfile mix = MakeProfile({{1, "Scan", 100}});
+  windows.Record(0x1, "q", 10, mix, MakeCounters(100, 1), 5000, 50, 100);
+  BaselineStore baseline;
+  baseline.Snapshot(windows);
+  windows.Record(0x1, "q", 1010, mix, MakeCounters(100, 30), 10000, 50, 100);
+
+  // The shard id is stamped on the finding BEFORE the alert hook fires, so fleet-wide sinks
+  // can name the regressed node.
+  std::vector<RegressionFinding> alerted;
+  auto findings = DetectRegressions(
+      baseline, windows, RegressionThresholds(),
+      [&alerted](const RegressionFinding& finding) { alerted.push_back(finding); }, 3);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].shard_id, 3u);
+  ASSERT_EQ(alerted.size(), 1u);
+  EXPECT_EQ(alerted[0].shard_id, 3u);
+
+  // The unsharded default keeps shard_id 0 (no suffix in the default alert line).
+  EXPECT_EQ(DetectRegressions(baseline, windows)[0].shard_id, 0u);
+}
+
 TEST(RegressionDetector, NoiseMarginSuppressesSparseSampleJitter) {
   WindowedProfile windows(SmallConfig());
   // Dense baseline: Scan at 30% of 1000 samples.

@@ -421,6 +421,59 @@ TEST(Serialize, TaskBoundariesRoundTripIsV5) {
   EXPECT_EQ(with_tasks_api.str(), classic.str());
 }
 
+TEST(Serialize, ReoptLinesRoundTripIsV8) {
+  // Re-optimization sideband lines promote the stream to v8 and interleave by tsc after any
+  // sched lines at the same timestamp (fixed order keeps double-run streams byte-identical).
+  std::vector<Sample> samples;
+  Sample plain;
+  plain.tsc = 500;
+  plain.ip = 0x1000001;
+  samples.push_back(plain);
+
+  std::vector<SampleStreamEvent> reopt;
+  SampleStreamEvent decided;
+  decided.tsc = 100;
+  decided.text = "decided fp=12ab divergence=4100";
+  reopt.push_back(decided);
+  SampleStreamEvent kept;
+  kept.tsc = 400;
+  kept.text = "kept fp=12ab";
+  reopt.push_back(kept);
+
+  std::stringstream stream;
+  WriteSamples(samples, {}, {}, {}, reopt, stream);
+  const std::string text = stream.str();
+  EXPECT_NE(text.find("# dfp samples v8"), std::string::npos);
+  EXPECT_LT(text.find("reopt 100 decided fp=12ab divergence=4100"), text.find("sample 500"));
+
+  std::vector<SampleStreamEvent> events;
+  std::vector<TaskBoundary> tasks;
+  std::vector<SampleStreamEvent> sched;
+  std::vector<SampleStreamEvent> loaded;
+  std::vector<Sample> reread = ReadSamples(stream, &events, &tasks, &sched, &loaded);
+  ASSERT_EQ(reread.size(), 1u);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].tsc, 100u);
+  EXPECT_EQ(loaded[0].text, "decided fp=12ab divergence=4100");
+  EXPECT_EQ(loaded[1].tsc, 400u);
+  EXPECT_EQ(loaded[1].text, "kept fp=12ab");
+
+  // Reopt-free streams written through the five-argument API stay byte-identical to the
+  // classic writer — old dumps never silently become v8.
+  std::stringstream with_reopt_api;
+  WriteSamples(samples, {}, {}, {}, std::vector<SampleStreamEvent>(), with_reopt_api);
+  std::stringstream classic;
+  WriteSamples(samples, classic);
+  EXPECT_EQ(with_reopt_api.str(), classic.str());
+
+  // A v8 stream with reopt lines needs a reopt sink, and reopt lines are rejected in pre-v8
+  // streams — the same contract as tasks and sched above.
+  std::stringstream no_sink("# dfp samples v8\nreopt 100 decided fp=12ab\nsample 500 16777217 0\n");
+  EXPECT_THROW(ReadSamples(no_sink, &events, &tasks, &sched), Error);
+  std::stringstream pre_v8("# dfp samples v6\nreopt 100 decided fp=12ab\n");
+  EXPECT_THROW(ReadSamples(pre_v8, &events, &tasks, &sched, &loaded), Error);
+}
+
 TEST(Serialize, RejectsTaskTokensInPreV5StreamsAndNewerVersions) {
   // A task line in a pre-v5 stream is malformed, not a forward-compatible extension.
   std::stringstream task_in_v4(
@@ -452,10 +505,10 @@ TEST(Serialize, RejectsTaskTokensInPreV5StreamsAndNewerVersions) {
   EXPECT_THROW(ReadSamples(no_sched_sink, &events, &tasks), Error);
 
   // A stream from a newer build is rejected with a clear upgrade message, not a parse error.
-  std::stringstream v8("# dfp samples v8\nsample 100 16777217 0\n");
+  std::stringstream v9("# dfp samples v9\nsample 100 16777217 0\n");
   try {
-    ReadSamples(v8, &events, &tasks);
-    FAIL() << "v8 stream must be rejected";
+    ReadSamples(v9, &events, &tasks);
+    FAIL() << "v9 stream must be rejected";
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("newer than this build"), std::string::npos)
         << e.what();

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "src/plan/builder.h"
+#include "src/plan/physical.h"
 #include "src/replay/recorder.h"
 #include "src/replay/replayer.h"
 #include "src/replay/trace.h"
@@ -245,6 +247,152 @@ TEST(ReplayServiceTest, AttachingRecorderToWarmedServiceThrows) {
   TraceRecorder recorder;
   EXPECT_THROW(warmed.AttachRecorder(recorder), Error);
   std::remove(config.state_path.c_str());
+}
+
+// One q6 execution whose scan estimate is optionally hand-set (the SQL binder's join-ordering
+// scenario): ResolveMorselRows sizes morsels from the estimate, so a tuned estimate genuinely
+// changes the execution schedule and therefore the sample stream.
+Recording RecordTunedQ6(Database& db, const ServiceConfig& config, double scan_estimate) {
+  QueryService service(db, config);
+  TraceRecorder recorder;
+  recorder.set_keep_streams(true);
+  service.AttachRecorder(recorder);
+
+  PhysicalOpPtr plan = BuildQueryPlan(db, FindQuery("q6"));
+  if (scan_estimate > 0) {
+    for (PhysicalOp* op : PlanOperators(*plan)) {
+      if (op->kind == OpKind::kTableScan) {
+        op->estimated_rows = scan_estimate;
+      }
+    }
+  }
+  service.Submit(std::move(plan), "q6_tuned");
+  service.Drain();
+
+  recorder.Finish(service);
+  Recording recording;
+  recording.trace = recorder.trace();
+  recording.streams = recorder.streams();
+  return recording;
+}
+
+TEST(ReplayServiceTest, HandSetEstimatesSurviveReplayRefinalization) {
+  // Regression test: the replayer re-finalizes each cloned template after re-binding literals,
+  // and must reset only default-derived estimates (estimate == bound). Zeroing unconditionally
+  // would clobber hand-set estimates and silently diverge the replayed morsel schedule.
+  const ServiceConfig config = TestConfig();
+  auto stock_db = MakeDb(config);
+  const Recording stock = RecordTunedQ6(*stock_db, config, 0);
+  auto tuned_db = MakeDb(config);
+  const Recording tuned = RecordTunedQ6(*tuned_db, config, 500);
+
+  // The hand-set estimate is load-bearing: it shrinks the morsels, which moves every task
+  // boundary and sample, so the tuned recording's stream differs from the stock one.
+  ASSERT_EQ(stock.streams.size(), 1u);
+  ASSERT_EQ(tuned.streams.size(), 1u);
+  ASSERT_NE(tuned.streams[0], stock.streams[0]);
+
+  auto replay_db = MakeDb(config);
+  ReplayOptions options;
+  options.keep_streams = true;
+  const ReplayRun run = ReplayTrace(*replay_db, tuned.trace, options);
+  const ReplayReport report = DiffTraces(tuned.trace, run.trace);
+  EXPECT_TRUE(report.identical) << RenderReplayReport(report);
+  ASSERT_EQ(run.sample_streams.size(), 1u);
+  EXPECT_EQ(run.sample_streams[0], tuned.streams[0]);
+}
+
+// The misestimated join spine from the reopt service tests: supplier (estimate 100) sits below
+// the part filter (estimate 2000, measured ~50), so with re-optimization on, the loop re-plans
+// and swaps within a few executions.
+PhysicalOpPtr MisestimatedSpine(Database& db) {
+  PlanBuilder supplier = PlanBuilder::Scan(db.table("supplier"));
+  PlanBuilder part = PlanBuilder::Scan(db.table("part"));
+  part.FilterBy(
+      MakeBinary(BinOp::kLt, part.Col("p_partkey"), MakeLiteral(ColumnType::kInt64, 50)));
+  PlanBuilder plan = PlanBuilder::Scan(db.table("lineitem"));
+  plan.JoinWith(std::move(supplier), {"l_suppkey"}, {"s_suppkey"}, {"s_acctbal"});
+  plan.JoinWith(std::move(part), {"l_partkey"}, {"p_partkey"}, {"p_retailprice"});
+  return plan.Build();
+}
+
+Recording RecordReoptWorkload(Database& db, const ServiceConfig& config, int runs,
+                              uint64_t* kept) {
+  QueryService service(db, config);
+  TraceRecorder recorder;
+  recorder.set_keep_streams(true);
+  service.AttachRecorder(recorder);
+  for (int i = 0; i < runs; ++i) {
+    service.Submit(MisestimatedSpine(db), "q_spine");
+    service.Drain();
+  }
+  recorder.Finish(service);
+  *kept = service.reopts().kept();
+  Recording recording;
+  recording.trace = recorder.trace();
+  recording.streams = recorder.streams();
+  std::ostringstream profile;
+  WriteServiceProfile(service.fleet_profile(), service.windows(), profile);
+  recording.profile_text = profile.str();
+  recording.timeline_text = RenderTierTimeline(service.windows(), service.tier_controller());
+  return recording;
+}
+
+TEST(ReplayServiceTest, ReoptClosedLoopReplaysByteIdentical) {
+  // A recording that decides, applies, and keeps a re-optimized plan mid-trace is still a pure
+  // function of (config, submission sequence): identity replay reproduces the whole loop —
+  // including the swap point — bit for bit.
+  ServiceConfig config = TestConfig();
+  config.reopt.enabled = true;
+  config.continuous.window.width_cycles = 1'000'000;
+  auto record_db = MakeDb(config);
+  uint64_t kept = 0;
+  const Recording recording = RecordReoptWorkload(*record_db, config, 14, &kept);
+  ASSERT_EQ(kept, 1u);  // The recording genuinely swapped a candidate in and kept it.
+
+  // The reopt knobs (trigger thresholds and guard bar) ride the trace as its v3 line.
+  const std::string text = EncodeTraceText(recording.trace);
+  ASSERT_EQ(text.rfind("# dfp trace v3\n", 0), 0u);
+  std::istringstream in(text);
+  const WorkloadTrace parsed = ReadTrace(in);
+
+  auto replay_db = MakeDb(config);
+  ReplayOptions options;
+  options.keep_streams = true;
+  const ReplayRun run = ReplayTrace(*replay_db, parsed, options);
+  const ReplayReport report = DiffTraces(recording.trace, run.trace);
+  EXPECT_TRUE(report.identical) << RenderReplayReport(report);
+  EXPECT_TRUE(report.streams_identical);
+  ASSERT_EQ(run.sample_streams.size(), recording.streams.size());
+  for (size_t i = 0; i < recording.streams.size(); ++i) {
+    EXPECT_EQ(run.sample_streams[i], recording.streams[i]) << "query " << i + 1;
+  }
+  EXPECT_EQ(run.service_profile_text, recording.profile_text);
+  EXPECT_EQ(run.tier_timeline_text, recording.timeline_text);
+}
+
+TEST(ReplayServiceTest, ReoptWhatIfChangesCodeButNeverResults) {
+  // "What if re-optimization had been on?" against traffic recorded with it off: the replayed
+  // loop re-plans and swaps, so post-swap queries run different compiled code (streams and
+  // cycles diverge) — but a rewritten plan computes the same relation, so the gate is
+  // results_diverged == 0.
+  ServiceConfig config = TestConfig();
+  config.continuous.window.width_cycles = 1'000'000;
+  auto record_db = MakeDb(config);
+  uint64_t kept = 0;
+  const Recording recording = RecordReoptWorkload(*record_db, config, 14, &kept);
+  ASSERT_EQ(kept, 0u);  // Off by default: the recording never re-planned.
+
+  auto replay_db = MakeDb(config);
+  ReplayOptions options;
+  options.knobs.reopt = 1;
+  const ReplayRun run = ReplayTrace(*replay_db, recording.trace, options);
+  const ReplayReport report = DiffTraces(recording.trace, run.trace);
+  EXPECT_FALSE(report.knobs_identical);
+  EXPECT_GT(report.queries_diverged, 0u);
+  EXPECT_EQ(report.results_diverged, 0u);
+  EXPECT_EQ(report.replayed_completed, report.recorded_completed);
+  EXPECT_EQ(report.replayed_rejected, report.recorded_rejected);
 }
 
 TEST(ReplayServiceTest, MissingTemplateThrows) {

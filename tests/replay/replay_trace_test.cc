@@ -253,7 +253,7 @@ TEST(TraceFormatTest, FutureVersionsAreRejected) {
   std::string text = EncodeTraceText(trace);
   ASSERT_EQ(text.rfind("# dfp trace v1\n", 0), 0u);
 
-  for (const std::string version : {"3", "17", "999"}) {
+  for (const std::string version : {"4", "17", "999"}) {
     std::string future = "# dfp trace v" + version + text.substr(text.find('\n'));
     std::istringstream in(future);
     try {
@@ -268,6 +268,51 @@ TEST(TraceFormatTest, FutureVersionsAreRejected) {
   EXPECT_THROW(ReadTrace(not_a_trace), Error);
   std::istringstream empty("");
   EXPECT_THROW(ReadTrace(empty), Error);
+}
+
+TEST(TraceFormatTest, ReoptKnobLineRoundTripsAsV3) {
+  // Content-driven versioning: the reopt knob line (and only it) promotes a trace to v3, so
+  // traces recorded with re-optimization off stay byte-identical v1/v2 files.
+  WorkloadTrace trace = RandomTrace(3);
+  ASSERT_EQ(EncodeTraceText(trace).rfind("# dfp trace v1\n", 0), 0u);
+
+  trace.knobs.reopt_enabled = true;
+  trace.knobs.reopt_divergence_pct = 250;
+  trace.knobs.reopt_min_executions = 5;
+  trace.knobs.reopt_semi_join_reduction = true;
+  trace.knobs.reopt_semi_join_blowup_pct = 175;
+  trace.knobs.reopt_pessimize = true;
+  // Guard doubles must survive bit-exactly (they are IEEE-754 hex on the wire), including
+  // values with no short decimal form.
+  trace.knobs.reopt_guard.cycles_per_row_ratio = 1.0 + 1.0 / 3.0;
+  trace.knobs.reopt_guard.remote_share_drift = 0.07;
+  trace.knobs.reopt_guard.min_samples = 11;
+  const std::string text = EncodeTraceText(trace);
+  ASSERT_EQ(text.rfind("# dfp trace v3\n", 0), 0u);
+  EXPECT_NE(text.find("\nreopt 1 250 5 1 175 1 "), std::string::npos);
+
+  std::istringstream in(text);
+  const WorkloadTrace parsed = ReadTrace(in);
+  EXPECT_TRUE(parsed.knobs == trace.knobs);
+  EXPECT_EQ(parsed.knobs.reopt_guard.cycles_per_row_ratio, 1.0 + 1.0 / 3.0);
+  EXPECT_EQ(EncodeTraceText(parsed), text);
+
+  // A corrupt reopt line throws instead of silently reverting to defaults.
+  std::string bad = text;
+  const size_t at = bad.find("\nreopt 1 250");
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 12, "\nreopt 1 bad");
+  std::istringstream bad_in(bad);
+  EXPECT_THROW(ReadTrace(bad_in), Error);
+
+  // Non-default guard thresholds alone (reopt disabled) still force the v3 line: a replayed
+  // keep/revert verdict must judge by the recorded bar, not the current build's default.
+  WorkloadTrace guard_only = RandomTrace(4);
+  guard_only.knobs.reopt_guard.min_samples = 40;
+  const std::string guard_text = EncodeTraceText(guard_only);
+  ASSERT_EQ(guard_text.rfind("# dfp trace v3\n", 0), 0u);
+  std::istringstream guard_in(guard_text);
+  EXPECT_EQ(ReadTrace(guard_in).knobs.reopt_guard.min_samples, 40u);
 }
 
 TEST(TraceFormatTest, TruncationAndCorruptionThrow) {
@@ -312,6 +357,12 @@ TEST(TraceFormatTest, KnobsRoundTripThroughServiceConfig) {
   config.tiering.break_even_ratio = 2.5;
   config.tiering.min_executions = 3;
   config.compile_costs.patch_per_site_cycles = 1234;
+  config.reopt.enabled = true;
+  config.reopt.divergence_pct = 300;
+  config.reopt.min_executions = 4;
+  config.reopt.semi_join_reduction = true;
+  config.reopt.guard.cycles_per_row_ratio = 1.5;
+  config.reopt.guard.min_samples = 25;
 
   const TraceKnobs knobs = CaptureKnobs(config);
   const ServiceConfig rebuilt = ApplyKnobs(knobs);
@@ -325,6 +376,12 @@ TEST(TraceFormatTest, KnobsRoundTripThroughServiceConfig) {
   EXPECT_EQ(rebuilt.tiering.break_even_ratio, 2.5);
   EXPECT_EQ(rebuilt.tiering.min_executions, 3u);
   EXPECT_EQ(rebuilt.compile_costs.patch_per_site_cycles, 1234u);
+  EXPECT_TRUE(rebuilt.reopt.enabled);
+  EXPECT_EQ(rebuilt.reopt.divergence_pct, 300u);
+  EXPECT_EQ(rebuilt.reopt.min_executions, 4u);
+  EXPECT_TRUE(rebuilt.reopt.semi_join_reduction);
+  EXPECT_EQ(rebuilt.reopt.guard.cycles_per_row_ratio, 1.5);
+  EXPECT_EQ(rebuilt.reopt.guard.min_samples, 25u);
 }
 
 TEST(TraceFormatTest, Fnv1a64MatchesReferenceVectors) {

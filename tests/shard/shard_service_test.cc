@@ -230,6 +230,49 @@ TEST(ShardedService, OneShardTowerIsByteIdenticalToPlainService) {
   EXPECT_EQ(fleet.rollup_cycles, 0u);
 }
 
+TEST(ShardedService, FleetRegressionSweepNamesTheRegressedShards) {
+  // A fan-out plan executes on every shard, so an injected plan-mix shift regresses every
+  // shard's windows at once. The coordinator sweep must surface each shard's finding stamped
+  // with its 1-based shard id, so a fleet alert sink can tell WHERE the plan regressed.
+  ShardServiceConfig config = TestShardConfig();
+  config.service.continuous.window.width_cycles = 2'500'000;
+  ShardCatalog catalog = MakeCatalog(2);
+  ShardedService sharded(catalog, config);
+
+  auto run_batch = [&](const std::string& sql, int count) {
+    for (int i = 0; i < count; ++i) {
+      sharded.Submit("q6", [&sql](Database& db) { return PlanSql(db, sql); });
+      sharded.Drain();
+    }
+  };
+  // q6 with much wider literals: same structure (and therefore the same fingerprint on every
+  // shard), drastically different selectivity — the injected shift.
+  const std::string baseline_sql = FindQuery("q6").sql;
+  const std::string shifted_sql =
+      "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+      "where l_shipdate >= date '1992-01-01' and l_shipdate < date '1999-01-01' "
+      "and l_discount between 0.00 and 0.10 and l_quantity < 100";
+
+  run_batch(baseline_sql, 4);
+  sharded.SnapshotBaselines();
+
+  // Identical rerun: every shard's mix reproduces, the fleet sweep stays quiet.
+  run_batch(baseline_sql, 4);
+  EXPECT_TRUE(sharded.DetectRegressions().empty());
+
+  run_batch(shifted_sql, 4);
+  std::vector<RegressionFinding> findings = sharded.DetectRegressions();
+  ASSERT_EQ(findings.size(), 2u);
+  // Shard order: the sweep visits shard 1 then shard 2; both flagged the same structure.
+  EXPECT_EQ(findings[0].shard_id, 1u);
+  EXPECT_EQ(findings[1].shard_id, 2u);
+  EXPECT_EQ(findings[0].fingerprint, findings[1].fingerprint);
+  for (const RegressionFinding& finding : findings) {
+    EXPECT_TRUE(finding.share_regressed || finding.cycles_per_row_regressed ||
+                finding.remote_regressed);
+  }
+}
+
 TEST(ShardedService, FleetAggregateIsDeterministicAcrossIdenticalRuns) {
   auto run = [] {
     ShardCatalog catalog = MakeCatalog(2);

@@ -97,7 +97,7 @@ TEST(ShardStream, ShardTokensRejectedInPreV7Streams) {
 }
 
 TEST(ShardStream, FutureVersionsRejected) {
-  std::istringstream in("# dfp samples v8\nsample 1 4096 0\n");
+  std::istringstream in("# dfp samples v9\nsample 1 4096 0\n");
   EXPECT_THROW(ReadSamples(in), Error);
 }
 
